@@ -1,0 +1,123 @@
+// Ablation: the plasticity metric (design choice, paper S4.2.1).
+//
+// Egeria chooses SP loss over (a) direct tensor differences (FitNets-style, what the
+// Skip-Conv gate reduces to) and (b) gradient norms (AutoFreeze-style) because the
+// b x b similarity structure captures semantic agreement. This ablation swaps only
+// the metric inside the same freezing policy (same smoothing, slope test, tolerance
+// rule) and compares final accuracy and speed on the ResNet-56 workload.
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "src/core/freezing_policy.h"
+#include "src/metrics/gradient_metrics.h"
+#include "src/metrics/sp_loss.h"
+#include "src/quant/quantized_modules.h"
+
+namespace egeria {
+namespace {
+
+enum class MetricKind { kSpLoss, kFitNets, kGradNorm };
+
+// A FreezeHook that reimplements Algorithm 1 with a pluggable metric: SP loss or
+// FitNets-L2 against an int8 reference snapshot, or the stage gradient norm.
+class MetricAblationHook : public FreezeHook {
+ public:
+  MetricAblationHook(MetricKind kind, const EgeriaConfig& cfg, int num_stages)
+      : kind_(kind), policy_(cfg, num_stages, /*annealing=*/true), cfg_(cfg) {}
+
+  void OnIteration(Trainer& trainer, const Batch& batch, int64_t iter) override {
+    (void)batch;
+    if (auto d = policy_.OnLr(trainer.config().lr_schedule->LrAt(iter), iter)) {
+      trainer.UnfreezeAll(iter);
+      return;
+    }
+    if (iter % cfg_.eval_interval_n != 0 || iter < cfg_.max_bootstrap_iters) {
+      return;
+    }
+    const int frontier = trainer.frontier();
+    if (frontier > policy_.MaxFreezable()) {
+      return;
+    }
+    // Refresh the reference periodically, as the controller would.
+    if (kind_ != MetricKind::kGradNorm &&
+        (reference_ == nullptr || ++evals_since_refresh_ >= cfg_.ref_update_evals)) {
+      Int8Factory factory(QuantMode::kStatic);
+      reference_ = trainer.model().CloneForInference(factory);
+      evals_since_refresh_ = 0;
+    }
+    double value = 0.0;
+    switch (kind_) {
+      case MetricKind::kSpLoss:
+      case MetricKind::kFitNets: {
+        reference_->SetBatch(batch);
+        Tensor ref_act = reference_->ForwardPrefix(frontier, batch.input);
+        Tensor train_act = trainer.FrontierActivation();
+        value = (kind_ == MetricKind::kSpLoss) ? SpLoss(train_act, ref_act)
+                                               : FitNetsL2(train_act, ref_act);
+        break;
+      }
+      case MetricKind::kGradNorm:
+        value = StageGradientNorm(trainer.model().StageParams(frontier));
+        break;
+    }
+    const float lr = trainer.config().lr_schedule->LrAt(iter);
+    if (auto d = policy_.OnPlasticity(frontier, value, lr, iter)) {
+      if (d->kind == FreezeDecision::Kind::kFreezeUpTo) {
+        trainer.FreezeUpTo(d->stage, iter);
+      }
+    }
+  }
+
+  std::string Name() const override { return "metric-ablation"; }
+
+ private:
+  MetricKind kind_;
+  FreezingPolicy policy_;
+  EgeriaConfig cfg_;
+  std::unique_ptr<ChainModel> reference_;
+  int evals_since_refresh_ = 0;
+};
+
+int Main() {
+  std::printf("== Ablation: plasticity metric (SP loss vs FitNets-L2 vs grad norm) ==\n");
+  std::printf("Paper S4.2.1: activation-similarity metrics beat gradients; SP loss beats\n"
+              "direct subtraction (FitNets / Skip-Conv style).\n\n");
+
+  TrainResult base;
+  {
+    bench::Workload w = bench::MakeResNet56Workload(/*seed=*/3, 16);
+    base = bench::RunSystem(w, "baseline");
+  }
+  Table table({"metric", "final acc", "delta", "train s", "speedup", "frozen"});
+  table.AddRow({"none (baseline)", Table::Pct(base.final_metric.display), "-",
+                Table::Num(base.total_train_seconds, 1), "1.00x", "0"});
+
+  const struct {
+    const char* label;
+    MetricKind kind;
+  } kinds[] = {{"SP loss (Egeria)", MetricKind::kSpLoss},
+               {"FitNets L2", MetricKind::kFitNets},
+               {"gradient norm", MetricKind::kGradNorm}};
+  for (const auto& k : kinds) {
+    bench::Workload w = bench::MakeResNet56Workload(3, 16);
+    MetricAblationHook hook(k.kind, w.cfg.egeria, w.model->NumStages());
+    TrainResult r = bench::RunSystem(w, "baseline", &hook);
+    table.AddRow({k.label, Table::Pct(r.final_metric.display),
+                  Table::Num((r.final_metric.display - base.final_metric.display) * 100, 2) + "pp",
+                  Table::Num(r.total_train_seconds, 1),
+                  Table::Num(base.total_train_seconds / r.total_train_seconds, 2) + "x",
+                  std::to_string(r.final_frontier)});
+  }
+  table.Print();
+  std::printf("\nRead: all metrics must keep baseline accuracy to be usable; the differences\n"
+              "show up in when/how much they freeze. On instances that keep improving late,\n"
+              "direct-subtraction and gradient metrics fire earlier and cost accuracy (see\n"
+              "fig02/fig08); on this converged instance every metric is safe and the\n"
+              "speedup tracks how much of the schedule ran frozen.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace egeria
+
+int main() { return egeria::Main(); }

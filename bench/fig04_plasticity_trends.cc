@@ -1,0 +1,95 @@
+// Figure 4: plasticity (SP loss vs a reference model) captures per-layer training
+// progress without post-hoc knowledge.
+//
+// Paper: with a reference pre-trained for 50 epochs, the plasticity of ResNet-56's
+// front modules drops to a low stable level within ~30 epochs while layer module 3
+// stays high and unstable; trends match the PWCCA analysis of Fig. 1.
+// Here: pre-train a reference for 1/4 of the schedule (int8-quantized, as Egeria
+// generates it), then train a fresh model and record SP loss per stage.
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "src/metrics/sp_loss.h"
+#include "src/quant/quantized_modules.h"
+
+namespace egeria {
+namespace {
+
+int Main() {
+  std::printf("== Figure 4: plasticity trends per layer module ==\n");
+  std::printf("Paper: front-module plasticity drops fast and stabilizes; deep modules stay\n"
+              "higher/unstable until late.\n\n");
+
+  // Reference: the same architecture pre-trained for a quarter of the schedule.
+  bench::Workload ref_w = bench::MakeResNet56Workload(/*seed=*/31);
+  {
+    TrainConfig cfg = ref_w.cfg;
+    cfg.epochs = std::max(2, ref_w.cfg.epochs / 4);
+    cfg.enable_egeria = false;
+    Trainer warmup(*ref_w.model, *ref_w.train, *ref_w.val, cfg);
+    warmup.Run();
+  }
+  Int8Factory int8_factory(QuantMode::kStatic);
+  auto reference = ref_w.model->CloneForInference(int8_factory);
+
+  // Fresh training run; record SP loss per stage every half epoch.
+  bench::Workload w = bench::MakeResNet56Workload(31);
+  const int num_stages = w.model->NumStages();
+  TrainConfig cfg = w.cfg;
+  DataLoader loader(*w.train, cfg.batch_size, true, cfg.seed);
+  Sgd opt(cfg.momentum, cfg.weight_decay);
+  DataLoader val_loader(*w.val, cfg.batch_size, false, cfg.seed + 1);
+
+  std::vector<std::string> headers{"epoch", "val acc"};
+  for (int s = 0; s + 1 < num_stages; ++s) {
+    headers.push_back("P(stage" + std::to_string(s) + ")");
+  }
+  Table table(headers);
+
+  Batch probe = w.train->GetBatch({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  int64_t iter = 0;
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    loader.StartEpoch(epoch);
+    for (int64_t b = 0; b < loader.NumBatches(); ++b) {
+      ++iter;
+      Batch batch = loader.GetBatch(b);
+      w.model->SetBatch(batch);
+      Tensor logits = w.model->ForwardFrom(0, batch.input);
+      LossResult loss = TaskLoss(cfg.task, logits, batch);
+      w.model->ZeroGrad();
+      w.model->BackwardTo(0, loss.grad);
+      opt.Step(w.model->ParamsFrom(0), cfg.lr_schedule->LrAt(iter));
+    }
+    // Plasticity of every stage on the probe batch (Eq. 1, per stage).
+    w.model->SetTraining(false);
+    w.model->SetBatch(probe);
+    w.model->ForwardFrom(0, probe.input);
+    reference->SetBatch(probe);
+    reference->ForwardFrom(0, probe.input);
+    std::vector<double> plasticity(static_cast<size_t>(num_stages - 1));
+    for (int s = 0; s + 1 < num_stages; ++s) {
+      plasticity[static_cast<size_t>(s)] =
+          SpLoss(w.model->StageOutput(s), reference->StageOutput(s));
+    }
+    // Validation accuracy.
+    Batch vb = val_loader.GetBatch(0);
+    w.model->SetBatch(vb);
+    TaskMetric metric = EvaluateTask(cfg.task, w.model->ForwardFrom(0, vb.input), vb);
+    w.model->SetTraining(true);
+
+    std::vector<std::string> row{std::to_string(epoch + 1), Table::Pct(metric.display)};
+    for (double p : plasticity) {
+      row.push_back(Table::Num(p * 1e3, 3) + "e-3");
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  std::printf("\nRead vertically: front-stage columns settle to low stable values earlier\n"
+              "than deep-stage columns (the paper's Fig. 4 shape).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace egeria
+
+int main() { return egeria::Main(); }

@@ -1,0 +1,101 @@
+// Figure 8 (a-d): validation-accuracy curves for Egeria vs the freezing baselines.
+//
+// Paper: at matched speedups, Egeria reaches the full-training target on all four
+// tasks while AutoFreeze loses 1.5% (ResNet-50) / 2.1% (DeepLab) and Skip-Conv 2.6%
+// / 3%; on machine translation they lose 0.3/0.62 perplexity; on BERT fine-tuning
+// AutoFreeze is close to Egeria (its home turf).
+//
+// Protocol: per task run {baseline, Egeria, AutoFreeze, Skip-Conv}; the baselines'
+// thresholds are set aggressively so they freeze at least as much as Egeria (the
+// paper tunes them to the same training time).
+#include <cstdio>
+
+#include "bench/workloads.h"
+
+namespace egeria {
+namespace {
+
+struct SystemRun {
+  std::string name;
+  TrainResult result;
+};
+
+void RunTask(const char* title, bench::Workload (*make)(uint64_t), uint64_t seed) {
+  std::printf("\n-- %s --\n", title);
+  std::vector<SystemRun> runs;
+  {
+    bench::Workload w = make(seed);
+    runs.push_back({"baseline", bench::RunSystem(w, "baseline")});
+  }
+  {
+    bench::Workload w = make(seed);
+    runs.push_back({"egeria", bench::RunSystem(w, "egeria")});
+  }
+  {
+    bench::Workload w = make(seed);
+    AutoFreezeConfig cfg;
+    cfg.eval_interval = 10;
+    cfg.window = 3;
+    cfg.threshold_frac = 0.8;
+    AutoFreezeHook hook(cfg);
+    runs.push_back({"autofreeze", bench::RunSystem(w, "baseline", &hook)});
+  }
+  {
+    bench::Workload w = make(seed);
+    SkipConvConfig cfg;
+    cfg.eval_interval = 10;
+    cfg.window = 3;
+    cfg.threshold_frac = 1.0;
+    SkipConvHook hook(cfg);
+    runs.push_back({"skipconv", bench::RunSystem(w, "baseline", &hook)});
+  }
+
+  std::vector<std::string> headers{"epoch"};
+  for (const auto& r : runs) {
+    headers.push_back(r.name);
+  }
+  Table curve(headers);
+  const size_t epochs = runs[0].result.epochs.size();
+  for (size_t e = 0; e < epochs; ++e) {
+    std::vector<std::string> row{std::to_string(e + 1)};
+    for (const auto& r : runs) {
+      row.push_back(Table::Num(r.result.epochs[e].val.display, 3));
+    }
+    curve.AddRow(row);
+  }
+  curve.Print();
+
+  Table summary({"system", "final", "delta vs baseline", "train s", "frozen stages"});
+  const double base_final = runs[0].result.final_metric.display;
+  for (const auto& r : runs) {
+    summary.AddRow(
+        {r.name, Table::Num(r.result.final_metric.display, 3),
+         Table::Num(r.result.final_metric.display - base_final, 3),
+         Table::Num(r.result.total_train_seconds, 1),
+         std::to_string(r.result.final_frontier)});
+  }
+  summary.Print();
+}
+
+bench::Workload MakeR50(uint64_t seed) { return bench::MakeResNet50Workload(seed, 12); }
+bench::Workload MakeDl(uint64_t seed) { return bench::MakeDeepLabWorkload(seed, 12); }
+bench::Workload MakeTr(uint64_t seed) {
+  return bench::MakeTransformerWorkload(false, seed, 14);
+}
+bench::Workload MakeQa(uint64_t seed) { return bench::MakeBertWorkload(seed, 8); }
+
+int Main() {
+  std::printf("== Figure 8: accuracy curves, Egeria vs freezing baselines ==\n");
+  std::printf("Paper: Egeria matches full training; AutoFreeze/Skip-Conv lose accuracy at\n"
+              "matched speedup (except AutoFreeze on BERT fine-tuning).\n");
+  RunTask("(a) ResNet-50 image classification [acc]", MakeR50, 61);
+  RunTask("(b) DeepLabv3 semantic segmentation [mIoU]", MakeDl, 62);
+  RunTask("(c) Transformer-Base machine translation [ppl, lower better]", MakeTr, 63);
+  RunTask("(d) BERT span-QA fine-tuning [F1]", MakeQa, 64);
+  return 0;
+}
+
+}  // namespace
+}  // namespace egeria
+
+int main() { return egeria::Main(); }

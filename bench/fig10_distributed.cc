@@ -1,0 +1,158 @@
+// Figure 10: distributed data-parallel training performance.
+//
+// Paper: on the 5-node/2xV100 cluster, Egeria beats both the vanilla framework and
+// ByteScheduler (which only reschedules communication); Egeria composes with
+// ByteScheduler, and the frozen layers' excluded traffic adds up to ~5% for
+// ResNet-50 on top of the compute saving.
+//
+// Protocol: per-stage compute costs and gradient sizes are measured on the real
+// single-node model, then fed into the discrete-event iteration simulator under the
+// leaf-spine/ring-all-reduce network model. A real 2-worker threaded run with actual
+// all-reduce validates the traffic reduction.
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "src/distributed/comm_scheduler.h"
+#include "src/distributed/dist_trainer.h"
+#include "src/distributed/network_model.h"
+#include "src/util/timer.h"
+
+namespace egeria {
+namespace {
+
+// Measures per-stage compute (fp+bp proportionally attributed) and gradient bytes.
+std::vector<StageCost> MeasureStages(bench::Workload& w, int iters) {
+  DataLoader loader(*w.train, w.cfg.batch_size, true, w.cfg.seed);
+  Sgd opt(0.9F, 0.0F);
+  WallTimer fp_timer;
+  double fp_total = 0.0;
+  double bp_total = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    Batch batch = loader.GetBatch(i % loader.NumBatches());
+    w.model->SetBatch(batch);
+    fp_timer.Reset();
+    Tensor logits = w.model->ForwardFrom(0, batch.input);
+    fp_total += fp_timer.ElapsedSeconds();
+    LossResult loss = TaskLoss(w.cfg.task, logits, batch);
+    w.model->ZeroGrad();
+    fp_timer.Reset();
+    w.model->BackwardTo(0, loss.grad);
+    bp_total += fp_timer.ElapsedSeconds();
+    opt.Step(w.model->ParamsFrom(0), 0.01F);
+  }
+  fp_total /= iters;
+  bp_total /= iters;
+  // Attribute compute proportionally to stage parameter mass (documented
+  // approximation; the totals are real measurements).
+  const int n = w.model->NumStages();
+  std::vector<StageCost> stages(static_cast<size_t>(n));
+  int64_t total_params = w.model->TotalParamCount();
+  for (int i = 0; i < n; ++i) {
+    const double frac = static_cast<double>(w.model->StageParamCount(i)) /
+                        static_cast<double>(total_params);
+    stages[static_cast<size_t>(i)].fp_seconds = fp_total * frac;
+    stages[static_cast<size_t>(i)].bp_seconds = bp_total * frac;
+    stages[static_cast<size_t>(i)].grad_bytes =
+        w.model->StageParamCount(i) * static_cast<int64_t>(sizeof(float));
+  }
+  return stages;
+}
+
+void SimTable(const char* label, const std::vector<StageCost>& stages, int frozen) {
+  std::printf("\n-- %s (frozen prefix: %d stages) --\n", label, frozen);
+  Table table({"cluster", "baseline it/s", "bytescheduler it/s", "egeria it/s",
+               "egeria+BS it/s", "egeria traffic cut"});
+  for (int nodes : {2, 3, 4, 5}) {
+    ClusterConfig cluster;
+    cluster.num_nodes = nodes;
+    cluster.gpus_per_node = 2;
+    // Communication-relevant regime: the paper's 40 Gbps NICs against GPU-scale
+    // compute; our CPU stage times are large, so scale bandwidth down to keep the
+    // compute:communication ratio comparable.
+    cluster.inter_node_gbps = 0.05;
+    cluster.intra_node_gbps = 0.4;
+    NetworkModel net(cluster);
+    const auto fifo = SimulateIteration(stages, net, CommPolicy::kFifo, 0);
+    const auto bs = SimulateIteration(stages, net, CommPolicy::kByteScheduler, 0);
+    const auto eg = SimulateIteration(stages, net, CommPolicy::kFifo, frozen, true);
+    const auto eg_bs =
+        SimulateIteration(stages, net, CommPolicy::kByteScheduler, frozen, true);
+    const double traffic_cut = 1.0 - eg.comm_seconds / fifo.comm_seconds;
+    table.AddRow({std::to_string(nodes) + "x2",
+                  Table::Num(1.0 / fifo.iteration_seconds, 2),
+                  Table::Num(1.0 / bs.iteration_seconds, 2),
+                  Table::Num(1.0 / eg.iteration_seconds, 2),
+                  Table::Num(1.0 / eg_bs.iteration_seconds, 2),
+                  Table::Pct(traffic_cut)});
+  }
+  table.Print();
+}
+
+int Main() {
+  std::printf("== Figure 10: distributed training performance ==\n");
+  std::printf("Paper: Egeria > ByteScheduler > baseline; Egeria composes with BS; frozen\n"
+              "layers cut synchronization traffic.\n");
+
+  {
+    bench::Workload w = bench::MakeResNet50Workload(81, 4);
+    auto stages = MeasureStages(w, 6);
+    SimTable("ResNet-50 (measured stage costs)", stages,
+             std::max(1, w.model->NumStages() / 3));
+  }
+  {
+    bench::Workload w = bench::MakeTransformerWorkload(false, 82, 4);
+    auto stages = MeasureStages(w, 6);
+    SimTable("Transformer-Base (measured stage costs)", stages,
+             std::max(1, w.model->NumStages() / 2));
+  }
+
+  // Real threaded 2-worker validation of the traffic reduction.
+  std::printf("\n-- Real 2-worker all-reduce validation --\n");
+  auto make_model = []() -> std::unique_ptr<ChainModel> {
+    Rng rng(83);
+    CifarResNetConfig mcfg;
+    mcfg.blocks_per_stage = 1;
+    mcfg.base_width = 6;
+    mcfg.num_classes = 4;
+    return PartitionIntoChain("r", BuildCifarResNetBlocks(mcfg, rng),
+                              PartitionConfig{.target_modules = 4});
+  };
+  SyntheticImageConfig dcfg;
+  dcfg.num_classes = 4;
+  dcfg.num_samples = 256;
+  dcfg.height = 10;
+  dcfg.width = 10;
+  dcfg.noise_std = 0.5F;
+  SyntheticImageDataset train(dcfg);
+  auto vcfg = dcfg;
+  vcfg.sample_salt = 1000000;
+  vcfg.num_samples = 64;
+  SyntheticImageDataset val(vcfg);
+  DistTrainConfig cfg;
+  cfg.world = 2;
+  cfg.epochs = bench::ScaledEpochs(16);
+  cfg.batch_size = 8;
+  cfg.task.kind = TaskKind::kClassification;
+  cfg.lr_schedule = std::make_shared<ConstantLr>(0.05F);
+  cfg.enable_egeria = true;
+  cfg.egeria.async_controller = false;
+  cfg.egeria.eval_interval_n = 4;
+  cfg.egeria.window_w = 3;
+  cfg.egeria.tolerance_coef = 0.4;
+  cfg.egeria.enable_cache = false;
+  cfg.egeria.ref_update_evals = 2;
+  DistTrainResult r = TrainDataParallel(make_model, train, val, cfg);
+  std::printf("replicas consistent: %s | final acc: %.3f | frozen frontier: %d\n",
+              r.replicas_consistent ? "yes" : "NO", r.final_display, r.final_frontier);
+  std::printf("gradient traffic: %lld bytes vs %lld full-model bytes (%.1f%% saved)\n",
+              static_cast<long long>(r.bytes_synced),
+              static_cast<long long>(r.bytes_full_model),
+              100.0 * (1.0 - static_cast<double>(r.bytes_synced) /
+                                 static_cast<double>(r.bytes_full_model)));
+  return 0;
+}
+
+}  // namespace
+}  // namespace egeria
+
+int main() { return egeria::Main(); }

@@ -1,0 +1,88 @@
+// Figure 11: freezing/unfreezing decisions across ResNet-56 training.
+//
+// Paper: the partitioner splits heavy layer3 (75% of parameters) finer than light
+// layer1/layer2; Egeria gradually freezes modules, the 100th/150th-epoch LR drops
+// unfreeze everything, and refreezing is much faster (halved window). Rendered here
+// as the module partition table plus the frontier timeline with active-parameter
+// percentages.
+#include <cstdio>
+
+#include "bench/workloads.h"
+
+namespace egeria {
+namespace {
+
+int Main() {
+  std::printf("== Figure 11: freezing/unfreezing timeline (ResNet-56) ==\n");
+  std::printf("Paper: param-balanced modules; freeze cascade; unfreeze at LR drops;\n"
+              "faster refreeze afterwards.\n\n");
+
+  bench::Workload w = bench::MakeResNet56Workload(/*seed=*/91, /*epochs=*/20);
+
+  // Partition layout (the paper's module split by parameter mass).
+  int64_t total_params = 0;
+  for (int64_t m : w.partition.module_params) {
+    total_params += m;
+  }
+  Table layout({"module", "blocks", "params", "% of model"});
+  for (size_t i = 0; i < w.partition.module_names.size(); ++i) {
+    layout.AddRow({w.partition.module_names[i],
+                   std::to_string(w.partition.blocks_per_module[i]),
+                   std::to_string(w.partition.module_params[i]),
+                   Table::Pct(static_cast<double>(w.partition.module_params[i]) /
+                              static_cast<double>(total_params))});
+  }
+  layout.Print();
+
+  TrainResult r = bench::RunSystem(w, "egeria");
+
+  // Active-parameter share per frontier value.
+  auto active_fraction = [&](int frontier) {
+    int64_t active = 0;
+    for (size_t i = static_cast<size_t>(frontier); i < w.partition.module_params.size();
+         ++i) {
+      active += w.partition.module_params[i];
+    }
+    return static_cast<double>(active) / static_cast<double>(total_params);
+  };
+
+  std::printf("\n-- Decision timeline --\n");
+  Table timeline({"iter", "epoch", "event", "frontier", "active params"});
+  for (const auto& e : r.freeze_events) {
+    timeline.AddRow({std::to_string(e.iter), std::to_string(e.epoch),
+                     e.unfreeze ? "UNFREEZE ALL" : "freeze",
+                     std::to_string(e.frontier_after),
+                     Table::Pct(active_fraction(e.frontier_after))});
+  }
+  timeline.Print();
+
+  // Refreeze speed: time from the first unfreeze to the next freeze vs time from
+  // training start to the first freeze.
+  int64_t first_freeze = -1;
+  int64_t first_unfreeze = -1;
+  int64_t refreeze = -1;
+  for (const auto& e : r.freeze_events) {
+    if (!e.unfreeze && first_freeze < 0) {
+      first_freeze = e.iter;
+    } else if (e.unfreeze && first_freeze >= 0 && first_unfreeze < 0) {
+      first_unfreeze = e.iter;
+    } else if (!e.unfreeze && first_unfreeze >= 0 && refreeze < 0) {
+      refreeze = e.iter;
+    }
+  }
+  std::printf("\nfinal acc=%.3f | final frontier=%d/%d | fp skips=%lld\n",
+              r.final_metric.display, r.final_frontier, w.model->NumStages(),
+              static_cast<long long>(r.fp_skip_count));
+  if (first_freeze > 0 && refreeze > 0) {
+    std::printf("first freeze after %lld iters; refreeze after unfreeze took %lld iters "
+                "(paper: refreezing is faster due to halved W)\n",
+                static_cast<long long>(first_freeze),
+                static_cast<long long>(refreeze - first_unfreeze));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace egeria
+
+int main() { return egeria::Main(); }

@@ -1,0 +1,109 @@
+// Microbenchmarks of the compute kernels and metrics (google-benchmark).
+//
+// Reproduces two paper claims quantitatively:
+//  - SP loss is much cheaper than PWCCA ("~10x lower overhead", S3);
+//  - the int8 reference forward is faster than fp32 (Table 2's speed column).
+#include <benchmark/benchmark.h>
+
+#include "src/metrics/pwcca.h"
+#include "src/metrics/sp_loss.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/linear.h"
+#include "src/quant/quantized_modules.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128);
+
+void BM_ConvForwardFloat(benchmark::State& state) {
+  Rng rng(2);
+  Conv2d conv("c", 16, 16, 3, rng);
+  conv.SetTraining(false);
+  Tensor x = Tensor::Randn({8, 16, 16, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x));
+  }
+}
+BENCHMARK(BM_ConvForwardFloat);
+
+void BM_ConvForwardInt8(benchmark::State& state) {
+  Rng rng(2);
+  Conv2d fp("c", 16, 16, 3, rng);
+  QuantConv2d conv(fp, QuantMode::kStatic);
+  Tensor x = Tensor::Randn({8, 16, 16, 16}, rng);
+  conv.Forward(x);  // calibration
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x));
+  }
+}
+BENCHMARK(BM_ConvForwardInt8);
+
+void BM_ConvForwardFp16(benchmark::State& state) {
+  Rng rng(2);
+  Conv2d fp("c", 16, 16, 3, rng);
+  Fp16Conv2d conv(fp);
+  Tensor x = Tensor::Randn({8, 16, 16, 16}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(conv.Forward(x));
+  }
+}
+BENCHMARK(BM_ConvForwardFp16);
+
+void BM_LinearForwardFloat(benchmark::State& state) {
+  Rng rng(3);
+  Linear fc("l", 256, 256, rng);
+  fc.SetTraining(false);
+  Tensor x = Tensor::Randn({32, 256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fc.Forward(x));
+  }
+}
+BENCHMARK(BM_LinearForwardFloat);
+
+void BM_LinearForwardInt8(benchmark::State& state) {
+  Rng rng(3);
+  Linear fp("l", 256, 256, rng);
+  QuantLinear fc(fp, QuantMode::kDynamic);
+  Tensor x = Tensor::Randn({32, 256}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fc.Forward(x));
+  }
+}
+BENCHMARK(BM_LinearForwardInt8);
+
+// SP loss vs PWCCA on the same activation pair — the paper's ~10x cost claim.
+void BM_SpLoss(benchmark::State& state) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({16, 32, 8, 8}, rng);
+  Tensor b = Tensor::Randn({16, 32, 8, 8}, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SpLoss(a, b));
+  }
+}
+BENCHMARK(BM_SpLoss);
+
+void BM_Pwcca(benchmark::State& state) {
+  Rng rng(4);
+  Tensor a = ActivationsToSamples(Tensor::Randn({16, 32, 8, 8}, rng));
+  Tensor b = ActivationsToSamples(Tensor::Randn({16, 32, 8, 8}, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PwccaDistance(a, b));
+  }
+}
+BENCHMARK(BM_Pwcca);
+
+}  // namespace
+}  // namespace egeria

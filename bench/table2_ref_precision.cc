@@ -1,0 +1,90 @@
+// Table 2: impact of the reference model's precision.
+//
+// Paper (ResNet-56/CIFAR-10): final accuracy 92.1% (int8) / 92.0% (fp16) / 92.2%
+// (fp32); CPU inference speed 3.59x / 1.69x / 1x; reference accuracy gap -0.6% /
+// -0.2% / 0. int8 is the efficiency/fidelity sweet spot.
+#include <cstdio>
+
+#include "bench/workloads.h"
+#include "src/quant/quantized_modules.h"
+#include "src/util/timer.h"
+
+namespace egeria {
+namespace {
+
+double ReferenceAccuracy(ChainModel& reference, Dataset& val, const TaskSpec& task,
+                         int64_t batches, int64_t batch_size) {
+  DataLoader loader(val, batch_size, false, 1);
+  std::vector<TaskMetric> parts;
+  for (int64_t b = 0; b < std::min<int64_t>(batches, loader.NumBatches()); ++b) {
+    Batch batch = loader.GetBatch(b);
+    reference.SetBatch(batch);
+    parts.push_back(EvaluateTask(task, reference.ForwardFrom(0, batch.input), batch));
+  }
+  return AggregateMetric(task, parts).display;
+}
+
+int Main() {
+  std::printf("== Table 2: reference-model precision (int8 / fp16 / fp32) ==\n");
+  std::printf("Paper: acc 92.1/92.0/92.2; speed 3.59x/1.69x/1x; ref gap -0.6/-0.2/0 pp.\n\n");
+
+  Table table({"precision", "final acc", "ref fwd speed", "ref acc gap", "quantize s"});
+  double fp32_speed = 0.0;
+  std::vector<std::string> rows[3];
+  const Precision precisions[] = {Precision::kInt8, Precision::kFloat16,
+                                  Precision::kFloat32};
+  double speeds[3] = {0, 0, 0};
+
+  for (int pi = 0; pi < 3; ++pi) {
+    bench::Workload w = bench::MakeResNet56Workload(/*seed=*/101, /*epochs=*/14);
+    TrainConfig cfg = w.cfg;
+    cfg.enable_egeria = true;
+    cfg.egeria.reference_precision = precisions[pi];
+    Trainer trainer(*w.model, *w.train, *w.val, cfg);
+    TrainResult r = trainer.Run();
+
+    // Build a reference at this precision from the trained model and measure its
+    // forward latency and accuracy gap.
+    auto factory = MakeInferenceFactory(precisions[pi], QuantMode::kStatic);
+    WallTimer quant_timer;
+    auto reference = w.model->CloneForInference(*factory);
+    const double quantize_s = quant_timer.ElapsedSeconds();
+
+    Batch probe = w.train->GetBatch({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+    reference->SetBatch(probe);
+    reference->ForwardFrom(0, probe.input);  // Calibration + warmup.
+    WallTimer fwd_timer;
+    const int kReps = 12;
+    for (int i = 0; i < kReps; ++i) {
+      reference->ForwardFrom(0, probe.input);
+    }
+    const double fwd_s = fwd_timer.ElapsedSeconds() / kReps;
+    speeds[pi] = fwd_s;
+    if (precisions[pi] == Precision::kFloat32) {
+      fp32_speed = fwd_s;
+    }
+
+    w.model->SetTraining(false);
+    const double model_acc =
+        ReferenceAccuracy(*w.model, *w.val, cfg.task, 6, cfg.batch_size);
+    const double ref_acc =
+        ReferenceAccuracy(*reference, *w.val, cfg.task, 6, cfg.batch_size);
+
+    rows[pi] = {PrecisionName(precisions[pi]), Table::Pct(r.final_metric.display), "",
+                Table::Num((ref_acc - model_acc) * 100, 2) + "pp",
+                Table::Num(quantize_s * 1e3, 1) + "ms"};
+  }
+  for (int pi = 0; pi < 3; ++pi) {
+    rows[pi][2] = Table::Num(fp32_speed / speeds[pi], 2) + "x";
+    table.AddRow(rows[pi]);
+  }
+  table.Print();
+  std::printf("\nShape: int8 fastest reference with a small accuracy gap; final training\n"
+              "accuracy unaffected by reference precision (the paper's sweet spot).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace egeria
+
+int main() { return egeria::Main(); }

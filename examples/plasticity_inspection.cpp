@@ -1,0 +1,79 @@
+// Inspecting plasticity directly with the library's metric APIs.
+//
+// Builds a model and an int8 reference snapshot, then walks the stage boundaries
+// comparing SP loss (Egeria's online metric, Eq. 1) against PWCCA (the paper's
+// post-hoc analysis) on the same activations — the correspondence behind Fig. 4.
+#include <cstdio>
+
+#include "src/core/module_partitioner.h"
+#include "src/core/trainer.h"
+#include "src/data/synthetic_image.h"
+#include "src/metrics/pwcca.h"
+#include "src/metrics/sp_loss.h"
+#include "src/models/resnet.h"
+#include "src/optim/lr_scheduler.h"
+#include "src/quant/quantized_modules.h"
+#include "src/util/timer.h"
+
+using namespace egeria;
+
+int main() {
+  Rng rng(31);
+  CifarResNetConfig model_cfg;
+  model_cfg.blocks_per_stage = 3;
+  model_cfg.base_width = 8;
+  auto model = PartitionIntoChain("resnet20", BuildCifarResNetBlocks(model_cfg, rng),
+                                  PartitionConfig{.target_modules = 5});
+
+  SyntheticImageConfig data_cfg;
+  data_cfg.num_samples = 512;
+  data_cfg.height = 14;
+  data_cfg.width = 14;
+  data_cfg.noise_std = 0.5F;
+  SyntheticImageDataset train(data_cfg);
+  auto val_cfg = data_cfg;
+  val_cfg.sample_salt = 1000000;
+  val_cfg.num_samples = 128;
+  SyntheticImageDataset val(val_cfg);
+
+  // Train briefly so layers have differentiated progress.
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.batch_size = 16;
+  cfg.task.kind = TaskKind::kClassification;
+  cfg.lr_schedule = std::make_shared<ConstantLr>(0.06F);
+  Trainer trainer(*model, train, val, cfg);
+  trainer.Run();
+
+  // Reference: int8 post-training quantization of the current snapshot, exactly as
+  // the Egeria controller generates it.
+  Int8Factory factory(QuantMode::kStatic);
+  WallTimer quant_timer;
+  auto reference = model->CloneForInference(factory);
+  std::printf("int8 reference generated in %.1f ms\n", quant_timer.ElapsedMillis());
+
+  Batch probe = train.GetBatch({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15});
+  model->SetTraining(false);
+  model->SetBatch(probe);
+  model->ForwardFrom(0, probe.input);
+  reference->SetBatch(probe);
+  reference->ForwardFrom(0, probe.input);
+
+  std::printf("\n%-8s %-14s %-14s %-12s %-12s\n", "stage", "SP loss", "PWCCA dist",
+              "SP time", "PWCCA time");
+  for (int s = 0; s + 1 < model->NumStages(); ++s) {
+    Tensor a_t = model->StageOutput(s);
+    Tensor a_r = reference->StageOutput(s);
+    WallTimer sp_timer;
+    const double sp = SpLoss(a_t, a_r);
+    const double sp_ms = sp_timer.ElapsedMillis();
+    WallTimer pw_timer;
+    const double pw = PwccaDistance(ActivationsToSamples(a_t), ActivationsToSamples(a_r));
+    const double pw_ms = pw_timer.ElapsedMillis();
+    std::printf("%-8d %-14.6f %-14.4f %-12.2fms %-12.2fms\n", s, sp, pw, sp_ms, pw_ms);
+  }
+  std::printf("\nBoth metrics agree on which stages track the reference closely; SP loss\n"
+              "is the cheaper of the two (the paper reports ~10x), which is why Egeria\n"
+              "uses it online and reserves PWCCA for post-hoc analysis.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Machine translation with an encoder-decoder Transformer under Egeria.
+//
+// Demonstrates the NLP path: dynamic int8 quantization for the reference model
+// (paper S5), inverse-sqrt LR schedule, and freezing that sweeps the source
+// embedding and front encoder layers — where the paper's Transformer-Base speedup
+// (43%) comes from.
+#include <cstdio>
+
+#include "src/core/trainer.h"
+#include "src/data/synthetic_text.h"
+#include "src/models/transformer.h"
+#include "src/optim/lr_scheduler.h"
+
+using namespace egeria;
+
+int main() {
+  Rng rng(7);
+  TransformerConfig model_cfg;
+  model_cfg.vocab = 32;
+  model_cfg.dim = 32;
+  model_cfg.heads = 4;
+  model_cfg.ffn_dim = 64;
+  model_cfg.num_encoder_layers = 4;
+  model_cfg.num_decoder_layers = 4;
+  model_cfg.max_len = 16;
+  TransformerChainModel model("mt", model_cfg, rng);
+  std::printf("transformer: %d stages (src-embed, %d encoders, %d decoders, proj)\n",
+              model.NumStages(), model_cfg.num_encoder_layers,
+              model_cfg.num_decoder_layers);
+
+  SyntheticTranslationConfig data_cfg;
+  data_cfg.vocab = 32;
+  data_cfg.seq_len = 10;
+  data_cfg.num_samples = 768;
+  SyntheticTranslationDataset train(data_cfg);
+  auto val_cfg = data_cfg;
+  val_cfg.sample_salt = 1000000;
+  val_cfg.num_samples = 128;
+  SyntheticTranslationDataset val(val_cfg);
+
+  TrainConfig cfg;
+  cfg.epochs = 12;
+  cfg.batch_size = 16;
+  cfg.task.kind = TaskKind::kTranslation;
+  cfg.optimizer = TrainConfig::Optim::kAdam;
+  cfg.weight_decay = 0.0F;
+  cfg.lr_schedule = std::make_shared<InverseSqrtLr>(3e-3F, 100);
+  cfg.verbose = true;
+
+  cfg.enable_egeria = true;
+  cfg.egeria.quant_mode = QuantMode::kDynamic;  // NLP: dynamic quantization (S5).
+  cfg.egeria.eval_interval_n = 12;
+  cfg.egeria.window_w = 4;
+  cfg.egeria.ref_update_evals = 2;
+  cfg.egeria.max_bootstrap_iters = 96;
+
+  Trainer trainer(model, train, val, cfg);
+  TrainResult result = trainer.Run();
+
+  std::printf("\nfinal perplexity: %.2f (1.0 = perfect)\n", result.final_metric.display);
+  std::printf("frozen stages at end: %d / %d", result.final_frontier, model.NumStages());
+  if (result.final_frontier > 0) {
+    std::printf("  (frontmost active: %s)",
+                model.StageName(result.final_frontier).c_str());
+  }
+  std::printf("\nforward skips via cached encoder memory: %lld\n",
+              static_cast<long long>(result.fp_skip_count));
+  return 0;
+}

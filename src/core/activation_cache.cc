@@ -1,0 +1,192 @@
+#include "src/core/activation_cache.h"
+
+#include <filesystem>
+
+#include "src/tensor/serialize.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+namespace fs = std::filesystem;
+
+ActivationCache::ActivationCache(std::string dir, int64_t memory_entries,
+                                 int64_t max_disk_bytes)
+    : dir_(std::move(dir)),
+      memory_entries_(memory_entries),
+      max_disk_bytes_(max_disk_bytes) {
+  EGERIA_CHECK(memory_entries_ >= 1);
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  EGERIA_CHECK_MSG(!ec, "cannot create cache dir " + dir_);
+  prefetcher_ = std::make_unique<ThreadPool>(1);
+}
+
+ActivationCache::~ActivationCache() {
+  prefetcher_.reset();  // Join before removing files.
+  std::error_code ec;
+  fs::remove_all(dir_, ec);
+}
+
+std::string ActivationCache::PathFor(int64_t id) const {
+  return dir_ + "/s" + std::to_string(stage_) + "_" + std::to_string(id) + ".egt";
+}
+
+void ActivationCache::SetStage(int stage) {
+  std::vector<std::string> stale;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stage == stage_) {
+      return;
+    }
+    for (int64_t id : on_disk_) {
+      stale.push_back(PathFor(id));
+    }
+    stage_ = stage;
+    memory_.clear();
+    insertion_order_.clear();
+    on_disk_.clear();
+    stats_.bytes_written = 0;
+  }
+  for (const auto& path : stale) {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+}
+
+void ActivationCache::Clear() {
+  const int s = stage_;
+  SetStage(-1);
+  SetStage(s);
+}
+
+bool ActivationCache::HasAll(const std::vector<int64_t>& ids) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (int64_t id : ids) {
+    if (memory_.count(id) == 0 && on_disk_.count(id) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void ActivationCache::InsertMemoryLocked(int64_t id, Tensor slice) {
+  if (memory_.count(id) != 0) {
+    return;
+  }
+  memory_.emplace(id, std::move(slice));
+  insertion_order_.push_back(id);
+  while (static_cast<int64_t>(memory_.size()) > memory_entries_) {
+    memory_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+}
+
+Tensor ActivationCache::FetchBatch(const std::vector<int64_t>& ids) {
+  std::vector<Tensor> slices(ids.size());
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto it = memory_.find(ids[i]);
+      if (it != memory_.end()) {
+        slices[i] = it->second;
+        ++stats_.memory_hits;
+      } else if (on_disk_.count(ids[i]) == 0) {
+        ++stats_.misses;
+        return Tensor();
+      }
+    }
+  }
+  // Disk fallback outside the lock.
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (!slices[i].Defined()) {
+      slices[i] = LoadTensorFile(PathFor(ids[i]));
+      if (!slices[i].Defined()) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        return Tensor();
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.disk_hits;
+      InsertMemoryLocked(ids[i], slices[i]);
+    }
+  }
+  // Assemble [b, ...] from slices shaped [1, ...].
+  std::vector<int64_t> shape = slices[0].Shape();
+  shape[0] = static_cast<int64_t>(ids.size());
+  Tensor out(shape);
+  const int64_t per = slices[0].NumEl();
+  for (size_t i = 0; i < slices.size(); ++i) {
+    EGERIA_CHECK(slices[i].NumEl() == per);
+    std::copy(slices[i].Data(), slices[i].Data() + per,
+              out.Data() + static_cast<int64_t>(i) * per);
+  }
+  return out;
+}
+
+void ActivationCache::StoreBatch(const std::vector<int64_t>& ids, const Tensor& activations) {
+  EGERIA_CHECK(activations.Dim() >= 2);
+  EGERIA_CHECK(activations.Size(0) == static_cast<int64_t>(ids.size()));
+  std::vector<int64_t> slice_shape = activations.Shape();
+  slice_shape[0] = 1;
+  const int64_t per = activations.NumEl() / activations.Size(0);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (on_disk_.count(ids[i]) != 0) {
+        continue;  // Already persisted this epoch cycle.
+      }
+      if (stats_.bytes_written + per * static_cast<int64_t>(sizeof(float)) >
+          max_disk_bytes_) {
+        return;  // Storage budget exhausted; stop caching new samples.
+      }
+    }
+    Tensor slice(slice_shape);
+    std::copy(activations.Data() + static_cast<int64_t>(i) * per,
+              activations.Data() + static_cast<int64_t>(i + 1) * per, slice.Data());
+    const bool ok = SaveTensorFile(PathFor(ids[i]), slice);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ok) {
+      on_disk_.insert(ids[i]);
+      stats_.bytes_written += per * static_cast<int64_t>(sizeof(float));
+      ++stats_.stores;
+      InsertMemoryLocked(ids[i], std::move(slice));
+    }
+  }
+}
+
+void ActivationCache::PrefetchAsync(const std::vector<int64_t>& ids) {
+  std::vector<int64_t> to_load;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (int64_t id : ids) {
+      if (memory_.count(id) == 0 && on_disk_.count(id) != 0) {
+        to_load.push_back(id);
+      }
+    }
+  }
+  if (to_load.empty()) {
+    return;
+  }
+  const int expected_stage = stage_;
+  prefetcher_->Submit([this, to_load, expected_stage] {
+    for (int64_t id : to_load) {
+      if (stage_ != expected_stage) {
+        return;  // Frontier moved; these paths are stale.
+      }
+      Tensor slice = LoadTensorFile(PathFor(id));
+      if (!slice.Defined()) {
+        continue;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.prefetch_loads;
+      InsertMemoryLocked(id, std::move(slice));
+    }
+  });
+}
+
+CacheStats ActivationCache::Stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace egeria

@@ -1,0 +1,88 @@
+// Disk-backed activation cache with prefetching (paper S4.3, Fig. 7).
+//
+// When the frozen prefix covers stages [0, l), the boundary activation of stage l-1
+// is a pure function of the (deterministically augmented) input sample, so it is
+// stored to disk keyed by sample id, and upcoming batches — known in advance from
+// the data loader — are prefetched into the in-memory table. The in-memory table
+// keeps only the most recent few mini-batches ("the cache only stores the recent
+// five mini-batches for minimal memory usage").
+//
+// The cache tracks exactly one boundary stage at a time: advancing the frontier or
+// unfreezing changes what must be cached, so SetStage / Clear invalidate.
+#ifndef EGERIA_SRC_CORE_ACTIVATION_CACHE_H_
+#define EGERIA_SRC_CORE_ACTIVATION_CACHE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+#include "src/util/thread_pool.h"
+
+namespace egeria {
+
+struct CacheStats {
+  int64_t memory_hits = 0;
+  int64_t disk_hits = 0;
+  int64_t misses = 0;
+  int64_t stores = 0;
+  int64_t bytes_written = 0;
+  int64_t prefetch_loads = 0;
+};
+
+class ActivationCache {
+ public:
+  // `dir`: on-disk location (created if absent). `memory_entries`: max per-sample
+  // slices kept in RAM. `max_disk_bytes`: storage budget; stores are dropped beyond
+  // it (paper: "users can set the storage limit").
+  ActivationCache(std::string dir, int64_t memory_entries,
+                  int64_t max_disk_bytes = int64_t{4} << 30);
+  ~ActivationCache();
+
+  // Declares which stage boundary is being cached; changing it clears everything.
+  void SetStage(int stage);
+  int stage() const { return stage_; }
+
+  // Drops all cached state (frozen prefix changed / unfreeze).
+  void Clear();
+
+  // True if every id is available (memory or disk).
+  bool HasAll(const std::vector<int64_t>& ids) const;
+
+  // Assembles the batch activation [b, ...] from per-sample slices; undefined tensor
+  // if any slice is missing.
+  Tensor FetchBatch(const std::vector<int64_t>& ids);
+
+  // Splits [b, ...] into per-sample slices, stores to memory + disk.
+  void StoreBatch(const std::vector<int64_t>& ids, const Tensor& activations);
+
+  // Schedules background loads of ids from disk into memory.
+  void PrefetchAsync(const std::vector<int64_t>& ids);
+
+  CacheStats Stats() const;
+
+ private:
+  std::string PathFor(int64_t id) const;
+  void InsertMemoryLocked(int64_t id, Tensor slice);
+
+  std::string dir_;
+  int64_t memory_entries_;
+  int64_t max_disk_bytes_;
+  int stage_ = -1;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<int64_t, Tensor> memory_;
+  std::deque<int64_t> insertion_order_;
+  std::unordered_set<int64_t> on_disk_;
+  CacheStats stats_;
+  std::unique_ptr<ThreadPool> prefetcher_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_CORE_ACTIVATION_CACHE_H_

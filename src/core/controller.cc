@@ -1,0 +1,136 @@
+#include "src/core/controller.h"
+
+#include "src/metrics/sp_loss.h"
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace egeria {
+
+namespace {
+constexpr size_t kEvalQueueCap = 4;
+constexpr size_t kSnapshotQueueCap = 2;
+constexpr size_t kDecisionQueueCap = 64;
+}  // namespace
+
+EgeriaController::EgeriaController(const EgeriaConfig& cfg, int num_stages,
+                                   bool lr_annealing)
+    : cfg_(cfg),
+      factory_(MakeInferenceFactory(cfg.reference_precision, cfg.quant_mode)),
+      policy_(cfg, num_stages, lr_annealing),
+      eval_queue_(kEvalQueueCap),
+      snapshot_queue_(kSnapshotQueueCap),
+      decision_queue_(kDecisionQueueCap) {
+  if (cfg_.async_controller) {
+    thread_ = std::thread([this] { ControllerLoop(); });
+  }
+}
+
+EgeriaController::~EgeriaController() {
+  stopping_.store(true);
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void EgeriaController::SubmitSnapshot(std::unique_ptr<ChainModel> snapshot) {
+  wants_snapshot_.store(false);
+  if (!snapshot_queue_.TryPush(std::move(snapshot))) {
+    // A refresh is already pending; this snapshot is redundant.
+  }
+}
+
+bool EgeriaController::SubmitEval(EvalRequest req) {
+  return eval_queue_.TryPush(std::move(req));
+}
+
+std::vector<FreezeDecision> EgeriaController::DrainDecisions() {
+  std::vector<FreezeDecision> out;
+  while (auto d = decision_queue_.TryPop()) {
+    out.push_back(*d);
+  }
+  return out;
+}
+
+std::optional<FreezeDecision> EgeriaController::OnLr(float lr, int64_t iter) {
+  std::lock_guard<std::mutex> lock(policy_mutex_);
+  return policy_.OnLr(lr, iter);
+}
+
+void EgeriaController::RunPendingSync() {
+  EGERIA_CHECK_MSG(!cfg_.async_controller, "RunPendingSync in async mode");
+  while (auto snap = snapshot_queue_.TryPop()) {
+    BuildReference(std::move(*snap));
+  }
+  while (auto req = eval_queue_.TryPop()) {
+    ProcessEval(*req);
+  }
+}
+
+double EgeriaController::EvalSeconds() const {
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  return eval_seconds_;
+}
+
+std::vector<PlasticityRecord> EgeriaController::PlasticityHistory() const {
+  std::lock_guard<std::mutex> lock(history_mutex_);
+  return history_;
+}
+
+int EgeriaController::Frontier() const {
+  std::lock_guard<std::mutex> lock(policy_mutex_);
+  return policy_.frontier();
+}
+
+void EgeriaController::ControllerLoop() {
+  while (!stopping_.load()) {
+    if (auto snap = snapshot_queue_.TryPop()) {
+      BuildReference(std::move(*snap));
+      continue;
+    }
+    if (auto req = eval_queue_.PopFor(std::chrono::milliseconds(5))) {
+      ProcessEval(*req);
+    }
+  }
+}
+
+void EgeriaController::BuildReference(std::unique_ptr<ChainModel> snapshot) {
+  WallTimer timer;
+  reference_ = snapshot->CloneForInference(*factory_);
+  last_quantize_seconds_.store(timer.ElapsedSeconds());
+  has_reference_.store(true);
+  evals_since_refresh_ = 0;
+}
+
+void EgeriaController::ProcessEval(EvalRequest& req) {
+  if (reference_ == nullptr) {
+    return;  // Reference still being generated; drop this periodic sample.
+  }
+  WallTimer timer;
+  // The controller's own forward pass plays the ROQ role (Fig. 6): A_R at the same
+  // boundary, elicited by the same mini-batch.
+  reference_->SetBatch(req.batch);
+  Tensor a_ref = reference_->ForwardPrefix(req.stage, req.batch.input);
+  const double plasticity = SpLoss(req.train_act, a_ref);  // Equation 1.
+
+  std::optional<FreezeDecision> decision;
+  {
+    std::lock_guard<std::mutex> lock(policy_mutex_);
+    decision = policy_.OnPlasticity(req.stage, plasticity, req.lr, req.iter);
+  }
+  if (decision) {
+    decision_queue_.TryPush(*decision);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(history_mutex_);
+    history_.push_back({req.iter, req.stage, plasticity});
+    eval_seconds_ += timer.ElapsedSeconds();
+  }
+  evals_done_.fetch_add(1);
+  if (++evals_since_refresh_ >= cfg_.ref_update_evals) {
+    evals_since_refresh_ = 0;
+    wants_snapshot_.store(true);
+  }
+}
+
+}  // namespace egeria

@@ -1,0 +1,117 @@
+// The Egeria controller (paper S4.1, Figs. 5-6).
+//
+// The controller owns the reference model's life cycle (generation by quantizing
+// training snapshots, periodic refresh), runs reference forward passes, computes
+// plasticity (SP loss between the worker's hooked activation and the reference's),
+// and drives the freezing policy. In async mode it runs on its own thread — the
+// paper's CPU-side, non-blocking evaluation — fed through SPSC queues:
+//   IQ+TOQ  -> EvalRequest { batch, A_T at frontier, stage, lr, iter }
+//   ROQ     -> computed internally (A_R from the reference forward)
+//   DQ      -> FreezeDecision back to the worker
+// The worker never blocks: submissions are try-push (a dropped evaluation is just a
+// skipped periodic sample), and decisions are drained opportunistically each
+// iteration. Synchronous mode runs the same code inline for deterministic tests.
+#ifndef EGERIA_SRC_CORE_CONTROLLER_H_
+#define EGERIA_SRC_CORE_CONTROLLER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/freezing_policy.h"
+#include "src/core/spsc_queue.h"
+#include "src/data/batch.h"
+#include "src/models/chain_model.h"
+
+namespace egeria {
+
+struct EvalRequest {
+  Batch batch;       // the mini-batch (IQ)
+  Tensor train_act;  // A_T hooked at the frontier stage (TOQ)
+  int stage = 0;
+  float lr = 0.0F;
+  int64_t iter = 0;
+};
+
+// One plasticity sample, kept for introspection (Fig. 4 / Fig. 12 benches, tests).
+struct PlasticityRecord {
+  int64_t iter = 0;
+  int stage = 0;
+  double raw = 0.0;
+};
+
+class EgeriaController {
+ public:
+  EgeriaController(const EgeriaConfig& cfg, int num_stages, bool lr_annealing);
+  ~EgeriaController();
+
+  EgeriaController(const EgeriaController&) = delete;
+  EgeriaController& operator=(const EgeriaController&) = delete;
+
+  // ---- Worker-side API ----
+
+  // Hands over a float snapshot of the training model; the controller quantizes it
+  // into the reference (paper: snapshot moved off-GPU, then int8 PTQ on CPU).
+  void SubmitSnapshot(std::unique_ptr<ChainModel> snapshot);
+
+  // True when the controller wants a fresh snapshot (initial generation was done and
+  // ref_update_evals evaluations have elapsed since the last refresh).
+  bool WantsSnapshot() const { return wants_snapshot_.load(); }
+
+  // Non-blocking; false if the controller is congested (the evaluation is skipped).
+  bool SubmitEval(EvalRequest req);
+
+  // Decisions produced since the last drain (freeze + unfreeze).
+  std::vector<FreezeDecision> DrainDecisions();
+
+  // LR-based unfreeze check; cheap, called by the worker every iteration.
+  std::optional<FreezeDecision> OnLr(float lr, int64_t iter);
+
+  // Synchronous mode only: process all queued snapshots/evals inline.
+  void RunPendingSync();
+
+  bool HasReference() const { return has_reference_.load(); }
+  int64_t EvalsDone() const { return evals_done_.load(); }
+  double EvalSeconds() const;
+  std::vector<PlasticityRecord> PlasticityHistory() const;
+  int Frontier() const;
+
+  // Generation time of the last reference build (Table 2 / S6.5 overhead).
+  double LastQuantizeSeconds() const { return last_quantize_seconds_.load(); }
+
+ private:
+  void ControllerLoop();
+  void BuildReference(std::unique_ptr<ChainModel> snapshot);
+  void ProcessEval(EvalRequest& req);
+
+  EgeriaConfig cfg_;
+  std::unique_ptr<InferenceFactory> factory_;
+
+  mutable std::mutex policy_mutex_;
+  FreezingPolicy policy_;
+
+  std::unique_ptr<ChainModel> reference_;
+  std::atomic<bool> has_reference_{false};
+  std::atomic<bool> wants_snapshot_{true};  // initial generation
+  std::atomic<int64_t> evals_done_{0};
+  std::atomic<double> last_quantize_seconds_{0.0};
+  int64_t evals_since_refresh_ = 0;
+
+  SpscQueue<EvalRequest> eval_queue_;
+  SpscQueue<std::unique_ptr<ChainModel>> snapshot_queue_;
+  SpscQueue<FreezeDecision> decision_queue_;
+
+  mutable std::mutex history_mutex_;
+  std::vector<PlasticityRecord> history_;
+  double eval_seconds_ = 0.0;
+
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;  // joinable only in async mode
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_CORE_CONTROLLER_H_

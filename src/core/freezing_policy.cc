@@ -1,0 +1,123 @@
+#include "src/core/freezing_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+namespace {
+// Tolerance floor so that modules whose plasticity is flat from the very first
+// readings (max initial slope ~ 0) can still freeze.
+constexpr double kToleranceFloor = 1e-7;
+}  // namespace
+
+FreezingPolicy::FreezingPolicy(const EgeriaConfig& cfg, int num_stages,
+                               bool lr_is_annealing)
+    : cfg_(cfg),
+      num_stages_(num_stages),
+      lr_annealing_(lr_is_annealing),
+      window_(std::max(2, cfg.window_w)) {
+  EGERIA_CHECK(num_stages_ >= 2);
+  stages_.resize(static_cast<size_t>(num_stages_));
+  for (int i = 0; i < num_stages_; ++i) {
+    ResetStageState(i);
+  }
+}
+
+void FreezingPolicy::ResetStageState(int stage) {
+  StageState& s = stages_[static_cast<size_t>(stage)];
+  s.smoother = std::make_unique<MovingAverage>(static_cast<size_t>(window_));
+  s.fitter = std::make_unique<WindowedLinearFit>(static_cast<size_t>(std::max(2, window_)));
+  s.readings = 0;
+  s.max_initial_slope = 0.0;
+  s.tolerance = -1.0;
+  s.stale_counter = 0;
+  s.last_slope = 0.0;
+}
+
+double FreezingPolicy::ToleranceOf(int stage) const {
+  return stages_[static_cast<size_t>(stage)].tolerance;
+}
+
+std::optional<FreezeDecision> FreezingPolicy::OnPlasticity(int stage, double plasticity,
+                                                           float lr, int64_t iter) {
+  (void)lr;
+  if (stage != frontier_) {
+    return std::nullopt;  // Stale evaluation from before a freeze/unfreeze; ignore.
+  }
+  if (frontier_ > MaxFreezable()) {
+    return std::nullopt;  // Only the protected tail remains; nothing to do.
+  }
+  StageState& s = stages_[static_cast<size_t>(stage)];
+
+  // Equation 2: moving-average smoothing, then windowed linear fit of the smoothed
+  // series; the slope decides stationarity.
+  const double smoothed = s.smoother->Add(plasticity);
+  s.fitter->Add(smoothed);
+  ++s.readings;
+  const double slope = s.fitter->Fit().slope;
+  s.last_slope = slope;
+
+  if (s.readings <= 3) {
+    // Per-module tolerance: 20% of the max |slope| among the first 3 readings.
+    s.max_initial_slope = std::max(s.max_initial_slope, std::abs(slope));
+    if (s.readings == 3) {
+      s.tolerance = std::max(cfg_.tolerance_coef * s.max_initial_slope, kToleranceFloor);
+    }
+    return std::nullopt;
+  }
+
+  // "If the fitting line is close to horizontal" (Algorithm 1 line 10).
+  if (std::abs(slope) < s.tolerance) {
+    ++s.stale_counter;
+  } else {
+    s.stale_counter = 0;
+  }
+
+  if (s.stale_counter >= window_) {
+    // Freeze this module and advance to the next active layer.
+    if (!any_frozen_) {
+      lr_at_first_freeze_ = lr;
+      any_frozen_ = true;
+    }
+    FreezeDecision d;
+    d.kind = FreezeDecision::Kind::kFreezeUpTo;
+    d.stage = frontier_;
+    d.iter = iter;
+    ++frontier_;
+    return d;
+  }
+  return std::nullopt;
+}
+
+std::optional<FreezeDecision> FreezingPolicy::OnLr(float lr, int64_t iter) {
+  if (!any_frozen_) {
+    return std::nullopt;
+  }
+  bool fire = false;
+  if (lr_annealing_) {
+    fire = lr <= cfg_.unfreeze_lr_factor * lr_at_first_freeze_;
+  } else if (cyclical_hook_) {
+    fire = cyclical_hook_(lr, iter);
+  }
+  if (!fire) {
+    return std::nullopt;
+  }
+  // Unfreeze everything, halve the counter/history window, restart per-module state.
+  frontier_ = 0;
+  any_frozen_ = false;
+  window_ = std::max(2, static_cast<int>(std::lround(
+                            static_cast<double>(window_) * cfg_.refreeze_window_factor)));
+  for (int i = 0; i < num_stages_; ++i) {
+    ResetStageState(i);
+  }
+  FreezeDecision d;
+  d.kind = FreezeDecision::Kind::kUnfreezeAll;
+  d.stage = 0;
+  d.iter = iter;
+  return d;
+}
+
+}  // namespace egeria

@@ -1,0 +1,89 @@
+#include "src/core/module_partitioner.h"
+
+#include <algorithm>
+
+#include "src/nn/sequential.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+std::unique_ptr<StageChainModel> PartitionIntoChain(
+    const std::string& model_name, std::vector<std::unique_ptr<Module>> blocks,
+    const PartitionConfig& cfg, PartitionSummary* summary) {
+  EGERIA_CHECK(!blocks.empty());
+  const int target = std::max(1, std::min<int>(cfg.target_modules,
+                                               static_cast<int>(blocks.size())));
+
+  std::vector<int64_t> masses;
+  masses.reserve(blocks.size());
+  int64_t total = 0;
+  for (auto& b : blocks) {
+    masses.push_back(b->ParamCount());
+    total += masses.back();
+  }
+
+  // Greedy mass-balanced cut points. The final block (the head / loss-adjacent
+  // module) always terminates the last group, which Egeria never freezes
+  // (Algorithm 1 asserts l is not the last layer).
+  const double per_module = static_cast<double>(total) / target;
+  std::vector<size_t> cut_after;  // indices i such that a module ends at block i
+  double acc = 0.0;
+  int remaining_modules = target;
+  int64_t remaining_mass = total;
+  for (size_t i = 0; i + 1 < blocks.size(); ++i) {
+    acc += static_cast<double>(masses[i]);
+    remaining_mass -= masses[i];
+    const bool pattern_cut =
+        !cfg.boundary_pattern.empty() &&
+        blocks[i + 1]->name().find(cfg.boundary_pattern) != std::string::npos;
+    const bool mass_cut = acc >= per_module * 0.9 && remaining_modules > 1;
+    // Never leave more modules to form than blocks remaining.
+    const bool forced_cut =
+        static_cast<size_t>(remaining_modules - 1) >= blocks.size() - i - 1;
+    if (((mass_cut || pattern_cut) &&
+         remaining_mass > 0 /* head still pending */) ||
+        forced_cut) {
+      cut_after.push_back(i);
+      acc = 0.0;
+      --remaining_modules;
+      if (remaining_modules == 1) {
+        break;
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Module>> stages;
+  PartitionSummary local;
+  size_t block_idx = 0;
+  size_t cut_idx = 0;
+  while (block_idx < blocks.size()) {
+    const size_t group_end = (cut_idx < cut_after.size()) ? cut_after[cut_idx] + 1
+                                                          : blocks.size();
+    ++cut_idx;
+    const std::string first = blocks[block_idx]->name();
+    const std::string last = blocks[group_end - 1]->name();
+    const std::string stage_name = (group_end - block_idx == 1)
+                                       ? first
+                                       : first + ".." + last;
+    auto stage = std::make_unique<Sequential>(stage_name);
+    int64_t stage_mass = 0;
+    int count = 0;
+    for (size_t i = block_idx; i < group_end; ++i) {
+      stage_mass += masses[i];
+      stage->Add(std::move(blocks[i]));
+      ++count;
+    }
+    local.module_names.push_back(stage_name);
+    local.module_params.push_back(stage_mass);
+    local.blocks_per_module.push_back(count);
+    stages.push_back(std::move(stage));
+    block_idx = group_end;
+  }
+
+  if (summary != nullptr) {
+    *summary = local;
+  }
+  return std::make_unique<StageChainModel>(model_name, std::move(stages));
+}
+
+}  // namespace egeria

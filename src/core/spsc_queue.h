@@ -1,0 +1,74 @@
+// Bounded single-producer/single-consumer queue.
+//
+// The paper's controller-worker runtime communicates through three SPSC queues
+// (Fig. 6): the input queue (IQ), the training-output queue (TOQ) and the
+// reference-output queue (ROQ). The worker must never block on a full queue — a
+// plasticity evaluation is simply dropped if the controller is behind (the process
+// is periodic and non-time-critical) — so pushes are try-only; the consumer side
+// offers a timed blocking pop.
+#ifndef EGERIA_SRC_CORE_SPSC_QUEUE_H_
+#define EGERIA_SRC_CORE_SPSC_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace egeria {
+
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity) : capacity_(capacity) {}
+
+  // Non-blocking; returns false when full (producer drops the item).
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.size() >= capacity_) {
+        return false;
+      }
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  // Non-blocking pop.
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  // Blocking pop with timeout; nullopt on timeout.
+  std::optional<T> PopFor(std::chrono::milliseconds timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!cv_.wait_for(lock, timeout, [this] { return !items_.empty(); })) {
+      return std::nullopt;
+    }
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_CORE_SPSC_QUEUE_H_

@@ -1,0 +1,314 @@
+#include "src/core/trainer.h"
+
+#include <cmath>
+#include <filesystem>
+
+#include "src/util/logging.h"
+#include "src/util/timer.h"
+
+namespace egeria {
+
+namespace {
+
+std::string DefaultCacheDir(uint64_t seed) {
+  const auto base = std::filesystem::temp_directory_path() / "egeria_cache";
+  return (base / std::to_string(::getpid() * 1000003ULL + seed)).string();
+}
+
+}  // namespace
+
+Trainer::Trainer(ChainModel& model, const Dataset& train_data, const Dataset& val_data,
+                 TrainConfig cfg)
+    : model_(model),
+      train_data_(train_data),
+      val_data_(val_data),
+      cfg_(std::move(cfg)),
+      loader_(train_data_, cfg_.batch_size, /*shuffle=*/true, cfg_.seed,
+              cfg_.train_samples_limit),
+      val_loader_(val_data_, cfg_.batch_size, /*shuffle=*/false, cfg_.seed + 1) {
+  EGERIA_CHECK_MSG(cfg_.lr_schedule != nullptr, "TrainConfig.lr_schedule is required");
+  optimizer_ = MakeOptimizer();
+  if (cfg_.enable_egeria) {
+    controller_ = std::make_unique<EgeriaController>(cfg_.egeria, model_.NumStages(),
+                                                     cfg_.lr_schedule->IsAnnealing());
+    if (cfg_.egeria.enable_cache) {
+      const std::string dir = cfg_.egeria.cache_dir.empty() ? DefaultCacheDir(cfg_.seed)
+                                                            : cfg_.egeria.cache_dir;
+      cache_ = std::make_unique<ActivationCache>(
+          dir, cfg_.egeria.cache_memory_batches * cfg_.batch_size);
+    }
+  }
+}
+
+Trainer::~Trainer() = default;
+
+std::unique_ptr<Optimizer> Trainer::MakeOptimizer() const {
+  if (cfg_.optimizer == TrainConfig::Optim::kSgd) {
+    return std::make_unique<Sgd>(cfg_.momentum, cfg_.weight_decay);
+  }
+  return std::make_unique<Adam>(0.9F, 0.999F, 1e-8F, cfg_.weight_decay);
+}
+
+int64_t Trainer::IterationsPerEpoch() const { return loader_.NumBatches(); }
+
+int64_t Trainer::TotalIterations() const {
+  return IterationsPerEpoch() * static_cast<int64_t>(cfg_.epochs);
+}
+
+Tensor Trainer::FrontierActivation() const { return model_.StageOutput(frontier_); }
+
+void Trainer::FreezeUpTo(int stage, int64_t iter) {
+  EGERIA_CHECK(stage >= 0 && stage < model_.NumStages() - 1);
+  for (int i = 0; i <= stage; ++i) {
+    model_.SetStageFrozen(i, true);
+  }
+  frontier_ = stage + 1;
+  result_.freeze_events.push_back({iter, static_cast<int>(iter / IterationsPerEpoch()),
+                                   /*unfreeze=*/false, frontier_});
+  result_.frontier_timeline.emplace_back(iter, frontier_);
+  if (cfg_.verbose) {
+    EGERIA_LOG(kInfo) << "iter " << iter << ": froze stages [0," << stage
+                      << "], frontier=" << frontier_;
+  }
+}
+
+void Trainer::UnfreezeAll(int64_t iter) {
+  for (int i = 0; i < model_.NumStages(); ++i) {
+    model_.SetStageFrozen(i, false);
+  }
+  frontier_ = 0;
+  if (cache_ != nullptr) {
+    cache_->Clear();  // Prefix weights will change; cached activations are stale.
+  }
+  result_.freeze_events.push_back({iter, static_cast<int>(iter / IterationsPerEpoch()),
+                                   /*unfreeze=*/true, 0});
+  result_.frontier_timeline.emplace_back(iter, 0);
+  if (cfg_.verbose) {
+    EGERIA_LOG(kInfo) << "iter " << iter << ": unfroze all layers";
+  }
+}
+
+void Trainer::ApplyDecision(const FreezeDecision& d) {
+  if (d.kind == FreezeDecision::Kind::kFreezeUpTo) {
+    FreezeUpTo(d.stage, d.iter);
+  } else {
+    UnfreezeAll(d.iter);
+  }
+}
+
+void Trainer::MaybeSubmitEval(const Batch& batch, float lr, int64_t iter) {
+  if (controller_ == nullptr || !knowledge_stage_) {
+    return;
+  }
+  if (iter % cfg_.egeria.eval_interval_n != 0) {
+    return;
+  }
+  if (frontier_ >= model_.NumStages() - 1 - cfg_.egeria.protected_tail + 1) {
+    return;  // Nothing left that may freeze.
+  }
+  EvalRequest req;
+  req.batch = batch;
+  req.train_act = model_.StageOutput(frontier_);
+  req.stage = frontier_;
+  req.lr = lr;
+  req.iter = iter;
+  if (controller_->SubmitEval(std::move(req))) {
+    ++result_.evals_submitted;
+  }
+}
+
+void Trainer::UpdateBootstrap(double loss, int64_t iter) {
+  // Change rate of the window-averaged training loss, sampled every n iterations
+  // (paper: permissively 10%). Entering the knowledge-guided stage triggers the
+  // first reference snapshot.
+  bootstrap_window_sum_ += loss;
+  ++bootstrap_window_count_;
+  if (cfg_.egeria.max_bootstrap_iters >= 0 && iter >= cfg_.egeria.max_bootstrap_iters) {
+    knowledge_stage_ = true;
+    result_.bootstrap_end_iter = iter;
+    return;
+  }
+  if (iter % cfg_.egeria.eval_interval_n != 0) {
+    return;
+  }
+  const double avg = bootstrap_window_sum_ / static_cast<double>(bootstrap_window_count_);
+  bootstrap_window_sum_ = 0.0;
+  bootstrap_window_count_ = 0;
+  if (bootstrap_prev_avg_ > 0.0) {
+    const double rate = std::abs(bootstrap_prev_avg_ - avg) / bootstrap_prev_avg_;
+    if (rate < cfg_.egeria.bootstrap_change_rate) {
+      knowledge_stage_ = true;
+      result_.bootstrap_end_iter = iter;
+      if (cfg_.verbose) {
+        EGERIA_LOG(kInfo) << "bootstrapping stage ended at iter " << iter;
+      }
+    }
+  }
+  bootstrap_prev_avg_ = avg;
+}
+
+TaskMetric Trainer::Validate() {
+  model_.SetTraining(false);
+  std::vector<TaskMetric> parts;
+  const int64_t n = std::min<int64_t>(cfg_.val_batches, val_loader_.NumBatches());
+  for (int64_t b = 0; b < n; ++b) {
+    Batch batch = val_loader_.GetBatch(b);
+    model_.SetBatch(batch);
+    Tensor logits = model_.ForwardFrom(0, batch.input);
+    parts.push_back(EvaluateTask(cfg_.task, logits, batch));
+  }
+  model_.SetTraining(true);
+  return AggregateMetric(cfg_.task, parts);
+}
+
+TrainResult Trainer::Run() {
+  result_ = TrainResult();
+  model_.SetTraining(true);
+  WallTimer segment;
+  double cum_train_seconds = 0.0;
+  int64_t iter = 0;
+  // Without Egeria there is no bootstrap gate to pass.
+  knowledge_stage_ = false;
+
+  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+    loader_.StartEpoch(epoch);
+    double epoch_loss = 0.0;
+    int64_t epoch_batches = 0;
+    WallTimer epoch_timer;
+
+    for (int64_t b = 0; b < loader_.NumBatches(); ++b) {
+      ++iter;
+      const float lr = cfg_.lr_schedule->LrAt(iter);
+
+      // --- Decision intake (Egeria) ---
+      if (controller_ != nullptr) {
+        if (!cfg_.egeria.async_controller) {
+          controller_->RunPendingSync();
+        }
+        for (const FreezeDecision& d : controller_->DrainDecisions()) {
+          ApplyDecision(d);
+        }
+        if (auto d = controller_->OnLr(lr, iter)) {
+          ApplyDecision(*d);
+        }
+        if (knowledge_stage_ && controller_->WantsSnapshot()) {
+          // Float snapshot (the paper's GPU->CPU copy); the controller quantizes it.
+          InferenceFactory float_factory;
+          controller_->SubmitSnapshot(model_.CloneForInference(float_factory));
+        }
+      }
+
+      // --- Data ---
+      segment.Reset();
+      Batch batch = loader_.GetBatch(b);
+      result_.data_seconds += segment.ElapsedSeconds();
+
+      // --- Forward (with optional frozen-prefix skip) ---
+      model_.SetBatch(batch);
+      Tensor logits;
+      bool skipped = false;
+      segment.Reset();
+      if (cache_ != nullptr && frontier_ > 0 &&
+          frontier_ <= model_.MaxForwardSkipStage()) {
+        WallTimer cache_timer;
+        cache_->SetStage(frontier_ - 1);
+        Tensor cached;
+        if (cache_->HasAll(batch.sample_ids)) {
+          cached = cache_->FetchBatch(batch.sample_ids);
+        }
+        result_.cache_seconds += cache_timer.ElapsedSeconds();
+        if (cached.Defined()) {
+          logits = model_.ForwardFrom(frontier_, cached);
+          skipped = true;
+          ++result_.fp_skip_count;
+        } else {
+          logits = model_.ForwardFrom(0, batch.input);
+          cache_timer.Reset();
+          cache_->StoreBatch(batch.sample_ids, model_.StageOutput(frontier_ - 1));
+          result_.cache_seconds += cache_timer.ElapsedSeconds();
+        }
+        cache_timer.Reset();
+        cache_->PrefetchAsync(
+            loader_.UpcomingIndices(b + 1, cfg_.egeria.prefetch_batches));
+        result_.cache_seconds += cache_timer.ElapsedSeconds();
+      } else {
+        logits = model_.ForwardFrom(0, batch.input);
+      }
+      result_.fp_seconds += segment.ElapsedSeconds();
+
+      // --- Loss ---
+      LossResult loss = TaskLoss(cfg_.task, logits, batch);
+      epoch_loss += loss.loss;
+      ++epoch_batches;
+
+      // --- Plasticity evaluation submission (async, non-blocking) ---
+      // Valid on cache-skipped iterations too: ForwardFrom(frontier, cached) still
+      // computes the frontier stage, so StageOutput(frontier) is a genuine A_T.
+      (void)skipped;
+      MaybeSubmitEval(batch, lr, iter);
+
+      // --- Backward + update (active stages only) ---
+      segment.Reset();
+      for (Parameter* p : model_.ParamsFrom(frontier_)) {
+        p->grad.Zero_();
+      }
+      model_.BackwardTo(frontier_, loss.grad);
+      result_.bp_seconds += segment.ElapsedSeconds();
+
+      segment.Reset();
+      optimizer_->Step(model_.ParamsFrom(frontier_), lr);
+      result_.opt_seconds += segment.ElapsedSeconds();
+
+      // --- Bootstrapping monitor ---
+      if (controller_ != nullptr && !knowledge_stage_) {
+        UpdateBootstrap(loss.loss, iter);
+      }
+
+      // --- Baseline hooks ---
+      if (hook_ != nullptr) {
+        hook_->OnIteration(*this, batch, iter);
+      }
+      ++result_.iterations;
+    }
+
+    const double epoch_seconds = epoch_timer.ElapsedSeconds();
+    cum_train_seconds += epoch_seconds;
+
+    EpochStats es;
+    es.epoch = epoch;
+    es.train_loss = epoch_loss / static_cast<double>(std::max<int64_t>(1, epoch_batches));
+    es.val = Validate();
+    es.train_seconds = epoch_seconds;
+    es.cum_train_seconds = cum_train_seconds;
+    es.frontier = frontier_;
+    es.lr = cfg_.lr_schedule->LrAt(iter);
+    result_.epochs.push_back(es);
+
+    if (cfg_.verbose) {
+      EGERIA_LOG(kInfo) << "epoch " << epoch << " loss=" << es.train_loss << " val("
+                        << es.val.unit << ")=" << es.val.display
+                        << " frontier=" << frontier_ << " t=" << cum_train_seconds << "s";
+    }
+    if (!result_.reached_target && es.val.score >= cfg_.target_score) {
+      result_.reached_target = true;
+      result_.tta_seconds = cum_train_seconds;
+    }
+    if (result_.epochs.size() == 1 || es.val.score > result_.best_metric.score) {
+      result_.best_metric = es.val;
+    }
+  }
+
+  result_.total_train_seconds = cum_train_seconds;
+  result_.final_metric = result_.epochs.empty() ? TaskMetric{} : result_.epochs.back().val;
+  result_.final_frontier = frontier_;
+  if (controller_ != nullptr) {
+    result_.plasticity = controller_->PlasticityHistory();
+    result_.last_ref_quantize_seconds = controller_->LastQuantizeSeconds();
+  }
+  if (cache_ != nullptr) {
+    result_.cache = cache_->Stats();
+  }
+  return result_;
+}
+
+}  // namespace egeria

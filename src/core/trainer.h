@@ -1,0 +1,165 @@
+// The Egeria training loop (paper Fig. 3).
+//
+// Life cycle: (1) bootstrapping stage — no freezing; the trainer monitors the
+// training-loss change rate and enters the knowledge-guided stage once it falls
+// below the configured threshold (the "critical period" guard). (2) knowledge-guided
+// stage — the controller holds a quantized reference model; every n iterations the
+// worker submits the mini-batch and the frontier activation for asynchronous
+// plasticity evaluation; freeze/unfreeze decisions are drained and applied at
+// iteration boundaries. Frozen stages are excluded from backward computation,
+// parameter updates (and synchronization, in the distributed wrapper), and — when
+// the cache is enabled — from forward computation via cached boundary activations.
+//
+// The same Trainer also hosts the comparison baselines through FreezeHook (static
+// freezing, AutoFreeze, Skip-Conv gate, FreezeOut), so every system shares one loop.
+#ifndef EGERIA_SRC_CORE_TRAINER_H_
+#define EGERIA_SRC_CORE_TRAINER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/activation_cache.h"
+#include "src/core/config.h"
+#include "src/core/controller.h"
+#include "src/core/task.h"
+#include "src/data/dataloader.h"
+#include "src/models/chain_model.h"
+#include "src/optim/lr_scheduler.h"
+#include "src/optim/optimizer.h"
+
+namespace egeria {
+
+struct TrainConfig {
+  int epochs = 20;
+  int64_t batch_size = 16;
+  TaskSpec task;
+
+  enum class Optim { kSgd, kAdam };
+  Optim optimizer = Optim::kSgd;
+  float momentum = 0.9F;
+  float weight_decay = 1e-4F;
+  std::shared_ptr<LrScheduler> lr_schedule;  // required
+
+  // Higher-better target (see TaskMetric::score). TTA is the cumulative training
+  // time at the first epoch whose validation score reaches it.
+  double target_score = std::numeric_limits<double>::infinity();
+  int64_t val_batches = 8;
+  int64_t train_samples_limit = -1;  // subsample the train set (quick benches)
+  uint64_t seed = 42;
+  bool verbose = false;
+
+  bool enable_egeria = false;
+  EgeriaConfig egeria;
+};
+
+struct FreezeEvent {
+  int64_t iter = 0;
+  int epoch = 0;
+  bool unfreeze = false;
+  int frontier_after = 0;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  double train_loss = 0.0;
+  TaskMetric val;
+  double train_seconds = 0.0;      // this epoch, excluding validation
+  double cum_train_seconds = 0.0;  // since start, excluding validation
+  int frontier = 0;
+  float lr = 0.0F;
+};
+
+struct TrainResult {
+  std::vector<EpochStats> epochs;
+  std::vector<FreezeEvent> freeze_events;
+  std::vector<std::pair<int64_t, int>> frontier_timeline;  // (iter, frontier)
+
+  double total_train_seconds = 0.0;
+  double tta_seconds = -1.0;  // <0: target never reached
+  bool reached_target = false;
+  TaskMetric final_metric;
+  TaskMetric best_metric;
+
+  // Breakdown (Fig. 9) and overhead accounting (S6.5).
+  double fp_seconds = 0.0;
+  double bp_seconds = 0.0;
+  double opt_seconds = 0.0;
+  double cache_seconds = 0.0;
+  double data_seconds = 0.0;
+  int64_t iterations = 0;
+  int64_t fp_skip_count = 0;
+  int64_t evals_submitted = 0;
+  int64_t bootstrap_end_iter = -1;
+  CacheStats cache;
+  std::vector<PlasticityRecord> plasticity;
+  int final_frontier = 0;
+  double last_ref_quantize_seconds = 0.0;
+};
+
+class Trainer;
+
+// Baseline freezing policies plug in here; called once per iteration after the
+// backward pass (gradients of active stages are available).
+class FreezeHook {
+ public:
+  virtual ~FreezeHook() = default;
+  virtual void OnIteration(Trainer& trainer, const Batch& batch, int64_t iter) = 0;
+  virtual std::string Name() const = 0;
+};
+
+class Trainer {
+ public:
+  Trainer(ChainModel& model, const Dataset& train_data, const Dataset& val_data,
+          TrainConfig cfg);
+  ~Trainer();
+
+  void SetFreezeHook(FreezeHook* hook) { hook_ = hook; }
+
+  TrainResult Run();
+
+  // ---- API for freezing policies / hooks ----
+  void FreezeUpTo(int stage, int64_t iter);
+  void UnfreezeAll(int64_t iter);
+  int frontier() const { return frontier_; }
+  ChainModel& model() { return model_; }
+  const TrainConfig& config() const { return cfg_; }
+  int64_t IterationsPerEpoch() const;
+  int64_t TotalIterations() const;
+  // Output of the frontmost active stage in the current iteration's forward pass.
+  Tensor FrontierActivation() const;
+
+  // Runs validation (val_batches batches) in inference mode and restores training
+  // mode. Also used standalone by benches.
+  TaskMetric Validate();
+
+ private:
+  void ApplyDecision(const FreezeDecision& d);
+  void MaybeSubmitEval(const Batch& batch, float lr, int64_t iter);
+  void UpdateBootstrap(double loss, int64_t iter);
+  std::unique_ptr<Optimizer> MakeOptimizer() const;
+
+  ChainModel& model_;
+  const Dataset& train_data_;
+  const Dataset& val_data_;
+  TrainConfig cfg_;
+
+  DataLoader loader_;
+  DataLoader val_loader_;
+  std::unique_ptr<Optimizer> optimizer_;
+  std::unique_ptr<EgeriaController> controller_;
+  std::unique_ptr<ActivationCache> cache_;
+  FreezeHook* hook_ = nullptr;
+
+  int frontier_ = 0;
+  bool knowledge_stage_ = false;
+  double bootstrap_prev_avg_ = -1.0;
+  double bootstrap_window_sum_ = 0.0;
+  int64_t bootstrap_window_count_ = 0;
+
+  TrainResult result_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_CORE_TRAINER_H_

@@ -1,0 +1,26 @@
+// A training mini-batch. Fields beyond `input`/`labels` are task-specific and left
+// undefined when unused (e.g. `target_input` only exists for seq2seq batches).
+#ifndef EGERIA_SRC_DATA_BATCH_H_
+#define EGERIA_SRC_DATA_BATCH_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace egeria {
+
+struct Batch {
+  Tensor input;         // images [b,c,h,w] or source token ids [b,t]
+  Tensor target_input;  // decoder input token ids [b,t] (machine translation)
+  std::vector<int> labels;                  // class / per-pixel / per-token labels
+  std::vector<std::pair<int, int>> spans;   // QA answer spans
+  std::vector<int64_t> sample_ids;          // dataset indices; key the activation cache
+
+  int64_t size() const { return input.Defined() ? input.Size(0) : 0; }
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DATA_BATCH_H_

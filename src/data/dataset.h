@@ -1,0 +1,26 @@
+// Dataset interface. All datasets here are procedurally generated substitutes for the
+// paper's corpora (ImageNet/CIFAR-10/VOC/WMT16/SQuAD are not available offline; see
+// DESIGN.md S1). Determinism contract: GetBatch(indices) depends only on (seed,
+// indices) — including augmentation — so a sample is bit-identical across epochs.
+// That is the property the activation cache relies on (paper S4.3: stateless random
+// augmentation keeps inputs repeatable).
+#ifndef EGERIA_SRC_DATA_DATASET_H_
+#define EGERIA_SRC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/data/batch.h"
+
+namespace egeria {
+
+class Dataset {
+ public:
+  virtual ~Dataset() = default;
+  virtual int64_t Size() const = 0;
+  virtual Batch GetBatch(const std::vector<int64_t>& indices) const = 0;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DATA_DATASET_H_

@@ -1,0 +1,75 @@
+#include "src/data/synthetic_seg.h"
+
+#include <algorithm>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+SyntheticSegDataset::SyntheticSegDataset(const SyntheticSegConfig& cfg) : cfg_(cfg) {
+  Rng rng = Rng::ForKey(cfg_.seed, 1ULL << 41);
+  class_colors_.resize(static_cast<size_t>(cfg_.num_classes));
+  for (auto& color : class_colors_) {
+    color.resize(static_cast<size_t>(cfg_.channels));
+    for (auto& v : color) {
+      v = rng.NextUniform(-1.5F, 1.5F);
+    }
+  }
+}
+
+void SyntheticSegDataset::FillSample(int64_t index, float* img, int* labels) const {
+  Rng rng = Rng::ForKey(cfg_.seed, static_cast<uint64_t>(index) + cfg_.sample_salt);
+  const int64_t h = cfg_.height;
+  const int64_t w = cfg_.width;
+  // Background.
+  for (int64_t i = 0; i < h * w; ++i) {
+    labels[i] = 0;
+  }
+  for (int64_t c = 0; c < cfg_.channels; ++c) {
+    const float base = class_colors_[0][static_cast<size_t>(c)];
+    float* plane = img + c * h * w;
+    for (int64_t i = 0; i < h * w; ++i) {
+      plane[i] = base + cfg_.noise_std * rng.NextGaussian();
+    }
+  }
+  // 1-3 rectangles of non-background classes.
+  const int num_rects = 1 + static_cast<int>(rng.NextBelow(3));
+  for (int r = 0; r < num_rects; ++r) {
+    const int cls = 1 + static_cast<int>(rng.NextBelow(
+                            static_cast<uint64_t>(cfg_.num_classes - 1)));
+    const int64_t rw = 3 + static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(w / 2)));
+    const int64_t rh = 3 + static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(h / 2)));
+    const int64_t x0 = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(w - rw)));
+    const int64_t y0 = static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(h - rh)));
+    for (int64_t y = y0; y < y0 + rh; ++y) {
+      for (int64_t x = x0; x < x0 + rw; ++x) {
+        labels[y * w + x] = cls;
+        for (int64_t c = 0; c < cfg_.channels; ++c) {
+          img[c * h * w + y * w + x] =
+              class_colors_[static_cast<size_t>(cls)][static_cast<size_t>(c)] +
+              cfg_.noise_std * rng.NextGaussian();
+        }
+      }
+    }
+  }
+}
+
+Batch SyntheticSegDataset::GetBatch(const std::vector<int64_t>& indices) const {
+  Batch batch;
+  const int64_t b = static_cast<int64_t>(indices.size());
+  batch.input = Tensor({b, cfg_.channels, cfg_.height, cfg_.width});
+  batch.labels.resize(static_cast<size_t>(b * cfg_.height * cfg_.width));
+  batch.sample_ids = indices;
+  const int64_t img_numel = cfg_.channels * cfg_.height * cfg_.width;
+  const int64_t label_numel = cfg_.height * cfg_.width;
+  for (int64_t i = 0; i < b; ++i) {
+    EGERIA_CHECK(indices[static_cast<size_t>(i)] >= 0 &&
+                 indices[static_cast<size_t>(i)] < Size());
+    FillSample(indices[static_cast<size_t>(i)], batch.input.Data() + i * img_numel,
+               batch.labels.data() + i * label_numel);
+  }
+  return batch;
+}
+
+}  // namespace egeria

@@ -1,0 +1,43 @@
+// Synthetic dense-label segmentation dataset (stands in for PASCAL VOC).
+// Images contain a textured background plus 1-3 axis-aligned rectangles with
+// class-specific textures; labels are per-pixel class ids (0 = background).
+#ifndef EGERIA_SRC_DATA_SYNTHETIC_SEG_H_
+#define EGERIA_SRC_DATA_SYNTHETIC_SEG_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+#include "src/tensor/tensor.h"
+
+namespace egeria {
+
+struct SyntheticSegConfig {
+  int64_t num_classes = 5;  // including background class 0
+  int64_t num_samples = 1024;
+  int64_t channels = 3;
+  int64_t height = 16;
+  int64_t width = 16;
+  float noise_std = 0.15F;
+  uint64_t seed = 4321;
+  uint64_t sample_salt = 0;  // see SyntheticImageConfig::sample_salt
+};
+
+class SyntheticSegDataset : public Dataset {
+ public:
+  explicit SyntheticSegDataset(const SyntheticSegConfig& cfg);
+
+  int64_t Size() const override { return cfg_.num_samples; }
+  Batch GetBatch(const std::vector<int64_t>& indices) const override;
+
+  int64_t num_classes() const { return cfg_.num_classes; }
+
+ private:
+  void FillSample(int64_t index, float* img, int* labels) const;
+
+  SyntheticSegConfig cfg_;
+  std::vector<std::vector<float>> class_colors_;  // [class][channel] base intensity
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DATA_SYNTHETIC_SEG_H_

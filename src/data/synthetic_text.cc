@@ -1,0 +1,90 @@
+#include "src/data/synthetic_text.h"
+
+#include <numeric>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+SyntheticTranslationDataset::SyntheticTranslationDataset(
+    const SyntheticTranslationConfig& cfg)
+    : cfg_(cfg) {
+  EGERIA_CHECK(cfg_.vocab > kFirstContentToken + 1);
+  const int content = static_cast<int>(cfg_.vocab) - kFirstContentToken;
+  token_perm_.resize(static_cast<size_t>(content));
+  std::iota(token_perm_.begin(), token_perm_.end(), 0);
+  Rng rng = Rng::ForKey(cfg_.seed, 1ULL << 42);
+  rng.Shuffle(token_perm_);
+}
+
+Batch SyntheticTranslationDataset::GetBatch(const std::vector<int64_t>& indices) const {
+  Batch batch;
+  const int64_t b = static_cast<int64_t>(indices.size());
+  const int64_t t = cfg_.seq_len;
+  batch.input = Tensor({b, t});
+  batch.target_input = Tensor({b, t});
+  batch.labels.resize(static_cast<size_t>(b * t));
+  batch.sample_ids = indices;
+  const int content = static_cast<int>(cfg_.vocab) - kFirstContentToken;
+  for (int64_t i = 0; i < b; ++i) {
+    EGERIA_CHECK(indices[static_cast<size_t>(i)] >= 0 &&
+                 indices[static_cast<size_t>(i)] < Size());
+    Rng rng = Rng::ForKey(cfg_.seed, static_cast<uint64_t>(indices[static_cast<size_t>(i)]) + cfg_.sample_salt);
+    std::vector<int> src(static_cast<size_t>(t));
+    for (int64_t j = 0; j < t; ++j) {
+      src[static_cast<size_t>(j)] =
+          kFirstContentToken + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(content)));
+      batch.input.At(i, j) = static_cast<float>(src[static_cast<size_t>(j)]);
+    }
+    // Target: reversed source under the fixed vocabulary permutation.
+    std::vector<int> tgt(static_cast<size_t>(t));
+    for (int64_t j = 0; j < t; ++j) {
+      const int s = src[static_cast<size_t>(t - 1 - j)] - kFirstContentToken;
+      tgt[static_cast<size_t>(j)] = kFirstContentToken + token_perm_[static_cast<size_t>(s)];
+    }
+    batch.target_input.At(i, 0) = static_cast<float>(kBosToken);
+    for (int64_t j = 1; j < t; ++j) {
+      batch.target_input.At(i, j) = static_cast<float>(tgt[static_cast<size_t>(j - 1)]);
+    }
+    for (int64_t j = 0; j < t; ++j) {
+      batch.labels[static_cast<size_t>(i * t + j)] = tgt[static_cast<size_t>(j)];
+    }
+  }
+  return batch;
+}
+
+SyntheticQaDataset::SyntheticQaDataset(const SyntheticQaConfig& cfg) : cfg_(cfg) {
+  EGERIA_CHECK(cfg_.vocab > kFirstContentToken + 1);
+  EGERIA_CHECK(cfg_.seq_len >= 8);
+}
+
+Batch SyntheticQaDataset::GetBatch(const std::vector<int64_t>& indices) const {
+  Batch batch;
+  const int64_t b = static_cast<int64_t>(indices.size());
+  const int64_t t = cfg_.seq_len;
+  batch.input = Tensor({b, t});
+  batch.spans.resize(static_cast<size_t>(b));
+  batch.sample_ids = indices;
+  const int content = static_cast<int>(cfg_.vocab) - kFirstContentToken;
+  for (int64_t i = 0; i < b; ++i) {
+    EGERIA_CHECK(indices[static_cast<size_t>(i)] >= 0 &&
+                 indices[static_cast<size_t>(i)] < Size());
+    Rng rng = Rng::ForKey(cfg_.seed, static_cast<uint64_t>(indices[static_cast<size_t>(i)]) + cfg_.sample_salt);
+    for (int64_t j = 0; j < t; ++j) {
+      batch.input.At(i, j) = static_cast<float>(
+          kFirstContentToken + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(content))));
+    }
+    // Answer span delimited by marker tokens: [mark] answer... [mark].
+    const int64_t span_len = 1 + static_cast<int64_t>(rng.NextBelow(3));
+    const int64_t start =
+        1 + static_cast<int64_t>(rng.NextBelow(static_cast<uint64_t>(t - span_len - 2)));
+    batch.input.At(i, start - 1) = static_cast<float>(kMarkToken);
+    batch.input.At(i, start + span_len) = static_cast<float>(kMarkToken);
+    batch.spans[static_cast<size_t>(i)] = {static_cast<int>(start),
+                                           static_cast<int>(start + span_len - 1)};
+  }
+  return batch;
+}
+
+}  // namespace egeria

@@ -1,0 +1,71 @@
+// Synthetic sequence tasks.
+//
+// SyntheticTranslationDataset (stands in for WMT16 EN-DE): the target is the source
+// reversed and passed through a fixed vocabulary permutation. Learning it requires
+// cross-attention alignment (position reversal) plus a token mapping — the same
+// mechanics as translation, at CPU scale.
+//
+// SyntheticQaDataset (stands in for SQuAD 1.0): a context of random tokens carries a
+// marked answer span (delimited by marker tokens); the model predicts the span's
+// start/end. Exercises the BERT fine-tuning path (span head, linear LR decay).
+#ifndef EGERIA_SRC_DATA_SYNTHETIC_TEXT_H_
+#define EGERIA_SRC_DATA_SYNTHETIC_TEXT_H_
+
+#include <vector>
+
+#include "src/data/dataset.h"
+
+namespace egeria {
+
+inline constexpr int kPadToken = 0;
+inline constexpr int kBosToken = 1;
+inline constexpr int kMarkToken = 2;      // QA span delimiter
+inline constexpr int kFirstContentToken = 3;
+
+struct SyntheticTranslationConfig {
+  int64_t vocab = 64;
+  int64_t seq_len = 12;
+  int64_t num_samples = 2048;
+  uint64_t seed = 777;
+  uint64_t sample_salt = 0;  // see SyntheticImageConfig::sample_salt
+};
+
+class SyntheticTranslationDataset : public Dataset {
+ public:
+  explicit SyntheticTranslationDataset(const SyntheticTranslationConfig& cfg);
+
+  const SyntheticTranslationConfig& config() const { return cfg_; }
+
+  int64_t Size() const override { return cfg_.num_samples; }
+  // Batch: input = source ids [b,t]; target_input = [BOS, tgt[0..t-2]] [b,t];
+  // labels = tgt flattened (b*t).
+  Batch GetBatch(const std::vector<int64_t>& indices) const override;
+
+ private:
+  SyntheticTranslationConfig cfg_;
+  std::vector<int> token_perm_;  // content-token permutation
+};
+
+struct SyntheticQaConfig {
+  int64_t vocab = 64;
+  int64_t seq_len = 24;
+  int64_t num_samples = 2048;
+  uint64_t seed = 888;
+  uint64_t sample_salt = 0;
+};
+
+class SyntheticQaDataset : public Dataset {
+ public:
+  explicit SyntheticQaDataset(const SyntheticQaConfig& cfg);
+
+  int64_t Size() const override { return cfg_.num_samples; }
+  // Batch: input = context ids [b,t]; spans = gold (start, end) per sample.
+  Batch GetBatch(const std::vector<int64_t>& indices) const override;
+
+ private:
+  SyntheticQaConfig cfg_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DATA_SYNTHETIC_TEXT_H_

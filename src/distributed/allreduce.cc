@@ -1,0 +1,64 @@
+#include "src/distributed/allreduce.h"
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+GradientAllReducer::GradientAllReducer(int world) : world_(world) {
+  EGERIA_CHECK(world_ >= 1);
+  param_lists_.resize(static_cast<size_t>(world_), nullptr);
+}
+
+void GradientAllReducer::Barrier() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const int64_t gen = generation_;
+  if (++arrived_ == world_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return generation_ != gen; });
+  }
+}
+
+void GradientAllReducer::AllReduce(int rank, const std::vector<Parameter*>& params) {
+  EGERIA_CHECK(rank >= 0 && rank < world_);
+  if (world_ == 1) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    param_lists_[static_cast<size_t>(rank)] = &params;
+  }
+  Barrier();  // All ranks registered.
+  if (rank == 0) {
+    const auto& base = *param_lists_[0];
+    const float inv = 1.0F / static_cast<float>(world_);
+    int64_t bytes = 0;
+    for (size_t p = 0; p < base.size(); ++p) {
+      float* acc = base[p]->grad.Data();
+      const int64_t n = base[p]->grad.NumEl();
+      bytes += n * static_cast<int64_t>(sizeof(float));
+      for (int r = 1; r < world_; ++r) {
+        const auto& other = *param_lists_[static_cast<size_t>(r)];
+        EGERIA_CHECK_MSG(other.size() == base.size(), "rank param list mismatch");
+        const float* g = other[p]->grad.Data();
+        for (int64_t i = 0; i < n; ++i) {
+          acc[i] += g[i];
+        }
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        acc[i] *= inv;
+      }
+      // Broadcast the averaged gradient back to every rank.
+      for (int r = 1; r < world_; ++r) {
+        const auto& other = *param_lists_[static_cast<size_t>(r)];
+        std::copy(acc, acc + n, other[p]->grad.Data());
+      }
+    }
+    bytes_reduced_.fetch_add(bytes);
+  }
+  Barrier();  // Averaged gradients visible to every rank.
+}
+
+}  // namespace egeria

@@ -1,0 +1,42 @@
+// Real (thread-based) gradient all-reduce for the data-parallel worker harness.
+// Workers call AllReduce with their parameter lists in identical order; rank 0
+// averages and every rank reads back the averaged gradients. Also counts payload
+// bytes so tests can assert that frozen stages are excluded from synchronization.
+#ifndef EGERIA_SRC_DISTRIBUTED_ALLREDUCE_H_
+#define EGERIA_SRC_DISTRIBUTED_ALLREDUCE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace egeria {
+
+class GradientAllReducer {
+ public:
+  explicit GradientAllReducer(int world);
+
+  // Collective: blocks until all `world` ranks arrive; gradients are averaged
+  // elementwise across ranks. Parameter lists must align across ranks.
+  void AllReduce(int rank, const std::vector<Parameter*>& params);
+
+  int64_t TotalBytesReduced() const { return bytes_reduced_.load(); }
+
+ private:
+  void Barrier();
+
+  int world_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  int64_t generation_ = 0;
+  std::vector<const std::vector<Parameter*>*> param_lists_;
+  std::atomic<int64_t> bytes_reduced_{0};
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_ALLREDUCE_H_

@@ -1,0 +1,49 @@
+// Discrete-event simulation of one steady-state data-parallel training iteration
+// under different communication schedules (Fig. 10):
+//
+//  - kFifo: the framework default — a gradient starts synchronizing when its stage's
+//    backward completes (deep stages first), FIFO over a single logical link, and
+//    the next iteration starts only once all gradients are reduced.
+//  - kByteScheduler: priority scheduling + tensor partitioning (Peng et al., SOSP'19)
+//    — ready gradients are partitioned into chunks and the link always serves the
+//    highest-priority (front-most) stage next, letting the next iteration's forward
+//    pass begin as soon as the stages it needs are synchronized.
+//
+// Egeria composes with either policy by zeroing the backward time and gradient bytes
+// of the frozen prefix (and optionally its forward time, when the activation cache
+// serves it).
+#ifndef EGERIA_SRC_DISTRIBUTED_COMM_SCHEDULER_H_
+#define EGERIA_SRC_DISTRIBUTED_COMM_SCHEDULER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/distributed/network_model.h"
+
+namespace egeria {
+
+enum class CommPolicy { kFifo, kByteScheduler };
+
+struct StageCost {
+  double fp_seconds = 0.0;
+  double bp_seconds = 0.0;
+  int64_t grad_bytes = 0;
+};
+
+struct IterationTimeline {
+  double iteration_seconds = 0.0;  // steady-state per-iteration time
+  double comm_seconds = 0.0;       // total link busy time
+  double exposed_comm_seconds = 0.0;  // communication not hidden behind compute
+};
+
+// `stages` ordered front (index 0) to back. Stages with index < frozen_prefix are
+// frozen: no backward, no gradient traffic; their forward time is dropped as well
+// when `prefix_fp_cached` is set (activation cache).
+IterationTimeline SimulateIteration(const std::vector<StageCost>& stages,
+                                    const NetworkModel& net, CommPolicy policy,
+                                    int frozen_prefix = 0, bool prefix_fp_cached = false,
+                                    int chunks_per_stage = 4);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_COMM_SCHEDULER_H_

@@ -1,0 +1,209 @@
+#include "src/distributed/dist_trainer.h"
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+
+#include "src/core/controller.h"
+#include "src/distributed/allreduce.h"
+#include "src/optim/optimizer.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+namespace {
+
+// Shared freeze state broadcast from the controller (worker 0) to all workers;
+// applied at iteration boundaries so every rank keeps an identical active set.
+struct SharedFreezeState {
+  std::atomic<int> frontier{0};
+  std::atomic<int64_t> version{0};
+};
+
+}  // namespace
+
+DistTrainResult TrainDataParallel(
+    const std::function<std::unique_ptr<ChainModel>()>& make_model,
+    const Dataset& train_data, const Dataset& val_data, const DistTrainConfig& cfg) {
+  EGERIA_CHECK(cfg.world >= 1);
+  EGERIA_CHECK(cfg.lr_schedule != nullptr);
+
+  // Build replicas and broadcast rank 0's weights.
+  std::vector<std::unique_ptr<ChainModel>> replicas;
+  for (int r = 0; r < cfg.world; ++r) {
+    replicas.push_back(make_model());
+  }
+  for (int r = 1; r < cfg.world; ++r) {
+    replicas[static_cast<size_t>(r)]->CopyStateFrom(*replicas[0]);
+  }
+
+  // One loader per rank over the same permutation; rank r consumes batches
+  // r, r+world, r+2*world, ... (disjoint shards of each epoch).
+  DataLoader loader(train_data, cfg.batch_size, /*shuffle=*/true, cfg.seed);
+  const int64_t steps_per_epoch = loader.NumBatches() / cfg.world;
+  EGERIA_CHECK_MSG(steps_per_epoch >= 1, "dataset too small for this world size");
+
+  GradientAllReducer reducer(cfg.world);
+  SharedFreezeState freeze_state;
+  std::unique_ptr<EgeriaController> controller;
+  if (cfg.enable_egeria) {
+    controller = std::make_unique<EgeriaController>(cfg.egeria, replicas[0]->NumStages(),
+                                                    cfg.lr_schedule->IsAnnealing());
+  }
+  std::atomic<int64_t> bytes_synced{0};
+  const int64_t full_bytes_per_iter =
+      replicas[0]->TotalParamCount() * static_cast<int64_t>(sizeof(float));
+  std::atomic<int64_t> full_bytes_total{0};
+
+  auto worker_fn = [&](int rank) {
+    ChainModel& model = *replicas[static_cast<size_t>(rank)];
+    model.SetTraining(true);
+    Sgd opt(cfg.momentum, cfg.weight_decay);
+    int frontier = 0;
+    int64_t local_version = 0;
+    int64_t iter = 0;
+    bool knowledge_stage = !cfg.enable_egeria;
+
+    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+      // Every rank derives the same permutation (deterministic in (seed, epoch)).
+      DataLoader local(train_data, cfg.batch_size, /*shuffle=*/true, cfg.seed);
+      local.StartEpoch(epoch);
+      for (int64_t s = 0; s < steps_per_epoch; ++s) {
+        ++iter;
+        const float lr = cfg.lr_schedule->LrAt(iter);
+
+        // Apply broadcast freeze state.
+        if (freeze_state.version.load() != local_version) {
+          local_version = freeze_state.version.load();
+          const int new_frontier = freeze_state.frontier.load();
+          for (int i = 0; i < model.NumStages(); ++i) {
+            model.SetStageFrozen(i, i < new_frontier);
+          }
+          frontier = new_frontier;
+        }
+
+        Batch batch = local.GetBatch(s * cfg.world + rank);
+        model.SetBatch(batch);
+        Tensor logits = model.ForwardFrom(0, batch.input);
+        LossResult loss = TaskLoss(cfg.task, logits, batch);
+
+        for (Parameter* p : model.ParamsFrom(frontier)) {
+          p->grad.Zero_();
+        }
+        model.BackwardTo(frontier, loss.grad);
+
+        // Controller duties on rank 0 only (logically centralized, Fig. 5). Runs
+        // BEFORE this iteration's all-reduce barrier so that a published freeze
+        // decision happens-before every rank's next iteration start — all ranks then
+        // apply it at the same iteration boundary and keep identical active sets.
+        if (rank == 0 && controller != nullptr) {
+          if (!cfg.egeria.async_controller) {
+            controller->RunPendingSync();
+          }
+          if (!knowledge_stage && iter >= cfg.egeria.eval_interval_n) {
+            knowledge_stage = true;  // Simplified bootstrap: fixed warmup.
+          }
+          if (knowledge_stage && controller->WantsSnapshot()) {
+            InferenceFactory float_factory;
+            controller->SubmitSnapshot(model.CloneForInference(float_factory));
+          }
+          if (knowledge_stage && iter % cfg.egeria.eval_interval_n == 0 &&
+              frontier < model.NumStages() - 1 - cfg.egeria.protected_tail + 1) {
+            EvalRequest req;
+            req.batch = batch;
+            req.train_act = model.StageOutput(frontier);
+            req.stage = frontier;
+            req.lr = lr;
+            req.iter = iter;
+            controller->SubmitEval(std::move(req));
+          }
+          bool changed = false;
+          int new_frontier = frontier;
+          for (const FreezeDecision& d : controller->DrainDecisions()) {
+            if (d.kind == FreezeDecision::Kind::kFreezeUpTo) {
+              new_frontier = d.stage + 1;
+            } else {
+              new_frontier = 0;
+            }
+            changed = true;
+          }
+          if (auto d = controller->OnLr(lr, iter)) {
+            new_frontier = (d->kind == FreezeDecision::Kind::kUnfreezeAll) ? 0 : new_frontier;
+            changed = true;
+          }
+          if (changed) {
+            freeze_state.frontier.store(new_frontier);
+            freeze_state.version.fetch_add(1);
+          }
+        }
+
+        // Synchronize only active parameters — frozen stages are "excluded from
+        // parameter synchronization" (paper S4.2.2, Fig. 10).
+        const std::vector<Parameter*> active = model.ParamsFrom(frontier);
+        reducer.AllReduce(rank, active);
+        if (rank == 0) {
+          int64_t payload = 0;
+          for (Parameter* p : active) {
+            payload += p->grad.NumEl() * static_cast<int64_t>(sizeof(float));
+          }
+          bytes_synced.fetch_add(payload);
+          full_bytes_total.fetch_add(full_bytes_per_iter);
+        }
+        opt.Step(active, lr);
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int r = 0; r < cfg.world; ++r) {
+    threads.emplace_back(worker_fn, r);
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+
+  DistTrainResult result;
+  result.bytes_synced = bytes_synced.load();
+  result.bytes_full_model = full_bytes_total.load();
+  result.final_frontier = freeze_state.frontier.load();
+  result.iterations = static_cast<int64_t>(cfg.epochs) * steps_per_epoch;
+
+  // Replica consistency: synchronized SGD on averaged gradients must keep replicas
+  // identical (up to float nondeterminism, which our sequential reduce avoids).
+  result.replicas_consistent = true;
+  auto params0 = replicas[0]->ParamsFrom(0);
+  for (int r = 1; r < cfg.world && result.replicas_consistent; ++r) {
+    auto pr = replicas[static_cast<size_t>(r)]->ParamsFrom(0);
+    for (size_t i = 0; i < params0.size(); ++i) {
+      const Tensor& a = params0[i]->value;
+      const Tensor& b = pr[i]->value;
+      for (int64_t j = 0; j < a.NumEl(); ++j) {
+        if (std::abs(a.Data()[j] - b.Data()[j]) > 1e-6F) {
+          result.replicas_consistent = false;
+          break;
+        }
+      }
+      if (!result.replicas_consistent) {
+        break;
+      }
+    }
+  }
+
+  // Validate on replica 0.
+  replicas[0]->SetTraining(false);
+  DataLoader val_loader(val_data, cfg.batch_size, /*shuffle=*/false, cfg.seed + 1);
+  std::vector<TaskMetric> parts;
+  const int64_t nb = std::min<int64_t>(cfg.val_batches, val_loader.NumBatches());
+  for (int64_t b = 0; b < nb; ++b) {
+    Batch batch = val_loader.GetBatch(b);
+    replicas[0]->SetBatch(batch);
+    Tensor logits = replicas[0]->ForwardFrom(0, batch.input);
+    parts.push_back(EvaluateTask(cfg.task, logits, batch));
+  }
+  const TaskMetric metric = AggregateMetric(cfg.task, parts);
+  result.final_score = metric.score;
+  result.final_display = metric.display;
+  return result;
+}
+
+}  // namespace egeria

@@ -1,0 +1,55 @@
+// Thread-based data-parallel training harness (the paper's Fig. 5 controller-worker
+// layout at process scale): K workers hold model replicas, train on disjoint shards
+// of each batch permutation, and synchronize gradients with a real all-reduce.
+// Worker 0 co-locates the Egeria controller; freeze/unfreeze decisions are broadcast
+// to all workers and applied at iteration boundaries, and frozen stages drop out of
+// the synchronization payload (the Fig. 10 traffic saving).
+#ifndef EGERIA_SRC_DISTRIBUTED_DIST_TRAINER_H_
+#define EGERIA_SRC_DISTRIBUTED_DIST_TRAINER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/config.h"
+#include "src/core/task.h"
+#include "src/data/dataloader.h"
+#include "src/models/chain_model.h"
+#include "src/optim/lr_scheduler.h"
+
+namespace egeria {
+
+struct DistTrainConfig {
+  int world = 2;
+  int epochs = 4;
+  int64_t batch_size = 8;  // per worker
+  TaskSpec task;
+  float momentum = 0.9F;
+  float weight_decay = 1e-4F;
+  std::shared_ptr<LrScheduler> lr_schedule;
+  uint64_t seed = 42;
+  int64_t val_batches = 4;
+
+  bool enable_egeria = false;
+  EgeriaConfig egeria;
+};
+
+struct DistTrainResult {
+  double final_score = 0.0;
+  double final_display = 0.0;
+  int64_t bytes_synced = 0;        // actual all-reduce payload
+  int64_t bytes_full_model = 0;    // payload if nothing were frozen
+  int final_frontier = 0;
+  int64_t iterations = 0;
+  bool replicas_consistent = false;  // replicas bit-identical at the end
+};
+
+// `make_model` must build identical architectures (same seed) per call; replica 0's
+// weights are broadcast before training.
+DistTrainResult TrainDataParallel(
+    const std::function<std::unique_ptr<ChainModel>()>& make_model,
+    const Dataset& train_data, const Dataset& val_data, const DistTrainConfig& cfg);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_DIST_TRAINER_H_

@@ -1,0 +1,41 @@
+// Analytic network model of the paper's testbed: nodes with multiple GPUs, NVLink-
+// class intra-node bandwidth, 40 Gbps NICs on a leaf-spine fabric (S6.1). Gradient
+// synchronization uses hierarchical ring all-reduce: intra-node ring, then a ring
+// across nodes. Used by the Fig. 10 distributed-throughput simulation; absolute
+// constants are configurable, the *shape* (who wins, where communication becomes the
+// bottleneck) is what the reproduction preserves.
+#ifndef EGERIA_SRC_DISTRIBUTED_NETWORK_MODEL_H_
+#define EGERIA_SRC_DISTRIBUTED_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+namespace egeria {
+
+struct ClusterConfig {
+  int num_nodes = 1;
+  int gpus_per_node = 2;
+  double intra_node_gbps = 128.0;  // NVLink-class
+  double inter_node_gbps = 40.0;   // paper's CX-5 NICs
+  double link_latency_s = 20e-6;
+
+  int World() const { return num_nodes * gpus_per_node; }
+};
+
+class NetworkModel {
+ public:
+  explicit NetworkModel(const ClusterConfig& cfg) : cfg_(cfg) {}
+
+  // Hierarchical ring all-reduce latency for `bytes` of gradient payload.
+  double AllReduceSeconds(int64_t bytes) const;
+
+  const ClusterConfig& config() const { return cfg_; }
+
+ private:
+  static double RingSeconds(int64_t bytes, int ring_size, double gbps, double latency);
+
+  ClusterConfig cfg_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_NETWORK_MODEL_H_

@@ -1,0 +1,29 @@
+#include "src/metrics/gradient_metrics.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+double StageGradientNorm(const std::vector<Parameter*>& params) {
+  double sum = 0.0;
+  for (const Parameter* p : params) {
+    const float* g = p->grad.Data();
+    for (int64_t i = 0; i < p->grad.NumEl(); ++i) {
+      sum += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  return std::sqrt(sum);
+}
+
+double SkipConvGate(const Tensor& current, const Tensor& previous) {
+  EGERIA_CHECK_MSG(current.NumEl() == previous.NumEl(), "SkipConvGate shape mismatch");
+  double sum = 0.0;
+  for (int64_t i = 0; i < current.NumEl(); ++i) {
+    sum += std::abs(static_cast<double>(current.Data()[i]) - previous.Data()[i]);
+  }
+  return sum / static_cast<double>(current.NumEl());
+}
+
+}  // namespace egeria

@@ -1,0 +1,26 @@
+// Gradient- and activation-based freezing metrics used by the comparison baselines.
+//
+//  - GradientNormMetric: AutoFreeze-style (Liu et al.) per-stage gradient-norm
+//    change rate; a stage freezes when its norm has stabilized relative to history.
+//  - SkipConvGate: the input-norm gate of Skip-Convolutions (Habibian et al.)
+//    applied to intermediate activations between evaluation points: the normalized
+//    L1 change ||A_t - A_{t-1}||_1 / numel.
+#ifndef EGERIA_SRC_METRICS_GRADIENT_METRICS_H_
+#define EGERIA_SRC_METRICS_GRADIENT_METRICS_H_
+
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/tensor/tensor.h"
+
+namespace egeria {
+
+// L2 norm over all parameter gradients of a stage.
+double StageGradientNorm(const std::vector<Parameter*>& params);
+
+// Skip-Conv input-norm gate between consecutive activation snapshots.
+double SkipConvGate(const Tensor& current, const Tensor& previous);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_METRICS_GRADIENT_METRICS_H_

@@ -1,0 +1,84 @@
+#include "src/metrics/pwcca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/tensor/linalg.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+Tensor ActivationsToSamples(const Tensor& a) {
+  if (a.Dim() == 2) {
+    return a;
+  }
+  if (a.Dim() == 3) {  // [b, t, d] -> [b*t, d]
+    return a.Reshape({a.Size(0) * a.Size(1), a.Size(2)});
+  }
+  EGERIA_CHECK(a.Dim() == 4);
+  const int64_t b = a.Size(0);
+  const int64_t c = a.Size(1);
+  const int64_t hw = a.Size(2) * a.Size(3);
+  Tensor out({b * hw, c});
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ci = 0; ci < c; ++ci) {
+      const float* plane = a.Data() + (bi * c + ci) * hw;
+      for (int64_t i = 0; i < hw; ++i) {
+        out.At(bi * hw + i, ci) = plane[i];
+      }
+    }
+  }
+  return out;
+}
+
+double PwccaDistance(const Tensor& x_in, const Tensor& y_in) {
+  EGERIA_CHECK(x_in.Dim() == 2 && y_in.Dim() == 2);
+  EGERIA_CHECK_MSG(x_in.Size(0) == y_in.Size(0), "PWCCA sample-count mismatch");
+  const int64_t n = x_in.Size(0);
+  const int64_t p = x_in.Size(1);
+  const int64_t q = y_in.Size(1);
+  EGERIA_CHECK_MSG(n > std::max(p, q), "PWCCA requires more samples than features");
+
+  Tensor x = x_in.Clone();
+  Tensor y = y_in.Clone();
+  CenterColumns(x);
+  CenterColumns(y);
+
+  // CCA via QR + SVD: X = Qx Rx, Y = Qy Ry; svd(Qx^T Qy) = U S V^T gives canonical
+  // correlations S and canonical directions U in Qx coordinates.
+  QrResult qx = HouseholderQr(x);
+  QrResult qy = HouseholderQr(y);
+  Tensor m = MatMulTransA(qx.q, qy.q);  // [p, q]
+  SvdResult svd = JacobiSvd(m);
+  const int64_t r = static_cast<int64_t>(svd.s.size());
+
+  // Canonical variables of X: H = Qx U  [n, r].
+  Tensor h = MatMul(qx.q, svd.u);
+
+  // Projection weights: w_i = sum_j |<h_i, x_col_j>| — how much of X's data the i-th
+  // canonical direction explains.
+  std::vector<double> weights(static_cast<size_t>(r), 0.0);
+  for (int64_t i = 0; i < r; ++i) {
+    for (int64_t j = 0; j < p; ++j) {
+      double dot = 0.0;
+      for (int64_t s = 0; s < n; ++s) {
+        dot += static_cast<double>(h.At(s, i)) * x.At(s, j);
+      }
+      weights[static_cast<size_t>(i)] += std::abs(dot);
+    }
+  }
+  double wsum = 0.0;
+  double corr = 0.0;
+  for (int64_t i = 0; i < r; ++i) {
+    const double rho = std::clamp(static_cast<double>(svd.s[static_cast<size_t>(i)]), 0.0, 1.0);
+    wsum += weights[static_cast<size_t>(i)];
+    corr += weights[static_cast<size_t>(i)] * rho;
+  }
+  if (wsum < 1e-12) {
+    return 1.0;
+  }
+  return 1.0 - corr / wsum;
+}
+
+}  // namespace egeria

@@ -1,0 +1,26 @@
+// Projection-weighted CCA (Morcos, Raghu & Bengio, NeurIPS'18).
+//
+// The paper uses PWCCA as the *post hoc* layer convergence analysis (Figures 1, 4):
+// comparing a layer's activations against a fully-trained model's, a low PWCCA
+// distance (0-1) means the layer has converged toward its final representation.
+// Egeria itself uses SP loss online; PWCCA appears in the Fig. 1 bench and in the
+// correctness comparison (similar trend, ~10x higher cost — see bench/micro_kernels).
+#ifndef EGERIA_SRC_METRICS_PWCCA_H_
+#define EGERIA_SRC_METRICS_PWCCA_H_
+
+#include "src/tensor/tensor.h"
+
+namespace egeria {
+
+// PWCCA *distance* in [0, 1]: 1 - sum(w_i rho_i) / sum(w_i), where rho are canonical
+// correlations of X and Y and w are projection weights of X's data onto the
+// canonical directions. X, Y: [n, p] and [n, q] activation matrices (rows = samples;
+// for conv maps use [b*h*w, c]). Requires n > max(p, q).
+double PwccaDistance(const Tensor& x, const Tensor& y);
+
+// Reshapes conv activations [b,c,h,w] to [b*h*w, c] (the standard CCA layout).
+Tensor ActivationsToSamples(const Tensor& a);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_METRICS_PWCCA_H_

@@ -1,0 +1,53 @@
+#include "src/metrics/sp_loss.h"
+
+#include <cmath>
+
+#include "src/tensor/tensor_ops.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+Tensor BatchSimilarityMatrix(const Tensor& activations) {
+  EGERIA_CHECK(activations.Dim() >= 2);
+  const int64_t b = activations.Size(0);
+  Tensor flat = activations.Reshape({b, -1});
+  Tensor g = MatMulTransB(flat, flat);  // [b, b]
+  // Row L2 normalization.
+  for (int64_t i = 0; i < b; ++i) {
+    double norm = 0.0;
+    for (int64_t j = 0; j < b; ++j) {
+      norm += static_cast<double>(g.At(i, j)) * g.At(i, j);
+    }
+    norm = std::sqrt(norm);
+    const float inv = (norm > 1e-12) ? static_cast<float>(1.0 / norm) : 0.0F;
+    for (int64_t j = 0; j < b; ++j) {
+      g.At(i, j) *= inv;
+    }
+  }
+  return g;
+}
+
+double SpLoss(const Tensor& a_train, const Tensor& a_ref) {
+  EGERIA_CHECK_MSG(a_train.Size(0) == a_ref.Size(0), "SP loss batch mismatch");
+  const int64_t b = a_train.Size(0);
+  Tensor gt = BatchSimilarityMatrix(a_train);
+  Tensor gr = BatchSimilarityMatrix(a_ref);
+  double sum = 0.0;
+  for (int64_t i = 0; i < b * b; ++i) {
+    const double d = static_cast<double>(gt.Data()[i]) - gr.Data()[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(b * b);
+}
+
+double FitNetsL2(const Tensor& a_train, const Tensor& a_ref) {
+  EGERIA_CHECK_MSG(a_train.NumEl() == a_ref.NumEl(), "FitNets shape mismatch");
+  double sum = 0.0;
+  for (int64_t i = 0; i < a_train.NumEl(); ++i) {
+    const double d = static_cast<double>(a_train.Data()[i]) - a_ref.Data()[i];
+    sum += d * d;
+  }
+  return sum / static_cast<double>(a_train.NumEl());
+}
+
+}  // namespace egeria

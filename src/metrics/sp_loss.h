@@ -1,0 +1,31 @@
+// Similarity-Preserving loss (Tung & Mori, ICCV'19) — the plasticity metric.
+//
+// Given activations A_T, A_R of the training and reference models for the same
+// mini-batch (Eq. 1: P_i = SP_loss(A_T, A_R)):
+//   1. reshape each to [b, -1];
+//   2. G = A A^T (pairwise similarity of the b samples), row-L2-normalized;
+//   3. SP = ||G_T - G_R||_F^2 / b^2.
+// The paper chooses SP over gradients/PWCCA because the b x b similarity structure
+// captures semantic agreement between models and is cheap (S4.2.1).
+#ifndef EGERIA_SRC_METRICS_SP_LOSS_H_
+#define EGERIA_SRC_METRICS_SP_LOSS_H_
+
+#include "src/tensor/tensor.h"
+
+namespace egeria {
+
+// Row-normalized batch similarity matrix [b, b] of activations (any rank >= 2; the
+// first dimension is the batch).
+Tensor BatchSimilarityMatrix(const Tensor& activations);
+
+// SP loss between two activation tensors with the same batch size (feature shapes
+// may differ — similarity matrices are always [b, b]).
+double SpLoss(const Tensor& a_train, const Tensor& a_ref);
+
+// FitNets-style direct difference: mean squared elementwise distance. The Skip-Conv
+// comparison baseline works "by directly subtracting two tensors" (paper S6.2).
+double FitNetsL2(const Tensor& a_train, const Tensor& a_ref);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_METRICS_SP_LOSS_H_

@@ -1,0 +1,24 @@
+#include "src/models/bert.h"
+
+#include <string>
+
+#include "src/nn/embedding.h"
+#include "src/nn/linear.h"
+#include "src/nn/transformer_layers.h"
+
+namespace egeria {
+
+std::vector<std::unique_ptr<Module>> BuildBertBlocks(const BertConfig& cfg, Rng& rng) {
+  std::vector<std::unique_ptr<Module>> blocks;
+  blocks.push_back(std::make_unique<Embedding>("embed", cfg.vocab, cfg.dim, rng,
+                                               /*scale=*/false, /*positional=*/true,
+                                               cfg.max_len));
+  for (int i = 0; i < cfg.num_layers; ++i) {
+    blocks.push_back(std::make_unique<TransformerEncoderLayer>(
+        "enc" + std::to_string(i), cfg.dim, cfg.heads, cfg.ffn_dim, rng, cfg.dropout));
+  }
+  blocks.push_back(std::make_unique<Linear>("span_head", cfg.dim, 2, rng));
+  return blocks;
+}
+
+}  // namespace egeria

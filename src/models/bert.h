@@ -1,0 +1,30 @@
+// BERT-style encoder for span-extraction QA (the paper's fine-tuning task, Table 1:
+// "12 Transformer blocks" on SQuAD). Encoder-only, so it is a plain linear chain:
+// [embedding, encoder layers..., span head] hosted by StageChainModel.
+#ifndef EGERIA_SRC_MODELS_BERT_H_
+#define EGERIA_SRC_MODELS_BERT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+struct BertConfig {
+  int64_t vocab = 64;
+  int64_t dim = 32;
+  int64_t heads = 4;
+  int64_t ffn_dim = 64;
+  int num_layers = 12;
+  int64_t max_len = 64;
+  float dropout = 0.0F;
+};
+
+// Returns [embed, enc0 .. encN-1, span_head]; span_head maps [b,t,d] -> [b,t,2].
+std::vector<std::unique_ptr<Module>> BuildBertBlocks(const BertConfig& cfg, Rng& rng);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_MODELS_BERT_H_

@@ -1,0 +1,120 @@
+#include "src/models/deeplab.h"
+
+#include <string>
+
+#include "src/nn/activations.h"
+#include "src/nn/batchnorm.h"
+#include "src/nn/blocks.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/pooling.h"
+#include "src/nn/sequential.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+namespace {
+
+// ASPP-lite: parallel 1x1 / 3x3(d=2) / 3x3(d=4) branches, channel concat, 1x1 fuse.
+class AsppLite : public Module {
+ public:
+  AsppLite(std::string name, int64_t in_channels, int64_t branch_channels, Rng& rng)
+      : Module(std::move(name)), branch_c_(branch_channels) {
+    b1_ = MakeBranch(name_ + ".b1", in_channels, 1, 1, rng);
+    b2_ = MakeBranch(name_ + ".b2", in_channels, 3, 2, rng);
+    b3_ = MakeBranch(name_ + ".b3", in_channels, 3, 4, rng);
+    auto fuse = std::make_unique<Sequential>(name_ + ".fuse");
+    fuse->Add(std::make_unique<Conv2d>(name_ + ".fuse.conv", 3 * branch_channels,
+                                       branch_channels, 1, rng, 1, 0));
+    fuse->Add(std::make_unique<BatchNorm2d>(name_ + ".fuse.bn", branch_channels));
+    fuse->Add(std::make_unique<ReLU>(name_ + ".fuse.relu"));
+    fuse_ = std::move(fuse);
+  }
+
+  Tensor Forward(const Tensor& input) override {
+    Tensor y1 = b1_->Forward(input);
+    Tensor y2 = b2_->Forward(input);
+    Tensor y3 = b3_->Forward(input);
+    return fuse_->Forward(ConcatChannels({y1, y2, y3}));
+  }
+
+  Tensor Backward(const Tensor& grad_output) override {
+    Tensor g = fuse_->Backward(grad_output);
+    std::vector<Tensor> parts = SplitChannels(g, {branch_c_, branch_c_, branch_c_});
+    Tensor dx = b1_->Backward(parts[0]);
+    dx.Add_(b2_->Backward(parts[1]));
+    dx.Add_(b3_->Backward(parts[2]));
+    return dx;
+  }
+
+  std::vector<Module*> Children() override {
+    return {b1_.get(), b2_.get(), b3_.get(), fuse_.get()};
+  }
+
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override {
+    auto clone = std::unique_ptr<AsppLite>(new AsppLite(name_, branch_c_));
+    clone->b1_ = b1_->CloneForInference(factory);
+    clone->b2_ = b2_->CloneForInference(factory);
+    clone->b3_ = b3_->CloneForInference(factory);
+    clone->fuse_ = fuse_->CloneForInference(factory);
+    clone->SetTraining(false);
+    return clone;
+  }
+
+ private:
+  AsppLite(std::string name, int64_t branch_channels)
+      : Module(std::move(name)), branch_c_(branch_channels) {}
+
+  static std::unique_ptr<Module> MakeBranch(const std::string& name, int64_t in_c,
+                                            int64_t kernel, int64_t dilation, Rng& rng) {
+    auto seq = std::make_unique<Sequential>(name);
+    seq->Add(std::make_unique<Conv2d>(name + ".conv", in_c, /*out=*/in_c, kernel, rng, 1,
+                                      /*pad=*/-1, dilation));
+    seq->Add(std::make_unique<BatchNorm2d>(name + ".bn", in_c));
+    seq->Add(std::make_unique<ReLU>(name + ".relu"));
+    return seq;
+  }
+
+  int64_t branch_c_;
+  std::unique_ptr<Module> b1_;
+  std::unique_ptr<Module> b2_;
+  std::unique_ptr<Module> b3_;
+  std::unique_ptr<Module> fuse_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<Module>> BuildDeepLabBlocks(const DeepLabConfig& cfg, Rng& rng) {
+  std::vector<std::unique_ptr<Module>> blocks;
+  auto stem = std::make_unique<Sequential>("stem");
+  stem->Add(std::make_unique<Conv2d>("stem.conv", cfg.in_channels, cfg.base_width, 3, rng));
+  stem->Add(std::make_unique<BatchNorm2d>("stem.bn", cfg.base_width));
+  stem->Add(std::make_unique<ReLU>("stem.relu"));
+  blocks.push_back(std::move(stem));
+
+  // Backbone: 3 stages; only stage 2 downsamples so that the head sees output stride
+  // 2 (DeepLab keeps a dense feature map via dilation instead of stride).
+  int64_t in_c = cfg.base_width;
+  for (int stage = 0; stage < 3; ++stage) {
+    const int64_t out_c = cfg.base_width << stage;
+    for (int b = 0; b < cfg.backbone_blocks_per_stage; ++b) {
+      const int64_t stride = (stage == 1 && b == 0) ? 2 : 1;
+      const std::string name =
+          "backbone" + std::to_string(stage + 1) + "." + std::to_string(b);
+      blocks.push_back(
+          std::make_unique<BasicResidualBlock>(name, in_c, out_c, stride, rng));
+      in_c = out_c;
+    }
+  }
+
+  blocks.push_back(std::make_unique<AsppLite>("aspp", in_c, in_c, rng));
+
+  auto classifier = std::make_unique<Sequential>("classifier");
+  classifier->Add(std::make_unique<Conv2d>("classifier.conv", in_c, cfg.num_classes, 1,
+                                           rng, 1, 0, 1, /*bias=*/true));
+  classifier->Add(std::make_unique<Upsample>("classifier.up", cfg.output_h, cfg.output_w));
+  blocks.push_back(std::move(classifier));
+  return blocks;
+}
+
+}  // namespace egeria

@@ -1,0 +1,30 @@
+// DeepLabv3-lite for semantic segmentation: a ResNet backbone followed by an
+// ASPP-style multi-dilation head and a bilinear upsample back to input resolution.
+// Mirrors the paper's DeepLabv3 structure (backbone feature extractor + DeepLab head
+// as the final layer modules, Table 1: "49 residual blocks and DeepLab head").
+#ifndef EGERIA_SRC_MODELS_DEEPLAB_H_
+#define EGERIA_SRC_MODELS_DEEPLAB_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+struct DeepLabConfig {
+  int backbone_blocks_per_stage = 3;
+  int64_t base_width = 8;
+  int64_t in_channels = 3;
+  int64_t num_classes = 5;
+  int64_t output_h = 16;  // input spatial size (head upsamples back to it)
+  int64_t output_w = 16;
+};
+
+// Returns [stem, backbone blocks..., aspp head, classifier+upsample].
+std::vector<std::unique_ptr<Module>> BuildDeepLabBlocks(const DeepLabConfig& cfg, Rng& rng);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_MODELS_DEEPLAB_H_

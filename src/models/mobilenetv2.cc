@@ -1,0 +1,71 @@
+#include "src/models/mobilenetv2.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/nn/activations.h"
+#include "src/nn/batchnorm.h"
+#include "src/nn/blocks.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/linear.h"
+#include "src/nn/pooling.h"
+#include "src/nn/sequential.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+namespace {
+
+struct IrSpec {
+  int64_t expand;
+  int64_t channels;
+  int repeats;
+  int64_t stride;
+};
+
+// Standard MobileNetV2 table. Strides of the deepest downsampling stages are kept at
+// 1 here because the CPU-scale inputs (16-32 px) cannot absorb 32x total reduction.
+constexpr IrSpec kTable[] = {
+    {1, 16, 1, 1}, {6, 24, 2, 2}, {6, 32, 3, 1}, {6, 64, 2, 2},
+    {6, 96, 2, 1}, {6, 160, 2, 1}, {6, 320, 1, 1},
+};
+
+int64_t Scaled(int64_t c, int64_t divisor) { return std::max<int64_t>(2, c / divisor); }
+
+}  // namespace
+
+std::vector<std::unique_ptr<Module>> BuildMobileNetV2Blocks(const MobileNetV2Config& cfg,
+                                                            Rng& rng) {
+  std::vector<std::unique_ptr<Module>> blocks;
+  const int64_t stem_c = Scaled(32, cfg.channel_divisor);
+  auto stem = std::make_unique<Sequential>("stem");
+  stem->Add(std::make_unique<Conv2d>("stem.conv", cfg.in_channels, stem_c, 3, rng));
+  stem->Add(std::make_unique<BatchNorm2d>("stem.bn", stem_c));
+  stem->Add(std::make_unique<ReLU6>("stem.relu"));
+  blocks.push_back(std::move(stem));
+
+  int64_t in_c = stem_c;
+  int block_id = 0;
+  for (const IrSpec& spec : kTable) {
+    const int64_t out_c = Scaled(spec.channels, cfg.channel_divisor);
+    for (int r = 0; r < spec.repeats; ++r) {
+      const int64_t stride = (r == 0) ? spec.stride : 1;
+      blocks.push_back(std::make_unique<InvertedResidual>(
+          "ir" + std::to_string(block_id), in_c, out_c, stride, spec.expand, rng));
+      in_c = out_c;
+      ++block_id;
+    }
+  }
+
+  const int64_t last_c = Scaled(1280, cfg.channel_divisor);
+  auto head = std::make_unique<Sequential>("head");
+  head->Add(std::make_unique<Conv2d>("head.conv", in_c, last_c, 1, rng, 1, 0));
+  head->Add(std::make_unique<BatchNorm2d>("head.bn", last_c));
+  head->Add(std::make_unique<ReLU6>("head.relu"));
+  head->Add(std::make_unique<GlobalAvgPool>("head.pool"));
+  head->Add(std::make_unique<Linear>("head.fc", last_c, cfg.num_classes, rng));
+  blocks.push_back(std::move(head));
+  return blocks;
+}
+
+}  // namespace egeria

@@ -1,0 +1,27 @@
+// MobileNetV2 (Sandler et al.) at configurable width: stem conv, a chain of inverted
+// residual blocks following the standard (t, c, n, s) table, and a pooled classifier.
+// The paper freezes its 17 inverted residual blocks as layer modules (Table 1).
+#ifndef EGERIA_SRC_MODELS_MOBILENETV2_H_
+#define EGERIA_SRC_MODELS_MOBILENETV2_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+struct MobileNetV2Config {
+  // Divides the standard channel table (32,16,24,...,320) by this factor.
+  int64_t channel_divisor = 8;
+  int64_t in_channels = 3;
+  int64_t num_classes = 10;
+};
+
+std::vector<std::unique_ptr<Module>> BuildMobileNetV2Blocks(const MobileNetV2Config& cfg,
+                                                            Rng& rng);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_MODELS_MOBILENETV2_H_

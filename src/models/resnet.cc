@@ -1,0 +1,76 @@
+#include "src/models/resnet.h"
+
+#include <string>
+
+#include "src/nn/activations.h"
+#include "src/nn/batchnorm.h"
+#include "src/nn/blocks.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/linear.h"
+#include "src/nn/pooling.h"
+#include "src/nn/sequential.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+namespace {
+
+std::unique_ptr<Module> MakeStem(int64_t in_channels, int64_t width, Rng& rng) {
+  auto stem = std::make_unique<Sequential>("stem");
+  stem->Add(std::make_unique<Conv2d>("stem.conv", in_channels, width, 3, rng));
+  stem->Add(std::make_unique<BatchNorm2d>("stem.bn", width));
+  stem->Add(std::make_unique<ReLU>("stem.relu"));
+  return stem;
+}
+
+std::unique_ptr<Module> MakeClassifierHead(int64_t width, int64_t classes, Rng& rng) {
+  auto head = std::make_unique<Sequential>("head");
+  head->Add(std::make_unique<GlobalAvgPool>("head.pool"));
+  head->Add(std::make_unique<Linear>("head.fc", width, classes, rng));
+  return head;
+}
+
+}  // namespace
+
+std::vector<std::unique_ptr<Module>> BuildCifarResNetBlocks(const CifarResNetConfig& cfg,
+                                                            Rng& rng) {
+  EGERIA_CHECK(cfg.blocks_per_stage >= 1);
+  std::vector<std::unique_ptr<Module>> blocks;
+  blocks.push_back(MakeStem(cfg.in_channels, cfg.base_width, rng));
+  int64_t in_c = cfg.base_width;
+  for (int stage = 0; stage < 3; ++stage) {
+    const int64_t out_c = cfg.base_width << stage;
+    for (int b = 0; b < cfg.blocks_per_stage; ++b) {
+      const int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string name =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(b);
+      blocks.push_back(
+          std::make_unique<BasicResidualBlock>(name, in_c, out_c, stride, rng));
+      in_c = out_c;
+    }
+  }
+  blocks.push_back(MakeClassifierHead(in_c, cfg.num_classes, rng));
+  return blocks;
+}
+
+std::vector<std::unique_ptr<Module>> BuildBottleneckResNetBlocks(
+    const BottleneckResNetConfig& cfg, Rng& rng) {
+  EGERIA_CHECK(!cfg.stage_blocks.empty());
+  std::vector<std::unique_ptr<Module>> blocks;
+  blocks.push_back(MakeStem(cfg.in_channels, cfg.base_width, rng));
+  int64_t in_c = cfg.base_width;
+  for (size_t stage = 0; stage < cfg.stage_blocks.size(); ++stage) {
+    const int64_t out_c = (cfg.base_width * 4) << stage;
+    for (int b = 0; b < cfg.stage_blocks[stage]; ++b) {
+      const int64_t stride = (stage > 0 && b == 0) ? 2 : 1;
+      const std::string name =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(b);
+      blocks.push_back(std::make_unique<BottleneckBlock>(name, in_c, out_c, stride, rng));
+      in_c = out_c;
+    }
+  }
+  blocks.push_back(MakeClassifierHead(in_c, cfg.num_classes, rng));
+  return blocks;
+}
+
+}  // namespace egeria

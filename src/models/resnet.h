@@ -1,0 +1,44 @@
+// ResNet family builders.
+//
+// Models are returned as flat block lists (stem, each residual block, head); the
+// Egeria module partitioner (src/core/module_partitioner.h) groups consecutive blocks
+// into parameter-balanced layer modules, mirroring the paper's Figure 11 split of
+// ResNet-56 into 7 modules. Widths are configurable so benches can pick CPU-scale
+// variants that keep the paper's depth/stage structure.
+#ifndef EGERIA_SRC_MODELS_RESNET_H_
+#define EGERIA_SRC_MODELS_RESNET_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+struct CifarResNetConfig {
+  int blocks_per_stage = 9;  // 9 -> ResNet-56 (6n+2), 3 -> ResNet-20
+  int64_t base_width = 16;
+  int64_t in_channels = 3;
+  int64_t num_classes = 10;
+};
+
+// CIFAR-style ResNet: stem conv, 3 stages of BasicResidualBlocks with widths
+// {w, 2w, 4w} (stride 2 between stages), global pool + linear head.
+std::vector<std::unique_ptr<Module>> BuildCifarResNetBlocks(const CifarResNetConfig& cfg,
+                                                            Rng& rng);
+
+struct BottleneckResNetConfig {
+  std::vector<int> stage_blocks{3, 4, 6, 3};  // ResNet-50 structure
+  int64_t base_width = 16;                    // stage output widths: 4w, 8w, 16w, 32w
+  int64_t in_channels = 3;
+  int64_t num_classes = 10;
+};
+
+// ImageNet-style bottleneck ResNet (ResNet-50 structure at reduced width).
+std::vector<std::unique_ptr<Module>> BuildBottleneckResNetBlocks(
+    const BottleneckResNetConfig& cfg, Rng& rng);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_MODELS_RESNET_H_

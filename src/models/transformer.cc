@@ -1,0 +1,262 @@
+#include "src/models/transformer.h"
+
+#include "src/nn/embedding.h"
+#include "src/nn/linear.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+TransformerChainModel::TransformerChainModel(std::string name, const TransformerConfig& cfg,
+                                             Rng& rng)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      num_enc_(cfg.num_encoder_layers),
+      num_dec_(cfg.num_decoder_layers) {
+  EGERIA_CHECK(num_enc_ >= 1 && num_dec_ >= 1);
+  src_embed_ = std::make_unique<Embedding>(name_ + ".src_embed", cfg.vocab, cfg.dim, rng,
+                                           /*scale=*/true, /*positional=*/true, cfg.max_len);
+  tgt_embed_ = std::make_unique<Embedding>(name_ + ".tgt_embed", cfg.vocab, cfg.dim, rng,
+                                           /*scale=*/true, /*positional=*/true, cfg.max_len);
+  for (int i = 0; i < num_enc_; ++i) {
+    encoders_.push_back(std::make_unique<TransformerEncoderLayer>(
+        name_ + ".enc" + std::to_string(i), cfg.dim, cfg.heads, cfg.ffn_dim, rng,
+        cfg.dropout));
+  }
+  for (int i = 0; i < num_dec_; ++i) {
+    decoders_.push_back(std::make_unique<TransformerDecoderLayer>(
+        name_ + ".dec" + std::to_string(i), cfg.dim, cfg.heads, cfg.ffn_dim, rng,
+        cfg.dropout));
+  }
+  out_proj_ = std::make_unique<Linear>(name_ + ".out_proj", cfg.dim, cfg.vocab, rng);
+  stage_outputs_.resize(static_cast<size_t>(NumStages()));
+}
+
+TransformerChainModel::TransformerChainModel(std::string name, const TransformerConfig& cfg)
+    : name_(std::move(name)),
+      cfg_(cfg),
+      num_enc_(cfg.num_encoder_layers),
+      num_dec_(cfg.num_decoder_layers) {
+  stage_outputs_.resize(static_cast<size_t>(NumStages()));
+}
+
+std::string TransformerChainModel::StageName(int i) const {
+  if (i == 0) {
+    return name_ + ".src_embed";
+  }
+  if (i <= num_enc_) {
+    return encoders_[static_cast<size_t>(i - 1)]->name();
+  }
+  if (i < ProjStage()) {
+    return decoders_[static_cast<size_t>(i - num_enc_ - 1)]->name();
+  }
+  return name_ + ".out_proj";
+}
+
+int64_t TransformerChainModel::StageParamCount(int i) {
+  int64_t total = 0;
+  for (Parameter* p : StageParams(i)) {
+    total += p->value.NumEl();
+  }
+  return total;
+}
+
+std::vector<Parameter*> TransformerChainModel::StageParams(int i) {
+  if (i == 0) {
+    return src_embed_->Parameters();
+  }
+  if (i <= num_enc_) {
+    return encoders_[static_cast<size_t>(i - 1)]->Parameters();
+  }
+  if (i < ProjStage()) {
+    const int layer = i - num_enc_ - 1;
+    std::vector<Parameter*> out = decoders_[static_cast<size_t>(layer)]->Params();
+    if (layer == 0) {
+      // The first decoder stage owns the target embedding.
+      for (Parameter* p : tgt_embed_->Parameters()) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  }
+  return out_proj_->Parameters();
+}
+
+void TransformerChainModel::SetBatch(const Batch& batch) {
+  EGERIA_CHECK_MSG(batch.target_input.Defined(),
+                   name_ + ": seq2seq batch requires target_input");
+  batch_ = batch;
+}
+
+Tensor TransformerChainModel::ForwardFrom(int start, const Tensor& input) {
+  EGERIA_CHECK(start >= 0 && start <= MaxForwardSkipStage());
+  last_start_ = start;
+
+  // Encoder side.
+  if (start <= num_enc_) {
+    Tensor x;
+    if (start == 0) {
+      x = src_embed_->Forward(input);
+      stage_outputs_[0] = x;
+    } else {
+      x = input;  // Cached boundary activation entering encoder layer `start`.
+    }
+    for (int i = std::max(start, 1); i <= num_enc_; ++i) {
+      x = encoders_[static_cast<size_t>(i - 1)]->Forward(x);
+      stage_outputs_[static_cast<size_t>(i)] = x;
+    }
+    memory_ = x;
+  } else {
+    // start == num_enc_ + 1: the cached tensor is the encoder memory itself.
+    memory_ = input;
+    stage_outputs_[static_cast<size_t>(num_enc_)] = memory_;
+  }
+
+  // Decoder side: every decoder layer runs forward (each needs the memory).
+  Tensor t = tgt_embed_->Forward(batch_.target_input);
+  for (int j = 0; j < num_dec_; ++j) {
+    t = decoders_[static_cast<size_t>(j)]->Forward(t, memory_);
+    stage_outputs_[static_cast<size_t>(DecStage(j))] = t;
+  }
+  Tensor logits = out_proj_->Forward(t);
+  stage_outputs_[static_cast<size_t>(ProjStage())] = logits;
+  return logits;
+}
+
+void TransformerChainModel::BackwardTo(int stop, const Tensor& grad_output) {
+  EGERIA_CHECK(stop >= 0 && stop <= NumStages());
+  if (stop > ProjStage()) {
+    return;
+  }
+  Tensor g = out_proj_->Backward(grad_output);
+
+  Tensor dmemory;
+  for (int j = num_dec_ - 1; j >= 0; --j) {
+    if (DecStage(j) < stop) {
+      // Frozen decoder prefix: no backward below this point. Encoders are frozen too
+      // (the frontier is monotone), so accumulated memory gradients are not needed.
+      return;
+    }
+    auto [dx, dmem] = decoders_[static_cast<size_t>(j)]->Backward(g);
+    g = dx;
+    if (dmemory.Defined()) {
+      dmemory.Add_(dmem);
+    } else {
+      dmemory = dmem;
+    }
+  }
+  tgt_embed_->Backward(g);  // Owned by decoder stage 0, which is active here.
+
+  // Encoder side.
+  if (stop > num_enc_) {
+    return;
+  }
+  EGERIA_CHECK_MSG(stop >= last_start_, name_ + ": BackwardTo below ForwardFrom start");
+  Tensor ge = dmemory;
+  for (int i = num_enc_; i >= std::max(stop, 1); --i) {
+    ge = encoders_[static_cast<size_t>(i - 1)]->Backward(ge);
+  }
+  if (stop == 0) {
+    src_embed_->Backward(ge);
+  }
+}
+
+Tensor TransformerChainModel::StageOutput(int i) const {
+  EGERIA_CHECK(i >= 0 && i < NumStages());
+  return stage_outputs_[static_cast<size_t>(i)];
+}
+
+Tensor TransformerChainModel::ForwardPrefix(int end_stage, const Tensor& input) {
+  EGERIA_CHECK(end_stage >= 0 && end_stage < NumStages());
+  Tensor x = src_embed_->Forward(input);
+  stage_outputs_[0] = x;
+  for (int i = 1; i <= std::min(end_stage, num_enc_); ++i) {
+    x = encoders_[static_cast<size_t>(i - 1)]->Forward(x);
+    stage_outputs_[static_cast<size_t>(i)] = x;
+  }
+  if (end_stage <= num_enc_) {
+    return x;
+  }
+  memory_ = x;
+  Tensor t = tgt_embed_->Forward(batch_.target_input);
+  for (int j = 0; j < num_dec_; ++j) {
+    if (DecStage(j) > end_stage) {
+      break;
+    }
+    t = decoders_[static_cast<size_t>(j)]->Forward(t, memory_);
+    stage_outputs_[static_cast<size_t>(DecStage(j))] = t;
+  }
+  if (end_stage == ProjStage()) {
+    t = out_proj_->Forward(t);
+    stage_outputs_[static_cast<size_t>(ProjStage())] = t;
+  }
+  return t;
+}
+
+void TransformerChainModel::SetStageFrozen(int i, bool frozen) {
+  if (i == 0) {
+    src_embed_->SetFrozen(frozen);
+  } else if (i <= num_enc_) {
+    encoders_[static_cast<size_t>(i - 1)]->SetFrozen(frozen);
+  } else if (i < ProjStage()) {
+    const int layer = i - num_enc_ - 1;
+    decoders_[static_cast<size_t>(layer)]->SetFrozen(frozen);
+    if (layer == 0) {
+      tgt_embed_->SetFrozen(frozen);
+    }
+  } else {
+    out_proj_->SetFrozen(frozen);
+  }
+}
+
+void TransformerChainModel::SetTraining(bool training) {
+  src_embed_->SetTraining(training);
+  tgt_embed_->SetTraining(training);
+  for (auto& e : encoders_) {
+    e->SetTraining(training);
+  }
+  for (auto& d : decoders_) {
+    d->SetTraining(training);
+  }
+  out_proj_->SetTraining(training);
+}
+
+void TransformerChainModel::ZeroGrad() {
+  for (int i = 0; i < NumStages(); ++i) {
+    for (Parameter* p : StageParams(i)) {
+      p->grad.Zero_();
+    }
+  }
+}
+
+std::unique_ptr<ChainModel> TransformerChainModel::CloneForInference(
+    const InferenceFactory& factory) const {
+  auto clone = std::unique_ptr<TransformerChainModel>(
+      new TransformerChainModel(name_ + ".ref", cfg_));
+  clone->src_embed_ = src_embed_->CloneForInference(factory);
+  clone->tgt_embed_ = tgt_embed_->CloneForInference(factory);
+  for (const auto& e : encoders_) {
+    clone->encoders_.push_back(e->CloneForInference(factory));
+  }
+  for (const auto& d : decoders_) {
+    clone->decoders_.push_back(d->CloneForInference(factory));
+  }
+  clone->out_proj_ = out_proj_->CloneForInference(factory);
+  return clone;
+}
+
+void TransformerChainModel::CopyStateFrom(ChainModel& other) {
+  auto* src = dynamic_cast<TransformerChainModel*>(&other);
+  EGERIA_CHECK_MSG(src != nullptr, name_ + ": CopyStateFrom type mismatch");
+  src_embed_->CopyStateFrom(*src->src_embed_);
+  tgt_embed_->CopyStateFrom(*src->tgt_embed_);
+  for (int i = 0; i < num_enc_; ++i) {
+    encoders_[static_cast<size_t>(i)]->CopyStateFrom(*src->encoders_[static_cast<size_t>(i)]);
+  }
+  for (int i = 0; i < num_dec_; ++i) {
+    CopyParamValues(decoders_[static_cast<size_t>(i)]->Params(),
+                    src->decoders_[static_cast<size_t>(i)]->Params());
+  }
+  out_proj_->CopyStateFrom(*src->out_proj_);
+}
+
+}  // namespace egeria

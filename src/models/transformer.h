@@ -1,0 +1,97 @@
+// Encoder-decoder Transformer (Vaswani et al.) as a ChainModel.
+//
+// Stage layout (the paper's Table 1 lists Transformer-Base as "12 building layer
+// modules: 6 encoders & 6 decoders"):
+//   stage 0                 : source embedding (+positional)
+//   stages 1 .. E           : encoder layers (boundary = encoder hidden state)
+//   stages E+1 .. E+D       : decoder layers (stage E+1 also owns the target
+//                             embedding; boundary = decoder hidden state)
+//   stage E+D+1             : output projection to vocabulary logits
+//
+// Freezing semantics: the frontmost-active pointer sweeps embeddings -> encoders ->
+// decoders. While the frontier is at or before the encoder memory, cross-attention
+// memory gradients from every decoder layer are accumulated and propagated into the
+// active encoder suffix. Once the frontier enters the decoder region all encoders
+// are frozen, so memory gradients are provably unused and skipped.
+//
+// Forward skipping (activation cache) is supported up to the encoder memory boundary
+// (MaxForwardSkipStage): frozen decoder layers still run forward because each active
+// decoder layer needs both the decoder stream and the memory. This matches the
+// paper's observation that FP caching contributes less for language models (Fig. 9).
+#ifndef EGERIA_SRC_MODELS_TRANSFORMER_H_
+#define EGERIA_SRC_MODELS_TRANSFORMER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/models/chain_model.h"
+#include "src/nn/transformer_layers.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+struct TransformerConfig {
+  int64_t vocab = 64;
+  int64_t dim = 32;
+  int64_t heads = 4;
+  int64_t ffn_dim = 64;
+  int num_encoder_layers = 6;
+  int num_decoder_layers = 6;
+  int64_t max_len = 64;
+  float dropout = 0.0F;
+};
+
+class TransformerChainModel : public ChainModel {
+ public:
+  TransformerChainModel(std::string name, const TransformerConfig& cfg, Rng& rng);
+
+  int NumStages() const override { return 2 + num_enc_ + num_dec_; }
+  std::string StageName(int i) const override;
+  int64_t StageParamCount(int i) override;
+  std::vector<Parameter*> StageParams(int i) override;
+
+  void SetBatch(const Batch& batch) override;
+  Tensor ForwardFrom(int start, const Tensor& input) override;
+  void BackwardTo(int stop, const Tensor& grad_output) override;
+  Tensor StageOutput(int i) const override;
+  Tensor ForwardPrefix(int end_stage, const Tensor& input) override;
+  int MaxForwardSkipStage() const override { return num_enc_ + 1; }
+
+  void SetStageFrozen(int i, bool frozen) override;
+  void SetTraining(bool training) override;
+  void ZeroGrad() override;
+
+  std::unique_ptr<ChainModel> CloneForInference(const InferenceFactory& factory) const override;
+  void CopyStateFrom(ChainModel& other) override;
+
+  const TransformerConfig& config() const { return cfg_; }
+
+ private:
+  TransformerChainModel(std::string name, const TransformerConfig& cfg);
+
+  // Stage index helpers.
+  int EncStage(int layer) const { return 1 + layer; }
+  int DecStage(int layer) const { return 1 + num_enc_ + layer; }
+  int ProjStage() const { return 1 + num_enc_ + num_dec_; }
+
+  std::string name_;
+  TransformerConfig cfg_;
+  int num_enc_;
+  int num_dec_;
+
+  std::unique_ptr<Module> src_embed_;
+  std::unique_ptr<Module> tgt_embed_;
+  std::vector<std::unique_ptr<Module>> encoders_;
+  std::vector<std::unique_ptr<TransformerDecoderLayer>> decoders_;
+  std::unique_ptr<Module> out_proj_;
+
+  Batch batch_;
+  Tensor memory_;
+  std::vector<Tensor> stage_outputs_;
+  int last_start_ = 0;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_MODELS_TRANSFORMER_H_

@@ -1,0 +1,71 @@
+// Elementwise activation modules: ReLU, ReLU6 (MobileNetV2), GeLU (Transformers),
+// Sigmoid and Tanh. Each caches what its derivative needs.
+#ifndef EGERIA_SRC_NN_ACTIVATIONS_H_
+#define EGERIA_SRC_NN_ACTIVATIONS_H_
+
+#include <memory>
+#include <string>
+
+#include "src/nn/module.h"
+
+namespace egeria {
+
+class ReLU : public Module {
+ public:
+  explicit ReLU(std::string name) : Module(std::move(name)) {}
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+ private:
+  Tensor cached_input_;
+};
+
+class ReLU6 : public Module {
+ public:
+  explicit ReLU6(std::string name) : Module(std::move(name)) {}
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+ private:
+  Tensor cached_input_;
+};
+
+// GeLU with the tanh approximation (as used by BERT/Transformer implementations).
+class GeLU : public Module {
+ public:
+  explicit GeLU(std::string name) : Module(std::move(name)) {}
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+ private:
+  Tensor cached_input_;
+};
+
+class Sigmoid : public Module {
+ public:
+  explicit Sigmoid(std::string name) : Module(std::move(name)) {}
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+class Tanh : public Module {
+ public:
+  explicit Tanh(std::string name) : Module(std::move(name)) {}
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+ private:
+  Tensor cached_output_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_ACTIVATIONS_H_

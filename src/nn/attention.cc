@@ -1,0 +1,153 @@
+#include "src/nn/attention.h"
+
+#include <cmath>
+
+#include "src/nn/linear.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+namespace {
+
+// [b, t, d] -> [b*h, t, dh].
+Tensor SplitHeads(const Tensor& x, int64_t heads) {
+  const int64_t b = x.Size(0);
+  const int64_t t = x.Size(1);
+  const int64_t d = x.Size(2);
+  const int64_t dh = d / heads;
+  Tensor y = SwapAxes12(x.Reshape({b, t, heads, dh}));  // [b, h, t, dh]
+  return y.Reshape({b * heads, t, dh});
+}
+
+// [b*h, t, dh] -> [b, t, d].
+Tensor MergeHeads(const Tensor& x, int64_t b, int64_t heads) {
+  const int64_t t = x.Size(1);
+  const int64_t dh = x.Size(2);
+  Tensor y = SwapAxes12(x.Reshape({b, heads, t, dh}));  // [b, t, h, dh]
+  return y.Reshape({b, t, heads * dh});
+}
+
+}  // namespace
+
+MultiHeadAttention::MultiHeadAttention(std::string name, int64_t dim, int64_t heads,
+                                       Rng& rng)
+    : name_(std::move(name)), dim_(dim), heads_(heads), dh_(dim / heads) {
+  EGERIA_CHECK_MSG(dim % heads == 0, name_ + ": dim must divide heads");
+  q_proj_ = std::make_unique<Linear>(name_ + ".q", dim, dim, rng);
+  k_proj_ = std::make_unique<Linear>(name_ + ".k", dim, dim, rng);
+  v_proj_ = std::make_unique<Linear>(name_ + ".v", dim, dim, rng);
+  o_proj_ = std::make_unique<Linear>(name_ + ".o", dim, dim, rng);
+}
+
+MultiHeadAttention::MultiHeadAttention(std::string name, int64_t dim, int64_t heads)
+    : name_(std::move(name)), dim_(dim), heads_(heads), dh_(dim / heads) {}
+
+Tensor MultiHeadAttention::Forward(const Tensor& q_in, const Tensor& kv_in, bool causal) {
+  EGERIA_CHECK(q_in.Dim() == 3 && kv_in.Dim() == 3);
+  batch_ = q_in.Size(0);
+  tq_ = q_in.Size(1);
+  tk_ = kv_in.Size(1);
+
+  Tensor q = SplitHeads(q_proj_->Forward(q_in), heads_);
+  Tensor k = SplitHeads(k_proj_->Forward(kv_in), heads_);
+  Tensor v = SplitHeads(v_proj_->Forward(kv_in), heads_);
+
+  const float scale = 1.0F / std::sqrt(static_cast<float>(dh_));
+  Tensor scores = BatchedMatMul(q, k, /*trans_b=*/true);
+  scores.Scale_(scale);
+  if (causal) {
+    EGERIA_CHECK_MSG(tq_ == tk_, name_ + ": causal mask needs tq == tk");
+    float* s = scores.Data();
+    const int64_t bh = scores.Size(0);
+    for (int64_t m = 0; m < bh; ++m) {
+      for (int64_t i = 0; i < tq_; ++i) {
+        for (int64_t j = i + 1; j < tk_; ++j) {
+          s[(m * tq_ + i) * tk_ + j] = -1e9F;
+        }
+      }
+    }
+  }
+  Tensor p = Softmax(scores);
+  Tensor o = BatchedMatMul(p, v);  // [bh, tq, dh]
+
+  if (training_) {
+    q_ = q;
+    k_ = k;
+    v_ = v;
+    p_ = p;
+  }
+  return o_proj_->Forward(MergeHeads(o, batch_, heads_));
+}
+
+std::pair<Tensor, Tensor> MultiHeadAttention::Backward(const Tensor& grad_output) {
+  EGERIA_CHECK_MSG(p_.Defined(), name_ + ": Backward without Forward");
+  const float scale = 1.0F / std::sqrt(static_cast<float>(dh_));
+
+  Tensor do_merged = o_proj_->Backward(grad_output);           // [b, tq, d]
+  Tensor dout = SplitHeads(do_merged, heads_);                 // [bh, tq, dh]
+  Tensor dp = BatchedMatMul(dout, v_, /*trans_b=*/true);       // [bh, tq, tk]
+  Tensor dv = BatchedMatMulTransA(p_, dout);                   // [bh, tk, dh]
+
+  // Softmax backward row-wise: ds = p * (dp - sum(dp * p)).
+  Tensor ds(dp.Shape());
+  {
+    const int64_t rows = dp.NumEl() / tk_;
+    const float* pp = p_.Data();
+    const float* dpp = dp.Data();
+    float* dsp = ds.Data();
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* prow = pp + r * tk_;
+      const float* dprow = dpp + r * tk_;
+      float* dsrow = dsp + r * tk_;
+      double dot = 0.0;
+      for (int64_t j = 0; j < tk_; ++j) {
+        dot += static_cast<double>(prow[j]) * dprow[j];
+      }
+      for (int64_t j = 0; j < tk_; ++j) {
+        dsrow[j] = prow[j] * (dprow[j] - static_cast<float>(dot));
+      }
+    }
+  }
+  ds.Scale_(scale);
+
+  Tensor dq = BatchedMatMul(ds, k_);       // [bh, tq, dh]
+  Tensor dk = BatchedMatMulTransA(ds, q_); // [bh, tk, dh]
+
+  Tensor dq_in = q_proj_->Backward(MergeHeads(dq, batch_, heads_));
+  Tensor dk_in = k_proj_->Backward(MergeHeads(dk, batch_, heads_));
+  Tensor dv_in = v_proj_->Backward(MergeHeads(dv, batch_, heads_));
+  dk_in.Add_(dv_in);
+  return {dq_in, dk_in};
+}
+
+std::vector<Parameter*> MultiHeadAttention::Params() {
+  std::vector<Parameter*> out;
+  for (Module* m : {q_proj_.get(), k_proj_.get(), v_proj_.get(), o_proj_.get()}) {
+    for (Parameter* p : m->Parameters()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void MultiHeadAttention::SetTraining(bool training) {
+  training_ = training;
+  for (Module* m : {q_proj_.get(), k_proj_.get(), v_proj_.get(), o_proj_.get()}) {
+    m->SetTraining(training);
+  }
+}
+
+std::unique_ptr<MultiHeadAttention> MultiHeadAttention::CloneForInference(
+    const InferenceFactory& factory) const {
+  auto clone = std::unique_ptr<MultiHeadAttention>(
+      new MultiHeadAttention(name_, dim_, heads_));
+  clone->q_proj_ = q_proj_->CloneForInference(factory);
+  clone->k_proj_ = k_proj_->CloneForInference(factory);
+  clone->v_proj_ = v_proj_->CloneForInference(factory);
+  clone->o_proj_ = o_proj_->CloneForInference(factory);
+  clone->training_ = false;
+  return clone;
+}
+
+}  // namespace egeria

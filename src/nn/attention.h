@@ -1,0 +1,62 @@
+// Multi-head scaled dot-product attention.
+//
+// Not a Module: attention takes two inputs (query stream and key/value stream), so the
+// Transformer layer composites in src/nn/transformer_layers.h drive it directly and
+// route the two returned input-gradients themselves.
+#ifndef EGERIA_SRC_NN_ATTENTION_H_
+#define EGERIA_SRC_NN_ATTENTION_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+class MultiHeadAttention {
+ public:
+  MultiHeadAttention(std::string name, int64_t dim, int64_t heads, Rng& rng);
+
+  // q_in [b, tq, d]; kv_in [b, tk, d]. With causal=true, position i attends only to
+  // positions <= i (decoder self-attention).
+  Tensor Forward(const Tensor& q_in, const Tensor& kv_in, bool causal);
+  // Returns {grad wrt q_in, grad wrt kv_in}. For self-attention the caller adds them.
+  std::pair<Tensor, Tensor> Backward(const Tensor& grad_output);
+
+  std::vector<Parameter*> Params();
+  void SetTraining(bool training);
+  std::unique_ptr<MultiHeadAttention> CloneForInference(const InferenceFactory& factory) const;
+
+  const std::string& name() const { return name_; }
+  int64_t dim() const { return dim_; }
+  int64_t heads() const { return heads_; }
+
+ private:
+  MultiHeadAttention(std::string name, int64_t dim, int64_t heads);
+
+  std::string name_;
+  int64_t dim_;
+  int64_t heads_;
+  int64_t dh_;
+  std::unique_ptr<Module> q_proj_;
+  std::unique_ptr<Module> k_proj_;
+  std::unique_ptr<Module> v_proj_;
+  std::unique_ptr<Module> o_proj_;
+
+  // Backward caches.
+  Tensor q_;  // [b*h, tq, dh]
+  Tensor k_;  // [b*h, tk, dh]
+  Tensor v_;  // [b*h, tk, dh]
+  Tensor p_;  // softmax probabilities [b*h, tq, tk]
+  int64_t batch_ = 0;
+  int64_t tq_ = 0;
+  int64_t tk_ = 0;
+  bool training_ = true;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_ATTENTION_H_

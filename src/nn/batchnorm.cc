@@ -1,0 +1,178 @@
+#include "src/nn/batchnorm.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+BatchNorm2d::BatchNorm2d(std::string name, int64_t channels, float momentum, float eps)
+    : Module(std::move(name)), channels_(channels), momentum_(momentum), eps_(eps) {
+  gamma_ = Parameter(name_ + ".gamma", Tensor::Ones({channels}));
+  beta_ = Parameter(name_ + ".beta", Tensor::Zeros({channels}));
+  running_mean_ = Tensor::Zeros({channels});
+  running_var_ = Tensor::Ones({channels});
+}
+
+Tensor BatchNorm2d::Forward(const Tensor& input) {
+  EGERIA_CHECK(input.Dim() == 4 && input.Size(1) == channels_);
+  const int64_t b = input.Size(0);
+  const int64_t h = input.Size(2);
+  const int64_t w = input.Size(3);
+  const int64_t hw = h * w;
+  const int64_t count = b * hw;
+  cached_b_ = b;
+  cached_h_ = h;
+  cached_w_ = w;
+
+  Tensor out(input.Shape());
+  used_batch_stats_ = UseBatchStats();
+  cached_inv_std_ = Tensor({channels_});
+
+  if (used_batch_stats_) {
+    cached_xhat_ = Tensor(input.Shape());
+    for (int64_t c = 0; c < channels_; ++c) {
+      double mean = 0.0;
+      for (int64_t bi = 0; bi < b; ++bi) {
+        const float* plane = input.Data() + (bi * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          mean += plane[i];
+        }
+      }
+      mean /= static_cast<double>(count);
+      double var = 0.0;
+      for (int64_t bi = 0; bi < b; ++bi) {
+        const float* plane = input.Data() + (bi * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          const double d = plane[i] - mean;
+          var += d * d;
+        }
+      }
+      var /= static_cast<double>(count);
+      const float inv_std = 1.0F / std::sqrt(static_cast<float>(var) + eps_);
+      cached_inv_std_.At(c) = inv_std;
+      running_mean_.At(c) =
+          (1.0F - momentum_) * running_mean_.At(c) + momentum_ * static_cast<float>(mean);
+      running_var_.At(c) =
+          (1.0F - momentum_) * running_var_.At(c) + momentum_ * static_cast<float>(var);
+      const float g = gamma_.value.At(c);
+      const float bt = beta_.value.At(c);
+      for (int64_t bi = 0; bi < b; ++bi) {
+        const float* plane = input.Data() + (bi * channels_ + c) * hw;
+        float* xh = cached_xhat_.Data() + (bi * channels_ + c) * hw;
+        float* op = out.Data() + (bi * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          const float xhat = (plane[i] - static_cast<float>(mean)) * inv_std;
+          xh[i] = xhat;
+          op[i] = g * xhat + bt;
+        }
+      }
+    }
+  } else {
+    // Inference / frozen path: running statistics. Output is a pure function of the
+    // input, which makes frozen-prefix activations cacheable.
+    for (int64_t c = 0; c < channels_; ++c) {
+      const float mean = running_mean_.At(c);
+      const float inv_std = 1.0F / std::sqrt(running_var_.At(c) + eps_);
+      cached_inv_std_.At(c) = inv_std;
+      const float g = gamma_.value.At(c);
+      const float bt = beta_.value.At(c);
+      for (int64_t bi = 0; bi < b; ++bi) {
+        const float* plane = input.Data() + (bi * channels_ + c) * hw;
+        float* op = out.Data() + (bi * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          op[i] = g * (plane[i] - mean) * inv_std + bt;
+        }
+      }
+    }
+    if (training_) {
+      // xhat is still needed if Backward gets called on a running-stats forward.
+      cached_xhat_ = Tensor(input.Shape());
+      for (int64_t c = 0; c < channels_; ++c) {
+        const float mean = running_mean_.At(c);
+        const float inv_std = cached_inv_std_.At(c);
+        for (int64_t bi = 0; bi < b; ++bi) {
+          const float* plane = input.Data() + (bi * channels_ + c) * hw;
+          float* xh = cached_xhat_.Data() + (bi * channels_ + c) * hw;
+          for (int64_t i = 0; i < hw; ++i) {
+            xh[i] = (plane[i] - mean) * inv_std;
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor BatchNorm2d::Backward(const Tensor& grad_output) {
+  EGERIA_CHECK_MSG(cached_xhat_.Defined(), name_ + ": Backward without Forward");
+  const int64_t b = cached_b_;
+  const int64_t hw = cached_h_ * cached_w_;
+  const int64_t count = b * hw;
+  Tensor grad_in(grad_output.Shape());
+
+  for (int64_t c = 0; c < channels_; ++c) {
+    const float inv_std = cached_inv_std_.At(c);
+    const float g = gamma_.value.At(c);
+    double sum_dy = 0.0;
+    double sum_dy_xhat = 0.0;
+    for (int64_t bi = 0; bi < b; ++bi) {
+      const float* dy = grad_output.Data() + (bi * channels_ + c) * hw;
+      const float* xh = cached_xhat_.Data() + (bi * channels_ + c) * hw;
+      for (int64_t i = 0; i < hw; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    gamma_.grad.At(c) += static_cast<float>(sum_dy_xhat);
+    beta_.grad.At(c) += static_cast<float>(sum_dy);
+
+    if (used_batch_stats_) {
+      const float mean_dy = static_cast<float>(sum_dy / count);
+      const float mean_dy_xhat = static_cast<float>(sum_dy_xhat / count);
+      for (int64_t bi = 0; bi < b; ++bi) {
+        const float* dy = grad_output.Data() + (bi * channels_ + c) * hw;
+        const float* xh = cached_xhat_.Data() + (bi * channels_ + c) * hw;
+        float* dx = grad_in.Data() + (bi * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          dx[i] = g * inv_std * (dy[i] - mean_dy - xh[i] * mean_dy_xhat);
+        }
+      }
+    } else {
+      // Running-stats path: the normalization constants are independent of the batch,
+      // so the layer is a per-channel affine map.
+      for (int64_t bi = 0; bi < b; ++bi) {
+        const float* dy = grad_output.Data() + (bi * channels_ + c) * hw;
+        float* dx = grad_in.Data() + (bi * channels_ + c) * hw;
+        for (int64_t i = 0; i < hw; ++i) {
+          dx[i] = g * inv_std * dy[i];
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> BatchNorm2d::LocalParams() { return {&gamma_, &beta_}; }
+
+std::unique_ptr<Module> BatchNorm2d::CloneForInference(const InferenceFactory& factory) const {
+  (void)factory;  // BatchNorm stays float in every reference precision.
+  auto clone = std::make_unique<BatchNorm2d>(name_, channels_, momentum_, eps_);
+  clone->gamma_.value = gamma_.value.Clone();
+  clone->beta_.value = beta_.value.Clone();
+  clone->running_mean_ = running_mean_.Clone();
+  clone->running_var_ = running_var_.Clone();
+  clone->SetTraining(false);
+  return clone;
+}
+
+void BatchNorm2d::CopyStateFrom(const Module& other) {
+  const auto* src = dynamic_cast<const BatchNorm2d*>(&other);
+  EGERIA_CHECK_MSG(src != nullptr, name_ + ": CopyStateFrom type mismatch");
+  gamma_.value = src->gamma_.value.Clone();
+  beta_.value = src->beta_.value.Clone();
+  running_mean_ = src->running_mean_.Clone();
+  running_var_ = src->running_var_.Clone();
+}
+
+}  // namespace egeria

@@ -1,0 +1,59 @@
+// Batch normalization over NCHW feature maps.
+//
+// Freezing interaction (paper S4.3): when a BatchNorm layer is inside the frozen
+// prefix, Egeria switches it to inference mode — "using the dataset statistics to
+// normalize the input rather than the specific batch" — so that the layer's output
+// depends only on its input and cached activations stay valid. SetFrozen(true) here
+// does exactly that; the running statistics stop updating and Forward normalizes with
+// them regardless of training mode.
+#ifndef EGERIA_SRC_NN_BATCHNORM_H_
+#define EGERIA_SRC_NN_BATCHNORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace egeria {
+
+class BatchNorm2d : public Module {
+ public:
+  BatchNorm2d(std::string name, int64_t channels, float momentum = 0.1F,
+              float eps = 1e-5F);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Parameter*> LocalParams() override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+  void CopyStateFrom(const Module& other) override;
+
+  int64_t channels() const { return channels_; }
+  const Tensor& running_mean() const { return running_mean_; }
+  const Tensor& running_var() const { return running_var_; }
+
+ private:
+  bool UseBatchStats() const { return training_ && !frozen_; }
+
+  int64_t channels_;
+  float momentum_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor running_mean_;
+  Tensor running_var_;
+
+  // Backward caches (batch-stats path).
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // [c]
+  // Backward cache (running-stats path): inv_std from running_var.
+  bool used_batch_stats_ = false;
+  int64_t cached_b_ = 0;
+  int64_t cached_h_ = 0;
+  int64_t cached_w_ = 0;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_BATCHNORM_H_

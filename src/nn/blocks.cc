@@ -1,0 +1,231 @@
+#include "src/nn/blocks.h"
+
+#include "src/nn/activations.h"
+#include "src/nn/batchnorm.h"
+#include "src/nn/conv2d.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+namespace {
+
+std::unique_ptr<Module> CloneOrNull(const std::unique_ptr<Module>& m,
+                                    const InferenceFactory& factory) {
+  return (m != nullptr) ? m->CloneForInference(factory) : nullptr;
+}
+
+}  // namespace
+
+BasicResidualBlock::BasicResidualBlock(std::string name, int64_t in_channels,
+                                       int64_t out_channels, int64_t stride, Rng& rng)
+    : Module(std::move(name)) {
+  conv1_ = std::make_unique<Conv2d>(name_ + ".conv1", in_channels, out_channels, 3, rng,
+                                    stride);
+  bn1_ = std::make_unique<BatchNorm2d>(name_ + ".bn1", out_channels);
+  relu1_ = std::make_unique<ReLU>(name_ + ".relu1");
+  conv2_ = std::make_unique<Conv2d>(name_ + ".conv2", out_channels, out_channels, 3, rng);
+  bn2_ = std::make_unique<BatchNorm2d>(name_ + ".bn2", out_channels);
+  relu_out_ = std::make_unique<ReLU>(name_ + ".relu_out");
+  if (stride != 1 || in_channels != out_channels) {
+    down_conv_ = std::make_unique<Conv2d>(name_ + ".down_conv", in_channels, out_channels,
+                                          1, rng, stride, /*pad=*/0);
+    down_bn_ = std::make_unique<BatchNorm2d>(name_ + ".down_bn", out_channels);
+  }
+}
+
+Tensor BasicResidualBlock::Forward(const Tensor& input) {
+  Tensor y =
+      bn2_->Forward(conv2_->Forward(relu1_->Forward(bn1_->Forward(conv1_->Forward(input)))));
+  Tensor shortcut =
+      (down_conv_ != nullptr) ? down_bn_->Forward(down_conv_->Forward(input)) : input;
+  y.Add_(shortcut);
+  return relu_out_->Forward(y);
+}
+
+Tensor BasicResidualBlock::Backward(const Tensor& grad_output) {
+  Tensor g = relu_out_->Backward(grad_output);
+  Tensor g_main = conv1_->Backward(
+      bn1_->Backward(relu1_->Backward(conv2_->Backward(bn2_->Backward(g)))));
+  Tensor g_short =
+      (down_conv_ != nullptr) ? down_conv_->Backward(down_bn_->Backward(g)) : g;
+  g_main.Add_(g_short);
+  return g_main;
+}
+
+std::vector<Module*> BasicResidualBlock::Children() {
+  std::vector<Module*> out{conv1_.get(), bn1_.get(),  relu1_.get(),
+                           conv2_.get(), bn2_.get(), relu_out_.get()};
+  if (down_conv_ != nullptr) {
+    out.push_back(down_conv_.get());
+    out.push_back(down_bn_.get());
+  }
+  return out;
+}
+
+std::unique_ptr<Module> BasicResidualBlock::CloneForInference(
+    const InferenceFactory& factory) const {
+  auto clone = std::unique_ptr<BasicResidualBlock>(new BasicResidualBlock(name_));
+  clone->conv1_ = conv1_->CloneForInference(factory);
+  clone->bn1_ = bn1_->CloneForInference(factory);
+  clone->relu1_ = relu1_->CloneForInference(factory);
+  clone->conv2_ = conv2_->CloneForInference(factory);
+  clone->bn2_ = bn2_->CloneForInference(factory);
+  clone->relu_out_ = relu_out_->CloneForInference(factory);
+  clone->down_conv_ = CloneOrNull(down_conv_, factory);
+  clone->down_bn_ = CloneOrNull(down_bn_, factory);
+  clone->SetTraining(false);
+  return clone;
+}
+
+BottleneckBlock::BottleneckBlock(std::string name, int64_t in_channels,
+                                 int64_t out_channels, int64_t stride, Rng& rng)
+    : Module(std::move(name)) {
+  const int64_t mid = out_channels / 4;
+  EGERIA_CHECK(mid > 0);
+  conv1_ = std::make_unique<Conv2d>(name_ + ".conv1", in_channels, mid, 1, rng, 1, 0);
+  bn1_ = std::make_unique<BatchNorm2d>(name_ + ".bn1", mid);
+  relu1_ = std::make_unique<ReLU>(name_ + ".relu1");
+  conv2_ = std::make_unique<Conv2d>(name_ + ".conv2", mid, mid, 3, rng, stride);
+  bn2_ = std::make_unique<BatchNorm2d>(name_ + ".bn2", mid);
+  relu2_ = std::make_unique<ReLU>(name_ + ".relu2");
+  conv3_ = std::make_unique<Conv2d>(name_ + ".conv3", mid, out_channels, 1, rng, 1, 0);
+  bn3_ = std::make_unique<BatchNorm2d>(name_ + ".bn3", out_channels);
+  relu_out_ = std::make_unique<ReLU>(name_ + ".relu_out");
+  if (stride != 1 || in_channels != out_channels) {
+    down_conv_ = std::make_unique<Conv2d>(name_ + ".down_conv", in_channels, out_channels,
+                                          1, rng, stride, 0);
+    down_bn_ = std::make_unique<BatchNorm2d>(name_ + ".down_bn", out_channels);
+  }
+}
+
+Tensor BottleneckBlock::Forward(const Tensor& input) {
+  Tensor y = relu1_->Forward(bn1_->Forward(conv1_->Forward(input)));
+  y = relu2_->Forward(bn2_->Forward(conv2_->Forward(y)));
+  y = bn3_->Forward(conv3_->Forward(y));
+  Tensor shortcut =
+      (down_conv_ != nullptr) ? down_bn_->Forward(down_conv_->Forward(input)) : input;
+  y.Add_(shortcut);
+  return relu_out_->Forward(y);
+}
+
+Tensor BottleneckBlock::Backward(const Tensor& grad_output) {
+  Tensor g = relu_out_->Backward(grad_output);
+  Tensor g_main = conv3_->Backward(bn3_->Backward(g));
+  g_main = relu2_->Backward(g_main);
+  g_main = conv2_->Backward(bn2_->Backward(g_main));
+  g_main = relu1_->Backward(g_main);
+  g_main = conv1_->Backward(bn1_->Backward(g_main));
+  Tensor g_short =
+      (down_conv_ != nullptr) ? down_conv_->Backward(down_bn_->Backward(g)) : g;
+  g_main.Add_(g_short);
+  return g_main;
+}
+
+std::vector<Module*> BottleneckBlock::Children() {
+  std::vector<Module*> out{conv1_.get(), bn1_.get(),  relu1_.get(), conv2_.get(),
+                           bn2_.get(),   relu2_.get(), conv3_.get(), bn3_.get(),
+                           relu_out_.get()};
+  if (down_conv_ != nullptr) {
+    out.push_back(down_conv_.get());
+    out.push_back(down_bn_.get());
+  }
+  return out;
+}
+
+std::unique_ptr<Module> BottleneckBlock::CloneForInference(
+    const InferenceFactory& factory) const {
+  auto clone = std::unique_ptr<BottleneckBlock>(new BottleneckBlock(name_));
+  clone->conv1_ = conv1_->CloneForInference(factory);
+  clone->bn1_ = bn1_->CloneForInference(factory);
+  clone->relu1_ = relu1_->CloneForInference(factory);
+  clone->conv2_ = conv2_->CloneForInference(factory);
+  clone->bn2_ = bn2_->CloneForInference(factory);
+  clone->relu2_ = relu2_->CloneForInference(factory);
+  clone->conv3_ = conv3_->CloneForInference(factory);
+  clone->bn3_ = bn3_->CloneForInference(factory);
+  clone->relu_out_ = relu_out_->CloneForInference(factory);
+  clone->down_conv_ = CloneOrNull(down_conv_, factory);
+  clone->down_bn_ = CloneOrNull(down_bn_, factory);
+  clone->SetTraining(false);
+  return clone;
+}
+
+InvertedResidual::InvertedResidual(std::string name, int64_t in_channels,
+                                   int64_t out_channels, int64_t stride,
+                                   int64_t expand_ratio, Rng& rng)
+    : Module(std::move(name)) {
+  const int64_t hidden = in_channels * expand_ratio;
+  use_residual_ = (stride == 1 && in_channels == out_channels);
+  if (expand_ratio != 1) {
+    expand_conv_ = std::make_unique<Conv2d>(name_ + ".expand", in_channels, hidden, 1, rng,
+                                            1, 0);
+    expand_bn_ = std::make_unique<BatchNorm2d>(name_ + ".expand_bn", hidden);
+    expand_relu_ = std::make_unique<ReLU6>(name_ + ".expand_relu");
+  }
+  dw_conv_ = std::make_unique<DepthwiseConv2d>(name_ + ".dw", hidden, 3, rng, stride);
+  dw_bn_ = std::make_unique<BatchNorm2d>(name_ + ".dw_bn", hidden);
+  dw_relu_ = std::make_unique<ReLU6>(name_ + ".dw_relu");
+  project_conv_ = std::make_unique<Conv2d>(name_ + ".project", hidden, out_channels, 1,
+                                           rng, 1, 0);
+  project_bn_ = std::make_unique<BatchNorm2d>(name_ + ".project_bn", out_channels);
+}
+
+Tensor InvertedResidual::Forward(const Tensor& input) {
+  Tensor y = input;
+  if (expand_conv_ != nullptr) {
+    y = expand_relu_->Forward(expand_bn_->Forward(expand_conv_->Forward(y)));
+  }
+  y = dw_relu_->Forward(dw_bn_->Forward(dw_conv_->Forward(y)));
+  y = project_bn_->Forward(project_conv_->Forward(y));
+  if (use_residual_) {
+    y.Add_(input);
+  }
+  return y;
+}
+
+Tensor InvertedResidual::Backward(const Tensor& grad_output) {
+  Tensor g = project_conv_->Backward(project_bn_->Backward(grad_output));
+  g = dw_relu_->Backward(g);
+  g = dw_conv_->Backward(dw_bn_->Backward(g));
+  if (expand_conv_ != nullptr) {
+    g = expand_relu_->Backward(g);
+    g = expand_conv_->Backward(expand_bn_->Backward(g));
+  }
+  if (use_residual_) {
+    g = g.Add(grad_output);
+  }
+  return g;
+}
+
+std::vector<Module*> InvertedResidual::Children() {
+  std::vector<Module*> out;
+  if (expand_conv_ != nullptr) {
+    out.push_back(expand_conv_.get());
+    out.push_back(expand_bn_.get());
+    out.push_back(expand_relu_.get());
+  }
+  out.push_back(dw_conv_.get());
+  out.push_back(dw_bn_.get());
+  out.push_back(dw_relu_.get());
+  out.push_back(project_conv_.get());
+  out.push_back(project_bn_.get());
+  return out;
+}
+
+std::unique_ptr<Module> InvertedResidual::CloneForInference(
+    const InferenceFactory& factory) const {
+  auto clone = std::unique_ptr<InvertedResidual>(new InvertedResidual(name_));
+  clone->use_residual_ = use_residual_;
+  clone->expand_conv_ = CloneOrNull(expand_conv_, factory);
+  clone->expand_bn_ = CloneOrNull(expand_bn_, factory);
+  clone->expand_relu_ = CloneOrNull(expand_relu_, factory);
+  clone->dw_conv_ = dw_conv_->CloneForInference(factory);
+  clone->dw_bn_ = dw_bn_->CloneForInference(factory);
+  clone->dw_relu_ = dw_relu_->CloneForInference(factory);
+  clone->project_conv_ = project_conv_->CloneForInference(factory);
+  clone->project_bn_ = project_bn_->CloneForInference(factory);
+  clone->SetTraining(false);
+  return clone;
+}
+
+}  // namespace egeria

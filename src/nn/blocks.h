@@ -1,0 +1,100 @@
+// Composite convolutional blocks: the building "layer modules" Egeria freezes.
+//  - BasicResidualBlock: 3x3-BN-ReLU-3x3-BN + identity/1x1 shortcut (ResNet-20/56).
+//  - BottleneckBlock: 1x1-BN-ReLU, 3x3-BN-ReLU, 1x1-BN + shortcut (ResNet-50 style).
+//  - InvertedResidual: expand-1x1, depthwise-3x3, project-1x1 (MobileNetV2).
+//
+// Members are held as Module pointers so that CloneForInference can substitute
+// quantized kernels (int8/fp16) for the convolutions while keeping the residual
+// wiring intact.
+#ifndef EGERIA_SRC_NN_BLOCKS_H_
+#define EGERIA_SRC_NN_BLOCKS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+class BasicResidualBlock : public Module {
+ public:
+  BasicResidualBlock(std::string name, int64_t in_channels, int64_t out_channels,
+                     int64_t stride, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Module*> Children() override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+ private:
+  explicit BasicResidualBlock(std::string name) : Module(std::move(name)) {}
+
+  std::unique_ptr<Module> conv1_;
+  std::unique_ptr<Module> bn1_;
+  std::unique_ptr<Module> relu1_;
+  std::unique_ptr<Module> conv2_;
+  std::unique_ptr<Module> bn2_;
+  std::unique_ptr<Module> down_conv_;  // nullptr when identity shortcut
+  std::unique_ptr<Module> down_bn_;
+  std::unique_ptr<Module> relu_out_;
+};
+
+class BottleneckBlock : public Module {
+ public:
+  // mid = out/4 as in ResNet-50.
+  BottleneckBlock(std::string name, int64_t in_channels, int64_t out_channels,
+                  int64_t stride, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Module*> Children() override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+ private:
+  explicit BottleneckBlock(std::string name) : Module(std::move(name)) {}
+
+  std::unique_ptr<Module> conv1_;
+  std::unique_ptr<Module> bn1_;
+  std::unique_ptr<Module> relu1_;
+  std::unique_ptr<Module> conv2_;
+  std::unique_ptr<Module> bn2_;
+  std::unique_ptr<Module> relu2_;
+  std::unique_ptr<Module> conv3_;
+  std::unique_ptr<Module> bn3_;
+  std::unique_ptr<Module> down_conv_;
+  std::unique_ptr<Module> down_bn_;
+  std::unique_ptr<Module> relu_out_;
+};
+
+class InvertedResidual : public Module {
+ public:
+  InvertedResidual(std::string name, int64_t in_channels, int64_t out_channels,
+                   int64_t stride, int64_t expand_ratio, Rng& rng);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Module*> Children() override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+ private:
+  explicit InvertedResidual(std::string name) : Module(std::move(name)) {}
+
+  bool use_residual_ = false;
+  std::unique_ptr<Module> expand_conv_;  // nullptr when expand_ratio == 1
+  std::unique_ptr<Module> expand_bn_;
+  std::unique_ptr<Module> expand_relu_;
+  std::unique_ptr<Module> dw_conv_;
+  std::unique_ptr<Module> dw_bn_;
+  std::unique_ptr<Module> dw_relu_;
+  std::unique_ptr<Module> project_conv_;
+  std::unique_ptr<Module> project_bn_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_BLOCKS_H_

@@ -1,0 +1,51 @@
+#include "src/nn/dropout.h"
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+Dropout::Dropout(std::string name, float p, uint64_t seed)
+    : Module(std::move(name)), p_(p), seed_(seed) {
+  EGERIA_CHECK(p_ >= 0.0F && p_ < 1.0F);
+}
+
+Tensor Dropout::Forward(const Tensor& input) {
+  if (!training_ || frozen_ || p_ == 0.0F) {
+    return input;
+  }
+  if (step_ != last_step_) {
+    calls_this_step_ = 0;
+    last_step_ = step_;
+  }
+  // Stateless stream: key combines the step and the call index within the step.
+  Rng rng = Rng::ForKey(seed_, (step_ << 8) | (calls_this_step_ & 0xFF));
+  ++calls_this_step_;
+  cached_mask_ = Tensor(input.Shape());
+  const float keep_inv = 1.0F / (1.0F - p_);
+  float* m = cached_mask_.Data();
+  for (int64_t i = 0; i < cached_mask_.NumEl(); ++i) {
+    m[i] = rng.NextBool(1.0 - static_cast<double>(p_)) ? keep_inv : 0.0F;
+  }
+  Tensor out = input.Clone();
+  out.Mul_(cached_mask_);
+  return out;
+}
+
+Tensor Dropout::Backward(const Tensor& grad_output) {
+  if (!training_ || frozen_ || p_ == 0.0F) {
+    return grad_output;
+  }
+  EGERIA_CHECK_MSG(cached_mask_.Defined(), name_ + ": Backward without Forward");
+  Tensor grad = grad_output.Clone();
+  grad.Mul_(cached_mask_);
+  return grad;
+}
+
+std::unique_ptr<Module> Dropout::CloneForInference(const InferenceFactory& factory) const {
+  (void)factory;
+  auto m = std::make_unique<Dropout>(name_, p_, seed_);
+  m->SetTraining(false);
+  return m;
+}
+
+}  // namespace egeria

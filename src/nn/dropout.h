@@ -1,0 +1,39 @@
+// Inverted dropout. The mask stream is deterministic given (seed, step), supporting
+// the paper's "stateless random operations" requirement (S4.3): replays of the same
+// step produce identical masks, and inference mode is a no-op.
+#ifndef EGERIA_SRC_NN_DROPOUT_H_
+#define EGERIA_SRC_NN_DROPOUT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+class Dropout : public Module {
+ public:
+  Dropout(std::string name, float p, uint64_t seed = 0x5eed);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+  // Advances the mask stream; trainers call this once per iteration so replaying an
+  // iteration reproduces the same mask.
+  void SetStep(uint64_t step) { step_ = step; }
+  float p() const { return p_; }
+
+ private:
+  float p_;
+  uint64_t seed_;
+  uint64_t step_ = 0;
+  uint64_t calls_this_step_ = 0;
+  uint64_t last_step_ = ~0ULL;
+  Tensor cached_mask_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_DROPOUT_H_

@@ -1,0 +1,97 @@
+#include "src/nn/embedding.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+Embedding::Embedding(std::string name, int64_t vocab, int64_t dim, Rng& rng,
+                     bool scale_by_sqrt_dim, bool add_positional, int64_t max_len)
+    : Module(std::move(name)),
+      vocab_(vocab),
+      dim_(dim),
+      scale_(scale_by_sqrt_dim),
+      positional_(add_positional) {
+  weight_ = Parameter(name_ + ".weight",
+                      Tensor::Randn({vocab, dim}, rng, 1.0F / std::sqrt(static_cast<float>(dim))));
+  if (positional_) {
+    pos_table_ = Tensor({max_len, dim});
+    for (int64_t pos = 0; pos < max_len; ++pos) {
+      for (int64_t i = 0; i < dim; ++i) {
+        const double angle =
+            static_cast<double>(pos) /
+            std::pow(10000.0, 2.0 * static_cast<double>(i / 2) / static_cast<double>(dim));
+        pos_table_.At(pos, i) =
+            static_cast<float>((i % 2 == 0) ? std::sin(angle) : std::cos(angle));
+      }
+    }
+  }
+}
+
+Tensor Embedding::Forward(const Tensor& input) {
+  EGERIA_CHECK(input.Dim() == 2);
+  const int64_t b = input.Size(0);
+  const int64_t t = input.Size(1);
+  if (training_) {
+    cached_ids_ = input;
+  }
+  Tensor out({b, t, dim_});
+  const float scale = scale_ ? std::sqrt(static_cast<float>(dim_)) : 1.0F;
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ti = 0; ti < t; ++ti) {
+      const int64_t id = static_cast<int64_t>(input.At(bi, ti));
+      EGERIA_CHECK_MSG(id >= 0 && id < vocab_, name_ + ": token id out of range");
+      const float* row = weight_.value.Data() + id * dim_;
+      float* dst = out.Data() + (bi * t + ti) * dim_;
+      for (int64_t i = 0; i < dim_; ++i) {
+        dst[i] = row[i] * scale;
+      }
+      if (positional_) {
+        EGERIA_CHECK(ti < pos_table_.Size(0));
+        const float* pos = pos_table_.Data() + ti * dim_;
+        for (int64_t i = 0; i < dim_; ++i) {
+          dst[i] += pos[i];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Embedding::Backward(const Tensor& grad_output) {
+  EGERIA_CHECK_MSG(cached_ids_.Defined(), name_ + ": Backward without Forward");
+  const int64_t b = cached_ids_.Size(0);
+  const int64_t t = cached_ids_.Size(1);
+  EGERIA_CHECK(grad_output.Size(0) == b && grad_output.Size(1) == t);
+  const float scale = scale_ ? std::sqrt(static_cast<float>(dim_)) : 1.0F;
+  for (int64_t bi = 0; bi < b; ++bi) {
+    for (int64_t ti = 0; ti < t; ++ti) {
+      const int64_t id = static_cast<int64_t>(cached_ids_.At(bi, ti));
+      const float* g = grad_output.Data() + (bi * t + ti) * dim_;
+      float* dst = weight_.grad.Data() + id * dim_;
+      for (int64_t i = 0; i < dim_; ++i) {
+        dst[i] += g[i] * scale;
+      }
+    }
+  }
+  // Token ids are not differentiable; return an empty gradient.
+  return Tensor();
+}
+
+std::vector<Parameter*> Embedding::LocalParams() { return {&weight_}; }
+
+std::unique_ptr<Module> Embedding::CloneForInference(const InferenceFactory& factory) const {
+  (void)factory;  // Embedding lookups stay float in quantized references.
+  Rng rng(0);
+  auto clone = std::make_unique<Embedding>(name_, vocab_, dim_, rng, scale_, positional_,
+                                           positional_ ? pos_table_.Size(0) : 512);
+  clone->weight_.value = weight_.value.Clone();
+  if (positional_) {
+    clone->pos_table_ = pos_table_.Clone();
+  }
+  clone->SetTraining(false);
+  return clone;
+}
+
+}  // namespace egeria

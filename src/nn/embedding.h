@@ -1,0 +1,44 @@
+// Token embedding lookup: input [b, t] of token ids (stored as floats) -> [b, t, d].
+// Optionally scales by sqrt(d) (Transformer convention) and adds fixed sinusoidal
+// positional encodings.
+#ifndef EGERIA_SRC_NN_EMBEDDING_H_
+#define EGERIA_SRC_NN_EMBEDDING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+class Embedding : public Module {
+ public:
+  Embedding(std::string name, int64_t vocab, int64_t dim, Rng& rng,
+            bool scale_by_sqrt_dim = false, bool add_positional = false,
+            int64_t max_len = 512);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Parameter*> LocalParams() override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+  int64_t vocab() const { return vocab_; }
+  int64_t dim() const { return dim_; }
+  Parameter& mutable_weight() { return weight_; }
+
+ private:
+  int64_t vocab_;
+  int64_t dim_;
+  bool scale_;
+  bool positional_;
+  Parameter weight_;   // [vocab, dim]
+  Tensor pos_table_;   // [max_len, dim]
+  Tensor cached_ids_;  // [b, t]
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_EMBEDDING_H_

@@ -1,0 +1,21 @@
+#include "src/nn/init.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+Tensor KaimingNormal(std::vector<int64_t> shape, int64_t fan_in, Rng& rng) {
+  EGERIA_CHECK(fan_in > 0);
+  const float stddev = std::sqrt(2.0F / static_cast<float>(fan_in));
+  return Tensor::Randn(std::move(shape), rng, stddev);
+}
+
+Tensor XavierUniform(std::vector<int64_t> shape, int64_t fan_in, int64_t fan_out, Rng& rng) {
+  EGERIA_CHECK(fan_in > 0 && fan_out > 0);
+  const float bound = std::sqrt(6.0F / static_cast<float>(fan_in + fan_out));
+  return Tensor::Rand(std::move(shape), rng, -bound, bound);
+}
+
+}  // namespace egeria

@@ -1,0 +1,21 @@
+// Weight initialization schemes (He/Kaiming for conv+ReLU stacks, Xavier/Glorot for
+// linear/attention layers), matching the defaults of the frameworks the paper uses.
+#ifndef EGERIA_SRC_NN_INIT_H_
+#define EGERIA_SRC_NN_INIT_H_
+
+#include <cstdint>
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+// Gaussian with stddev sqrt(2 / fan_in).
+Tensor KaimingNormal(std::vector<int64_t> shape, int64_t fan_in, Rng& rng);
+
+// Uniform in +-sqrt(6 / (fan_in + fan_out)).
+Tensor XavierUniform(std::vector<int64_t> shape, int64_t fan_in, int64_t fan_out, Rng& rng);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_INIT_H_

@@ -1,0 +1,91 @@
+#include "src/nn/layernorm.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+LayerNorm::LayerNorm(std::string name, int64_t dim, float eps)
+    : Module(std::move(name)), dim_(dim), eps_(eps) {
+  gamma_ = Parameter(name_ + ".gamma", Tensor::Ones({dim}));
+  beta_ = Parameter(name_ + ".beta", Tensor::Zeros({dim}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& input) {
+  EGERIA_CHECK_MSG(input.Size(-1) == dim_, name_ + ": dim mismatch");
+  const int64_t rows = input.NumEl() / dim_;
+  Tensor out(input.Shape());
+  cached_xhat_ = Tensor(input.Shape());
+  cached_inv_std_ = Tensor({rows});
+  const float* gp = gamma_.value.Data();
+  const float* bp = beta_.value.Data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* x = input.Data() + r * dim_;
+    float* xh = cached_xhat_.Data() + r * dim_;
+    float* y = out.Data() + r * dim_;
+    double mean = 0.0;
+    for (int64_t i = 0; i < dim_; ++i) {
+      mean += x[i];
+    }
+    mean /= static_cast<double>(dim_);
+    double var = 0.0;
+    for (int64_t i = 0; i < dim_; ++i) {
+      const double d = x[i] - mean;
+      var += d * d;
+    }
+    var /= static_cast<double>(dim_);
+    const float inv_std = 1.0F / std::sqrt(static_cast<float>(var) + eps_);
+    cached_inv_std_.At(r) = inv_std;
+    for (int64_t i = 0; i < dim_; ++i) {
+      const float xhat = (x[i] - static_cast<float>(mean)) * inv_std;
+      xh[i] = xhat;
+      y[i] = gp[i] * xhat + bp[i];
+    }
+  }
+  return out;
+}
+
+Tensor LayerNorm::Backward(const Tensor& grad_output) {
+  EGERIA_CHECK_MSG(cached_xhat_.Defined(), name_ + ": Backward without Forward");
+  const int64_t rows = grad_output.NumEl() / dim_;
+  EGERIA_CHECK(rows == cached_inv_std_.NumEl());
+  Tensor grad_in(grad_output.Shape());
+  const float* gp = gamma_.value.Data();
+  float* dg = gamma_.grad.Data();
+  float* db = beta_.grad.Data();
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* dy = grad_output.Data() + r * dim_;
+    const float* xh = cached_xhat_.Data() + r * dim_;
+    float* dx = grad_in.Data() + r * dim_;
+    const float inv_std = cached_inv_std_.At(r);
+    double sum_dyg = 0.0;
+    double sum_dyg_xhat = 0.0;
+    for (int64_t i = 0; i < dim_; ++i) {
+      const double dyg = static_cast<double>(dy[i]) * gp[i];
+      sum_dyg += dyg;
+      sum_dyg_xhat += dyg * xh[i];
+      dg[i] += dy[i] * xh[i];
+      db[i] += dy[i];
+    }
+    const float mean_dyg = static_cast<float>(sum_dyg / static_cast<double>(dim_));
+    const float mean_dyg_xhat = static_cast<float>(sum_dyg_xhat / static_cast<double>(dim_));
+    for (int64_t i = 0; i < dim_; ++i) {
+      dx[i] = inv_std * (dy[i] * gp[i] - mean_dyg - xh[i] * mean_dyg_xhat);
+    }
+  }
+  return grad_in;
+}
+
+std::vector<Parameter*> LayerNorm::LocalParams() { return {&gamma_, &beta_}; }
+
+std::unique_ptr<Module> LayerNorm::CloneForInference(const InferenceFactory& factory) const {
+  (void)factory;
+  auto clone = std::make_unique<LayerNorm>(name_, dim_, eps_);
+  clone->gamma_.value = gamma_.value.Clone();
+  clone->beta_.value = beta_.value.Clone();
+  clone->SetTraining(false);
+  return clone;
+}
+
+}  // namespace egeria

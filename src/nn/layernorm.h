@@ -1,0 +1,37 @@
+// Layer normalization over the last dimension ([*, d] inputs), as used by the
+// Transformer and BERT-style models (pre-LN blocks).
+#ifndef EGERIA_SRC_NN_LAYERNORM_H_
+#define EGERIA_SRC_NN_LAYERNORM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace egeria {
+
+class LayerNorm : public Module {
+ public:
+  LayerNorm(std::string name, int64_t dim, float eps = 1e-5F);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Parameter*> LocalParams() override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t dim_;
+  float eps_;
+  Parameter gamma_;
+  Parameter beta_;
+  Tensor cached_xhat_;
+  Tensor cached_inv_std_;  // one per row
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_LAYERNORM_H_

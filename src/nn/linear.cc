@@ -1,0 +1,78 @@
+#include "src/nn/linear.h"
+
+#include "src/nn/init.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+Linear::Linear(std::string name, int64_t in_features, int64_t out_features, Rng& rng,
+               bool bias)
+    : Module(std::move(name)),
+      in_features_(in_features),
+      out_features_(out_features),
+      has_bias_(bias) {
+  weight_ = Parameter(name_ + ".weight",
+                      XavierUniform({out_features, in_features}, in_features, out_features, rng));
+  if (has_bias_) {
+    bias_ = Parameter(name_ + ".bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& input) {
+  EGERIA_CHECK_MSG(input.Size(-1) == in_features_, name_ + ": in_features mismatch");
+  input_shape_ = input.Shape();
+  const int64_t rows = input.NumEl() / in_features_;
+  Tensor x = input.Reshape({rows, in_features_});
+  if (training_) {
+    cached_input_ = x;
+  }
+  Tensor y = MatMulTransB(x, weight_.value);
+  if (has_bias_) {
+    float* yp = y.Data();
+    const float* bp = bias_.value.Data();
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < out_features_; ++j) {
+        yp[i * out_features_ + j] += bp[j];
+      }
+    }
+  }
+  std::vector<int64_t> out_shape = input_shape_;
+  out_shape.back() = out_features_;
+  return y.Reshape(std::move(out_shape));
+}
+
+Tensor Linear::Backward(const Tensor& grad_output) {
+  EGERIA_CHECK_MSG(cached_input_.Defined(), name_ + ": Backward without Forward");
+  const int64_t rows = grad_output.NumEl() / out_features_;
+  EGERIA_CHECK(rows == cached_input_.Size(0));
+  Tensor dy = grad_output.Reshape({rows, out_features_});
+  // dW += dy^T x ; db += colsum(dy) ; dx = dy W.
+  GemmTransARaw(dy.Data(), cached_input_.Data(), weight_.grad.Data(), out_features_, rows,
+                in_features_, /*accumulate=*/true);
+  if (has_bias_) {
+    float* db = bias_.grad.Data();
+    const float* dp = dy.Data();
+    for (int64_t i = 0; i < rows; ++i) {
+      for (int64_t j = 0; j < out_features_; ++j) {
+        db[j] += dp[i * out_features_ + j];
+      }
+    }
+  }
+  Tensor dx = MatMul(dy, weight_.value);
+  return dx.Reshape(input_shape_);
+}
+
+std::vector<Parameter*> Linear::LocalParams() {
+  std::vector<Parameter*> params{&weight_};
+  if (has_bias_) {
+    params.push_back(&bias_);
+  }
+  return params;
+}
+
+std::unique_ptr<Module> Linear::CloneForInference(const InferenceFactory& factory) const {
+  return factory.MakeLinear(*this);
+}
+
+}  // namespace egeria

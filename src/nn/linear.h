@@ -1,0 +1,46 @@
+// Fully-connected layer: y = x W^T + b. Accepts [n, in] or [b, t, in] inputs (the
+// leading dimensions are flattened for the matmul and restored afterwards).
+#ifndef EGERIA_SRC_NN_LINEAR_H_
+#define EGERIA_SRC_NN_LINEAR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+class Linear : public Module {
+ public:
+  Linear(std::string name, int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Parameter*> LocalParams() override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+  bool has_bias() const { return has_bias_; }
+  const Parameter& weight() const { return weight_; }
+  const Parameter& bias() const { return bias_; }
+  Parameter& mutable_weight() { return weight_; }
+  Parameter& mutable_bias() { return bias_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  bool has_bias_;
+  Parameter weight_;  // [out, in]
+  Parameter bias_;    // [out]
+  Tensor cached_input_;  // flattened [n, in]
+  std::vector<int64_t> input_shape_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_LINEAR_H_

@@ -1,0 +1,85 @@
+#include "src/nn/module.h"
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+std::string PrecisionName(Precision p) {
+  switch (p) {
+    case Precision::kFloat32:
+      return "float32";
+    case Precision::kFloat16:
+      return "float16";
+    case Precision::kInt8:
+      return "int8";
+  }
+  return "?";
+}
+
+std::vector<Parameter*> Module::Parameters() {
+  std::vector<Parameter*> out;
+  CollectParams(out);
+  return out;
+}
+
+void Module::CollectParams(std::vector<Parameter*>& out) {
+  for (Parameter* p : LocalParams()) {
+    out.push_back(p);
+  }
+  for (Module* child : Children()) {
+    child->CollectParams(out);
+  }
+}
+
+int64_t Module::ParamCount() {
+  int64_t total = 0;
+  for (Parameter* p : Parameters()) {
+    total += p->value.NumEl();
+  }
+  return total;
+}
+
+void Module::ZeroGrad() {
+  for (Parameter* p : Parameters()) {
+    p->grad.Zero_();
+  }
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (Module* child : Children()) {
+    child->SetTraining(training);
+  }
+}
+
+void Module::SetFrozen(bool frozen) {
+  frozen_ = frozen;
+  for (Module* child : Children()) {
+    child->SetFrozen(frozen);
+  }
+}
+
+void Module::CopyStateFrom(const Module& other) {
+  // Default: copy local parameters positionally and recurse into children so that
+  // overrides (e.g. BatchNorm's running statistics) are honored at every level.
+  auto& src = const_cast<Module&>(other);
+  CopyParamValues(LocalParams(), src.LocalParams());
+  auto dst_children = Children();
+  auto src_children = src.Children();
+  EGERIA_CHECK_MSG(dst_children.size() == src_children.size(),
+                   name_ + ": CopyStateFrom children mismatch");
+  for (size_t i = 0; i < dst_children.size(); ++i) {
+    dst_children[i]->CopyStateFrom(*src_children[i]);
+  }
+}
+
+void CopyParamValues(const std::vector<Parameter*>& dst, const std::vector<Parameter*>& src) {
+  EGERIA_CHECK_MSG(dst.size() == src.size(), "parameter list size mismatch");
+  for (size_t i = 0; i < dst.size(); ++i) {
+    EGERIA_CHECK_MSG(dst[i]->value.NumEl() == src[i]->value.NumEl(),
+                     "parameter shape mismatch: " + dst[i]->name);
+    dst[i]->value = src[i]->value.Clone();
+  }
+}
+
+}  // namespace egeria

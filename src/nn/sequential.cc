@@ -1,0 +1,51 @@
+#include "src/nn/sequential.h"
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+Sequential* Sequential::Add(std::unique_ptr<Module> module) {
+  EGERIA_CHECK(module != nullptr);
+  modules_.push_back(std::move(module));
+  return this;
+}
+
+Tensor Sequential::Forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& m : modules_) {
+    x = m->Forward(x);
+  }
+  return x;
+}
+
+Tensor Sequential::Backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = modules_.rbegin(); it != modules_.rend(); ++it) {
+    g = (*it)->Backward(g);
+  }
+  return g;
+}
+
+std::vector<Module*> Sequential::Children() {
+  std::vector<Module*> out;
+  out.reserve(modules_.size());
+  for (auto& m : modules_) {
+    out.push_back(m.get());
+  }
+  return out;
+}
+
+std::unique_ptr<Module> Sequential::CloneForInference(const InferenceFactory& factory) const {
+  auto clone = std::make_unique<Sequential>(name_);
+  for (const auto& m : modules_) {
+    clone->Add(m->CloneForInference(factory));
+  }
+  clone->SetTraining(false);
+  return clone;
+}
+
+std::vector<std::unique_ptr<Module>> Sequential::ReleaseModules() {
+  return std::move(modules_);
+}
+
+}  // namespace egeria

@@ -1,0 +1,39 @@
+// Ordered container of modules. Stages produced by the Egeria module partitioner are
+// Sequentials, so freezing a stage freezes every layer inside it.
+#ifndef EGERIA_SRC_NN_SEQUENTIAL_H_
+#define EGERIA_SRC_NN_SEQUENTIAL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace egeria {
+
+class Sequential : public Module {
+ public:
+  explicit Sequential(std::string name) : Module(std::move(name)) {}
+
+  Sequential* Add(std::unique_ptr<Module> module);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Module*> Children() override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+  size_t size() const { return modules_.size(); }
+  Module* at(size_t i) { return modules_[i].get(); }
+  const Module* at(size_t i) const { return modules_[i].get(); }
+
+  // Transfers ownership of all children (used by the partitioner to regroup layers).
+  std::vector<std::unique_ptr<Module>> ReleaseModules();
+
+ private:
+  std::vector<std::unique_ptr<Module>> modules_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_SEQUENTIAL_H_

@@ -1,0 +1,168 @@
+#include "src/nn/transformer_layers.h"
+
+#include "src/nn/activations.h"
+#include "src/nn/dropout.h"
+#include "src/nn/layernorm.h"
+#include "src/nn/linear.h"
+#include "src/nn/sequential.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+std::unique_ptr<Module> MakeTransformerFfn(const std::string& name, int64_t dim,
+                                           int64_t ffn_dim, Rng& rng, float dropout_p) {
+  auto ffn = std::make_unique<Sequential>(name);
+  ffn->Add(std::make_unique<Linear>(name + ".fc1", dim, ffn_dim, rng));
+  ffn->Add(std::make_unique<GeLU>(name + ".gelu"));
+  ffn->Add(std::make_unique<Linear>(name + ".fc2", ffn_dim, dim, rng));
+  if (dropout_p > 0.0F) {
+    ffn->Add(std::make_unique<Dropout>(name + ".drop", dropout_p));
+  }
+  return ffn;
+}
+
+TransformerEncoderLayer::TransformerEncoderLayer(std::string name, int64_t dim,
+                                                 int64_t heads, int64_t ffn_dim, Rng& rng,
+                                                 float dropout_p)
+    : Module(std::move(name)) {
+  ln1_ = std::make_unique<LayerNorm>(name_ + ".ln1", dim);
+  attn_ = std::make_unique<MultiHeadAttention>(name_ + ".attn", dim, heads, rng);
+  ln2_ = std::make_unique<LayerNorm>(name_ + ".ln2", dim);
+  ffn_ = MakeTransformerFfn(name_ + ".ffn", dim, ffn_dim, rng, dropout_p);
+}
+
+Tensor TransformerEncoderLayer::Forward(const Tensor& input) {
+  // a = x + attn(ln1(x)); out = a + ffn(ln2(a)).
+  Tensor norm1 = ln1_->Forward(input);
+  Tensor a = attn_->Forward(norm1, norm1, /*causal=*/false);
+  a.Add_(input);
+  Tensor norm2 = ln2_->Forward(a);
+  Tensor out = ffn_->Forward(norm2);
+  out.Add_(a);
+  return out;
+}
+
+Tensor TransformerEncoderLayer::Backward(const Tensor& grad_output) {
+  // d_a = dout + ln2'(ffn'(dout)).
+  Tensor da = ln2_->Backward(ffn_->Backward(grad_output));
+  da.Add_(grad_output);
+  auto [dq, dkv] = attn_->Backward(da);
+  dq.Add_(dkv);
+  Tensor dx = ln1_->Backward(dq);
+  dx.Add_(da);
+  return dx;
+}
+
+std::vector<Parameter*> TransformerEncoderLayer::LocalParams() { return attn_->Params(); }
+
+std::vector<Module*> TransformerEncoderLayer::Children() {
+  return {ln1_.get(), ln2_.get(), ffn_.get()};
+}
+
+void TransformerEncoderLayer::SetTraining(bool training) {
+  Module::SetTraining(training);
+  attn_->SetTraining(training);
+}
+
+std::unique_ptr<Module> TransformerEncoderLayer::CloneForInference(
+    const InferenceFactory& factory) const {
+  auto clone = std::unique_ptr<TransformerEncoderLayer>(new TransformerEncoderLayer(name_));
+  clone->ln1_ = ln1_->CloneForInference(factory);
+  clone->attn_ = attn_->CloneForInference(factory);
+  clone->ln2_ = ln2_->CloneForInference(factory);
+  clone->ffn_ = ffn_->CloneForInference(factory);
+  clone->SetTraining(false);
+  return clone;
+}
+
+TransformerDecoderLayer::TransformerDecoderLayer(std::string name, int64_t dim,
+                                                 int64_t heads, int64_t ffn_dim, Rng& rng,
+                                                 float dropout_p)
+    : name_(std::move(name)) {
+  ln1_ = std::make_unique<LayerNorm>(name_ + ".ln1", dim);
+  self_attn_ = std::make_unique<MultiHeadAttention>(name_ + ".self_attn", dim, heads, rng);
+  ln2_ = std::make_unique<LayerNorm>(name_ + ".ln2", dim);
+  cross_attn_ = std::make_unique<MultiHeadAttention>(name_ + ".cross_attn", dim, heads, rng);
+  ln3_ = std::make_unique<LayerNorm>(name_ + ".ln3", dim);
+  ffn_ = MakeTransformerFfn(name_ + ".ffn", dim, ffn_dim, rng, dropout_p);
+}
+
+Tensor TransformerDecoderLayer::Forward(const Tensor& x, const Tensor& memory) {
+  Tensor norm1 = ln1_->Forward(x);
+  Tensor a = self_attn_->Forward(norm1, norm1, /*causal=*/true);
+  a.Add_(x);
+  Tensor norm2 = ln2_->Forward(a);
+  Tensor b = cross_attn_->Forward(norm2, memory, /*causal=*/false);
+  b.Add_(a);
+  Tensor norm3 = ln3_->Forward(b);
+  Tensor out = ffn_->Forward(norm3);
+  out.Add_(b);
+  return out;
+}
+
+std::pair<Tensor, Tensor> TransformerDecoderLayer::Backward(const Tensor& grad_output) {
+  Tensor db = ln3_->Backward(ffn_->Backward(grad_output));
+  db.Add_(grad_output);
+  auto [dq_cross, dmemory] = cross_attn_->Backward(db);
+  Tensor da = ln2_->Backward(dq_cross);
+  da.Add_(db);
+  auto [dq_self, dkv_self] = self_attn_->Backward(da);
+  dq_self.Add_(dkv_self);
+  Tensor dx = ln1_->Backward(dq_self);
+  dx.Add_(da);
+  return {dx, dmemory};
+}
+
+std::vector<Parameter*> TransformerDecoderLayer::Params() {
+  std::vector<Parameter*> out;
+  for (Parameter* p : self_attn_->Params()) {
+    out.push_back(p);
+  }
+  for (Parameter* p : cross_attn_->Params()) {
+    out.push_back(p);
+  }
+  for (Module* m : {ln1_.get(), ln2_.get(), ln3_.get(), ffn_.get()}) {
+    for (Parameter* p : m->Parameters()) {
+      out.push_back(p);
+    }
+  }
+  return out;
+}
+
+void TransformerDecoderLayer::SetTraining(bool training) {
+  self_attn_->SetTraining(training);
+  cross_attn_->SetTraining(training);
+  for (Module* m : {ln1_.get(), ln2_.get(), ln3_.get(), ffn_.get()}) {
+    m->SetTraining(training);
+  }
+}
+
+void TransformerDecoderLayer::SetFrozen(bool frozen) {
+  for (Module* m : {ln1_.get(), ln2_.get(), ln3_.get(), ffn_.get()}) {
+    m->SetFrozen(frozen);
+  }
+}
+
+int64_t TransformerDecoderLayer::ParamCount() {
+  int64_t total = 0;
+  for (Parameter* p : Params()) {
+    total += p->value.NumEl();
+  }
+  return total;
+}
+
+std::unique_ptr<TransformerDecoderLayer> TransformerDecoderLayer::CloneForInference(
+    const InferenceFactory& factory) const {
+  auto clone =
+      std::unique_ptr<TransformerDecoderLayer>(new TransformerDecoderLayer(name_));
+  clone->ln1_ = ln1_->CloneForInference(factory);
+  clone->self_attn_ = self_attn_->CloneForInference(factory);
+  clone->ln2_ = ln2_->CloneForInference(factory);
+  clone->cross_attn_ = cross_attn_->CloneForInference(factory);
+  clone->ln3_ = ln3_->CloneForInference(factory);
+  clone->ffn_ = ffn_->CloneForInference(factory);
+  clone->SetTraining(false);
+  return clone;
+}
+
+}  // namespace egeria

@@ -1,0 +1,81 @@
+// Pre-LN Transformer layers.
+//
+// The encoder layer is a plain Module (one input -> one output), so encoder stacks
+// form a linear chain Egeria can freeze front-to-back — this is where the paper's
+// "freezing the front encoders" speedup for Transformer-Base comes from (S6.2). The
+// decoder layer takes (x, memory) and therefore lives outside the Module interface;
+// the Transformer model routes its memory gradients explicitly.
+#ifndef EGERIA_SRC_NN_TRANSFORMER_LAYERS_H_
+#define EGERIA_SRC_NN_TRANSFORMER_LAYERS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/nn/attention.h"
+#include "src/nn/module.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+class TransformerEncoderLayer : public Module {
+ public:
+  TransformerEncoderLayer(std::string name, int64_t dim, int64_t heads, int64_t ffn_dim,
+                          Rng& rng, float dropout_p = 0.0F);
+
+  Tensor Forward(const Tensor& input) override;
+  Tensor Backward(const Tensor& grad_output) override;
+
+  std::vector<Parameter*> LocalParams() override;
+  std::vector<Module*> Children() override;
+  void SetTraining(bool training) override;
+  std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+ private:
+  explicit TransformerEncoderLayer(std::string name) : Module(std::move(name)) {}
+
+  std::unique_ptr<Module> ln1_;
+  std::unique_ptr<MultiHeadAttention> attn_;
+  std::unique_ptr<Module> ln2_;
+  std::unique_ptr<Module> ffn_;
+};
+
+// Decoder layer with causal self-attention and cross-attention over encoder memory.
+class TransformerDecoderLayer {
+ public:
+  TransformerDecoderLayer(std::string name, int64_t dim, int64_t heads, int64_t ffn_dim,
+                          Rng& rng, float dropout_p = 0.0F);
+
+  Tensor Forward(const Tensor& x, const Tensor& memory);
+  // Returns {grad wrt x, grad wrt memory}.
+  std::pair<Tensor, Tensor> Backward(const Tensor& grad_output);
+
+  std::vector<Parameter*> Params();
+  void SetTraining(bool training);
+  // Propagates the frozen flag to sublayers (disables dropout in the frozen prefix).
+  void SetFrozen(bool frozen);
+  int64_t ParamCount();
+  std::unique_ptr<TransformerDecoderLayer> CloneForInference(
+      const InferenceFactory& factory) const;
+  const std::string& name() const { return name_; }
+
+ private:
+  explicit TransformerDecoderLayer(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::unique_ptr<Module> ln1_;
+  std::unique_ptr<MultiHeadAttention> self_attn_;
+  std::unique_ptr<Module> ln2_;
+  std::unique_ptr<MultiHeadAttention> cross_attn_;
+  std::unique_ptr<Module> ln3_;
+  std::unique_ptr<Module> ffn_;
+};
+
+// Builds the position-wise feed-forward Sequential (Linear-GeLU-Linear [+Dropout]).
+std::unique_ptr<Module> MakeTransformerFfn(const std::string& name, int64_t dim,
+                                           int64_t ffn_dim, Rng& rng, float dropout_p);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_NN_TRANSFORMER_LAYERS_H_

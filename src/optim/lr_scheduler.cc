@@ -1,0 +1,65 @@
+#include "src/optim/lr_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+StepDecayLr::StepDecayLr(float base, float factor, std::vector<int64_t> milestones)
+    : base_(base), factor_(factor), milestones_(std::move(milestones)) {
+  EGERIA_CHECK(std::is_sorted(milestones_.begin(), milestones_.end()));
+}
+
+float StepDecayLr::LrAt(int64_t step) const {
+  float lr = base_;
+  for (int64_t m : milestones_) {
+    if (step >= m) {
+      lr *= factor_;
+    }
+  }
+  return lr;
+}
+
+InverseSqrtLr::InverseSqrtLr(float base, int64_t warmup_steps)
+    : base_(base), warmup_(std::max<int64_t>(1, warmup_steps)) {}
+
+float InverseSqrtLr::LrAt(int64_t step) const {
+  if (step < warmup_) {
+    return base_ * static_cast<float>(step + 1) / static_cast<float>(warmup_);
+  }
+  return base_ * std::sqrt(static_cast<float>(warmup_) / static_cast<float>(step + 1));
+}
+
+LinearDecayLr::LinearDecayLr(float base, int64_t total_steps)
+    : base_(base), total_(std::max<int64_t>(1, total_steps)) {}
+
+float LinearDecayLr::LrAt(int64_t step) const {
+  const float frac = 1.0F - static_cast<float>(std::min(step, total_)) /
+                                static_cast<float>(total_);
+  return base_ * std::max(frac, 0.0F);
+}
+
+CosineAnnealingLr::CosineAnnealingLr(float base, float min_lr, int64_t period)
+    : base_(base), min_lr_(min_lr), period_(std::max<int64_t>(1, period)) {}
+
+float CosineAnnealingLr::LrAt(int64_t step) const {
+  const double phase = static_cast<double>(step % period_) / static_cast<double>(period_);
+  return min_lr_ +
+         0.5F * (base_ - min_lr_) * static_cast<float>(1.0 + std::cos(phase * 3.14159265358979));
+}
+
+CyclicalLr::CyclicalLr(float min_lr, float max_lr, int64_t half_period)
+    : min_lr_(min_lr), max_lr_(max_lr), half_period_(std::max<int64_t>(1, half_period)) {}
+
+float CyclicalLr::LrAt(int64_t step) const {
+  const int64_t cycle_pos = step % (2 * half_period_);
+  const float frac = (cycle_pos < half_period_)
+                         ? static_cast<float>(cycle_pos) / static_cast<float>(half_period_)
+                         : static_cast<float>(2 * half_period_ - cycle_pos) /
+                               static_cast<float>(half_period_);
+  return min_lr_ + (max_lr_ - min_lr_) * frac;
+}
+
+}  // namespace egeria

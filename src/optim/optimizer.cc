@@ -1,0 +1,68 @@
+#include "src/optim/optimizer.h"
+
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+Sgd::Sgd(float momentum, float weight_decay)
+    : momentum_(momentum), weight_decay_(weight_decay) {}
+
+void Sgd::Step(const std::vector<Parameter*>& params, float lr) {
+  for (Parameter* p : params) {
+    const int64_t n = p->value.NumEl();
+    float* w = p->value.Data();
+    const float* g = p->grad.Data();
+    if (momentum_ == 0.0F) {
+      for (int64_t i = 0; i < n; ++i) {
+        w[i] -= lr * (g[i] + weight_decay_ * w[i]);
+      }
+      continue;
+    }
+    auto it = velocity_.find(p);
+    if (it == velocity_.end()) {
+      it = velocity_.emplace(p, Tensor::Zeros(p->value.Shape())).first;
+    }
+    float* v = it->second.Data();
+    for (int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      v[i] = momentum_ * v[i] + grad;
+      w[i] -= lr * v[i];
+    }
+  }
+}
+
+Adam::Adam(float beta1, float beta2, float eps, float weight_decay)
+    : beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
+
+void Adam::Step(const std::vector<Parameter*>& params, float lr) {
+  for (Parameter* p : params) {
+    auto it = state_.find(p);
+    if (it == state_.end()) {
+      State s;
+      s.m = Tensor::Zeros(p->value.Shape());
+      s.v = Tensor::Zeros(p->value.Shape());
+      it = state_.emplace(p, std::move(s)).first;
+    }
+    State& s = it->second;
+    ++s.t;
+    const float bc1 = 1.0F - std::pow(beta1_, static_cast<float>(s.t));
+    const float bc2 = 1.0F - std::pow(beta2_, static_cast<float>(s.t));
+    const int64_t n = p->value.NumEl();
+    float* w = p->value.Data();
+    const float* g = p->grad.Data();
+    float* m = s.m.Data();
+    float* v = s.v.Data();
+    for (int64_t i = 0; i < n; ++i) {
+      const float grad = g[i] + weight_decay_ * w[i];
+      m[i] = beta1_ * m[i] + (1.0F - beta1_) * grad;
+      v[i] = beta2_ * v[i] + (1.0F - beta2_) * grad * grad;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      w[i] -= lr * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+}  // namespace egeria

@@ -1,0 +1,57 @@
+// Optimizers operating on explicit parameter lists.
+//
+// The parameter list is passed per step (not captured at construction) because Egeria
+// changes the active set during training: frozen parameters are excluded from the
+// update, exactly like setting requires_grad=false in the paper's PyTorch
+// implementation (S5). State (momentum / Adam moments) is keyed by Parameter pointer
+// and survives freeze/unfreeze cycles.
+#ifndef EGERIA_SRC_OPTIM_OPTIMIZER_H_
+#define EGERIA_SRC_OPTIM_OPTIMIZER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace egeria {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Applies one update using accumulated gradients; does not zero them.
+  virtual void Step(const std::vector<Parameter*>& params, float lr) = 0;
+};
+
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float momentum = 0.9F, float weight_decay = 0.0F);
+  void Step(const std::vector<Parameter*>& params, float lr) override;
+
+ private:
+  float momentum_;
+  float weight_decay_;
+  std::unordered_map<Parameter*, Tensor> velocity_;
+};
+
+class Adam : public Optimizer {
+ public:
+  Adam(float beta1 = 0.9F, float beta2 = 0.999F, float eps = 1e-8F,
+       float weight_decay = 0.0F);
+  void Step(const std::vector<Parameter*>& params, float lr) override;
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+    int64_t t = 0;
+  };
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::unordered_map<Parameter*, State> state_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_OPTIM_OPTIMIZER_H_

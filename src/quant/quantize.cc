@@ -1,0 +1,121 @@
+#include "src/quant/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+QuantizedWeights QuantizeWeightsPerChannel(const Tensor& w) {
+  EGERIA_CHECK(w.Dim() == 2);
+  QuantizedWeights q;
+  q.rows = w.Size(0);
+  q.cols = w.Size(1);
+  q.data.resize(static_cast<size_t>(q.rows * q.cols));
+  q.scales.resize(static_cast<size_t>(q.rows));
+  const float* src = w.Data();
+  for (int64_t r = 0; r < q.rows; ++r) {
+    float max_abs = 0.0F;
+    for (int64_t c = 0; c < q.cols; ++c) {
+      max_abs = std::max(max_abs, std::abs(src[r * q.cols + c]));
+    }
+    const float scale = (max_abs > 0.0F) ? max_abs / 127.0F : 1.0F;
+    q.scales[static_cast<size_t>(r)] = scale;
+    const float inv = 1.0F / scale;
+    for (int64_t c = 0; c < q.cols; ++c) {
+      const float v = std::round(src[r * q.cols + c] * inv);
+      q.data[static_cast<size_t>(r * q.cols + c)] =
+          static_cast<int8_t>(std::clamp(v, -127.0F, 127.0F));
+    }
+  }
+  return q;
+}
+
+float ActivationScale(const float* x, int64_t n) {
+  float max_abs = 0.0F;
+  for (int64_t i = 0; i < n; ++i) {
+    max_abs = std::max(max_abs, std::abs(x[i]));
+  }
+  return (max_abs > 0.0F) ? max_abs / 127.0F : 1.0F;
+}
+
+void QuantizeActivations(const float* x, int8_t* out, int64_t n, float scale) {
+  const float inv = 1.0F / scale;
+  for (int64_t i = 0; i < n; ++i) {
+    const float v = std::round(x[i] * inv);
+    out[i] = static_cast<int8_t>(std::clamp(v, -127.0F, 127.0F));
+  }
+}
+
+void Int8GemmTransB(const int8_t* a, float a_scale, const QuantizedWeights& w,
+                    const float* bias, float* c, int64_t m) {
+  const int64_t k = w.cols;
+  const int64_t n = w.rows;
+  for (int64_t i = 0; i < m; ++i) {
+    const int8_t* arow = a + i * k;
+    float* crow = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const int8_t* wrow = w.data.data() + j * k;
+      int32_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(wrow[p]);
+      }
+      float v = static_cast<float>(acc) * a_scale * w.scales[static_cast<size_t>(j)];
+      if (bias != nullptr) {
+        v += bias[j];
+      }
+      crow[j] = v;
+    }
+  }
+}
+
+void Int8GemmWeightLhs(const QuantizedWeights& w, const int8_t* b, float b_scale,
+                       const float* bias, float* c, int64_t n) {
+  const int64_t k = w.cols;
+  std::vector<int32_t> acc(static_cast<size_t>(n));
+  for (int64_t r = 0; r < w.rows; ++r) {
+    std::fill(acc.begin(), acc.end(), 0);
+    const int8_t* wrow = w.data.data() + r * k;
+    for (int64_t p = 0; p < k; ++p) {
+      const int32_t wv = wrow[p];
+      if (wv == 0) {
+        continue;
+      }
+      const int8_t* brow = b + p * n;
+      for (int64_t j = 0; j < n; ++j) {
+        acc[static_cast<size_t>(j)] += wv * static_cast<int32_t>(brow[j]);
+      }
+    }
+    const float deq = b_scale * w.scales[static_cast<size_t>(r)];
+    const float add = (bias != nullptr) ? bias[r] : 0.0F;
+    float* crow = c + r * n;
+    for (int64_t j = 0; j < n; ++j) {
+      crow[j] = static_cast<float>(acc[static_cast<size_t>(j)]) * deq + add;
+    }
+  }
+}
+
+void MinMaxObserver::Observe(const float* x, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    max_abs_ = std::max(max_abs_, std::abs(x[i]));
+  }
+  observed_ = true;
+}
+
+float MinMaxObserver::Scale() const {
+  EGERIA_CHECK_MSG(observed_, "observer not calibrated");
+  return (max_abs_ > 0.0F) ? max_abs_ / 127.0F : 1.0F;
+}
+
+void FakeQuantizeInt8(Tensor& t) {
+  t.MakeUnique();
+  const float scale = ActivationScale(t.Data(), t.NumEl());
+  float* p = t.Data();
+  for (int64_t i = 0; i < t.NumEl(); ++i) {
+    const float q = std::clamp(std::round(p[i] / scale), -127.0F, 127.0F);
+    p[i] = q * scale;
+  }
+}
+
+}  // namespace egeria

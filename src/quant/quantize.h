@@ -1,0 +1,62 @@
+// Affine quantization primitives (paper S4.1.3).
+//
+// The reference model is an int8 post-training quantization of a training snapshot:
+// symmetric per-output-channel weight quantization, per-tensor activation
+// quantization (dynamic per-batch absmax, or frozen after observer calibration for
+// the static mode used on conv nets), int8 x int8 -> int32 kernels, float
+// dequantized outputs at module boundaries (where activations are hooked).
+#ifndef EGERIA_SRC_QUANT_QUANTIZE_H_
+#define EGERIA_SRC_QUANT_QUANTIZE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace egeria {
+
+// Per-output-channel symmetric int8 weights for a [rows, cols] matrix.
+struct QuantizedWeights {
+  std::vector<int8_t> data;   // [rows, cols] row-major
+  std::vector<float> scales;  // one per row: w_float = w_int8 * scale
+  int64_t rows = 0;
+  int64_t cols = 0;
+};
+
+QuantizedWeights QuantizeWeightsPerChannel(const Tensor& w);
+
+// Symmetric per-tensor activation scale: absmax / 127 (0-safe).
+float ActivationScale(const float* x, int64_t n);
+
+// x_q = clamp(round(x / scale), -127, 127).
+void QuantizeActivations(const float* x, int8_t* out, int64_t n, float scale);
+
+// C[m, n] = (Aq[m, k] * Wq[n, k]^T) dequantized with a_scale * w_scale[row] + bias.
+// This is the int8 kernel behind QuantLinear (and QuantConv2d via im2col).
+void Int8GemmTransB(const int8_t* a, float a_scale, const QuantizedWeights& w,
+                    const float* bias /* nullable */, float* c, int64_t m);
+
+// C[rows_w, n] = Wq[rows_w, k] * Bq[k, n], dequantized. Used by QuantConv2d where
+// B is the quantized im2col matrix.
+void Int8GemmWeightLhs(const QuantizedWeights& w, const int8_t* b, float b_scale,
+                       const float* bias /* nullable */, float* c, int64_t n);
+
+// Tracks the running max |activation| across calibration batches (static mode).
+class MinMaxObserver {
+ public:
+  void Observe(const float* x, int64_t n);
+  bool Calibrated() const { return observed_; }
+  float Scale() const;
+
+ private:
+  float max_abs_ = 0.0F;
+  bool observed_ = false;
+};
+
+// Fake-quantization helper: quantize + dequantize a tensor in place (used by tests to
+// bound int8 round-trip error and by the fp16 path via conversion).
+void FakeQuantizeInt8(Tensor& t);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_QUANT_QUANTIZE_H_

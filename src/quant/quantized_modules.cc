@@ -1,0 +1,246 @@
+#include "src/quant/quantized_modules.h"
+
+#include "src/tensor/tensor_ops.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+QuantLinear::QuantLinear(const Linear& src, QuantMode mode)
+    : Module(src.name() + ".int8"),
+      in_features_(src.in_features()),
+      out_features_(src.out_features()),
+      weights_(QuantizeWeightsPerChannel(src.weight().value)),
+      mode_(mode) {
+  if (src.has_bias()) {
+    bias_ = src.bias().value.Clone();
+  }
+  training_ = false;
+}
+
+float QuantLinear::InputScale(const float* x, int64_t n) {
+  if (mode_ == QuantMode::kDynamic) {
+    return ActivationScale(x, n);
+  }
+  if (calibration_left_ > 0) {
+    observer_.Observe(x, n);
+    --calibration_left_;
+  }
+  return observer_.Scale();
+}
+
+Tensor QuantLinear::Forward(const Tensor& input) {
+  EGERIA_CHECK(input.Size(-1) == in_features_);
+  const int64_t rows = input.NumEl() / in_features_;
+  std::vector<int8_t> xq(static_cast<size_t>(rows * in_features_));
+  const float scale = InputScale(input.Data(), input.NumEl());
+  QuantizeActivations(input.Data(), xq.data(), input.NumEl(), scale);
+  std::vector<int64_t> out_shape = input.Shape();
+  out_shape.back() = out_features_;
+  Tensor out(out_shape);
+  Int8GemmTransB(xq.data(), scale, weights_, bias_.Defined() ? bias_.Data() : nullptr,
+                 out.Data(), rows);
+  return out;
+}
+
+Tensor QuantLinear::Backward(const Tensor&) {
+  EGERIA_CHECK_MSG(false, name_ + ": quantized modules are inference-only");
+  return Tensor();
+}
+
+std::unique_ptr<Module> QuantLinear::CloneForInference(const InferenceFactory&) const {
+  EGERIA_CHECK_MSG(false, name_ + ": cannot re-clone a quantized module");
+  return nullptr;
+}
+
+QuantConv2d::QuantConv2d(const Conv2d& src, QuantMode mode)
+    : Module(src.name() + ".int8"),
+      in_channels_(src.in_channels()),
+      out_channels_(src.out_channels()),
+      geom_(src.geom()),
+      weights_(QuantizeWeightsPerChannel(src.weight().value)),
+      mode_(mode) {
+  if (src.has_bias()) {
+    bias_ = src.bias().value.Clone();
+  }
+  training_ = false;
+}
+
+float QuantConv2d::InputScale(const float* x, int64_t n) {
+  if (mode_ == QuantMode::kDynamic) {
+    return ActivationScale(x, n);
+  }
+  if (calibration_left_ > 0) {
+    observer_.Observe(x, n);
+    --calibration_left_;
+  }
+  return observer_.Scale();
+}
+
+Tensor QuantConv2d::Forward(const Tensor& input) {
+  EGERIA_CHECK(input.Dim() == 4 && input.Size(1) == in_channels_);
+  const int64_t b = input.Size(0);
+  const int64_t oh = geom_.OutH(input.Size(2));
+  const int64_t ow = geom_.OutW(input.Size(3));
+  const int64_t ohow = oh * ow;
+  Tensor cols = Im2Col(input, geom_);  // [b, ckk, ohow]
+  const int64_t ckk = cols.Size(1);
+  // The quantization scale comes from the raw input; im2col only re-arranges values.
+  const float scale = InputScale(input.Data(), input.NumEl());
+  Tensor out({b, out_channels_, oh, ow});
+  std::vector<int8_t> colq(static_cast<size_t>(ckk * ohow));
+  for (int64_t bi = 0; bi < b; ++bi) {
+    QuantizeActivations(cols.Data() + bi * ckk * ohow, colq.data(), ckk * ohow, scale);
+    Int8GemmWeightLhs(weights_, colq.data(), scale,
+                      bias_.Defined() ? bias_.Data() : nullptr,
+                      out.Data() + bi * out_channels_ * ohow, ohow);
+  }
+  return out;
+}
+
+Tensor QuantConv2d::Backward(const Tensor&) {
+  EGERIA_CHECK_MSG(false, name_ + ": quantized modules are inference-only");
+  return Tensor();
+}
+
+std::unique_ptr<Module> QuantConv2d::CloneForInference(const InferenceFactory&) const {
+  EGERIA_CHECK_MSG(false, name_ + ": cannot re-clone a quantized module");
+  return nullptr;
+}
+
+Fp16Linear::Fp16Linear(const Linear& src)
+    : Module(src.name() + ".fp16"),
+      in_features_(src.in_features()),
+      out_features_(src.out_features()) {
+  const float* w = src.weight().value.Data();
+  weights_.resize(static_cast<size_t>(in_features_ * out_features_));
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] = static_cast<_Float16>(w[i]);
+  }
+  if (src.has_bias()) {
+    bias_ = src.bias().value.Clone();
+  }
+  training_ = false;
+}
+
+Tensor Fp16Linear::Forward(const Tensor& input) {
+  EGERIA_CHECK(input.Size(-1) == in_features_);
+  const int64_t rows = input.NumEl() / in_features_;
+  std::vector<int64_t> out_shape = input.Shape();
+  out_shape.back() = out_features_;
+  Tensor out(out_shape);
+  const float* x = input.Data();
+  float* y = out.Data();
+  for (int64_t i = 0; i < rows; ++i) {
+    const float* xrow = x + i * in_features_;
+    float* yrow = y + i * out_features_;
+    for (int64_t j = 0; j < out_features_; ++j) {
+      const _Float16* wrow = weights_.data() + j * in_features_;
+      float acc = 0.0F;
+      for (int64_t p = 0; p < in_features_; ++p) {
+        acc += static_cast<float>(wrow[p]) * xrow[p];
+      }
+      yrow[j] = bias_.Defined() ? acc + bias_.Data()[j] : acc;
+    }
+  }
+  return out;
+}
+
+Tensor Fp16Linear::Backward(const Tensor&) {
+  EGERIA_CHECK_MSG(false, name_ + ": fp16 modules are inference-only");
+  return Tensor();
+}
+
+std::unique_ptr<Module> Fp16Linear::CloneForInference(const InferenceFactory&) const {
+  EGERIA_CHECK_MSG(false, name_ + ": cannot re-clone an fp16 module");
+  return nullptr;
+}
+
+Fp16Conv2d::Fp16Conv2d(const Conv2d& src)
+    : Module(src.name() + ".fp16"),
+      in_channels_(src.in_channels()),
+      out_channels_(src.out_channels()),
+      geom_(src.geom()) {
+  const Tensor& w = src.weight().value;
+  weights_.resize(static_cast<size_t>(w.NumEl()));
+  for (size_t i = 0; i < weights_.size(); ++i) {
+    weights_[i] = static_cast<_Float16>(w.Data()[i]);
+  }
+  if (src.has_bias()) {
+    bias_ = src.bias().value.Clone();
+  }
+  training_ = false;
+}
+
+Tensor Fp16Conv2d::Forward(const Tensor& input) {
+  EGERIA_CHECK(input.Dim() == 4 && input.Size(1) == in_channels_);
+  const int64_t b = input.Size(0);
+  const int64_t oh = geom_.OutH(input.Size(2));
+  const int64_t ow = geom_.OutW(input.Size(3));
+  const int64_t ohow = oh * ow;
+  Tensor cols = Im2Col(input, geom_);
+  const int64_t ckk = cols.Size(1);
+  Tensor out({b, out_channels_, oh, ow});
+  for (int64_t bi = 0; bi < b; ++bi) {
+    const float* col = cols.Data() + bi * ckk * ohow;
+    float* oplane = out.Data() + bi * out_channels_ * ohow;
+    for (int64_t oc = 0; oc < out_channels_; ++oc) {
+      const _Float16* wrow = weights_.data() + oc * ckk;
+      float* orow = oplane + oc * ohow;
+      const float add = bias_.Defined() ? bias_.Data()[oc] : 0.0F;
+      for (int64_t j = 0; j < ohow; ++j) {
+        orow[j] = add;
+      }
+      for (int64_t p = 0; p < ckk; ++p) {
+        const float wv = static_cast<float>(wrow[p]);
+        if (wv == 0.0F) {
+          continue;
+        }
+        const float* crow = col + p * ohow;
+        for (int64_t j = 0; j < ohow; ++j) {
+          orow[j] += wv * crow[j];
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Fp16Conv2d::Backward(const Tensor&) {
+  EGERIA_CHECK_MSG(false, name_ + ": fp16 modules are inference-only");
+  return Tensor();
+}
+
+std::unique_ptr<Module> Fp16Conv2d::CloneForInference(const InferenceFactory&) const {
+  EGERIA_CHECK_MSG(false, name_ + ": cannot re-clone an fp16 module");
+  return nullptr;
+}
+
+std::unique_ptr<Module> Int8Factory::MakeLinear(const Linear& src) const {
+  return std::make_unique<QuantLinear>(src, mode_);
+}
+
+std::unique_ptr<Module> Int8Factory::MakeConv2d(const Conv2d& src) const {
+  return std::make_unique<QuantConv2d>(src, mode_);
+}
+
+std::unique_ptr<Module> Fp16Factory::MakeLinear(const Linear& src) const {
+  return std::make_unique<Fp16Linear>(src);
+}
+
+std::unique_ptr<Module> Fp16Factory::MakeConv2d(const Conv2d& src) const {
+  return std::make_unique<Fp16Conv2d>(src);
+}
+
+std::unique_ptr<InferenceFactory> MakeInferenceFactory(Precision precision, QuantMode mode) {
+  switch (precision) {
+    case Precision::kInt8:
+      return std::make_unique<Int8Factory>(mode);
+    case Precision::kFloat16:
+      return std::make_unique<Fp16Factory>();
+    case Precision::kFloat32:
+      return std::make_unique<InferenceFactory>();
+  }
+  return std::make_unique<InferenceFactory>();
+}
+
+}  // namespace egeria

@@ -1,0 +1,217 @@
+#include "src/tensor/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+void CenterColumns(Tensor& a) {
+  EGERIA_CHECK(a.Dim() == 2);
+  const int64_t n = a.Size(0);
+  const int64_t p = a.Size(1);
+  a.MakeUnique();
+  float* d = a.Data();
+  for (int64_t j = 0; j < p; ++j) {
+    double mean = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      mean += d[i * p + j];
+    }
+    mean /= static_cast<double>(n);
+    for (int64_t i = 0; i < n; ++i) {
+      d[i * p + j] -= static_cast<float>(mean);
+    }
+  }
+}
+
+QrResult HouseholderQr(const Tensor& a) {
+  EGERIA_CHECK(a.Dim() == 2);
+  const int64_t n = a.Size(0);
+  const int64_t p = a.Size(1);
+  EGERIA_CHECK_MSG(n >= p, "HouseholderQr requires n >= p");
+
+  // Work on a copy in double precision for stability.
+  std::vector<double> r(static_cast<size_t>(n * p));
+  for (int64_t i = 0; i < n * p; ++i) {
+    r[static_cast<size_t>(i)] = a.Data()[i];
+  }
+  // Householder vectors stored per column.
+  std::vector<std::vector<double>> vs;
+  vs.reserve(static_cast<size_t>(p));
+
+  for (int64_t k = 0; k < p; ++k) {
+    // Build reflector for column k below the diagonal.
+    double norm = 0.0;
+    for (int64_t i = k; i < n; ++i) {
+      norm += r[static_cast<size_t>(i * p + k)] * r[static_cast<size_t>(i * p + k)];
+    }
+    norm = std::sqrt(norm);
+    std::vector<double> v(static_cast<size_t>(n), 0.0);
+    const double akk = r[static_cast<size_t>(k * p + k)];
+    const double alpha = (akk >= 0.0) ? -norm : norm;
+    if (norm < 1e-14) {
+      vs.push_back(std::move(v));  // Degenerate column: identity reflector.
+      continue;
+    }
+    for (int64_t i = k; i < n; ++i) {
+      v[static_cast<size_t>(i)] = r[static_cast<size_t>(i * p + k)];
+    }
+    v[static_cast<size_t>(k)] -= alpha;
+    double vnorm = 0.0;
+    for (int64_t i = k; i < n; ++i) {
+      vnorm += v[static_cast<size_t>(i)] * v[static_cast<size_t>(i)];
+    }
+    vnorm = std::sqrt(vnorm);
+    if (vnorm < 1e-14) {
+      std::fill(v.begin(), v.end(), 0.0);
+      vs.push_back(std::move(v));
+      continue;
+    }
+    for (int64_t i = k; i < n; ++i) {
+      v[static_cast<size_t>(i)] /= vnorm;
+    }
+    // Apply H = I - 2 v v^T to remaining columns of R.
+    for (int64_t j = k; j < p; ++j) {
+      double dot = 0.0;
+      for (int64_t i = k; i < n; ++i) {
+        dot += v[static_cast<size_t>(i)] * r[static_cast<size_t>(i * p + j)];
+      }
+      for (int64_t i = k; i < n; ++i) {
+        r[static_cast<size_t>(i * p + j)] -= 2.0 * v[static_cast<size_t>(i)] * dot;
+      }
+    }
+    vs.push_back(std::move(v));
+  }
+
+  // Form thin Q by applying reflectors (in reverse) to the first p identity columns.
+  std::vector<double> q(static_cast<size_t>(n * p), 0.0);
+  for (int64_t j = 0; j < p; ++j) {
+    q[static_cast<size_t>(j * p + j)] = 1.0;
+  }
+  for (int64_t k = p - 1; k >= 0; --k) {
+    const auto& v = vs[static_cast<size_t>(k)];
+    for (int64_t j = 0; j < p; ++j) {
+      double dot = 0.0;
+      for (int64_t i = k; i < n; ++i) {
+        dot += v[static_cast<size_t>(i)] * q[static_cast<size_t>(i * p + j)];
+      }
+      if (dot == 0.0) {
+        continue;
+      }
+      for (int64_t i = k; i < n; ++i) {
+        q[static_cast<size_t>(i * p + j)] -= 2.0 * v[static_cast<size_t>(i)] * dot;
+      }
+    }
+  }
+
+  QrResult out;
+  out.q = Tensor({n, p});
+  out.r = Tensor({p, p});
+  for (int64_t i = 0; i < n * p; ++i) {
+    out.q.Data()[i] = static_cast<float>(q[static_cast<size_t>(i)]);
+  }
+  for (int64_t i = 0; i < p; ++i) {
+    for (int64_t j = 0; j < p; ++j) {
+      out.r.At(i, j) = (j >= i) ? static_cast<float>(r[static_cast<size_t>(i * p + j)]) : 0.0F;
+    }
+  }
+  return out;
+}
+
+SvdResult JacobiSvd(const Tensor& a) {
+  EGERIA_CHECK(a.Dim() == 2);
+  const int64_t m = a.Size(0);
+  const int64_t n = a.Size(1);
+
+  // Work matrix W = A (copied to double), V accumulates rotations. One-sided Jacobi
+  // orthogonalizes the columns of W; afterwards W = U * diag(s), A = U diag(s) V^T.
+  std::vector<double> w(static_cast<size_t>(m * n));
+  for (int64_t i = 0; i < m * n; ++i) {
+    w[static_cast<size_t>(i)] = a.Data()[i];
+  }
+  std::vector<double> v(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    v[static_cast<size_t>(i * n + i)] = 1.0;
+  }
+
+  const int kMaxSweeps = 60;
+  const double kTol = 1e-12;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool converged = true;
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double app = 0.0;
+        double aqq = 0.0;
+        double apq = 0.0;
+        for (int64_t i = 0; i < m; ++i) {
+          const double wp = w[static_cast<size_t>(i * n + p)];
+          const double wq = w[static_cast<size_t>(i * n + q)];
+          app += wp * wp;
+          aqq += wq * wq;
+          apq += wp * wq;
+        }
+        if (std::abs(apq) <= kTol * std::sqrt(app * aqq) || apq == 0.0) {
+          continue;
+        }
+        converged = false;
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0) ? 1.0 / (tau + std::sqrt(1.0 + tau * tau))
+                                      : 1.0 / (tau - std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (int64_t i = 0; i < m; ++i) {
+          const double wp = w[static_cast<size_t>(i * n + p)];
+          const double wq = w[static_cast<size_t>(i * n + q)];
+          w[static_cast<size_t>(i * n + p)] = c * wp - s * wq;
+          w[static_cast<size_t>(i * n + q)] = s * wp + c * wq;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          const double vp = v[static_cast<size_t>(i * n + p)];
+          const double vq = v[static_cast<size_t>(i * n + q)];
+          v[static_cast<size_t>(i * n + p)] = c * vp - s * vq;
+          v[static_cast<size_t>(i * n + q)] = s * vp + c * vq;
+        }
+      }
+    }
+    if (converged) {
+      break;
+    }
+  }
+
+  // Singular values = column norms of W; sort descending.
+  const int64_t r = std::min(m, n);
+  std::vector<double> norms(static_cast<size_t>(n), 0.0);
+  for (int64_t j = 0; j < n; ++j) {
+    double s2 = 0.0;
+    for (int64_t i = 0; i < m; ++i) {
+      s2 += w[static_cast<size_t>(i * n + j)] * w[static_cast<size_t>(i * n + j)];
+    }
+    norms[static_cast<size_t>(j)] = std::sqrt(s2);
+  }
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return norms[static_cast<size_t>(x)] > norms[static_cast<size_t>(y)]; });
+
+  SvdResult out;
+  out.u = Tensor({m, r});
+  out.v = Tensor({n, r});
+  out.s.resize(static_cast<size_t>(r));
+  for (int64_t k = 0; k < r; ++k) {
+    const int64_t j = order[static_cast<size_t>(k)];
+    const double sv = norms[static_cast<size_t>(j)];
+    out.s[static_cast<size_t>(k)] = static_cast<float>(sv);
+    const double inv = (sv > 1e-14) ? 1.0 / sv : 0.0;
+    for (int64_t i = 0; i < m; ++i) {
+      out.u.At(i, k) = static_cast<float>(w[static_cast<size_t>(i * n + j)] * inv);
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      out.v.At(i, k) = static_cast<float>(v[static_cast<size_t>(i * n + j)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace egeria

@@ -1,0 +1,39 @@
+// Small-matrix linear algebra for PWCCA (Morcos et al., NeurIPS'18), the post-hoc
+// convergence analysis the paper uses in Figures 1 and 4 comparisons.
+//
+// Sizes here are tiny (activation matrices are [n_samples, channels] with channels
+// <= ~128), so textbook Householder QR and one-sided Jacobi SVD are accurate and fast
+// enough; no blocking or pivoting is needed.
+#ifndef EGERIA_SRC_TENSOR_LINALG_H_
+#define EGERIA_SRC_TENSOR_LINALG_H_
+
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace egeria {
+
+// Subtracts the column mean from every column of a [n, p] matrix in place.
+void CenterColumns(Tensor& a);
+
+struct QrResult {
+  Tensor q;  // [n, p], orthonormal columns (thin Q).
+  Tensor r;  // [p, p], upper triangular.
+};
+
+// Thin Householder QR of a [n, p] matrix with n >= p.
+QrResult HouseholderQr(const Tensor& a);
+
+struct SvdResult {
+  Tensor u;              // [m, r] left singular vectors.
+  std::vector<float> s;  // r singular values, descending.
+  Tensor v;              // [n, r] right singular vectors.
+};
+
+// One-sided Jacobi SVD of a [m, n] matrix; r = min(m, n). Iterates sweeps until all
+// column pairs are numerically orthogonal.
+SvdResult JacobiSvd(const Tensor& a);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_TENSOR_LINALG_H_

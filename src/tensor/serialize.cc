@@ -1,0 +1,138 @@
+#include "src/tensor/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+namespace {
+
+constexpr uint32_t kTensorMagic = 0x4E544745;      // 'EGTN'
+constexpr uint32_t kCheckpointMagic = 0x4B434745;  // 'EGCK'
+
+template <typename T>
+void WritePod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& is, T& v) {
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+void WriteTensor(std::ostream& os, const Tensor& t) {
+  WritePod(os, kTensorMagic);
+  const uint32_t ndim = static_cast<uint32_t>(t.Dim());
+  WritePod(os, ndim);
+  for (int d = 0; d < t.Dim(); ++d) {
+    WritePod(os, t.Size(d));
+  }
+  if (t.NumEl() > 0) {
+    os.write(reinterpret_cast<const char*>(t.Data()),
+             static_cast<std::streamsize>(t.NumEl() * sizeof(float)));
+  }
+}
+
+Tensor ReadTensor(std::istream& is) {
+  uint32_t magic = 0;
+  if (!ReadPod(is, magic) || magic != kTensorMagic) {
+    return Tensor();
+  }
+  uint32_t ndim = 0;
+  if (!ReadPod(is, ndim) || ndim > 8) {
+    return Tensor();
+  }
+  std::vector<int64_t> shape(ndim);
+  for (auto& d : shape) {
+    if (!ReadPod(is, d) || d < 0) {
+      return Tensor();
+    }
+  }
+  Tensor t(shape);
+  if (t.NumEl() > 0) {
+    is.read(reinterpret_cast<char*>(t.Data()),
+            static_cast<std::streamsize>(t.NumEl() * sizeof(float)));
+    if (!is) {
+      return Tensor();
+    }
+  }
+  return t;
+}
+
+bool SaveTensorFile(const std::string& path, const Tensor& t) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return false;
+  }
+  WriteTensor(os, t);
+  return static_cast<bool>(os);
+}
+
+Tensor LoadTensorFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return Tensor();
+  }
+  return ReadTensor(is);
+}
+
+bool SaveCheckpoint(const std::string& path, const Checkpoint& ckpt) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return false;
+  }
+  WritePod(os, kCheckpointMagic);
+  WritePod(os, static_cast<uint64_t>(ckpt.size()));
+  for (const auto& [name, tensor] : ckpt) {
+    WritePod(os, static_cast<uint32_t>(name.size()));
+    os.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WriteTensor(os, tensor);
+  }
+  return static_cast<bool>(os);
+}
+
+bool LoadCheckpoint(const std::string& path, Checkpoint& ckpt) {
+  ckpt.clear();
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    return false;
+  }
+  uint32_t magic = 0;
+  if (!ReadPod(is, magic) || magic != kCheckpointMagic) {
+    return false;
+  }
+  uint64_t count = 0;
+  if (!ReadPod(is, count)) {
+    return false;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    uint32_t len = 0;
+    if (!ReadPod(is, len) || len > (1U << 20)) {
+      ckpt.clear();
+      return false;
+    }
+    std::string name(len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(len));
+    if (!is) {
+      ckpt.clear();
+      return false;
+    }
+    Tensor t = ReadTensor(is);
+    if (!t.Defined()) {
+      ckpt.clear();
+      return false;
+    }
+    ckpt.emplace(std::move(name), std::move(t));
+  }
+  return true;
+}
+
+}  // namespace egeria

@@ -1,0 +1,37 @@
+// Binary tensor (de)serialization.
+//
+// Used by (a) the activation cache, which spills frozen-layer activations to disk and
+// prefetches them back (paper S4.3), and (b) model checkpoints (the "pre-trained"
+// model for the fine-tuning experiments and reference snapshots in tests).
+//
+// Format (little-endian):
+//   u32 magic 'EGTN' | u32 ndim | i64 dims[ndim] | f32 data[numel]
+// Checkpoint format:
+//   u32 magic 'EGCK' | u64 count | count * { u32 name_len | bytes | tensor }
+#ifndef EGERIA_SRC_TENSOR_SERIALIZE_H_
+#define EGERIA_SRC_TENSOR_SERIALIZE_H_
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "src/tensor/tensor.h"
+
+namespace egeria {
+
+void WriteTensor(std::ostream& os, const Tensor& t);
+Tensor ReadTensor(std::istream& is);
+
+bool SaveTensorFile(const std::string& path, const Tensor& t);
+// Returns an undefined tensor on failure.
+Tensor LoadTensorFile(const std::string& path);
+
+using Checkpoint = std::map<std::string, Tensor>;
+
+bool SaveCheckpoint(const std::string& path, const Checkpoint& ckpt);
+// Returns false (and leaves ckpt empty) on failure.
+bool LoadCheckpoint(const std::string& path, Checkpoint& ckpt);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_TENSOR_SERIALIZE_H_

@@ -1,0 +1,321 @@
+#include "src/tensor/tensor.h"
+
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+
+namespace {
+
+int64_t ComputeNumel(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    EGERIA_CHECK_MSG(d >= 0, "negative dimension");
+    n *= d;
+  }
+  return n;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), numel_(ComputeNumel(shape_)) {
+  storage_ = std::make_shared<std::vector<float>>(static_cast<size_t>(numel_), 0.0F);
+}
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  Tensor t(std::move(shape));
+  t.Fill_(1.0F);
+  return t;
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.Fill_(value);
+  return t;
+}
+
+Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> values) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = ComputeNumel(t.shape_);
+  EGERIA_CHECK_MSG(static_cast<int64_t>(values.size()) == t.numel_,
+                   "FromVector size mismatch");
+  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  return t;
+}
+
+Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  float* p = t.Data();
+  for (int64_t i = 0; i < t.numel_; ++i) {
+    p[i] = rng.NextGaussian() * stddev;
+  }
+  return t;
+}
+
+Tensor Tensor::Rand(std::vector<int64_t> shape, Rng& rng, float lo, float hi) {
+  Tensor t(std::move(shape));
+  float* p = t.Data();
+  for (int64_t i = 0; i < t.numel_; ++i) {
+    p[i] = rng.NextUniform(lo, hi);
+  }
+  return t;
+}
+
+int64_t Tensor::Size(int d) const {
+  if (d < 0) {
+    d += Dim();
+  }
+  EGERIA_CHECK(d >= 0 && d < Dim());
+  return shape_[static_cast<size_t>(d)];
+}
+
+std::string Tensor::ShapeStr() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i > 0) {
+      os << ",";
+    }
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+float* Tensor::Data() {
+  EGERIA_CHECK_MSG(storage_ != nullptr, "Data() on undefined tensor");
+  return storage_->data();
+}
+
+const float* Tensor::Data() const {
+  EGERIA_CHECK_MSG(storage_ != nullptr, "Data() on undefined tensor");
+  return storage_->data();
+}
+
+float& Tensor::At(int64_t i) { return Data()[i]; }
+float Tensor::At(int64_t i) const { return Data()[i]; }
+
+float& Tensor::At(int64_t i, int64_t j) { return Data()[i * shape_[1] + j]; }
+float Tensor::At(int64_t i, int64_t j) const { return Data()[i * shape_[1] + j]; }
+
+float& Tensor::At(int64_t i, int64_t j, int64_t k) {
+  return Data()[(i * shape_[1] + j) * shape_[2] + k];
+}
+float Tensor::At(int64_t i, int64_t j, int64_t k) const {
+  return Data()[(i * shape_[1] + j) * shape_[2] + k];
+}
+
+float& Tensor::At(int64_t i, int64_t j, int64_t k, int64_t l) {
+  return Data()[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+float Tensor::At(int64_t i, int64_t j, int64_t k, int64_t l) const {
+  return Data()[((i * shape_[1] + j) * shape_[2] + k) * shape_[3] + l];
+}
+
+Tensor Tensor::Clone() const {
+  if (!Defined()) {
+    return Tensor();
+  }
+  Tensor t;
+  t.shape_ = shape_;
+  t.numel_ = numel_;
+  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  return t;
+}
+
+Tensor Tensor::Reshape(std::vector<int64_t> shape) const {
+  // Support a single -1 (inferred) dimension, matching common framework semantics.
+  int64_t known = 1;
+  int infer = -1;
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (shape[i] == -1) {
+      EGERIA_CHECK_MSG(infer == -1, "multiple -1 dims in Reshape");
+      infer = static_cast<int>(i);
+    } else {
+      known *= shape[i];
+    }
+  }
+  if (infer >= 0) {
+    EGERIA_CHECK(known > 0 && numel_ % known == 0);
+    shape[static_cast<size_t>(infer)] = numel_ / known;
+  }
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = ComputeNumel(t.shape_);
+  EGERIA_CHECK_MSG(t.numel_ == numel_, "Reshape numel mismatch");
+  t.storage_ = storage_;
+  return t;
+}
+
+void Tensor::MakeUnique() {
+  if (storage_ != nullptr && storage_.use_count() > 1) {
+    storage_ = std::make_shared<std::vector<float>>(*storage_);
+  }
+}
+
+Tensor& Tensor::Add_(const Tensor& other) { return AddScaled_(other, 1.0F); }
+
+Tensor& Tensor::Sub_(const Tensor& other) { return AddScaled_(other, -1.0F); }
+
+Tensor& Tensor::Mul_(const Tensor& other) {
+  EGERIA_CHECK_MSG(numel_ == other.numel_, "Mul_ shape mismatch");
+  float* p = Data();
+  const float* q = other.Data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    p[i] *= q[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::AddScaled_(const Tensor& other, float alpha) {
+  EGERIA_CHECK_MSG(numel_ == other.numel_, "AddScaled_ shape mismatch");
+  float* p = Data();
+  const float* q = other.Data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    p[i] += alpha * q[i];
+  }
+  return *this;
+}
+
+Tensor& Tensor::Scale_(float alpha) {
+  float* p = Data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    p[i] *= alpha;
+  }
+  return *this;
+}
+
+Tensor& Tensor::AddScalar_(float alpha) {
+  float* p = Data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    p[i] += alpha;
+  }
+  return *this;
+}
+
+Tensor& Tensor::Fill_(float value) {
+  float* p = Data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    p[i] = value;
+  }
+  return *this;
+}
+
+Tensor& Tensor::Zero_() { return Fill_(0.0F); }
+
+Tensor Tensor::Add(const Tensor& other) const {
+  Tensor t = Clone();
+  t.Add_(other);
+  return t;
+}
+
+Tensor Tensor::Sub(const Tensor& other) const {
+  Tensor t = Clone();
+  t.Sub_(other);
+  return t;
+}
+
+Tensor Tensor::Mul(const Tensor& other) const {
+  Tensor t = Clone();
+  t.Mul_(other);
+  return t;
+}
+
+Tensor Tensor::Scale(float alpha) const {
+  Tensor t = Clone();
+  t.Scale_(alpha);
+  return t;
+}
+
+float Tensor::Sum() const {
+  const float* p = Data();
+  double s = 0.0;
+  for (int64_t i = 0; i < numel_; ++i) {
+    s += p[i];
+  }
+  return static_cast<float>(s);
+}
+
+float Tensor::Mean() const {
+  EGERIA_CHECK(numel_ > 0);
+  return Sum() / static_cast<float>(numel_);
+}
+
+float Tensor::AbsMax() const {
+  const float* p = Data();
+  float m = 0.0F;
+  for (int64_t i = 0; i < numel_; ++i) {
+    const float a = std::abs(p[i]);
+    if (a > m) {
+      m = a;
+    }
+  }
+  return m;
+}
+
+float Tensor::Min() const {
+  EGERIA_CHECK(numel_ > 0);
+  const float* p = Data();
+  float m = p[0];
+  for (int64_t i = 1; i < numel_; ++i) {
+    if (p[i] < m) {
+      m = p[i];
+    }
+  }
+  return m;
+}
+
+float Tensor::Max() const {
+  EGERIA_CHECK(numel_ > 0);
+  const float* p = Data();
+  float m = p[0];
+  for (int64_t i = 1; i < numel_; ++i) {
+    if (p[i] > m) {
+      m = p[i];
+    }
+  }
+  return m;
+}
+
+float Tensor::L2Norm() const {
+  const float* p = Data();
+  double s = 0.0;
+  for (int64_t i = 0; i < numel_; ++i) {
+    s += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+  }
+  return static_cast<float>(std::sqrt(s));
+}
+
+float Tensor::Dot(const Tensor& other) const {
+  EGERIA_CHECK_MSG(numel_ == other.numel_, "Dot shape mismatch");
+  const float* p = Data();
+  const float* q = other.Data();
+  double s = 0.0;
+  for (int64_t i = 0; i < numel_; ++i) {
+    s += static_cast<double>(p[i]) * static_cast<double>(q[i]);
+  }
+  return static_cast<float>(s);
+}
+
+bool Tensor::HasNonFinite() const {
+  if (!Defined()) {
+    return false;
+  }
+  const float* p = Data();
+  for (int64_t i = 0; i < numel_; ++i) {
+    if (!std::isfinite(p[i])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace egeria

@@ -1,0 +1,103 @@
+// Dense N-dimensional float32 tensor with shared, contiguous storage.
+//
+// This is the numeric substrate for the whole reproduction: the NN framework
+// (src/nn), quantized inference (src/quant), and the similarity metrics (src/metrics)
+// all operate on Tensor. Design choices:
+//  - float32 only; quantized kernels keep their own int8 buffers and exchange Tensor
+//    at module boundaries (that is where Egeria hooks activations).
+//  - copy is cheap (shared storage); Clone() deep-copies. Reshape shares storage.
+//  - no strided views: every tensor is contiguous, which keeps kernels simple and is
+//    sufficient because all layouts used here are NCHW / [B,T,D] / [N,D].
+#ifndef EGERIA_SRC_TENSOR_TENSOR_H_
+#define EGERIA_SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace egeria {
+
+class Rng;
+
+class Tensor {
+ public:
+  // Empty tensor (numel 0, no storage).
+  Tensor() = default;
+  // Zero-initialized tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float value);
+  static Tensor FromVector(std::vector<int64_t> shape, std::vector<float> values);
+  // Gaussian(0, stddev) init.
+  static Tensor Randn(std::vector<int64_t> shape, Rng& rng, float stddev = 1.0F);
+  // Uniform[lo, hi) init.
+  static Tensor Rand(std::vector<int64_t> shape, Rng& rng, float lo = 0.0F, float hi = 1.0F);
+
+  bool Defined() const { return storage_ != nullptr; }
+  int64_t NumEl() const { return numel_; }
+  int Dim() const { return static_cast<int>(shape_.size()); }
+  const std::vector<int64_t>& Shape() const { return shape_; }
+  int64_t Size(int d) const;
+  std::string ShapeStr() const;
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  float* Data();
+  const float* Data() const;
+
+  // Element access for up to 4-d tensors (row-major).
+  float& At(int64_t i);
+  float At(int64_t i) const;
+  float& At(int64_t i, int64_t j);
+  float At(int64_t i, int64_t j) const;
+  float& At(int64_t i, int64_t j, int64_t k);
+  float At(int64_t i, int64_t j, int64_t k) const;
+  float& At(int64_t i, int64_t j, int64_t k, int64_t l);
+  float At(int64_t i, int64_t j, int64_t k, int64_t l) const;
+
+  // Deep copy.
+  Tensor Clone() const;
+  // New tensor sharing storage with a different shape (numel must match).
+  Tensor Reshape(std::vector<int64_t> shape) const;
+  // Ensures this tensor is the sole owner of its storage (copy-on-write helper).
+  void MakeUnique();
+
+  // In-place arithmetic. All shape-checked.
+  Tensor& Add_(const Tensor& other);
+  Tensor& Sub_(const Tensor& other);
+  Tensor& Mul_(const Tensor& other);
+  Tensor& AddScaled_(const Tensor& other, float alpha);  // this += alpha * other
+  Tensor& Scale_(float alpha);
+  Tensor& AddScalar_(float alpha);
+  Tensor& Fill_(float value);
+  Tensor& Zero_();
+
+  // Out-of-place arithmetic.
+  Tensor Add(const Tensor& other) const;
+  Tensor Sub(const Tensor& other) const;
+  Tensor Mul(const Tensor& other) const;
+  Tensor Scale(float alpha) const;
+
+  // Reductions.
+  float Sum() const;
+  float Mean() const;
+  float AbsMax() const;
+  float Min() const;
+  float Max() const;
+  float L2Norm() const;
+  float Dot(const Tensor& other) const;
+
+  // Debug helper: true if any element is NaN or Inf.
+  bool HasNonFinite() const;
+
+ private:
+  std::shared_ptr<std::vector<float>> storage_;
+  std::vector<int64_t> shape_;
+  int64_t numel_ = 0;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,81 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace egeria {
+
+namespace {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+
+int InitialLevelFromEnv() {
+  const char* env = std::getenv("EGERIA_LOG_LEVEL");
+  if (env == nullptr) {
+    return static_cast<int>(LogLevel::kInfo);
+  }
+  int v = std::atoi(env);
+  if (v < 0) {
+    v = 0;
+  }
+  if (v > 3) {
+    v = 3;
+  }
+  return v;
+}
+
+const bool g_env_init = [] {
+  g_log_level.store(InitialLevelFromEnv());
+  return true;
+}();
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
+
+void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  stream_ << "\n";
+  std::cerr << stream_.str();
+}
+
+void CheckFailed(const char* condition, const char* file, int line,
+                 const std::string& message) {
+  std::cerr << "[CHECK FAILED " << file << ":" << line << "] " << condition;
+  if (!message.empty()) {
+    std::cerr << " : " << message;
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace egeria

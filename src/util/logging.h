@@ -1,0 +1,72 @@
+// Minimal logging and invariant-checking facilities used across the Egeria codebase.
+//
+// Logging is intentionally tiny: benches and examples print structured tables through
+// util/table.h; this header only provides leveled diagnostics and hard CHECK macros.
+#ifndef EGERIA_SRC_UTIL_LOGGING_H_
+#define EGERIA_SRC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace egeria {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Global minimum level; messages below it are discarded. Defaults to kInfo and can be
+// overridden with the EGERIA_LOG_LEVEL environment variable (0-3).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Sink that swallows the message when the level is below the global threshold.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+[[noreturn]] void CheckFailed(const char* condition, const char* file, int line,
+                              const std::string& message);
+
+}  // namespace internal
+
+#define EGERIA_LOG(level)                                                          \
+  if (::egeria::LogLevel::level < ::egeria::GetLogLevel()) {                       \
+  } else                                                                           \
+    ::egeria::internal::LogMessage(::egeria::LogLevel::level, __FILE__, __LINE__).stream()
+
+// Hard invariant check: aborts with a diagnostic on failure. Used for programmer
+// errors (shape mismatches, protocol violations), never for recoverable conditions.
+#define EGERIA_CHECK(cond)                                                         \
+  if (cond) {                                                                      \
+  } else                                                                           \
+    ::egeria::internal::CheckFailed(#cond, __FILE__, __LINE__, "")
+
+#define EGERIA_CHECK_MSG(cond, msg)                                                \
+  if (cond) {                                                                      \
+  } else                                                                           \
+    ::egeria::internal::CheckFailed(#cond, __FILE__, __LINE__, (msg))
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,74 @@
+#include "src/util/rng.h"
+
+#include <cmath>
+
+namespace egeria {
+
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) {
+    s = SplitMix64(sm);
+  }
+}
+
+Rng Rng::ForKey(uint64_t seed, uint64_t key) {
+  // Mix the key through SplitMix so nearby keys yield unrelated streams.
+  uint64_t sm = seed ^ (key * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL);
+  uint64_t mixed = SplitMix64(sm);
+  return Rng(mixed ^ Rotl(seed, 17));
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+float Rng::NextFloat() { return static_cast<float>(NextU64() >> 40) * 0x1.0p-24F; }
+
+uint64_t Rng::NextBelow(uint64_t n) {
+  if (n == 0) {
+    return 0;
+  }
+  // Rejection-free Lemire reduction is overkill here; modulo bias is negligible for
+  // the small n used in data pipelines, but use multiply-shift to avoid it anyway.
+  __uint128_t m = static_cast<__uint128_t>(NextU64()) * static_cast<__uint128_t>(n);
+  return static_cast<uint64_t>(m >> 64);
+}
+
+float Rng::NextUniform(float lo, float hi) { return lo + (hi - lo) * NextFloat(); }
+
+float Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  float u1 = NextFloat();
+  float u2 = NextFloat();
+  if (u1 < 1e-12F) {
+    u1 = 1e-12F;
+  }
+  const float r = std::sqrt(-2.0F * std::log(u1));
+  const float theta = 6.2831853071795864F * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::NextBool(double p_true) { return NextDouble() < p_true; }
+
+}  // namespace egeria

@@ -1,0 +1,67 @@
+// Deterministic random number generation.
+//
+// All stochastic behaviour in the library (weight init, data synthesis, shuffling,
+// dropout, augmentation) flows through Rng so that experiments are reproducible and
+// the activation cache can rely on stateless, sample-keyed randomness (paper S4.3:
+// "stateless random operations ... deterministically keep the randomly augmented
+// images the same across epochs").
+#ifndef EGERIA_SRC_UTIL_RNG_H_
+#define EGERIA_SRC_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace egeria {
+
+// SplitMix64: used to expand a single seed into well-distributed stream seeds.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256** PRNG. Fast, high quality, and trivially seedable per (stream, key) so
+// that "stateless" randomness (e.g. augmentation keyed by sample id) is a fresh Rng.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853C49E6748FEA9BULL);
+
+  // Derives an independent generator for a keyed substream (e.g. per sample id).
+  static Rng ForKey(uint64_t seed, uint64_t key);
+
+  uint64_t NextU64();
+  // Uniform in [0, 1).
+  double NextDouble();
+  float NextFloat();
+  // Uniform integer in [0, n).
+  uint64_t NextBelow(uint64_t n);
+  // Uniform in [lo, hi).
+  float NextUniform(float lo, float hi);
+  // Standard normal via Box-Muller (cached second value).
+  float NextGaussian();
+  bool NextBool(double p_true = 0.5);
+
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    if (v.size() < 2) {
+      return;
+    }
+    for (size_t i = v.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap(v[i], v[j]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  float cached_gaussian_ = 0.0F;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_UTIL_RNG_H_

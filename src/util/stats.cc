@@ -1,0 +1,123 @@
+#include "src/util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+MovingAverage::MovingAverage(size_t window) : window_(window) {
+  EGERIA_CHECK(window_ >= 1);
+}
+
+double MovingAverage::Add(double value) {
+  values_.push_back(value);
+  sum_ += value;
+  ++total_count_;
+  if (values_.size() > window_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+  return Value();
+}
+
+double MovingAverage::Value() const {
+  if (values_.empty()) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(values_.size());
+}
+
+void MovingAverage::SetWindow(size_t window) {
+  EGERIA_CHECK(window >= 1);
+  window_ = window;
+  while (values_.size() > window_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+}
+
+void MovingAverage::Reset() {
+  values_.clear();
+  sum_ = 0.0;
+  total_count_ = 0;
+}
+
+WindowedLinearFit::WindowedLinearFit(size_t window) : window_(window) {
+  EGERIA_CHECK(window_ >= 2);
+}
+
+void WindowedLinearFit::Add(double value) {
+  values_.push_back(value);
+  if (values_.size() > window_) {
+    values_.pop_front();
+  }
+}
+
+LinearFit WindowedLinearFit::Fit() const {
+  std::vector<double> y(values_.begin(), values_.end());
+  return FitLine(y);
+}
+
+void WindowedLinearFit::SetWindow(size_t window) {
+  EGERIA_CHECK(window >= 2);
+  window_ = window;
+  while (values_.size() > window_) {
+    values_.pop_front();
+  }
+}
+
+void WindowedLinearFit::Reset() { values_.clear(); }
+
+LinearFit FitLine(const std::vector<double>& y) {
+  LinearFit fit;
+  fit.n = y.size();
+  if (y.size() < 2) {
+    fit.intercept = y.empty() ? 0.0 : y[0];
+    return fit;
+  }
+  const double n = static_cast<double>(y.size());
+  // x = 0..n-1, so sum_x and sum_xx have closed forms.
+  const double sum_x = n * (n - 1.0) / 2.0;
+  const double sum_xx = (n - 1.0) * n * (2.0 * n - 1.0) / 6.0;
+  double sum_y = 0.0;
+  double sum_xy = 0.0;
+  for (size_t i = 0; i < y.size(); ++i) {
+    sum_y += y[i];
+    sum_xy += static_cast<double>(i) * y[i];
+  }
+  const double denom = n * sum_xx - sum_x * sum_x;
+  if (std::abs(denom) < 1e-12) {
+    fit.intercept = sum_y / n;
+    return fit;
+  }
+  fit.slope = (n * sum_xy - sum_x * sum_y) / denom;
+  fit.intercept = (sum_y - fit.slope * sum_x) / n;
+  return fit;
+}
+
+void RunningStat::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double RunningStat::Variance() const {
+  if (count_ < 2) {
+    return 0.0;
+  }
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::StdDev() const { return std::sqrt(Variance()); }
+
+}  // namespace egeria

@@ -1,0 +1,83 @@
+// Streaming statistics used by the freezing policy (paper S4.2.2, Algorithm 1):
+//  - MovingAverage implements Equation 2 (window-W smoothing with a warmup ramp);
+//  - WindowedLinearFit implements the "fit P_i with linear least-squares regression to
+//    a straight line and analyze its slope" stationarity test;
+//  - RunningStat provides mean/stddev for diagnostics and tests.
+#ifndef EGERIA_SRC_UTIL_STATS_H_
+#define EGERIA_SRC_UTIL_STATS_H_
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace egeria {
+
+// Moving average over the last `window` values; while fewer than `window` values have
+// been observed, averages everything seen so far (Equation 2's i < W branch).
+class MovingAverage {
+ public:
+  explicit MovingAverage(size_t window);
+
+  double Add(double value);  // Returns the smoothed value after inserting `value`.
+  double Value() const;      // Current smoothed value (0 if empty).
+  size_t Count() const { return total_count_; }
+  size_t window() const { return window_; }
+  void SetWindow(size_t window);  // Shrinks history if needed (used when halving W).
+  void Reset();
+
+ private:
+  size_t window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+  size_t total_count_ = 0;
+};
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  size_t n = 0;
+};
+
+// Ordinary least-squares fit of y over x = 0..n-1 for the last `window` samples.
+class WindowedLinearFit {
+ public:
+  explicit WindowedLinearFit(size_t window);
+
+  void Add(double value);
+  // Fit over whatever history is available (up to `window` points). With fewer than 2
+  // points the slope is 0.
+  LinearFit Fit() const;
+  size_t Count() const { return values_.size(); }
+  void SetWindow(size_t window);
+  void Reset();
+
+ private:
+  size_t window_;
+  std::deque<double> values_;
+};
+
+// One-shot OLS fit of y against x = 0..n-1.
+LinearFit FitLine(const std::vector<double>& y);
+
+// Welford online mean/variance.
+class RunningStat {
+ public:
+  void Add(double value);
+  size_t Count() const { return count_; }
+  double Mean() const { return mean_; }
+  double Variance() const;
+  double StdDev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_UTIL_STATS_H_

@@ -1,0 +1,31 @@
+// ASCII table rendering for bench output. Every figure/table bench prints one or more
+// of these so the regenerated rows/series can be compared against the paper.
+#ifndef EGERIA_SRC_UTIL_TABLE_H_
+#define EGERIA_SRC_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace egeria {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+  // Convenience: formats doubles with the given precision.
+  static std::string Num(double v, int precision = 3);
+  static std::string Pct(double fraction, int precision = 1);  // 0.28 -> "28.0%"
+
+  // Renders with aligned columns and a header rule.
+  std::string Render() const;
+  void Print() const;  // Render() to stdout.
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_UTIL_TABLE_H_

@@ -1,0 +1,42 @@
+// Wall-clock timing helpers. TTA numbers (Table 1) use WallTimer; the distributed
+// benches use simulated time from src/distributed/network_model.h instead.
+#ifndef EGERIA_SRC_UTIL_TIMER_H_
+#define EGERIA_SRC_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace egeria {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Accumulates time across start/stop segments (e.g. per-phase breakdowns in Fig. 9).
+class SegmentTimer {
+ public:
+  void Start() { timer_.Reset(); }
+  void Stop() { total_ += timer_.ElapsedSeconds(); }
+  double TotalSeconds() const { return total_; }
+  void Reset() { total_ = 0.0; }
+
+ private:
+  WallTimer timer_;
+  double total_ = 0.0;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_UTIL_TIMER_H_

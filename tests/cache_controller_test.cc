@@ -1,0 +1,243 @@
+// Activation cache (store/fetch/prefetch/invalidation), SPSC queue behaviour, and
+// controller end-to-end decision flow in synchronous mode.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/activation_cache.h"
+#include "src/core/controller.h"
+#include "src/core/module_partitioner.h"
+#include "src/core/spsc_queue.h"
+#include "src/models/resnet.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+namespace {
+
+std::string TempCacheDir(const char* tag) {
+  return ::testing::TempDir() + "/egeria_cache_test_" + tag;
+}
+
+TEST(ActivationCache, StoreFetchRoundTrip) {
+  ActivationCache cache(TempCacheDir("rt"), /*memory_entries=*/64);
+  cache.SetStage(2);
+  Rng rng(1);
+  Tensor act = Tensor::Randn({4, 3, 2, 2}, rng);
+  std::vector<int64_t> ids{10, 20, 30, 40};
+  cache.StoreBatch(ids, act);
+  ASSERT_TRUE(cache.HasAll(ids));
+  Tensor fetched = cache.FetchBatch(ids);
+  ASSERT_TRUE(fetched.Defined());
+  for (int64_t i = 0; i < act.NumEl(); ++i) {
+    EXPECT_EQ(fetched.Data()[i], act.Data()[i]);
+  }
+}
+
+TEST(ActivationCache, FetchInDifferentOrderReassembles) {
+  ActivationCache cache(TempCacheDir("order"), 64);
+  cache.SetStage(0);
+  Rng rng(2);
+  Tensor act = Tensor::Randn({3, 2}, rng);
+  cache.StoreBatch({1, 2, 3}, act);
+  Tensor fetched = cache.FetchBatch({3, 1, 2});
+  ASSERT_TRUE(fetched.Defined());
+  EXPECT_EQ(fetched.At(0, 0), act.At(2, 0));
+  EXPECT_EQ(fetched.At(1, 0), act.At(0, 0));
+  EXPECT_EQ(fetched.At(2, 0), act.At(1, 0));
+}
+
+TEST(ActivationCache, MissingIdReturnsUndefined) {
+  ActivationCache cache(TempCacheDir("miss"), 64);
+  cache.SetStage(0);
+  Rng rng(3);
+  cache.StoreBatch({1, 2}, Tensor::Randn({2, 4}, rng));
+  EXPECT_FALSE(cache.HasAll({1, 2, 3}));
+  EXPECT_FALSE(cache.FetchBatch({1, 3}).Defined());
+  EXPECT_GT(cache.Stats().misses, 0);
+}
+
+TEST(ActivationCache, MemoryEvictionFallsBackToDisk) {
+  // Memory keeps only 2 slices; older entries must still be served from disk.
+  ActivationCache cache(TempCacheDir("evict"), /*memory_entries=*/2);
+  cache.SetStage(1);
+  Rng rng(4);
+  Tensor act = Tensor::Randn({5, 3}, rng);
+  cache.StoreBatch({1, 2, 3, 4, 5}, act);
+  ASSERT_TRUE(cache.HasAll({1, 2, 3, 4, 5}));
+  Tensor fetched = cache.FetchBatch({1, 2, 3, 4, 5});
+  ASSERT_TRUE(fetched.Defined());
+  EXPECT_GT(cache.Stats().disk_hits, 0);
+  for (int64_t i = 0; i < act.NumEl(); ++i) {
+    EXPECT_EQ(fetched.Data()[i], act.Data()[i]);
+  }
+}
+
+TEST(ActivationCache, StageChangeInvalidates) {
+  ActivationCache cache(TempCacheDir("stage"), 64);
+  cache.SetStage(0);
+  Rng rng(5);
+  cache.StoreBatch({7}, Tensor::Randn({1, 4}, rng));
+  ASSERT_TRUE(cache.HasAll({7}));
+  cache.SetStage(1);  // Frontier advanced: old boundary is useless.
+  EXPECT_FALSE(cache.HasAll({7}));
+  cache.SetStage(1);  // No-op.
+}
+
+TEST(ActivationCache, ClearDropsEverything) {
+  ActivationCache cache(TempCacheDir("clear"), 64);
+  cache.SetStage(3);
+  Rng rng(6);
+  cache.StoreBatch({1, 2}, Tensor::Randn({2, 4}, rng));
+  cache.Clear();
+  EXPECT_FALSE(cache.HasAll({1}));
+  EXPECT_EQ(cache.stage(), 3);  // Stage survives Clear (same frontier, new weights).
+}
+
+TEST(ActivationCache, PrefetchLoadsIntoMemory) {
+  ActivationCache cache(TempCacheDir("prefetch"), /*memory_entries=*/2);
+  cache.SetStage(0);
+  Rng rng(7);
+  Tensor act = Tensor::Randn({4, 8}, rng);
+  cache.StoreBatch({1, 2, 3, 4}, act);  // Memory holds only {3, 4} afterwards.
+  cache.PrefetchAsync({1, 2});
+  // Prefetch is async; poll until it lands.
+  for (int i = 0; i < 100 && cache.Stats().prefetch_loads < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GE(cache.Stats().prefetch_loads, 1);
+  Tensor fetched = cache.FetchBatch({1, 2});
+  ASSERT_TRUE(fetched.Defined());
+}
+
+TEST(ActivationCache, DiskBudgetStopsStores) {
+  // Budget allows ~1 slice of 4 floats.
+  ActivationCache cache(TempCacheDir("budget"), 64, /*max_disk_bytes=*/20);
+  cache.SetStage(0);
+  Rng rng(8);
+  cache.StoreBatch({1, 2, 3}, Tensor::Randn({3, 4}, rng));
+  EXPECT_FALSE(cache.HasAll({1, 2, 3}));  // Later stores were dropped.
+}
+
+TEST(SpscQueue, FifoOrderAndCapacity) {
+  SpscQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // Full: producer drops.
+  EXPECT_EQ(*q.TryPop(), 1);
+  EXPECT_EQ(*q.TryPop(), 2);
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(SpscQueue, PopForTimesOut) {
+  SpscQueue<int> q(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(q.PopFor(std::chrono::milliseconds(20)).has_value());
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, std::chrono::milliseconds(15));
+}
+
+TEST(SpscQueue, CrossThreadDelivery) {
+  SpscQueue<int> q(128);
+  std::thread producer([&] {
+    for (int i = 0; i < 1000; ++i) {
+      while (!q.TryPush(i)) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  int expected = 0;
+  while (expected < 1000) {
+    if (auto v = q.PopFor(std::chrono::milliseconds(100))) {
+      EXPECT_EQ(*v, expected);
+      ++expected;
+    }
+  }
+  producer.join();
+}
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<StageChainModel> MakeModel() {
+    Rng rng(11);
+    CifarResNetConfig mcfg;
+    mcfg.blocks_per_stage = 1;
+    mcfg.base_width = 4;
+    return PartitionIntoChain("m", BuildCifarResNetBlocks(mcfg, rng),
+                              PartitionConfig{.target_modules = 4});
+  }
+
+  EgeriaConfig SyncConfig() {
+    EgeriaConfig cfg;
+    cfg.async_controller = false;
+    cfg.window_w = 3;
+    cfg.ref_update_evals = 100;  // No refresh during the test.
+    return cfg;
+  }
+};
+
+TEST_F(ControllerTest, ProducesFreezeDecisionSynchronously) {
+  auto model = MakeModel();
+  EgeriaController controller(SyncConfig(), model->NumStages(), /*annealing=*/true);
+  EXPECT_TRUE(controller.WantsSnapshot());
+  InferenceFactory float_factory;
+  controller.SubmitSnapshot(model->CloneForInference(float_factory));
+  controller.RunPendingSync();
+  EXPECT_TRUE(controller.HasReference());
+
+  // Identical model & reference (modulo int8) with frozen weights: plasticity is
+  // constant, so after 3 (tolerance) + window evaluations the stage must freeze.
+  Rng rng(12);
+  model->SetTraining(false);  // Keep BN deterministic across evals.
+  Batch batch;
+  batch.input = Tensor::Randn({4, 3, 8, 8}, rng);
+  std::vector<FreezeDecision> decisions;
+  for (int64_t iter = 1; iter <= 12 && decisions.empty(); ++iter) {
+    model->ForwardFrom(0, batch.input);
+    EvalRequest req;
+    req.batch = batch;
+    req.train_act = model->StageOutput(0);
+    req.stage = 0;
+    req.lr = 0.1F;
+    req.iter = iter;
+    ASSERT_TRUE(controller.SubmitEval(std::move(req)));
+    controller.RunPendingSync();
+    decisions = controller.DrainDecisions();
+  }
+  ASSERT_EQ(decisions.size(), 1u);
+  EXPECT_EQ(decisions[0].kind, FreezeDecision::Kind::kFreezeUpTo);
+  EXPECT_EQ(decisions[0].stage, 0);
+  EXPECT_EQ(controller.Frontier(), 1);
+  EXPECT_GE(controller.EvalsDone(), 6);
+  EXPECT_FALSE(controller.PlasticityHistory().empty());
+  EXPECT_GT(controller.LastQuantizeSeconds(), 0.0);
+}
+
+TEST_F(ControllerTest, RequestsSnapshotRefresh) {
+  auto model = MakeModel();
+  EgeriaConfig cfg = SyncConfig();
+  cfg.ref_update_evals = 2;
+  EgeriaController controller(cfg, model->NumStages(), true);
+  InferenceFactory float_factory;
+  controller.SubmitSnapshot(model->CloneForInference(float_factory));
+  controller.RunPendingSync();
+  EXPECT_FALSE(controller.WantsSnapshot());
+
+  Rng rng(13);
+  model->SetTraining(false);
+  Batch batch;
+  batch.input = Tensor::Randn({2, 3, 8, 8}, rng);
+  for (int64_t iter = 1; iter <= 2; ++iter) {
+    model->ForwardFrom(0, batch.input);
+    EvalRequest req;
+    req.batch = batch;
+    req.train_act = model->StageOutput(0);
+    req.stage = 0;
+    req.lr = 0.1F;
+    req.iter = iter;
+    controller.SubmitEval(std::move(req));
+    controller.RunPendingSync();
+  }
+  EXPECT_TRUE(controller.WantsSnapshot());
+}
+
+}  // namespace
+}  // namespace egeria

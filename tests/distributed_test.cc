@@ -1,0 +1,205 @@
+// Distributed substrate: network model, communication scheduler properties
+// (ByteScheduler <= FIFO; Egeria reduces both compute and traffic), real all-reduce
+// correctness, and the data-parallel harness.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/core/module_partitioner.h"
+#include "src/data/synthetic_image.h"
+#include "src/distributed/allreduce.h"
+#include "src/distributed/comm_scheduler.h"
+#include "src/distributed/dist_trainer.h"
+#include "src/distributed/network_model.h"
+#include "src/models/resnet.h"
+#include "src/optim/lr_scheduler.h"
+
+namespace egeria {
+namespace {
+
+ClusterConfig TwoByTwo() {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  cfg.gpus_per_node = 2;
+  return cfg;
+}
+
+TEST(NetworkModel, ZeroForSingleGpuOrNoBytes) {
+  ClusterConfig single;
+  single.num_nodes = 1;
+  single.gpus_per_node = 1;
+  EXPECT_DOUBLE_EQ(NetworkModel(single).AllReduceSeconds(1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(NetworkModel(TwoByTwo()).AllReduceSeconds(0), 0.0);
+}
+
+TEST(NetworkModel, MonotoneInBytesAndNodes) {
+  NetworkModel net(TwoByTwo());
+  EXPECT_LT(net.AllReduceSeconds(1 << 20), net.AllReduceSeconds(1 << 22));
+  ClusterConfig wider = TwoByTwo();
+  wider.num_nodes = 5;
+  EXPECT_LT(net.AllReduceSeconds(1 << 22),
+            NetworkModel(wider).AllReduceSeconds(1 << 22));
+}
+
+std::vector<StageCost> SyntheticStages() {
+  // Front-light, deep-heavy (CNN-like): 6 stages.
+  std::vector<StageCost> stages;
+  for (int i = 0; i < 6; ++i) {
+    StageCost s;
+    s.fp_seconds = 0.002 + 0.001 * i;
+    s.bp_seconds = 2.0 * s.fp_seconds;
+    s.grad_bytes = int64_t{200000} * (i + 1);
+    stages.push_back(s);
+  }
+  return stages;
+}
+
+TEST(CommScheduler, ByteSchedulerNeverSlowerThanFifo) {
+  NetworkModel net(TwoByTwo());
+  const auto stages = SyntheticStages();
+  const auto fifo = SimulateIteration(stages, net, CommPolicy::kFifo);
+  const auto bs = SimulateIteration(stages, net, CommPolicy::kByteScheduler);
+  EXPECT_LE(bs.iteration_seconds, fifo.iteration_seconds + 1e-9);
+  EXPECT_GT(fifo.iteration_seconds, 0.0);
+}
+
+TEST(CommScheduler, FreezingReducesIterationTimeAndTraffic) {
+  NetworkModel net(TwoByTwo());
+  const auto stages = SyntheticStages();
+  for (CommPolicy policy : {CommPolicy::kFifo, CommPolicy::kByteScheduler}) {
+    const auto full = SimulateIteration(stages, net, policy, 0);
+    const auto frozen2 = SimulateIteration(stages, net, policy, 2);
+    const auto frozen2_cached =
+        SimulateIteration(stages, net, policy, 2, /*prefix_fp_cached=*/true);
+    EXPECT_LT(frozen2.iteration_seconds, full.iteration_seconds);
+    EXPECT_LT(frozen2.comm_seconds, full.comm_seconds);
+    EXPECT_LE(frozen2_cached.iteration_seconds, frozen2.iteration_seconds + 1e-12);
+  }
+}
+
+TEST(CommScheduler, NoCommMeansComputeBound) {
+  ClusterConfig single;
+  single.num_nodes = 1;
+  single.gpus_per_node = 1;
+  NetworkModel net(single);
+  const auto stages = SyntheticStages();
+  const auto t = SimulateIteration(stages, net, CommPolicy::kFifo);
+  double compute = 0.0;
+  for (const auto& s : stages) {
+    compute += s.fp_seconds + s.bp_seconds;
+  }
+  EXPECT_NEAR(t.iteration_seconds, compute, 1e-9);
+  EXPECT_DOUBLE_EQ(t.exposed_comm_seconds, 0.0);
+}
+
+TEST(CommScheduler, ExposedCommShrinksWithPriorityScheduling) {
+  // Communication-heavy regime so scheduling matters.
+  ClusterConfig cfg = TwoByTwo();
+  cfg.inter_node_gbps = 2.0;
+  NetworkModel net(cfg);
+  const auto stages = SyntheticStages();
+  const auto fifo = SimulateIteration(stages, net, CommPolicy::kFifo);
+  const auto bs = SimulateIteration(stages, net, CommPolicy::kByteScheduler);
+  EXPECT_GT(fifo.exposed_comm_seconds, 0.0);
+  EXPECT_LT(bs.exposed_comm_seconds, fifo.exposed_comm_seconds + 1e-9);
+}
+
+TEST(AllReduce, AveragesGradientsAcrossRanks) {
+  const int world = 3;
+  GradientAllReducer reducer(world);
+  std::vector<std::unique_ptr<Parameter>> params;
+  for (int r = 0; r < world; ++r) {
+    auto p = std::make_unique<Parameter>("w", Tensor::Zeros({4}));
+    p->grad.Fill_(static_cast<float>(r + 1));  // grads 1, 2, 3 -> mean 2.
+    params.push_back(std::move(p));
+  }
+  std::vector<std::thread> threads;
+  std::vector<std::vector<Parameter*>> lists(world);
+  for (int r = 0; r < world; ++r) {
+    lists[static_cast<size_t>(r)] = {params[static_cast<size_t>(r)].get()};
+    threads.emplace_back(
+        [&, r] { reducer.AllReduce(r, lists[static_cast<size_t>(r)]); });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int r = 0; r < world; ++r) {
+    for (int64_t i = 0; i < 4; ++i) {
+      EXPECT_FLOAT_EQ(params[static_cast<size_t>(r)]->grad.At(i), 2.0F);
+    }
+  }
+  EXPECT_EQ(reducer.TotalBytesReduced(), 4 * 4);
+}
+
+class DistTrainerTest : public ::testing::Test {
+ protected:
+  static std::unique_ptr<ChainModel> MakeModel() {
+    Rng rng(41);
+    CifarResNetConfig mcfg;
+    mcfg.blocks_per_stage = 1;
+    mcfg.base_width = 4;
+    mcfg.num_classes = 4;
+    return PartitionIntoChain("r", BuildCifarResNetBlocks(mcfg, rng),
+                              PartitionConfig{.target_modules = 3});
+  }
+};
+
+TEST_F(DistTrainerTest, ReplicasStayConsistentAndLearn) {
+  SyntheticImageConfig dcfg;
+  dcfg.num_classes = 4;
+  dcfg.num_samples = 128;
+  dcfg.height = 10;
+  dcfg.width = 10;
+  dcfg.noise_std = 0.4F;
+  SyntheticImageDataset train(dcfg);
+  auto vcfg = dcfg;
+  vcfg.sample_salt = 999999;
+  vcfg.num_samples = 32;
+  SyntheticImageDataset val(vcfg);
+
+  DistTrainConfig cfg;
+  cfg.world = 2;
+  cfg.epochs = 6;
+  cfg.batch_size = 8;
+  cfg.task.kind = TaskKind::kClassification;
+  cfg.lr_schedule = std::make_shared<ConstantLr>(0.05F);
+  DistTrainResult r = TrainDataParallel(MakeModel, train, val, cfg);
+  EXPECT_TRUE(r.replicas_consistent);
+  EXPECT_GT(r.final_display, 0.6);
+  EXPECT_EQ(r.bytes_synced, r.bytes_full_model);  // Nothing frozen.
+}
+
+TEST_F(DistTrainerTest, EgeriaCutsSynchronizationTraffic) {
+  SyntheticImageConfig dcfg;
+  dcfg.num_classes = 4;
+  dcfg.num_samples = 128;
+  dcfg.height = 10;
+  dcfg.width = 10;
+  dcfg.noise_std = 0.4F;
+  SyntheticImageDataset train(dcfg);
+  auto vcfg = dcfg;
+  vcfg.sample_salt = 999999;
+  vcfg.num_samples = 32;
+  SyntheticImageDataset val(vcfg);
+
+  DistTrainConfig cfg;
+  cfg.world = 2;
+  cfg.epochs = 20;
+  cfg.batch_size = 8;
+  cfg.task.kind = TaskKind::kClassification;
+  cfg.lr_schedule = std::make_shared<ConstantLr>(0.05F);
+  cfg.enable_egeria = true;
+  cfg.egeria.tolerance_coef = 0.4;  // Short run: loosen the slope tolerance.
+  cfg.egeria.async_controller = false;
+  cfg.egeria.eval_interval_n = 4;
+  cfg.egeria.window_w = 3;
+  cfg.egeria.enable_cache = false;
+  cfg.egeria.ref_update_evals = 2;
+  DistTrainResult r = TrainDataParallel(MakeModel, train, val, cfg);
+  EXPECT_TRUE(r.replicas_consistent);
+  EXPECT_GT(r.final_frontier, 0) << "controller froze nothing";
+  EXPECT_LT(r.bytes_synced, r.bytes_full_model);
+}
+
+}  // namespace
+}  // namespace egeria

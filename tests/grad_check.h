@@ -1,0 +1,111 @@
+// Finite-difference gradient checking for Module implementations.
+//
+// Strategy: fix a random projection tensor R and define the scalar loss
+// L = <Forward(x), R>. The analytic gradients are obtained by Backward(R); the
+// numeric ones by central differences on (a sample of) parameter and input entries.
+#ifndef EGERIA_TESTS_GRAD_CHECK_H_
+#define EGERIA_TESTS_GRAD_CHECK_H_
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/nn/module.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+namespace testing {
+
+struct GradCheckResult {
+  double max_rel_error = 0.0;
+  double mean_rel_error = 0.0;
+  int checked = 0;
+};
+
+// Relative error with an absolute floor at the float32 numeric-noise level.
+//
+// The floor matters: central differences on a float32 forward pass carry noise of
+// roughly |loss| * 1e-6 / (2*eps) ~ 5e-3 in the numeric gradient. Parameters whose
+// true gradient is below that (e.g. a BN gamma sandwiched between normalizations,
+// which is scale-invariant and has an exactly-zero gradient) would otherwise compare
+// noise against noise and report spurious mismatches.
+inline double RelError(double analytic, double numeric) {
+  const double denom = std::max({std::abs(analytic), std::abs(numeric), 2e-2});
+  return std::abs(analytic - numeric) / denom;
+}
+
+// forward() must re-run the full forward pass and return the scalar loss <out, R>.
+// entries: pointers to the scalars being perturbed paired with their analytic grads.
+inline GradCheckResult NumericCheck(const std::function<double()>& forward,
+                                    const std::vector<std::pair<float*, float>>& entries,
+                                    double eps = 3e-3) {
+  GradCheckResult result;
+  double total = 0.0;
+  for (const auto& [ptr, analytic] : entries) {
+    const float saved = *ptr;
+    *ptr = saved + static_cast<float>(eps);
+    const double up = forward();
+    *ptr = saved - static_cast<float>(eps);
+    const double down = forward();
+    *ptr = saved;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double err = RelError(analytic, numeric);
+    result.max_rel_error = std::max(result.max_rel_error, err);
+    total += err;
+    ++result.checked;
+  }
+  if (result.checked > 0) {
+    result.mean_rel_error = total / result.checked;
+  }
+  return result;
+}
+
+// Full check of a single-input module: parameters and input gradient.
+// `max_per_tensor` caps how many entries are sampled from each tensor.
+inline GradCheckResult CheckModuleGradients(Module& module, Tensor input, uint64_t seed,
+                                            double eps = 3e-3, int max_per_tensor = 12) {
+  Rng rng(seed);
+  module.SetTraining(true);
+
+  // Fixed projection for the scalar loss.
+  Tensor first_out = module.Forward(input);
+  Tensor proj = Tensor::Randn(first_out.Shape(), rng);
+
+  auto forward_loss = [&]() -> double {
+    Tensor out = module.Forward(input);
+    double s = 0.0;
+    for (int64_t i = 0; i < out.NumEl(); ++i) {
+      s += static_cast<double>(out.Data()[i]) * proj.Data()[i];
+    }
+    return s;
+  };
+
+  // Analytic gradients.
+  module.ZeroGrad();
+  forward_loss();  // Ensure caches correspond to the current state.
+  Tensor dinput = module.Backward(proj);
+
+  std::vector<std::pair<float*, float>> entries;
+  for (Parameter* p : module.Parameters()) {
+    const int64_t n = p->value.NumEl();
+    const int64_t step = std::max<int64_t>(1, n / max_per_tensor);
+    for (int64_t i = 0; i < n; i += step) {
+      entries.emplace_back(p->value.Data() + i, p->grad.Data()[i]);
+    }
+  }
+  if (dinput.Defined() && dinput.NumEl() == input.NumEl()) {
+    const int64_t n = input.NumEl();
+    const int64_t step = std::max<int64_t>(1, n / max_per_tensor);
+    for (int64_t i = 0; i < n; i += step) {
+      entries.emplace_back(input.Data() + i, dinput.Data()[i]);
+    }
+  }
+  return NumericCheck(forward_loss, entries, eps);
+}
+
+}  // namespace testing
+}  // namespace egeria
+
+#endif  // EGERIA_TESTS_GRAD_CHECK_H_

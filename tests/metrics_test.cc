@@ -1,0 +1,140 @@
+// SP loss, PWCCA, and baseline metric properties.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "src/metrics/gradient_metrics.h"
+#include "src/metrics/pwcca.h"
+#include "src/metrics/sp_loss.h"
+#include "src/tensor/linalg.h"
+#include "src/tensor/tensor_ops.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+namespace {
+
+TEST(SpLoss, ZeroForIdenticalActivations) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({8, 16}, rng);
+  EXPECT_NEAR(SpLoss(a, a), 0.0, 1e-10);
+}
+
+TEST(SpLoss, ScaleInvariantPerModel) {
+  // Row normalization makes the similarity matrix invariant to a global positive
+  // rescale of either model's activations.
+  Rng rng(2);
+  Tensor a = Tensor::Randn({6, 20}, rng);
+  Tensor b = Tensor::Randn({6, 20}, rng);
+  const double base = SpLoss(a, b);
+  Tensor a_scaled = a.Scale(3.7F);
+  EXPECT_NEAR(SpLoss(a_scaled, b), base, 1e-6);
+}
+
+TEST(SpLoss, PositiveForDifferentActivations) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({8, 32}, rng);
+  Tensor b = Tensor::Randn({8, 32}, rng);
+  EXPECT_GT(SpLoss(a, b), 1e-4);
+}
+
+TEST(SpLoss, SymmetricInArguments) {
+  Rng rng(4);
+  Tensor a = Tensor::Randn({5, 12}, rng);
+  Tensor b = Tensor::Randn({5, 12}, rng);
+  EXPECT_NEAR(SpLoss(a, b), SpLoss(b, a), 1e-9);
+}
+
+TEST(SpLoss, WorksAcrossDifferentFeatureShapes) {
+  // Similarity matrices are [b, b] regardless of feature dims — the training and
+  // reference activations only need matching batch size.
+  Rng rng(5);
+  Tensor a = Tensor::Randn({4, 3, 5, 5}, rng);
+  Tensor b = Tensor::Randn({4, 10}, rng);
+  EXPECT_GE(SpLoss(a, b), 0.0);
+}
+
+TEST(SpLoss, SimilarityMatrixRowsUnitNorm) {
+  Rng rng(6);
+  Tensor a = Tensor::Randn({5, 9}, rng);
+  Tensor g = BatchSimilarityMatrix(a);
+  for (int64_t i = 0; i < 5; ++i) {
+    double norm = 0;
+    for (int64_t j = 0; j < 5; ++j) {
+      norm += static_cast<double>(g.At(i, j)) * g.At(i, j);
+    }
+    EXPECT_NEAR(norm, 1.0, 1e-4);
+  }
+}
+
+TEST(Pwcca, NearZeroForIdenticalRepresentations) {
+  Rng rng(7);
+  Tensor x = Tensor::Randn({200, 8}, rng);
+  EXPECT_LT(PwccaDistance(x, x), 1e-3);
+}
+
+TEST(Pwcca, InvariantToOrthogonalRotation) {
+  // CCA correlates subspaces: X and X*Q (orthogonal Q) carry identical information.
+  Rng rng(8);
+  Tensor x = Tensor::Randn({200, 6}, rng);
+  Tensor q;
+  {
+    Tensor m = Tensor::Randn({6, 6}, rng);
+    q = HouseholderQr(m).q;
+  }
+  Tensor y = MatMul(x, q);
+  EXPECT_LT(PwccaDistance(x, y), 1e-2);
+}
+
+TEST(Pwcca, HighForIndependentRepresentations) {
+  Rng rng(9);
+  Tensor x = Tensor::Randn({400, 10}, rng);
+  Tensor y = Tensor::Randn({400, 10}, rng);
+  EXPECT_GT(PwccaDistance(x, y), 0.5);
+}
+
+TEST(Pwcca, DistanceInUnitInterval) {
+  Rng rng(10);
+  for (int trial = 0; trial < 5; ++trial) {
+    Tensor x = Tensor::Randn({100, 5}, rng);
+    Tensor y = Tensor::Randn({100, 7}, rng);
+    const double d = PwccaDistance(x, y);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(Pwcca, ConvLayoutReshape) {
+  Rng rng(11);
+  Tensor a = Tensor::Randn({2, 3, 4, 4}, rng);
+  Tensor s = ActivationsToSamples(a);
+  EXPECT_EQ(s.Size(0), 2 * 16);
+  EXPECT_EQ(s.Size(1), 3);
+  // Channel value preserved: sample (b=1, y=2, x=3), channel 1.
+  EXPECT_FLOAT_EQ(s.At(1 * 16 + 2 * 4 + 3, 1), a.At(1, 1, 2, 3));
+}
+
+TEST(GradientMetrics, StageNormMatchesManual) {
+  Parameter p1("a", Tensor::FromVector({2}, {3.0F, 4.0F}));
+  p1.grad = Tensor::FromVector({2}, {3.0F, 4.0F});
+  Parameter p2("b", Tensor::FromVector({1}, {0.0F}));
+  p2.grad = Tensor::FromVector({1}, {12.0F});
+  EXPECT_NEAR(StageGradientNorm({&p1, &p2}), 13.0, 1e-6);
+}
+
+TEST(GradientMetrics, SkipConvGateZeroForIdentical) {
+  Rng rng(12);
+  Tensor a = Tensor::Randn({4, 8}, rng);
+  EXPECT_DOUBLE_EQ(SkipConvGate(a, a), 0.0);
+  Tensor b = a.Clone();
+  b.AddScalar_(0.5F);
+  EXPECT_NEAR(SkipConvGate(a, b), 0.5, 1e-5);
+}
+
+TEST(GradientMetrics, FitNetsL2) {
+  Tensor a = Tensor::FromVector({2}, {1.0F, 2.0F});
+  Tensor b = Tensor::FromVector({2}, {3.0F, 2.0F});
+  EXPECT_NEAR(FitNetsL2(a, b), 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace egeria

@@ -1,0 +1,216 @@
+// Optimizers, LR schedules, and loss functions.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/nn/loss.h"
+#include "src/optim/lr_scheduler.h"
+#include "src/optim/optimizer.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+namespace {
+
+// Minimizing f(w) = 0.5 * ||w - target||^2 converges for both optimizers.
+template <typename Opt>
+double OptimizeQuadratic(Opt& opt, float lr, int steps) {
+  Parameter w("w", Tensor::FromVector({3}, {5.0F, -4.0F, 2.0F}));
+  const std::vector<float> target{1.0F, 2.0F, 3.0F};
+  for (int s = 0; s < steps; ++s) {
+    for (int64_t i = 0; i < 3; ++i) {
+      w.grad.At(i) = w.value.At(i) - target[static_cast<size_t>(i)];
+    }
+    opt.Step({&w}, lr);
+    w.grad.Zero_();
+  }
+  double err = 0;
+  for (int64_t i = 0; i < 3; ++i) {
+    err += std::abs(w.value.At(i) - target[static_cast<size_t>(i)]);
+  }
+  return err;
+}
+
+TEST(Optimizer, SgdConvergesOnQuadratic) {
+  Sgd opt(/*momentum=*/0.0F, /*weight_decay=*/0.0F);
+  EXPECT_LT(OptimizeQuadratic(opt, 0.2F, 100), 1e-3);
+}
+
+TEST(Optimizer, SgdMomentumConverges) {
+  Sgd opt(0.9F, 0.0F);
+  EXPECT_LT(OptimizeQuadratic(opt, 0.05F, 200), 1e-3);
+}
+
+TEST(Optimizer, AdamConverges) {
+  Adam opt;
+  EXPECT_LT(OptimizeQuadratic(opt, 0.1F, 400), 1e-2);
+}
+
+TEST(Optimizer, WeightDecayShrinksWeights) {
+  Sgd opt(0.0F, 0.5F);
+  Parameter w("w", Tensor::FromVector({1}, {2.0F}));
+  w.grad.Zero_();
+  opt.Step({&w}, 0.1F);
+  EXPECT_NEAR(w.value.At(0), 2.0F - 0.1F * 0.5F * 2.0F, 1e-6F);
+}
+
+TEST(Optimizer, MomentumStateSurvivesActiveSetChanges) {
+  // Freezing removes a parameter from Step() calls; momentum must resume intact when
+  // the parameter returns (unfreezing).
+  Sgd opt(0.9F, 0.0F);
+  Parameter a("a", Tensor::FromVector({1}, {1.0F}));
+  Parameter b("b", Tensor::FromVector({1}, {1.0F}));
+  a.grad.Fill_(1.0F);
+  b.grad.Fill_(1.0F);
+  opt.Step({&a, &b}, 0.1F);
+  const float va = a.value.At(0);
+  // Step only b (a "frozen") several times, then bring a back.
+  for (int i = 0; i < 3; ++i) {
+    b.grad.Fill_(1.0F);
+    opt.Step({&b}, 0.1F);
+  }
+  a.grad.Fill_(0.0F);
+  opt.Step({&a, &b}, 0.1F);
+  // With zero grad, a still moves by momentum * old velocity.
+  EXPECT_NEAR(a.value.At(0), va - 0.1F * 0.9F * 1.0F, 1e-6F);
+}
+
+TEST(LrSchedule, StepDecayMilestones) {
+  StepDecayLr lr(1.0F, 0.1F, {100, 200});
+  EXPECT_FLOAT_EQ(lr.LrAt(50), 1.0F);
+  EXPECT_FLOAT_EQ(lr.LrAt(100), 0.1F);
+  EXPECT_FLOAT_EQ(lr.LrAt(150), 0.1F);
+  EXPECT_NEAR(lr.LrAt(250), 0.01F, 1e-7F);
+  EXPECT_TRUE(lr.IsAnnealing());
+}
+
+TEST(LrSchedule, InverseSqrtWarmupAndDecay) {
+  InverseSqrtLr lr(2.0F, 10);
+  EXPECT_NEAR(lr.LrAt(4), 2.0F * 0.5F, 1e-6F);  // Warmup ramp.
+  EXPECT_NEAR(lr.LrAt(9), 2.0F, 1e-6F);
+  EXPECT_NEAR(lr.LrAt(39), 1.0F, 1e-6F);  // sqrt(10/40) = 0.5.
+}
+
+TEST(LrSchedule, LinearDecayReachesZero) {
+  LinearDecayLr lr(1.0F, 100);
+  EXPECT_FLOAT_EQ(lr.LrAt(0), 1.0F);
+  EXPECT_NEAR(lr.LrAt(50), 0.5F, 1e-6F);
+  EXPECT_FLOAT_EQ(lr.LrAt(100), 0.0F);
+  EXPECT_FLOAT_EQ(lr.LrAt(200), 0.0F);
+}
+
+TEST(LrSchedule, CosineAndCyclicalOscillate) {
+  CosineAnnealingLr cos_lr(1.0F, 0.1F, 100);
+  EXPECT_NEAR(cos_lr.LrAt(0), 1.0F, 1e-5F);
+  EXPECT_NEAR(cos_lr.LrAt(50), 0.55F, 1e-2F);
+  EXPECT_FALSE(cos_lr.IsAnnealing());
+
+  CyclicalLr cyc(0.1F, 1.0F, 50);
+  EXPECT_NEAR(cyc.LrAt(0), 0.1F, 1e-5F);
+  EXPECT_NEAR(cyc.LrAt(50), 1.0F, 1e-5F);
+  EXPECT_NEAR(cyc.LrAt(100), 0.1F, 1e-5F);
+}
+
+TEST(Loss, CrossEntropyGradientIsSoftmaxMinusOneHot) {
+  Rng rng(1);
+  Tensor logits = Tensor::Randn({2, 4}, rng);
+  LossResult r = SoftmaxCrossEntropy(logits, {1, 3});
+  // Row sums of the gradient are zero (softmax sums to 1, one-hot sums to 1).
+  for (int64_t i = 0; i < 2; ++i) {
+    double sum = 0;
+    for (int64_t j = 0; j < 4; ++j) {
+      sum += r.grad.At(i, j);
+    }
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+    EXPECT_LT(r.grad.At(i, (i == 0) ? 1 : 3), 0.0F);  // True class pulls up.
+  }
+  EXPECT_GT(r.loss, 0.0F);
+}
+
+TEST(Loss, NumericGradientCheck) {
+  Rng rng(2);
+  Tensor logits = Tensor::Randn({3, 5}, rng);
+  std::vector<int> labels{0, 2, 4};
+  LossResult r = SoftmaxCrossEntropy(logits, labels);
+  for (int64_t i = 0; i < logits.NumEl(); i += 3) {
+    const double eps = 1e-3;
+    float* p = logits.Data() + i;
+    const float saved = *p;
+    *p = saved + static_cast<float>(eps);
+    const double up = SoftmaxCrossEntropy(logits, labels).loss;
+    *p = saved - static_cast<float>(eps);
+    const double down = SoftmaxCrossEntropy(logits, labels).loss;
+    *p = saved;
+    EXPECT_NEAR(r.grad.Data()[i], (up - down) / (2 * eps), 1e-3);
+  }
+}
+
+TEST(Loss, LabelSmoothingIncreasesLossOnConfidentCorrect) {
+  Tensor logits = Tensor::FromVector({1, 3}, {10.0F, 0.0F, 0.0F});
+  const float plain = SoftmaxCrossEntropy(logits, {0}, 0.0F).loss;
+  const float smoothed = SoftmaxCrossEntropy(logits, {0}, 0.1F).loss;
+  EXPECT_GT(smoothed, plain);
+}
+
+TEST(Loss, IgnoreLabelSkipsRows) {
+  Rng rng(3);
+  Tensor logits = Tensor::Randn({2, 3, 4}, rng);
+  std::vector<int> labels{1, kIgnoreLabel, 2, kIgnoreLabel, kIgnoreLabel, 0};
+  LossResult r = SequenceCrossEntropy(logits, labels);
+  // Ignored rows get zero gradient.
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_FLOAT_EQ(r.grad.At(0, 1, j), 0.0F);
+  }
+  EXPECT_GT(r.loss, 0.0F);
+}
+
+TEST(Loss, PixelwiseMatchesRowwiseOnTransposedLayout) {
+  Rng rng(4);
+  Tensor logits = Tensor::Randn({1, 3, 2, 2}, rng);
+  std::vector<int> labels{0, 1, 2, 1};
+  LossResult pix = PixelwiseCrossEntropy(logits, labels);
+  // Manually rearrange to rows and compare loss.
+  Tensor rows({4, 3});
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t i = 0; i < 4; ++i) {
+      rows.At(i, c) = logits.Data()[c * 4 + i];
+    }
+  }
+  LossResult ref = SoftmaxCrossEntropy(rows, labels);
+  EXPECT_NEAR(pix.loss, ref.loss, 1e-6F);
+}
+
+TEST(Loss, SpanLossAndF1) {
+  Tensor logits({1, 5, 2});
+  logits.Fill_(-3.0F);
+  logits.At(0, 1, 0) = 5.0F;  // start at 1
+  logits.At(0, 3, 1) = 5.0F;  // end at 3
+  LossResult exact = SpanLoss(logits, {{1, 3}});
+  LossResult wrong = SpanLoss(logits, {{0, 4}});
+  EXPECT_LT(exact.loss, wrong.loss);
+  EXPECT_NEAR(SpanF1(logits, {{1, 3}}), 1.0, 1e-9);
+  EXPECT_NEAR(SpanF1(logits, {{2, 4}}), 2.0 * (2.0 / 3.0) * (2.0 / 3.0) / (4.0 / 3.0),
+              1e-9);
+  EXPECT_EQ(SpanF1(logits, {{4, 4}}), 0.0);
+}
+
+TEST(Loss, MetricsOnCraftedLogits) {
+  Tensor logits = Tensor::FromVector({2, 2}, {5.0F, 0.0F, 0.0F, 5.0F});
+  EXPECT_DOUBLE_EQ(TopOneAccuracy(logits, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(TopOneAccuracy(logits, {1, 1}), 0.5);
+  // Perplexity of a uniform predictor over V classes is V.
+  Tensor uniform = Tensor::Zeros({1, 4, 8});
+  std::vector<int> labels(4, 3);
+  EXPECT_NEAR(Perplexity(uniform, labels), 8.0, 1e-3);
+}
+
+TEST(Loss, MeanIoUPerfectAndPartial) {
+  // 2 classes over 4 pixels; logits argmax = {0,0,1,1}.
+  Tensor logits = Tensor::FromVector({1, 2, 2, 2},
+                                     {5.0F, 5.0F, 0.0F, 0.0F, 0.0F, 0.0F, 5.0F, 5.0F});
+  EXPECT_DOUBLE_EQ(MeanIoU(logits, {0, 0, 1, 1}, 2), 1.0);
+  // One mislabeled pixel: class0 IoU = 1/2, class1 IoU = 2/3.
+  EXPECT_NEAR(MeanIoU(logits, {0, 1, 1, 1}, 2), 0.5 * (0.5 + 2.0 / 3.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace egeria

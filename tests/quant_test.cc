@@ -1,0 +1,183 @@
+// Quantization correctness: round-trip error bounds, int8/fp16 kernels vs float
+// layers, observer calibration, and reference-model clone fidelity (the property
+// Table 2 depends on: an int8 reference stays semantically close to the model).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/models/chain_model.h"
+#include "src/models/resnet.h"
+#include "src/core/module_partitioner.h"
+#include "src/nn/conv2d.h"
+#include "src/nn/linear.h"
+#include "src/quant/quantize.h"
+#include "src/quant/quantized_modules.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+namespace {
+
+TEST(Quantize, WeightRoundTripErrorBounded) {
+  Rng rng(1);
+  Tensor w = Tensor::Randn({8, 32}, rng);
+  QuantizedWeights q = QuantizeWeightsPerChannel(w);
+  for (int64_t r = 0; r < 8; ++r) {
+    float row_max = 0.0F;
+    for (int64_t c = 0; c < 32; ++c) {
+      row_max = std::max(row_max, std::abs(w.At(r, c)));
+    }
+    for (int64_t c = 0; c < 32; ++c) {
+      const float deq = static_cast<float>(q.data[static_cast<size_t>(r * 32 + c)]) *
+                        q.scales[static_cast<size_t>(r)];
+      // Symmetric int8: error <= scale/2 = row_max / 254.
+      EXPECT_LE(std::abs(deq - w.At(r, c)), row_max / 254.0F + 1e-6F);
+    }
+  }
+}
+
+TEST(Quantize, ActivationScaleAndClamp) {
+  std::vector<float> x{-10.0F, 5.0F, 0.0F, 2.5F};
+  const float scale = ActivationScale(x.data(), 4);
+  EXPECT_NEAR(scale, 10.0F / 127.0F, 1e-6F);
+  std::vector<int8_t> q(4);
+  QuantizeActivations(x.data(), q.data(), 4, scale);
+  EXPECT_EQ(q[0], -127);
+  EXPECT_NEAR(static_cast<float>(q[1]) * scale, 5.0F, scale);
+}
+
+TEST(Quantize, ObserverTracksMax) {
+  MinMaxObserver obs;
+  std::vector<float> a{1.0F, -2.0F};
+  std::vector<float> b{0.5F, 7.0F};
+  obs.Observe(a.data(), 2);
+  obs.Observe(b.data(), 2);
+  EXPECT_NEAR(obs.Scale(), 7.0F / 127.0F, 1e-6F);
+}
+
+TEST(QuantLinear, MatchesFloatWithinTolerance) {
+  Rng rng(2);
+  Linear fp("fc", 16, 8, rng);
+  QuantLinear q(fp, QuantMode::kDynamic);
+  Tensor x = Tensor::Randn({4, 16}, rng);
+  fp.SetTraining(false);
+  Tensor yf = fp.Forward(x);
+  Tensor yq = q.Forward(x);
+  const float range = yf.AbsMax();
+  for (int64_t i = 0; i < yf.NumEl(); ++i) {
+    EXPECT_NEAR(yq.Data()[i], yf.Data()[i], 0.05F * range + 1e-3F) << i;
+  }
+}
+
+TEST(QuantConv2d, MatchesFloatWithinTolerance) {
+  Rng rng(3);
+  Conv2d fp("conv", 3, 6, 3, rng, 1, 1, 1, /*bias=*/true);
+  QuantConv2d q(fp, QuantMode::kStatic);
+  Tensor x = Tensor::Randn({2, 3, 8, 8}, rng);
+  fp.SetTraining(false);
+  Tensor yf = fp.Forward(x);
+  Tensor yq = q.Forward(x);  // First forward self-calibrates the observer.
+  const float range = yf.AbsMax();
+  for (int64_t i = 0; i < yf.NumEl(); ++i) {
+    EXPECT_NEAR(yq.Data()[i], yf.Data()[i], 0.05F * range + 1e-3F);
+  }
+}
+
+TEST(QuantConv2d, StaticScaleFreezesAfterCalibration) {
+  Rng rng(4);
+  Conv2d fp("conv", 2, 2, 3, rng);
+  QuantConv2d q(fp, QuantMode::kStatic);
+  Tensor big = Tensor::Randn({1, 2, 6, 6}, rng, 5.0F);
+  Tensor small = Tensor::Randn({1, 2, 6, 6}, rng, 0.01F);
+  q.Forward(big);
+  q.Forward(big);  // kStaticCalibrationBatches = 2: observer now frozen.
+  // A tiny input after calibration uses the frozen (large) scale: its quantized
+  // representation collapses toward zero instead of rescaling per batch.
+  Tensor y_static = q.Forward(small);
+  QuantConv2d q_dyn(fp, QuantMode::kDynamic);
+  Tensor y_dyn = q_dyn.Forward(small);
+  EXPECT_LT(y_static.AbsMax(), y_dyn.AbsMax() + 1e-6F);
+}
+
+TEST(Fp16Linear, MatchesFloatClosely) {
+  Rng rng(5);
+  Linear fp("fc", 12, 6, rng);
+  Fp16Linear h(fp);
+  Tensor x = Tensor::Randn({3, 12}, rng);
+  fp.SetTraining(false);
+  Tensor yf = fp.Forward(x);
+  Tensor yh = h.Forward(x);
+  for (int64_t i = 0; i < yf.NumEl(); ++i) {
+    EXPECT_NEAR(yh.Data()[i], yf.Data()[i], 0.01F * std::max(1.0F, yf.AbsMax()));
+  }
+}
+
+TEST(Fp16Conv2d, MatchesFloatClosely) {
+  Rng rng(6);
+  Conv2d fp("conv", 2, 4, 3, rng);
+  Fp16Conv2d h(fp);
+  Tensor x = Tensor::Randn({2, 2, 6, 6}, rng);
+  fp.SetTraining(false);
+  Tensor yf = fp.Forward(x);
+  Tensor yh = h.Forward(x);
+  for (int64_t i = 0; i < yf.NumEl(); ++i) {
+    EXPECT_NEAR(yh.Data()[i], yf.Data()[i], 0.02F * std::max(1.0F, yf.AbsMax()));
+  }
+}
+
+TEST(Factories, PrecisionDispatch) {
+  EXPECT_EQ(MakeInferenceFactory(Precision::kInt8, QuantMode::kStatic)->precision(),
+            Precision::kInt8);
+  EXPECT_EQ(MakeInferenceFactory(Precision::kFloat16, QuantMode::kStatic)->precision(),
+            Precision::kFloat16);
+  EXPECT_EQ(MakeInferenceFactory(Precision::kFloat32, QuantMode::kStatic)->precision(),
+            Precision::kFloat32);
+}
+
+// A quantized ResNet reference stays close to the float model at every stage
+// boundary — this is what makes int8 plasticity evaluation sound.
+TEST(ReferenceClone, Int8ChainTracksFloatChain) {
+  Rng rng(7);
+  CifarResNetConfig mcfg;
+  mcfg.blocks_per_stage = 1;
+  mcfg.base_width = 8;
+  auto model = PartitionIntoChain("r", BuildCifarResNetBlocks(mcfg, rng),
+                                  PartitionConfig{.target_modules = 4});
+  model->SetTraining(false);
+
+  Int8Factory factory(QuantMode::kStatic);
+  auto ref = model->CloneForInference(factory);
+
+  Tensor x = Tensor::Randn({4, 3, 16, 16}, rng);
+  Tensor yf = model->ForwardFrom(0, x);
+  ref->ForwardFrom(0, x);  // calibration pass
+  Tensor yq = ref->ForwardFrom(0, x);
+  ASSERT_TRUE(yq.SameShape(yf));
+  double err = 0.0;
+  for (int64_t i = 0; i < yf.NumEl(); ++i) {
+    err += std::abs(static_cast<double>(yq.Data()[i]) - yf.Data()[i]);
+  }
+  err /= static_cast<double>(yf.NumEl());
+  EXPECT_LT(err, 0.15 * std::max<double>(1.0, yf.AbsMax()));
+}
+
+TEST(ReferenceClone, QuantizedModulesRefuseBackward) {
+  Rng rng(8);
+  Linear fp("fc", 4, 4, rng);
+  QuantLinear q(fp, QuantMode::kDynamic);
+  Tensor x = Tensor::Randn({2, 4}, rng);
+  q.Forward(x);
+  EXPECT_DEATH(q.Backward(x), "inference-only");
+}
+
+TEST(Quantize, FakeQuantPreservesScale) {
+  Rng rng(9);
+  Tensor t = Tensor::Randn({100}, rng, 2.0F);
+  Tensor orig = t.Clone();
+  FakeQuantizeInt8(t);
+  for (int64_t i = 0; i < t.NumEl(); ++i) {
+    EXPECT_NEAR(t.Data()[i], orig.Data()[i], orig.AbsMax() / 100.0F);
+  }
+}
+
+}  // namespace
+}  // namespace egeria

@@ -1,0 +1,20 @@
+// Build smoke test: verifies the library links and basic tensor plumbing works.
+#include <gtest/gtest.h>
+
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+namespace {
+
+TEST(Smoke, TensorRoundTrip) {
+  Rng rng(7);
+  Tensor t = Tensor::Randn({2, 3}, rng);
+  EXPECT_EQ(t.NumEl(), 6);
+  Tensor u = t.Clone();
+  u.Scale_(2.0F);
+  EXPECT_FLOAT_EQ(u.At(0, 0), 2.0F * t.At(0, 0));
+}
+
+}  // namespace
+}  // namespace egeria
