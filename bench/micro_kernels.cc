@@ -25,8 +25,9 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  // items_per_second * 2 = FLOP/s (each item is one multiply-add).
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_ConvForwardFloat(benchmark::State& state) {
   Rng rng(2);

@@ -79,8 +79,18 @@ int Main() {
     table.AddRow(rows[pi]);
   }
   table.Print();
-  std::printf("\nShape: int8 fastest reference with a small accuracy gap; final training\n"
-              "accuracy unaffected by reference precision (the paper's sweet spot).\n");
+  // The paper (GPU) finds int8 the fastest reference. On this CPU backend the
+  // packed fp32 GEMM runs at machine FMA peak, so whether int8 wins depends on
+  // whether the int8 kernels vectorize comparably — report what was measured.
+  int fastest = 0;
+  for (int pi = 1; pi < 3; ++pi) {
+    if (speeds[pi] < speeds[fastest]) {
+      fastest = pi;
+    }
+  }
+  std::printf("\nShape: %s is the fastest reference here (paper, on GPU: int8); final\n"
+              "training accuracy unaffected by reference precision (the paper's sweet spot).\n",
+              PrecisionName(precisions[fastest]).c_str());
   return 0;
 }
 

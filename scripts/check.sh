@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a GEMM throughput smoke.
+#
+# Runs the canonical build-and-test line from ROADMAP.md, then one iteration of
+# the BM_MatMul/256 microbenchmark and writes the result to BENCH_gemm.json so
+# successive PRs can track the kernel's GFLOP/s trajectory
+# (items_per_second * 2 = FLOP/s; each item is one multiply-add).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+repo_root=$(pwd)
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S . -DEGERIA_BUILD_BENCH=ON
+cmake --build build -j "$(nproc)"
+(cd build && ctest --output-on-failure -j "$(nproc)")
+
+echo "== bench smoke: BM_MatMul/256 =="
+# "1x" (exactly one iteration) needs google-benchmark >= 1.8; older releases get
+# a short min_time instead.
+./build/micro_kernels \
+  --benchmark_filter='^BM_MatMul/256$' \
+  --benchmark_min_time=1x \
+  --benchmark_out="${repo_root}/BENCH_gemm.json" \
+  --benchmark_out_format=json ||
+./build/micro_kernels \
+  --benchmark_filter='^BM_MatMul/256$' \
+  --benchmark_min_time=0.05 \
+  --benchmark_out="${repo_root}/BENCH_gemm.json" \
+  --benchmark_out_format=json
+
+python3 - "$repo_root/BENCH_gemm.json" <<'EOF' || true
+import json, sys
+with open(sys.argv[1]) as f:
+    report = json.load(f)
+for b in report.get("benchmarks", []):
+    gflops = 2.0 * b.get("items_per_second", 0.0) / 1e9
+    print(f"{b['name']}: {gflops:.1f} GFLOP/s")
+EOF
+
+echo "check.sh: OK (bench report in BENCH_gemm.json)"

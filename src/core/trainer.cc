@@ -1,5 +1,7 @@
 #include "src/core/trainer.h"
 
+#include <unistd.h>
+
 #include <cmath>
 #include <filesystem>
 

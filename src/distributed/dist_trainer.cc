@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <thread>
 
 #include "src/core/controller.h"
@@ -13,11 +14,30 @@ namespace egeria {
 
 namespace {
 
-// Shared freeze state broadcast from the controller (worker 0) to all workers;
-// applied at iteration boundaries so every rank keeps an identical active set.
+// Shared freeze state broadcast from the controller (worker 0) to all workers.
+//
+// Rank 0 publishes decisions mid-iteration, racing with other ranks' start-of-
+// iteration reads: a fast rank 0 can publish iteration i's decision before a slow
+// rank has read the state for iteration i. The state is therefore a single packed
+// word holding BOTH the frontier active now and the one scheduled for the next
+// iteration, so every rank resolves the same frontier for the same iteration no
+// matter when its read lands relative to the publish.
 struct SharedFreezeState {
-  std::atomic<int> frontier{0};
-  std::atomic<int64_t> version{0};
+  // current:16 | pending:16 | apply_iter:32 (iteration at which pending activates).
+  std::atomic<uint64_t> packed{0};
+
+  static uint64_t Pack(int current, int pending, int64_t apply_iter) {
+    return (static_cast<uint64_t>(static_cast<uint16_t>(current)) << 48) |
+           (static_cast<uint64_t>(static_cast<uint16_t>(pending)) << 32) |
+           static_cast<uint64_t>(static_cast<uint32_t>(apply_iter));
+  }
+  // Frontier in effect at iteration `iter`.
+  static int ResolveAt(uint64_t packed, int64_t iter) {
+    const int current = static_cast<int>(static_cast<uint16_t>(packed >> 48));
+    const int pending = static_cast<int>(static_cast<uint16_t>(packed >> 32));
+    const int64_t apply_iter = static_cast<int64_t>(static_cast<uint32_t>(packed));
+    return iter >= apply_iter ? pending : current;
+  }
 };
 
 }  // namespace
@@ -60,7 +80,6 @@ DistTrainResult TrainDataParallel(
     model.SetTraining(true);
     Sgd opt(cfg.momentum, cfg.weight_decay);
     int frontier = 0;
-    int64_t local_version = 0;
     int64_t iter = 0;
     bool knowledge_stage = !cfg.enable_egeria;
 
@@ -72,10 +91,13 @@ DistTrainResult TrainDataParallel(
         ++iter;
         const float lr = cfg.lr_schedule->LrAt(iter);
 
-        // Apply broadcast freeze state.
-        if (freeze_state.version.load() != local_version) {
-          local_version = freeze_state.version.load();
-          const int new_frontier = freeze_state.frontier.load();
+        // Apply the freeze state in effect for this iteration. ResolveAt makes the
+        // read race-free: whether or not rank 0 has already published this
+        // iteration's decision (scheduled for iter+1), every rank resolves the
+        // same frontier for `iter`.
+        const int new_frontier =
+            SharedFreezeState::ResolveAt(freeze_state.packed.load(), iter);
+        if (new_frontier != frontier) {
           for (int i = 0; i < model.NumStages(); ++i) {
             model.SetStageFrozen(i, i < new_frontier);
           }
@@ -132,8 +154,12 @@ DistTrainResult TrainDataParallel(
             changed = true;
           }
           if (changed) {
-            freeze_state.frontier.store(new_frontier);
-            freeze_state.version.fetch_add(1);
+            // `frontier` is what every rank resolved for this iteration; the new
+            // decision takes effect at iter+1 on all ranks simultaneously (the
+            // all-reduce barrier below orders this publish before any rank's
+            // iter+1 read).
+            freeze_state.packed.store(
+                SharedFreezeState::Pack(frontier, new_frontier, iter + 1));
           }
         }
 
@@ -165,7 +191,8 @@ DistTrainResult TrainDataParallel(
   DistTrainResult result;
   result.bytes_synced = bytes_synced.load();
   result.bytes_full_model = full_bytes_total.load();
-  result.final_frontier = freeze_state.frontier.load();
+  result.final_frontier = SharedFreezeState::ResolveAt(
+      freeze_state.packed.load(), std::numeric_limits<int64_t>::max());
   result.iterations = static_cast<int64_t>(cfg.epochs) * steps_per_epoch;
 
   // Replica consistency: synchronized SGD on averaged gradients must keep replicas

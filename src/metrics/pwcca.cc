@@ -57,15 +57,12 @@ double PwccaDistance(const Tensor& x_in, const Tensor& y_in) {
   Tensor h = MatMul(qx.q, svd.u);
 
   // Projection weights: w_i = sum_j |<h_i, x_col_j>| — how much of X's data the i-th
-  // canonical direction explains.
+  // canonical direction explains. The r*p dot products are one GEMM: H^T X [r, p].
+  Tensor proj = MatMulTransA(h, x);
   std::vector<double> weights(static_cast<size_t>(r), 0.0);
   for (int64_t i = 0; i < r; ++i) {
     for (int64_t j = 0; j < p; ++j) {
-      double dot = 0.0;
-      for (int64_t s = 0; s < n; ++s) {
-        dot += static_cast<double>(h.At(s, i)) * x.At(s, j);
-      }
-      weights[static_cast<size_t>(i)] += std::abs(dot);
+      weights[static_cast<size_t>(i)] += std::abs(static_cast<double>(proj.At(i, j)));
     }
   }
   double wsum = 0.0;

@@ -1,8 +1,10 @@
 #include "src/nn/attention.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/nn/linear.h"
+#include "src/tensor/compute_pool.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/logging.h"
 
@@ -89,25 +91,28 @@ std::pair<Tensor, Tensor> MultiHeadAttention::Backward(const Tensor& grad_output
   Tensor dp = BatchedMatMul(dout, v_, /*trans_b=*/true);       // [bh, tq, tk]
   Tensor dv = BatchedMatMulTransA(p_, dout);                   // [bh, tk, dh]
 
-  // Softmax backward row-wise: ds = p * (dp - sum(dp * p)).
+  // Softmax backward row-wise: ds = p * (dp - sum(dp * p)); rows are independent.
   Tensor ds(dp.Shape());
   {
     const int64_t rows = dp.NumEl() / tk_;
     const float* pp = p_.Data();
     const float* dpp = dp.Data();
     float* dsp = ds.Data();
-    for (int64_t r = 0; r < rows; ++r) {
-      const float* prow = pp + r * tk_;
-      const float* dprow = dpp + r * tk_;
-      float* dsrow = dsp + r * tk_;
-      double dot = 0.0;
-      for (int64_t j = 0; j < tk_; ++j) {
-        dot += static_cast<double>(prow[j]) * dprow[j];
-      }
-      for (int64_t j = 0; j < tk_; ++j) {
-        dsrow[j] = prow[j] * (dprow[j] - static_cast<float>(dot));
-      }
-    }
+    ParallelFor(rows, 4096 / std::max<int64_t>(tk_, 1) + 1,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t r = lo; r < hi; ++r) {
+                    const float* prow = pp + r * tk_;
+                    const float* dprow = dpp + r * tk_;
+                    float* dsrow = dsp + r * tk_;
+                    double dot = 0.0;
+                    for (int64_t j = 0; j < tk_; ++j) {
+                      dot += static_cast<double>(prow[j]) * dprow[j];
+                    }
+                    for (int64_t j = 0; j < tk_; ++j) {
+                      dsrow[j] = prow[j] * (dprow[j] - static_cast<float>(dot));
+                    }
+                  }
+                });
   }
   ds.Scale_(scale);
 

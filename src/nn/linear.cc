@@ -48,8 +48,8 @@ Tensor Linear::Backward(const Tensor& grad_output) {
   EGERIA_CHECK(rows == cached_input_.Size(0));
   Tensor dy = grad_output.Reshape({rows, out_features_});
   // dW += dy^T x ; db += colsum(dy) ; dx = dy W.
-  GemmTransARaw(dy.Data(), cached_input_.Data(), weight_.grad.Data(), out_features_, rows,
-                in_features_, /*accumulate=*/true);
+  Gemm(dy.Data(), cached_input_.Data(), weight_.grad.Data(), out_features_, rows,
+       in_features_, /*trans_a=*/true, /*trans_b=*/false, /*accumulate=*/true);
   if (has_bias_) {
     float* db = bias_.grad.Data();
     const float* dp = dy.Data();

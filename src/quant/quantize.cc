@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/tensor/compute_pool.h"
 #include "src/util/logging.h"
 
 namespace egeria {
@@ -52,48 +53,61 @@ void Int8GemmTransB(const int8_t* a, float a_scale, const QuantizedWeights& w,
                     const float* bias, float* c, int64_t m) {
   const int64_t k = w.cols;
   const int64_t n = w.rows;
-  for (int64_t i = 0; i < m; ++i) {
-    const int8_t* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const int8_t* wrow = w.data.data() + j * k;
-      int32_t acc = 0;
-      for (int64_t p = 0; p < k; ++p) {
-        acc += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(wrow[p]);
+  const int8_t* wdata = w.data.data();
+  const float* wscales = w.scales.data();
+  // Rows of A are independent; both operands stream contiguously over k, so each
+  // dot product is a straight simd reduction.
+  ParallelFor(m, 8192 / std::max<int64_t>(k * n, 1) + 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const int8_t* arow = a + i * k;
+      float* crow = c + i * n;
+      for (int64_t j = 0; j < n; ++j) {
+        const int8_t* wrow = wdata + j * k;
+        int32_t acc = 0;
+#pragma omp simd reduction(+ : acc)
+        for (int64_t p = 0; p < k; ++p) {
+          acc += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(wrow[p]);
+        }
+        float v = static_cast<float>(acc) * a_scale * wscales[j];
+        if (bias != nullptr) {
+          v += bias[j];
+        }
+        crow[j] = v;
       }
-      float v = static_cast<float>(acc) * a_scale * w.scales[static_cast<size_t>(j)];
-      if (bias != nullptr) {
-        v += bias[j];
-      }
-      crow[j] = v;
     }
-  }
+  });
 }
 
 void Int8GemmWeightLhs(const QuantizedWeights& w, const int8_t* b, float b_scale,
                        const float* bias, float* c, int64_t n) {
   const int64_t k = w.cols;
-  std::vector<int32_t> acc(static_cast<size_t>(n));
-  for (int64_t r = 0; r < w.rows; ++r) {
-    std::fill(acc.begin(), acc.end(), 0);
-    const int8_t* wrow = w.data.data() + r * k;
-    for (int64_t p = 0; p < k; ++p) {
-      const int32_t wv = wrow[p];
-      if (wv == 0) {
-        continue;
+  const int8_t* wdata = w.data.data();
+  const float* wscales = w.scales.data();
+  // Output rows are independent; each worker keeps a private int32 accumulator
+  // row. The inner loop stays dense — no zero-skip branch, which pessimized the
+  // common dense case and blocked vectorization.
+  ParallelFor(w.rows, 2, [&](int64_t lo, int64_t hi) {
+    std::vector<int32_t> acc(static_cast<size_t>(n));
+    for (int64_t r = lo; r < hi; ++r) {
+      std::fill(acc.begin(), acc.end(), 0);
+      const int8_t* wrow = wdata + r * k;
+      int32_t* accp = acc.data();
+      for (int64_t p = 0; p < k; ++p) {
+        const int32_t wv = wrow[p];
+        const int8_t* brow = b + p * n;
+#pragma omp simd
+        for (int64_t j = 0; j < n; ++j) {
+          accp[j] += wv * static_cast<int32_t>(brow[j]);
+        }
       }
-      const int8_t* brow = b + p * n;
+      const float deq = b_scale * wscales[r];
+      const float add = (bias != nullptr) ? bias[r] : 0.0F;
+      float* crow = c + r * n;
       for (int64_t j = 0; j < n; ++j) {
-        acc[static_cast<size_t>(j)] += wv * static_cast<int32_t>(brow[j]);
+        crow[j] = static_cast<float>(accp[j]) * deq + add;
       }
     }
-    const float deq = b_scale * w.scales[static_cast<size_t>(r)];
-    const float add = (bias != nullptr) ? bias[r] : 0.0F;
-    float* crow = c + r * n;
-    for (int64_t j = 0; j < n; ++j) {
-      crow[j] = static_cast<float>(acc[static_cast<size_t>(j)]) * deq + add;
-    }
-  }
+  });
 }
 
 void MinMaxObserver::Observe(const float* x, int64_t n) {

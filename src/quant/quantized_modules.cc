@@ -1,5 +1,6 @@
 #include "src/quant/quantized_modules.h"
 
+#include "src/tensor/compute_pool.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/logging.h"
 
@@ -36,7 +37,7 @@ Tensor QuantLinear::Forward(const Tensor& input) {
   QuantizeActivations(input.Data(), xq.data(), input.NumEl(), scale);
   std::vector<int64_t> out_shape = input.Shape();
   out_shape.back() = out_features_;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   Int8GemmTransB(xq.data(), scale, weights_, bias_.Defined() ? bias_.Data() : nullptr,
                  out.Data(), rows);
   return out;
@@ -86,13 +87,26 @@ Tensor QuantConv2d::Forward(const Tensor& input) {
   const int64_t ckk = cols.Size(1);
   // The quantization scale comes from the raw input; im2col only re-arranges values.
   const float scale = InputScale(input.Data(), input.NumEl());
-  Tensor out({b, out_channels_, oh, ow});
-  std::vector<int8_t> colq(static_cast<size_t>(ckk * ohow));
-  for (int64_t bi = 0; bi < b; ++bi) {
-    QuantizeActivations(cols.Data() + bi * ckk * ohow, colq.data(), ckk * ohow, scale);
-    Int8GemmWeightLhs(weights_, colq.data(), scale,
-                      bias_.Defined() ? bias_.Data() : nullptr,
-                      out.Data() + bi * out_channels_ * ohow, ohow);
+  // Every output element is written by the int8 kernel — skip the zero-fill.
+  Tensor out = Tensor::Uninitialized({b, out_channels_, oh, ow});
+  const float* colp = cols.Data();
+  const float* biasp = bias_.Defined() ? bias_.Data() : nullptr;
+  float* outp = out.Data();
+  // Batch items are independent; each chunk quantizes into its own scratch.
+  // With fewer items than threads, run items serially so the int8 kernel's
+  // internal row parallelism can use the whole pool instead.
+  const auto run_items = [&](int64_t lo, int64_t hi) {
+    std::vector<int8_t> colq(static_cast<size_t>(ckk * ohow));
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      QuantizeActivations(colp + bi * ckk * ohow, colq.data(), ckk * ohow, scale);
+      Int8GemmWeightLhs(weights_, colq.data(), scale, biasp,
+                        outp + bi * out_channels_ * ohow, ohow);
+    }
+  };
+  if (b >= ComputePoolThreads()) {
+    ParallelFor(b, 1, run_items);
+  } else {
+    run_items(0, b);
   }
   return out;
 }
@@ -127,21 +141,26 @@ Tensor Fp16Linear::Forward(const Tensor& input) {
   const int64_t rows = input.NumEl() / in_features_;
   std::vector<int64_t> out_shape = input.Shape();
   out_shape.back() = out_features_;
-  Tensor out(out_shape);
+  Tensor out = Tensor::Uninitialized(out_shape);
   const float* x = input.Data();
+  const float* biasp = bias_.Defined() ? bias_.Data() : nullptr;
+  const _Float16* wp = weights_.data();
   float* y = out.Data();
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* xrow = x + i * in_features_;
-    float* yrow = y + i * out_features_;
-    for (int64_t j = 0; j < out_features_; ++j) {
-      const _Float16* wrow = weights_.data() + j * in_features_;
-      float acc = 0.0F;
-      for (int64_t p = 0; p < in_features_; ++p) {
-        acc += static_cast<float>(wrow[p]) * xrow[p];
+  ParallelFor(rows, 4, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float* xrow = x + i * in_features_;
+      float* yrow = y + i * out_features_;
+      for (int64_t j = 0; j < out_features_; ++j) {
+        const _Float16* wrow = wp + j * in_features_;
+        float acc = 0.0F;
+#pragma omp simd reduction(+ : acc)
+        for (int64_t p = 0; p < in_features_; ++p) {
+          acc += static_cast<float>(wrow[p]) * xrow[p];
+        }
+        yrow[j] = biasp != nullptr ? acc + biasp[j] : acc;
       }
-      yrow[j] = bias_.Defined() ? acc + bias_.Data()[j] : acc;
     }
-  }
+  });
   return out;
 }
 
@@ -179,29 +198,34 @@ Tensor Fp16Conv2d::Forward(const Tensor& input) {
   const int64_t ohow = oh * ow;
   Tensor cols = Im2Col(input, geom_);
   const int64_t ckk = cols.Size(1);
-  Tensor out({b, out_channels_, oh, ow});
-  for (int64_t bi = 0; bi < b; ++bi) {
-    const float* col = cols.Data() + bi * ckk * ohow;
-    float* oplane = out.Data() + bi * out_channels_ * ohow;
-    for (int64_t oc = 0; oc < out_channels_; ++oc) {
-      const _Float16* wrow = weights_.data() + oc * ckk;
-      float* orow = oplane + oc * ohow;
-      const float add = bias_.Defined() ? bias_.Data()[oc] : 0.0F;
+  Tensor out = Tensor::Uninitialized({b, out_channels_, oh, ow});
+  const float* colsp = cols.Data();
+  const float* biasp = bias_.Defined() ? bias_.Data() : nullptr;
+  const _Float16* wp = weights_.data();
+  float* outp = out.Data();
+  // (batch, out-channel) rows are independent; the k loop stays dense (the old
+  // zero-weight skip branch pessimized the common dense case).
+  ParallelFor(b * out_channels_, 2, [&](int64_t lo, int64_t hi) {
+    for (int64_t boc = lo; boc < hi; ++boc) {
+      const int64_t bi = boc / out_channels_;
+      const int64_t oc = boc % out_channels_;
+      const float* col = colsp + bi * ckk * ohow;
+      const _Float16* wrow = wp + oc * ckk;
+      float* orow = outp + (bi * out_channels_ + oc) * ohow;
+      const float add = biasp != nullptr ? biasp[oc] : 0.0F;
       for (int64_t j = 0; j < ohow; ++j) {
         orow[j] = add;
       }
       for (int64_t p = 0; p < ckk; ++p) {
         const float wv = static_cast<float>(wrow[p]);
-        if (wv == 0.0F) {
-          continue;
-        }
         const float* crow = col + p * ohow;
+#pragma omp simd
         for (int64_t j = 0; j < ohow; ++j) {
           orow[j] += wv * crow[j];
         }
       }
     }
-  }
+  });
   return out;
 }
 

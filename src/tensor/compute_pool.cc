@@ -1,0 +1,110 @@
+#include "src/tensor/compute_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "src/util/thread_pool.h"
+
+namespace egeria {
+
+namespace {
+
+// True while the current thread is executing a ParallelFor chunk; nested
+// ParallelFor calls from such a thread run serially (shipping sub-chunks back to
+// the pool the caller occupies can deadlock a small pool).
+thread_local bool t_in_compute_chunk = false;
+
+// RAII so the flag unwinds correctly if a chunk body throws.
+struct ChunkFlagGuard {
+  bool prev;
+  ChunkFlagGuard() : prev(t_in_compute_chunk) { t_in_compute_chunk = true; }
+  ~ChunkFlagGuard() { t_in_compute_chunk = prev; }
+};
+
+int ResolveThreadCount() {
+  if (const char* env = std::getenv("EGERIA_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) {
+      return n;
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+// Leaked on purpose: kernel calls can race with static destruction at process
+// exit (e.g. from detached helpers), and the OS reclaims the threads anyway.
+ThreadPool* Pool() {
+  static ThreadPool* pool = [] {
+    const int threads = ComputePoolThreads();
+    // The ParallelFor caller runs one chunk itself, so spawn threads-1 workers.
+    return threads > 1 ? new ThreadPool(static_cast<size_t>(threads - 1)) : nullptr;
+  }();
+  return pool;
+}
+
+}  // namespace
+
+int ComputePoolThreads() {
+  static const int threads = ResolveThreadCount();
+  return threads;
+}
+
+void ParallelFor(int64_t n, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (n <= 0) {
+    return;
+  }
+  grain = std::max<int64_t>(grain, 1);
+  ThreadPool* pool = Pool();
+  const int64_t max_chunks = pool == nullptr || t_in_compute_chunk
+                                 ? 1
+                                 : static_cast<int64_t>(ComputePoolThreads());
+  const int64_t chunks = std::min(max_chunks, (n + grain - 1) / grain);
+  if (chunks <= 1) {
+    fn(0, n);
+    return;
+  }
+  // Fixed-size contiguous chunks: the partition depends only on (n, grain, thread
+  // count), so runs at a fixed EGERIA_NUM_THREADS shard work identically.
+  const int64_t chunk = (n + chunks - 1) / chunks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(chunks - 1));
+  for (int64_t c = 1; c < chunks; ++c) {
+    const int64_t begin = c * chunk;
+    const int64_t end = std::min(n, begin + chunk);
+    if (begin >= end) {
+      break;
+    }
+    futures.push_back(pool->Submit([&fn, begin, end] {
+      ChunkFlagGuard guard;
+      fn(begin, end);
+    }));
+  }
+  // The calling thread takes the first chunk (and counts toward the pool size).
+  // If it throws, still wait for every worker before unwinding — the workers
+  // hold a reference to fn, which dies with this frame.
+  std::exception_ptr caller_error;
+  {
+    ChunkFlagGuard guard;
+    try {
+      fn(0, std::min(n, chunk));
+    } catch (...) {
+      caller_error = std::current_exception();
+    }
+  }
+  for (auto& f : futures) {
+    f.wait();
+  }
+  if (caller_error) {
+    std::rethrow_exception(caller_error);
+  }
+  for (auto& f : futures) {
+    f.get();  // Rethrows the first worker exception, if any.
+  }
+}
+
+}  // namespace egeria

@@ -1,0 +1,35 @@
+// Packed, cache-blocked, multithreaded single-precision GEMM.
+//
+// One dispatch serves every matmul in the repo (dense layers, attention, im2col
+// convolution, CCA metrics): C[m,n] (+)= op(A) * op(B) with row-major storage,
+// where op transposes the operand's two dimensions. The implementation follows
+// the classic Goto/BLIS decomposition — see src/tensor/README.md for the blocking
+// parameters, packing layout, and threading model.
+//
+// Accumulation semantics are uniform across all transpose combinations: fp32
+// microkernel accumulators, with k-blocks folded into C in a fixed order. Results
+// are bitwise identical for any thread count (threads partition disjoint C row
+// blocks; the arithmetic order per C element never depends on the partition).
+#ifndef EGERIA_SRC_TENSOR_GEMM_H_
+#define EGERIA_SRC_TENSOR_GEMM_H_
+
+#include <cstdint>
+
+namespace egeria {
+
+// C[m,n] (+)= op(A)[m,k] * op(B)[k,n].
+// A is stored row-major as [m,k] (or [k,m] when trans_a); B as [k,n] (or [n,k]
+// when trans_b). When accumulate is false, C is overwritten (no prior zero-fill
+// of C is needed); when true, the product is added to C's existing contents.
+void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
+          bool trans_a, bool trans_b, bool accumulate);
+
+// Batched variant over `batch` independent problems laid out contiguously:
+// C[bi] (+)= op(A[bi]) * op(B[bi]). Parallelizes across batch items (each item
+// then runs a single-threaded Gemm), or within the single item when batch == 1.
+void BatchedGemm(const float* a, const float* b, float* c, int64_t batch, int64_t m,
+                 int64_t k, int64_t n, bool trans_a, bool trans_b, bool accumulate);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_TENSOR_GEMM_H_

@@ -1,5 +1,6 @@
 #include "src/tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numeric>
 #include <sstream>
@@ -24,7 +25,16 @@ int64_t ComputeNumel(const std::vector<int64_t>& shape) {
 
 Tensor::Tensor(std::vector<int64_t> shape)
     : shape_(std::move(shape)), numel_(ComputeNumel(shape_)) {
-  storage_ = std::make_shared<std::vector<float>>(static_cast<size_t>(numel_), 0.0F);
+  // new float[n]() value-initializes (zeros); Uninitialized() omits the ().
+  storage_ = std::shared_ptr<float[]>(new float[static_cast<size_t>(numel_)]());
+}
+
+Tensor Tensor::Uninitialized(std::vector<int64_t> shape) {
+  Tensor t;
+  t.shape_ = std::move(shape);
+  t.numel_ = ComputeNumel(t.shape_);
+  t.storage_ = std::shared_ptr<float[]>(new float[static_cast<size_t>(t.numel_)]);
+  return t;
 }
 
 Tensor Tensor::Zeros(std::vector<int64_t> shape) { return Tensor(std::move(shape)); }
@@ -42,17 +52,15 @@ Tensor Tensor::Full(std::vector<int64_t> shape, float value) {
 }
 
 Tensor Tensor::FromVector(std::vector<int64_t> shape, std::vector<float> values) {
-  Tensor t;
-  t.shape_ = std::move(shape);
-  t.numel_ = ComputeNumel(t.shape_);
+  Tensor t = Uninitialized(std::move(shape));
   EGERIA_CHECK_MSG(static_cast<int64_t>(values.size()) == t.numel_,
                    "FromVector size mismatch");
-  t.storage_ = std::make_shared<std::vector<float>>(std::move(values));
+  std::copy(values.begin(), values.end(), t.Data());
   return t;
 }
 
 Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float stddev) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   float* p = t.Data();
   for (int64_t i = 0; i < t.numel_; ++i) {
     p[i] = rng.NextGaussian() * stddev;
@@ -61,7 +69,7 @@ Tensor Tensor::Randn(std::vector<int64_t> shape, Rng& rng, float stddev) {
 }
 
 Tensor Tensor::Rand(std::vector<int64_t> shape, Rng& rng, float lo, float hi) {
-  Tensor t(std::move(shape));
+  Tensor t = Uninitialized(std::move(shape));
   float* p = t.Data();
   for (int64_t i = 0; i < t.numel_; ++i) {
     p[i] = rng.NextUniform(lo, hi);
@@ -92,12 +100,12 @@ std::string Tensor::ShapeStr() const {
 
 float* Tensor::Data() {
   EGERIA_CHECK_MSG(storage_ != nullptr, "Data() on undefined tensor");
-  return storage_->data();
+  return storage_.get();
 }
 
 const float* Tensor::Data() const {
   EGERIA_CHECK_MSG(storage_ != nullptr, "Data() on undefined tensor");
-  return storage_->data();
+  return storage_.get();
 }
 
 float& Tensor::At(int64_t i) { return Data()[i]; }
@@ -124,10 +132,8 @@ Tensor Tensor::Clone() const {
   if (!Defined()) {
     return Tensor();
   }
-  Tensor t;
-  t.shape_ = shape_;
-  t.numel_ = numel_;
-  t.storage_ = std::make_shared<std::vector<float>>(*storage_);
+  Tensor t = Uninitialized(shape_);
+  std::copy(Data(), Data() + numel_, t.Data());
   return t;
 }
 
@@ -157,7 +163,9 @@ Tensor Tensor::Reshape(std::vector<int64_t> shape) const {
 
 void Tensor::MakeUnique() {
   if (storage_ != nullptr && storage_.use_count() > 1) {
-    storage_ = std::make_shared<std::vector<float>>(*storage_);
+    std::shared_ptr<float[]> copy(new float[static_cast<size_t>(numel_)]);
+    std::copy(storage_.get(), storage_.get() + numel_, copy.get());
+    storage_ = std::move(copy);
   }
 }
 

@@ -27,6 +27,10 @@ class Tensor {
   // Zero-initialized tensor of the given shape.
   explicit Tensor(std::vector<int64_t> shape);
 
+  // Tensor with uninitialized contents — for kernel outputs that are fully
+  // overwritten before being read (GEMM results, im2col buffers). Reading an
+  // element before writing it is undefined.
+  static Tensor Uninitialized(std::vector<int64_t> shape);
   static Tensor Zeros(std::vector<int64_t> shape);
   static Tensor Ones(std::vector<int64_t> shape);
   static Tensor Full(std::vector<int64_t> shape, float value);
@@ -93,7 +97,9 @@ class Tensor {
   bool HasNonFinite() const;
 
  private:
-  std::shared_ptr<std::vector<float>> storage_;
+  // Raw array rather than std::vector so Uninitialized() can skip the zero-fill
+  // (vector's resize value-initializes unconditionally).
+  std::shared_ptr<float[]> storage_;
   std::vector<int64_t> shape_;
   int64_t numel_ = 0;
 };

@@ -4,68 +4,10 @@
 #include <cmath>
 #include <limits>
 
+#include "src/tensor/compute_pool.h"
 #include "src/util/logging.h"
 
 namespace egeria {
-
-void GemmRaw(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
-             bool accumulate) {
-  if (!accumulate) {
-    std::fill(c, c + m * n, 0.0F);
-  }
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t p = 0; p < k; ++p) {
-      const float av = arow[p];
-      if (av == 0.0F) {
-        continue;
-      }
-      const float* brow = b + p * n;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
-}
-
-void GemmTransARaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
-                   int64_t n, bool accumulate) {
-  if (!accumulate) {
-    std::fill(c, c + m * n, 0.0F);
-  }
-  // C[i,j] += sum_p A[p,i] * B[p,j]; iterate p outermost for contiguous row access.
-  for (int64_t p = 0; p < k; ++p) {
-    const float* arow = a + p * m;
-    const float* brow = b + p * n;
-    for (int64_t i = 0; i < m; ++i) {
-      const float av = arow[i];
-      if (av == 0.0F) {
-        continue;
-      }
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += av * brow[j];
-      }
-    }
-  }
-}
-
-void GemmTransBRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
-                   int64_t n, bool accumulate) {
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a + i * k;
-    float* crow = c + i * n;
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b + j * k;
-      double s = 0.0;
-      for (int64_t p = 0; p < k; ++p) {
-        s += static_cast<double>(arow[p]) * static_cast<double>(brow[p]);
-      }
-      crow[j] = accumulate ? crow[j] + static_cast<float>(s) : static_cast<float>(s);
-    }
-  }
-}
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   EGERIA_CHECK(a.Dim() == 2 && b.Dim() == 2);
@@ -73,8 +15,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t k = a.Size(1);
   const int64_t n = b.Size(1);
   EGERIA_CHECK_MSG(b.Size(0) == k, "MatMul inner dim mismatch");
-  Tensor c({m, n});
-  GemmRaw(a.Data(), b.Data(), c.Data(), m, k, n, /*accumulate=*/true);
+  Tensor c = Tensor::Uninitialized({m, n});
+  Gemm(a.Data(), b.Data(), c.Data(), m, k, n, /*trans_a=*/false, /*trans_b=*/false,
+       /*accumulate=*/false);
   return c;
 }
 
@@ -84,8 +27,9 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t m = a.Size(1);
   const int64_t n = b.Size(1);
   EGERIA_CHECK_MSG(b.Size(0) == k, "MatMulTransA inner dim mismatch");
-  Tensor c({m, n});
-  GemmTransARaw(a.Data(), b.Data(), c.Data(), m, k, n, /*accumulate=*/true);
+  Tensor c = Tensor::Uninitialized({m, n});
+  Gemm(a.Data(), b.Data(), c.Data(), m, k, n, /*trans_a=*/true, /*trans_b=*/false,
+       /*accumulate=*/false);
   return c;
 }
 
@@ -95,8 +39,9 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t k = a.Size(1);
   const int64_t n = b.Size(0);
   EGERIA_CHECK_MSG(b.Size(1) == k, "MatMulTransB inner dim mismatch");
-  Tensor c({m, n});
-  GemmTransBRaw(a.Data(), b.Data(), c.Data(), m, k, n, /*accumulate=*/false);
+  Tensor c = Tensor::Uninitialized({m, n});
+  Gemm(a.Data(), b.Data(), c.Data(), m, k, n, /*trans_a=*/false, /*trans_b=*/true,
+       /*accumulate=*/false);
   return c;
 }
 
@@ -108,17 +53,9 @@ Tensor BatchedMatMul(const Tensor& a, const Tensor& b, bool trans_b) {
   const int64_t k = a.Size(2);
   const int64_t n = trans_b ? b.Size(1) : b.Size(2);
   EGERIA_CHECK((trans_b ? b.Size(2) : b.Size(1)) == k);
-  Tensor c({batch, m, n});
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    const float* ap = a.Data() + bi * m * k;
-    const float* bp = b.Data() + bi * (trans_b ? n * k : k * n);
-    float* cp = c.Data() + bi * m * n;
-    if (!trans_b) {
-      GemmRaw(ap, bp, cp, m, k, n, /*accumulate=*/true);
-    } else {
-      GemmTransBRaw(ap, bp, cp, m, k, n, /*accumulate=*/false);
-    }
-  }
+  Tensor c = Tensor::Uninitialized({batch, m, n});
+  BatchedGemm(a.Data(), b.Data(), c.Data(), batch, m, k, n, /*trans_a=*/false, trans_b,
+              /*accumulate=*/false);
   return c;
 }
 
@@ -130,11 +67,9 @@ Tensor BatchedMatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t m = a.Size(2);
   const int64_t n = b.Size(2);
   EGERIA_CHECK(b.Size(1) == k);
-  Tensor c({batch, m, n});
-  for (int64_t bi = 0; bi < batch; ++bi) {
-    GemmTransARaw(a.Data() + bi * k * m, b.Data() + bi * k * n, c.Data() + bi * m * n, m,
-                  k, n, /*accumulate=*/true);
-  }
+  Tensor c = Tensor::Uninitialized({batch, m, n});
+  BatchedGemm(a.Data(), b.Data(), c.Data(), batch, m, k, n, /*trans_a=*/true,
+              /*trans_b=*/false, /*accumulate=*/false);
   return c;
 }
 
@@ -147,11 +82,13 @@ Tensor Im2Col(const Tensor& input, const ConvGeom& g) {
   const int64_t oh = g.OutH(h);
   const int64_t ow = g.OutW(w);
   EGERIA_CHECK_MSG(oh > 0 && ow > 0, "Im2Col produced empty output");
-  Tensor cols({b, c * g.kernel_h * g.kernel_w, oh * ow});
+  Tensor cols = Tensor::Uninitialized({b, c * g.kernel_h * g.kernel_w, oh * ow});
   const float* in = input.Data();
   float* out = cols.Data();
   const int64_t col_rows = c * g.kernel_h * g.kernel_w;
-  for (int64_t bi = 0; bi < b; ++bi) {
+  // Batch items write disjoint column blocks, so the loop shards cleanly.
+  ParallelFor(b, 1, [&](int64_t b_lo, int64_t b_hi) {
+  for (int64_t bi = b_lo; bi < b_hi; ++bi) {
     const float* img = in + bi * c * h * w;
     float* col = out + bi * col_rows * oh * ow;
     for (int64_t ci = 0; ci < c; ++ci) {
@@ -177,6 +114,7 @@ Tensor Im2Col(const Tensor& input, const ConvGeom& g) {
       }
     }
   }
+  });
   return cols;
 }
 
@@ -191,7 +129,9 @@ Tensor Col2Im(const Tensor& cols, const ConvGeom& g, int64_t c, int64_t h, int64
   const float* in = cols.Data();
   float* out = img.Data();
   const int64_t col_rows = c * g.kernel_h * g.kernel_w;
-  for (int64_t bi = 0; bi < b; ++bi) {
+  // The scatter-add is per-image: batch items never touch each other's planes.
+  ParallelFor(b, 1, [&](int64_t b_lo, int64_t b_hi) {
+  for (int64_t bi = b_lo; bi < b_hi; ++bi) {
     const float* col = in + bi * col_rows * oh * ow;
     float* dst_img = out + bi * c * h * w;
     for (int64_t ci = 0; ci < c; ++ci) {
@@ -216,6 +156,7 @@ Tensor Col2Im(const Tensor& cols, const ConvGeom& g, int64_t c, int64_t h, int64
       }
     }
   }
+  });
   return img;
 }
 
@@ -384,22 +325,25 @@ Tensor Softmax(const Tensor& logits) {
   const int64_t rows = logits.NumEl() / n;
   Tensor out = logits.Clone();
   float* p = out.Data();
-  for (int64_t r = 0; r < rows; ++r) {
-    float* row = p + r * n;
-    float mx = row[0];
-    for (int64_t i = 1; i < n; ++i) {
-      mx = std::max(mx, row[i]);
+  // Rows are independent; the grain keeps per-chunk work above pool overhead.
+  ParallelFor(rows, 4096 / std::max<int64_t>(n, 1) + 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float* row = p + r * n;
+      float mx = row[0];
+      for (int64_t i = 1; i < n; ++i) {
+        mx = std::max(mx, row[i]);
+      }
+      double sum = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        row[i] = std::exp(row[i] - mx);
+        sum += row[i];
+      }
+      const float inv = static_cast<float>(1.0 / sum);
+      for (int64_t i = 0; i < n; ++i) {
+        row[i] *= inv;
+      }
     }
-    double sum = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      row[i] = std::exp(row[i] - mx);
-      sum += row[i];
-    }
-    const float inv = static_cast<float>(1.0 / sum);
-    for (int64_t i = 0; i < n; ++i) {
-      row[i] *= inv;
-    }
-  }
+  });
   return out;
 }
 
@@ -409,21 +353,23 @@ Tensor LogSoftmax(const Tensor& logits) {
   const int64_t rows = logits.NumEl() / n;
   Tensor out = logits.Clone();
   float* p = out.Data();
-  for (int64_t r = 0; r < rows; ++r) {
-    float* row = p + r * n;
-    float mx = row[0];
-    for (int64_t i = 1; i < n; ++i) {
-      mx = std::max(mx, row[i]);
+  ParallelFor(rows, 4096 / std::max<int64_t>(n, 1) + 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t r = lo; r < hi; ++r) {
+      float* row = p + r * n;
+      float mx = row[0];
+      for (int64_t i = 1; i < n; ++i) {
+        mx = std::max(mx, row[i]);
+      }
+      double sum = 0.0;
+      for (int64_t i = 0; i < n; ++i) {
+        sum += std::exp(static_cast<double>(row[i] - mx));
+      }
+      const float lse = mx + static_cast<float>(std::log(sum));
+      for (int64_t i = 0; i < n; ++i) {
+        row[i] -= lse;
+      }
     }
-    double sum = 0.0;
-    for (int64_t i = 0; i < n; ++i) {
-      sum += std::exp(static_cast<double>(row[i] - mx));
-    }
-    const float lse = mx + static_cast<float>(std::log(sum));
-    for (int64_t i = 0; i < n; ++i) {
-      row[i] -= lse;
-    }
-  }
+  });
   return out;
 }
 

@@ -1,29 +1,20 @@
 // Compute kernels shared by the NN layers and quantized inference.
 //
-// All matrices are row-major. MatMul uses an i-k-j loop nest so the inner loop runs
-// contiguously over B and C rows and auto-vectorizes under -O2; convolution lowers to
-// im2col + MatMul (the standard CPU formulation, and the one the int8 kernels mirror).
+// All matrices are row-major. Every matmul routes through the packed, blocked,
+// multithreaded Gemm dispatch in src/tensor/gemm.h (layers call it directly for
+// per-sample matmuls on subranges of batched tensors without materializing
+// slices); convolution lowers to im2col + GEMM (the standard CPU formulation, and
+// the one the int8 kernels mirror).
 #ifndef EGERIA_SRC_TENSOR_TENSOR_OPS_H_
 #define EGERIA_SRC_TENSOR_TENSOR_OPS_H_
 
 #include <cstdint>
 #include <utility>
 
+#include "src/tensor/gemm.h"
 #include "src/tensor/tensor.h"
 
 namespace egeria {
-
-// Raw-pointer GEMM kernels (row-major). Layers use these for per-sample matmuls on
-// subranges of batched tensors without materializing slices.
-// C[m,n] (+)= A[m,k] * B[k,n].
-void GemmRaw(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
-             bool accumulate);
-// C[m,n] (+)= A[k,m]^T * B[k,n].
-void GemmTransARaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
-                   int64_t n, bool accumulate);
-// C[m,n] (+)= A[m,k] * B[n,k]^T.
-void GemmTransBRaw(const float* a, const float* b, float* c, int64_t m, int64_t k,
-                   int64_t n, bool accumulate);
 
 // C[m,n] = A[m,k] * B[k,n].
 Tensor MatMul(const Tensor& a, const Tensor& b);

@@ -1,0 +1,155 @@
+// Property suite for the packed, blocked, multithreaded Gemm dispatch
+// (src/tensor/gemm.h): every transpose combination and accumulate mode against a
+// reference triple loop, on shapes chosen to hit full tiles, edge tiles, and
+// every cache-blocking boundary, plus bitwise determinism across repeated
+// multithreaded runs.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "src/tensor/compute_pool.h"
+#include "src/tensor/gemm.h"
+#include "src/util/rng.h"
+
+namespace egeria {
+namespace {
+
+struct GemmCase {
+  int64_t m;
+  int64_t k;
+  int64_t n;
+};
+
+// Shapes: degenerate (1x1x1), sub-tile, prime/odd edges, multi-block m (the
+// row-parallel dimension), k spanning multiple kKc panels, and large-flop
+// problems with m inside a single microkernel panel (the B-panel fan-out path).
+const GemmCase kCases[] = {
+    {1, 1, 1},    {3, 129, 7},  {257, 63, 31}, {6, 16, 6},   {14, 32, 14},
+    {2, 500, 3},  {113, 97, 89}, {128, 128, 128}, {240, 384, 48}, {1, 7, 513},
+    {9, 700, 1200}, {30, 600, 500},
+};
+
+std::vector<float> RandomVec(int64_t n, Rng& rng) {
+  std::vector<float> v(static_cast<size_t>(n));
+  for (auto& x : v) {
+    x = rng.NextGaussian() * 0.5F;
+  }
+  return v;
+}
+
+// Reference triple loop with the same fp32 accumulation contract as the packed
+// kernel's per-element order (k ascending).
+void RefGemm(const std::vector<float>& a, const std::vector<float>& b,
+             std::vector<float>& c, int64_t m, int64_t k, int64_t n, bool trans_a,
+             bool trans_b, bool accumulate) {
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float s = accumulate ? c[static_cast<size_t>(i * n + j)] : 0.0F;
+      for (int64_t p = 0; p < k; ++p) {
+        const float av = trans_a ? a[static_cast<size_t>(p * m + i)]
+                                 : a[static_cast<size_t>(i * k + p)];
+        const float bv = trans_b ? b[static_cast<size_t>(j * k + p)]
+                                 : b[static_cast<size_t>(p * n + j)];
+        s += av * bv;
+      }
+      c[static_cast<size_t>(i * n + j)] = s;
+    }
+  }
+}
+
+class GemmPropertyTest : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmPropertyTest, AllTransposeAndAccumulateModesMatchReference) {
+  const GemmCase shape = GetParam();
+  Rng rng(shape.m * 1000003 + shape.k * 1009 + shape.n);
+  for (const bool trans_a : {false, true}) {
+    for (const bool trans_b : {false, true}) {
+      for (const bool accumulate : {false, true}) {
+        const std::vector<float> a = RandomVec(shape.m * shape.k, rng);
+        const std::vector<float> b = RandomVec(shape.k * shape.n, rng);
+        // Seed C with garbage so accumulate=false must fully overwrite it.
+        std::vector<float> c = RandomVec(shape.m * shape.n, rng);
+        std::vector<float> expected = c;
+        Gemm(a.data(), b.data(), c.data(), shape.m, shape.k, shape.n, trans_a,
+             trans_b, accumulate);
+        RefGemm(a, b, expected, shape.m, shape.k, shape.n, trans_a, trans_b,
+                accumulate);
+        float max_abs = 1.0F;
+        for (float v : expected) {
+          max_abs = std::max(max_abs, std::abs(v));
+        }
+        for (size_t i = 0; i < c.size(); ++i) {
+          ASSERT_NEAR(c[i], expected[i], 2e-5F * max_abs)
+              << "i=" << i << " m=" << shape.m << " k=" << shape.k
+              << " n=" << shape.n << " ta=" << trans_a << " tb=" << trans_b
+              << " acc=" << accumulate;
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GemmPropertyTest, ::testing::ValuesIn(kCases));
+
+TEST(GemmTest, BatchedMatchesPerItem) {
+  Rng rng(99);
+  const int64_t batch = 5;
+  const int64_t m = 33;
+  const int64_t k = 65;
+  const int64_t n = 17;
+  const std::vector<float> a = RandomVec(batch * m * k, rng);
+  const std::vector<float> b = RandomVec(batch * k * n, rng);
+  std::vector<float> c_batched(static_cast<size_t>(batch * m * n), 0.0F);
+  std::vector<float> c_items = c_batched;
+  BatchedGemm(a.data(), b.data(), c_batched.data(), batch, m, k, n,
+              /*trans_a=*/false, /*trans_b=*/true, /*accumulate=*/false);
+  for (int64_t bi = 0; bi < batch; ++bi) {
+    Gemm(a.data() + bi * m * k, b.data() + bi * k * n, c_items.data() + bi * m * n,
+         m, k, n, /*trans_a=*/false, /*trans_b=*/true, /*accumulate=*/false);
+  }
+  // Batch parallelism must not change any item's arithmetic.
+  EXPECT_EQ(0, std::memcmp(c_batched.data(), c_items.data(),
+                           c_batched.size() * sizeof(float)));
+}
+
+TEST(GemmTest, MultithreadedOutputIsBitwiseStableAcrossRuns) {
+  // The shape spans several row blocks so the run is actually parallel whenever
+  // the pool has threads (EGERIA_NUM_THREADS is fixed for a process lifetime).
+  Rng rng(7);
+  const int64_t m = 461;
+  const int64_t k = 257;
+  const int64_t n = 131;
+  const std::vector<float> a = RandomVec(m * k, rng);
+  const std::vector<float> b = RandomVec(k * n, rng);
+  std::vector<float> first(static_cast<size_t>(m * n), 0.0F);
+  Gemm(a.data(), b.data(), first.data(), m, k, n, false, false, false);
+  for (int run = 0; run < 5; ++run) {
+    std::vector<float> again(static_cast<size_t>(m * n), 0.0F);
+    Gemm(a.data(), b.data(), again.data(), m, k, n, false, false, false);
+    ASSERT_EQ(0,
+              std::memcmp(first.data(), again.data(), first.size() * sizeof(float)))
+        << "run " << run << " diverged at " << ComputePoolThreads() << " threads";
+  }
+}
+
+TEST(GemmTest, ZeroSizedProblemsAreSafe) {
+  std::vector<float> c(4, 1.0F);
+  // k == 0, accumulate=false: C must be zeroed, nothing read from A/B.
+  Gemm(nullptr, nullptr, c.data(), 2, 0, 2, false, false, /*accumulate=*/false);
+  for (float v : c) {
+    EXPECT_EQ(v, 0.0F);
+  }
+  std::fill(c.begin(), c.end(), 3.0F);
+  // k == 0, accumulate=true: C is untouched.
+  Gemm(nullptr, nullptr, c.data(), 2, 0, 2, false, false, /*accumulate=*/true);
+  for (float v : c) {
+    EXPECT_EQ(v, 3.0F);
+  }
+  // m == 0 / n == 0: no-ops.
+  Gemm(nullptr, nullptr, nullptr, 0, 3, 2, false, false, false);
+  Gemm(nullptr, nullptr, nullptr, 2, 3, 0, false, false, false);
+}
+
+}  // namespace
+}  // namespace egeria
