@@ -5,11 +5,14 @@
 //  - the int8 reference forward is faster than fp32 (Table 2's speed column).
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "src/metrics/pwcca.h"
 #include "src/metrics/sp_loss.h"
 #include "src/nn/conv2d.h"
 #include "src/nn/linear.h"
 #include "src/quant/quantized_modules.h"
+#include "src/tensor/gemm.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/rng.h"
 
@@ -28,6 +31,47 @@ void BM_MatMul(benchmark::State& state) {
   // items_per_second * 2 = FLOP/s (each item is one multiply-add).
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+// fp16-storage GEMM (fp16 weights x fp32 activations, the inference layout).
+void BM_MatMulFp16(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  std::vector<_Float16> bh(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n * n; ++i) {
+    bh[static_cast<size_t>(i)] = static_cast<_Float16>(b.Data()[i]);
+  }
+  Tensor c = Tensor::Uninitialized({n, n});
+  for (auto _ : state) {
+    Gemm(a.Data(), bh.data(), c.Data(), n, n, n, false, false, false);
+    benchmark::DoNotOptimize(c.Data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulFp16)->Arg(256);
+
+// int8 dot4 GEMM into exact int32 (requantization excluded: that cost is
+// measured end-to-end by the conv/linear benches below).
+void BM_MatMulInt8(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  std::vector<int8_t> a(static_cast<size_t>(n * n));
+  std::vector<int8_t> b(static_cast<size_t>(n * n));
+  for (auto& v : a) {
+    v = static_cast<int8_t>(static_cast<int>(rng.NextBelow(255)) - 127);
+  }
+  for (auto& v : b) {
+    v = static_cast<int8_t>(static_cast<int>(rng.NextBelow(255)) - 127);
+  }
+  std::vector<int32_t> c(static_cast<size_t>(n * n));
+  for (auto _ : state) {
+    Gemm(a.data(), b.data(), c.data(), n, n, n, false, false, false);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMulInt8)->Arg(256);
 
 void BM_ConvForwardFloat(benchmark::State& state) {
   Rng rng(2);

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
-# Tier-1 verify plus a GEMM throughput smoke.
+# Tier-1 verify plus kernel-throughput tracking.
 #
-# Runs the canonical build-and-test line from ROADMAP.md, then one iteration of
-# the BM_MatMul/256 microbenchmark and writes the result to BENCH_gemm.json so
-# successive PRs can track the kernel's GFLOP/s trajectory
-# (items_per_second * 2 = FLOP/s; each item is one multiply-add).
+# Runs the canonical build-and-test line from ROADMAP.md, then:
+#   - the BM_MatMul{,Fp16,Int8}/256 microbenchmarks (items_per_second * 2 =
+#     FLOP/s; each item is one multiply-add), and
+#   - the Table-2 smoke (reference-model forward latency per precision on the
+#     paper-geometry ResNet-56),
+# and APPENDS the results as a git-SHA-keyed entry to the BENCH_gemm.json
+# trajectory, so successive PRs' numbers line up and kernel regressions surface
+# (re-running on the same SHA updates that SHA's entry in place).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -15,27 +19,96 @@ cmake -B build -S . -DEGERIA_BUILD_BENCH=ON
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
 
-echo "== bench smoke: BM_MatMul/256 =="
+echo "== bench smoke: BM_MatMul{,Fp16,Int8}/256 =="
+bench_tmp=$(mktemp)
+table2_tmp=$(mktemp)
+trap 'rm -f "$bench_tmp" "$table2_tmp"' EXIT
 # "1x" (exactly one iteration) needs google-benchmark >= 1.8; older releases get
 # a short min_time instead.
 ./build/micro_kernels \
-  --benchmark_filter='^BM_MatMul/256$' \
+  --benchmark_filter='^BM_MatMul(Fp16|Int8)?/256$' \
   --benchmark_min_time=1x \
-  --benchmark_out="${repo_root}/BENCH_gemm.json" \
+  --benchmark_out="$bench_tmp" \
   --benchmark_out_format=json ||
 ./build/micro_kernels \
-  --benchmark_filter='^BM_MatMul/256$' \
+  --benchmark_filter='^BM_MatMul(Fp16|Int8)?/256$' \
   --benchmark_min_time=0.05 \
-  --benchmark_out="${repo_root}/BENCH_gemm.json" \
+  --benchmark_out="$bench_tmp" \
   --benchmark_out_format=json
 
-python3 - "$repo_root/BENCH_gemm.json" <<'EOF' || true
-import json, sys
-with open(sys.argv[1]) as f:
+echo "== bench smoke: table2 reference-forward latency per precision =="
+./build/table2_ref_precision --smoke | tee "$table2_tmp"
+
+git_sha=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+# Uncommitted changes are not HEAD's numbers — mark them so a pre-commit run
+# never overwrites (or masquerades as) the parent commit's entry.
+if ! git diff-index --quiet HEAD -- 2>/dev/null; then
+  git_sha="${git_sha}-dirty"
+fi
+
+python3 - "$repo_root/BENCH_gemm.json" "$bench_tmp" "$table2_tmp" "$git_sha" <<'EOF'
+import datetime
+import json
+import re
+import sys
+
+traj_path, bench_path, table2_path, sha = sys.argv[1:5]
+
+entry = {
+    "sha": sha,
+    "timestamp": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "gemm_gflops": {},
+    "table2_smoke": {},
+}
+
+with open(bench_path) as f:
     report = json.load(f)
 for b in report.get("benchmarks", []):
     gflops = 2.0 * b.get("items_per_second", 0.0) / 1e9
+    entry["gemm_gflops"][b["name"]] = round(gflops, 2)
     print(f"{b['name']}: {gflops:.1f} GFLOP/s")
+
+with open(table2_path) as f:
+    for line in f:
+        m = re.match(
+            r"TABLE2_SMOKE precision=(\S+) ref_fwd_ms=([\d.]+) "
+            r"speedup_vs_fp32=([\d.]+)", line)
+        if m:
+            entry["table2_smoke"][m.group(1)] = {
+                "ref_fwd_ms": float(m.group(2)),
+                "speedup_vs_fp32": float(m.group(3)),
+            }
+        m = re.match(r"TABLE2_SMOKE fastest=(\S+)", line)
+        if m:
+            entry["table2_smoke"]["fastest"] = m.group(1)
+
+# Load (or migrate) the trajectory and update-or-append this SHA's entry.
+runs = []
+try:
+    with open(traj_path) as f:
+        existing = json.load(f)
+    if isinstance(existing, dict) and "runs" in existing:
+        runs = existing["runs"]
+    elif isinstance(existing, dict) and "benchmarks" in existing:
+        # Pre-trajectory format: one raw google-benchmark report.
+        legacy = {"sha": "pre-trajectory", "gemm_gflops": {}}
+        for b in existing.get("benchmarks", []):
+            legacy["gemm_gflops"][b["name"]] = round(
+                2.0 * b.get("items_per_second", 0.0) / 1e9, 2)
+        runs = [legacy]
+except (OSError, ValueError):
+    runs = []
+
+# Replace this SHA's entry; a clean run also supersedes its own pre-commit
+# "-dirty" entry so dirty runs never become permanent orphans.
+base = sha[:-len("-dirty")] if sha.endswith("-dirty") else sha
+runs = [r for r in runs if r.get("sha") not in (sha, base + "-dirty")]
+runs.append(entry)
+with open(traj_path, "w") as f:
+    json.dump({"schema": "egeria-bench-trajectory-v1", "runs": runs}, f, indent=2)
+    f.write("\n")
+print(f"trajectory: {len(runs)} run(s) in BENCH_gemm.json (this run: {sha})")
 EOF
 
-echo "check.sh: OK (bench report in BENCH_gemm.json)"
+echo "check.sh: OK (trajectory in BENCH_gemm.json)"

@@ -63,6 +63,12 @@ void Trainer::FreezeUpTo(int stage, int64_t iter) {
   EGERIA_CHECK(stage >= 0 && stage < model_.NumStages() - 1);
   for (int i = 0; i <= stage; ++i) {
     model_.SetStageFrozen(i, true);
+    if (cfg_.egeria.frozen_prefix_precision != Precision::kFloat32) {
+      // Frozen stages never see backward or updates again until an unfreeze,
+      // so their forwards can run through the reduced-precision kernels (the
+      // chain model keeps the clone until the precision is reset below).
+      model_.SetStageForwardPrecision(i, cfg_.egeria.frozen_prefix_precision);
+    }
   }
   frontier_ = stage + 1;
   result_.freeze_events.push_back({iter, static_cast<int>(iter / IterationsPerEpoch()),
@@ -77,6 +83,7 @@ void Trainer::FreezeUpTo(int stage, int64_t iter) {
 void Trainer::UnfreezeAll(int64_t iter) {
   for (int i = 0; i < model_.NumStages(); ++i) {
     model_.SetStageFrozen(i, false);
+    model_.SetStageForwardPrecision(i, Precision::kFloat32);
   }
   frontier_ = 0;
   if (cache_ != nullptr) {

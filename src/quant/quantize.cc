@@ -4,7 +4,14 @@
 #include <cmath>
 
 #include "src/tensor/compute_pool.h"
+#include "src/tensor/gemm.h"
 #include "src/util/logging.h"
+
+#include "src/util/intrin_diag.h"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
 
 namespace egeria {
 
@@ -35,85 +42,150 @@ QuantizedWeights QuantizeWeightsPerChannel(const Tensor& w) {
 
 float ActivationScale(const float* x, int64_t n) {
   float max_abs = 0.0F;
+#pragma omp simd reduction(max : max_abs)
   for (int64_t i = 0; i < n; ++i) {
     max_abs = std::max(max_abs, std::abs(x[i]));
   }
   return (max_abs > 0.0F) ? max_abs / 127.0F : 1.0F;
 }
 
+// Rounds half away from zero via clamp, sign-copied +-0.5, truncate. Note this
+// can differ from std::round (still used by QuantizeWeightsPerChannel) by one
+// code when |x|*inv sits within 1 ulp of a midpoint: the +-0.5 addition itself
+// rounds, so e.g. 0.5f - 2^-25 lands on 1.0f and truncates to 1 where
+// std::round gives 0. Vector body and scalar tail implement the identical
+// formulation, so results never depend on the element's index.
+EGERIA_BEGIN_INTRIN_NOWARN
 void QuantizeActivations(const float* x, int8_t* out, int64_t n, float scale) {
   const float inv = 1.0F / scale;
-  for (int64_t i = 0; i < n; ++i) {
-    const float v = std::round(x[i] * inv);
-    out[i] = static_cast<int8_t>(std::clamp(v, -127.0F, 127.0F));
+  int64_t i = 0;
+#if defined(__AVX512F__)
+  // Clamp, round (see the function comment), narrow to int8. The narrowing
+  // store is what gcc's auto-vectorizer refuses (measured 0.12 Gelem/s scalar
+  // vs ~5 with vpmovsdb); this pass feeds the dot4 GEMM of the quantized conv
+  // path, so it must keep pace with it.
+  const __m512 vinv = _mm512_set1_ps(inv);
+  const __m512 lo = _mm512_set1_ps(-127.0F);
+  const __m512 hi = _mm512_set1_ps(127.0F);
+  const __m512 half = _mm512_set1_ps(0.5F);
+  const __m512 signmask = _mm512_set1_ps(-0.0F);
+  for (; i + 16 <= n; i += 16) {
+    __m512 v = _mm512_mul_ps(_mm512_loadu_ps(x + i), vinv);
+    // vmin/vmaxps return the *second* operand on NaN; keeping the bound second
+    // sends NaN to +127, exactly like the scalar std::min/std::max tail below.
+    v = _mm512_max_ps(_mm512_min_ps(v, hi), lo);
+    v = _mm512_add_ps(v, _mm512_or_ps(half, _mm512_and_ps(v, signmask)));
+    const __m512i q = _mm512_cvttps_epi32(v);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm512_cvtsepi32_epi8(q));
+  }
+#endif
+  for (; i < n; ++i) {
+    float v = x[i] * inv;
+    v = std::max(-127.0F, std::min(127.0F, v));
+    v += v >= 0.0F ? 0.5F : -0.5F;
+    out[i] = static_cast<int8_t>(static_cast<int32_t>(v));
   }
 }
+EGERIA_END_INTRIN_NOWARN
+
+namespace {
+
+// int32 accumulator scratch shared by the requantizing kernels below; thread-
+// local so nested callers (e.g. the conv path's batch-parallel loop) never
+// alias. The kernels tile their C-row range so the scratch stays near
+// kAccScratchInts (4 MiB) per thread — exceeded only when a single output row
+// is wider than the cap (chunking cannot go below one row).
+constexpr int64_t kAccScratchInts = int64_t{1} << 20;
+
+std::vector<int32_t>& AccScratch() {
+  thread_local std::vector<int32_t> buf;
+  return buf;
+}
+
+int64_t AccRowChunk(int64_t rows, int64_t n) {
+  return std::min(rows, std::max<int64_t>(1, kAccScratchInts / std::max<int64_t>(n, 1)));
+}
+
+}  // namespace
 
 void Int8GemmTransB(const int8_t* a, float a_scale, const QuantizedWeights& w,
                     const float* bias, float* c, int64_t m) {
   const int64_t k = w.cols;
   const int64_t n = w.rows;
-  const int8_t* wdata = w.data.data();
+  // Exact int32 product through the packed dot4 GEMM, then a per-column
+  // (per-output-channel) requantization pass, tiled over C row blocks so the
+  // scratch stays bounded (one tile in practice; multi-tile only for outputs
+  // past ~1M elements, where the repeated B pack is well amortized).
+  const int64_t chunk = AccRowChunk(m, n);
+  std::vector<int32_t>& acc = AccScratch();
+  acc.resize(static_cast<size_t>(chunk * n));
   const float* wscales = w.scales.data();
-  // Rows of A are independent; both operands stream contiguously over k, so each
-  // dot product is a straight simd reduction.
-  ParallelFor(m, 8192 / std::max<int64_t>(k * n, 1) + 1, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const int8_t* arow = a + i * k;
-      float* crow = c + i * n;
-      for (int64_t j = 0; j < n; ++j) {
-        const int8_t* wrow = wdata + j * k;
-        int32_t acc = 0;
-#pragma omp simd reduction(+ : acc)
-        for (int64_t p = 0; p < k; ++p) {
-          acc += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(wrow[p]);
-        }
-        float v = static_cast<float>(acc) * a_scale * wscales[j];
-        if (bias != nullptr) {
-          v += bias[j];
-        }
-        crow[j] = v;
-      }
-    }
-  });
+  for (int64_t m0 = 0; m0 < m; m0 += chunk) {
+    const int64_t rows = std::min(chunk, m - m0);
+    Gemm(a + m0 * k, w.data.data(), acc.data(), rows, k, n, /*trans_a=*/false,
+         /*trans_b=*/true, /*accumulate=*/false);
+    const int32_t* accp = acc.data();
+    ParallelFor(rows, 8192 / std::max<int64_t>(n, 1) + 1,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) {
+                    const int32_t* arow = accp + i * n;
+                    float* crow = c + (m0 + i) * n;
+                    if (bias != nullptr) {
+#pragma omp simd
+                      for (int64_t j = 0; j < n; ++j) {
+                        crow[j] =
+                            static_cast<float>(arow[j]) * a_scale * wscales[j] +
+                            bias[j];
+                      }
+                    } else {
+#pragma omp simd
+                      for (int64_t j = 0; j < n; ++j) {
+                        crow[j] = static_cast<float>(arow[j]) * a_scale * wscales[j];
+                      }
+                    }
+                  }
+                });
+  }
 }
 
 void Int8GemmWeightLhs(const QuantizedWeights& w, const int8_t* b, float b_scale,
                        const float* bias, float* c, int64_t n) {
   const int64_t k = w.cols;
-  const int8_t* wdata = w.data.data();
+  // Exact int32 product through the packed dot4 GEMM, then a per-row
+  // (per-output-channel) requantization pass; tiled like Int8GemmTransB.
+  const int64_t chunk = AccRowChunk(w.rows, n);
+  std::vector<int32_t>& acc = AccScratch();
+  acc.resize(static_cast<size_t>(chunk * n));
   const float* wscales = w.scales.data();
-  // Output rows are independent; each worker keeps a private int32 accumulator
-  // row. The inner loop stays dense — no zero-skip branch, which pessimized the
-  // common dense case and blocked vectorization.
-  ParallelFor(w.rows, 2, [&](int64_t lo, int64_t hi) {
-    std::vector<int32_t> acc(static_cast<size_t>(n));
-    for (int64_t r = lo; r < hi; ++r) {
-      std::fill(acc.begin(), acc.end(), 0);
-      const int8_t* wrow = wdata + r * k;
-      int32_t* accp = acc.data();
-      for (int64_t p = 0; p < k; ++p) {
-        const int32_t wv = wrow[p];
-        const int8_t* brow = b + p * n;
+  for (int64_t r0 = 0; r0 < w.rows; r0 += chunk) {
+    const int64_t rows = std::min(chunk, w.rows - r0);
+    Gemm(w.data.data() + r0 * k, b, acc.data(), rows, k, n, /*trans_a=*/false,
+         /*trans_b=*/false, /*accumulate=*/false);
+    const int32_t* accp = acc.data();
+    ParallelFor(rows, 8192 / std::max<int64_t>(n, 1) + 1,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t r = lo; r < hi; ++r) {
+                    const float deq = b_scale * wscales[r0 + r];
+                    const float add = (bias != nullptr) ? bias[r0 + r] : 0.0F;
+                    const int32_t* arow = accp + r * n;
+                    float* crow = c + (r0 + r) * n;
 #pragma omp simd
-        for (int64_t j = 0; j < n; ++j) {
-          accp[j] += wv * static_cast<int32_t>(brow[j]);
-        }
-      }
-      const float deq = b_scale * wscales[r];
-      const float add = (bias != nullptr) ? bias[r] : 0.0F;
-      float* crow = c + r * n;
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] = static_cast<float>(accp[j]) * deq + add;
-      }
-    }
-  });
+                    for (int64_t j = 0; j < n; ++j) {
+                      crow[j] = static_cast<float>(arow[j]) * deq + add;
+                    }
+                  }
+                });
+  }
 }
 
 void MinMaxObserver::Observe(const float* x, int64_t n) {
+  float max_abs = max_abs_;
+#pragma omp simd reduction(max : max_abs)
   for (int64_t i = 0; i < n; ++i) {
-    max_abs_ = std::max(max_abs_, std::abs(x[i]));
+    max_abs = std::max(max_abs, std::abs(x[i]));
   }
+  max_abs_ = max_abs;
   observed_ = true;
 }
 

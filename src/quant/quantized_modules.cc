@@ -1,6 +1,7 @@
 #include "src/quant/quantized_modules.h"
 
 #include "src/tensor/compute_pool.h"
+#include "src/tensor/gemm.h"
 #include "src/tensor/tensor_ops.h"
 #include "src/util/logging.h"
 
@@ -80,25 +81,30 @@ float QuantConv2d::InputScale(const float* x, int64_t n) {
 Tensor QuantConv2d::Forward(const Tensor& input) {
   EGERIA_CHECK(input.Dim() == 4 && input.Size(1) == in_channels_);
   const int64_t b = input.Size(0);
-  const int64_t oh = geom_.OutH(input.Size(2));
-  const int64_t ow = geom_.OutW(input.Size(3));
+  const int64_t h = input.Size(2);
+  const int64_t w = input.Size(3);
+  const int64_t oh = geom_.OutH(h);
+  const int64_t ow = geom_.OutW(w);
   const int64_t ohow = oh * ow;
-  Tensor cols = Im2Col(input, geom_);  // [b, ckk, ohow]
-  const int64_t ckk = cols.Size(1);
-  // The quantization scale comes from the raw input; im2col only re-arranges values.
+  const int64_t chw = in_channels_ * h * w;
+  const int64_t ckk = in_channels_ * geom_.kernel_h * geom_.kernel_w;
+  // Quantize the *input image* once, then gather bytes: quantization commutes
+  // with im2col's rearrangement (zero padding maps to code 0 exactly), and the
+  // gather moves 1-byte elements instead of expanding kh*kw-fold in float.
   const float scale = InputScale(input.Data(), input.NumEl());
+  std::vector<int8_t> xq(static_cast<size_t>(input.NumEl()));
+  QuantizeActivations(input.Data(), xq.data(), input.NumEl(), scale);
   // Every output element is written by the int8 kernel — skip the zero-fill.
   Tensor out = Tensor::Uninitialized({b, out_channels_, oh, ow});
-  const float* colp = cols.Data();
   const float* biasp = bias_.Defined() ? bias_.Data() : nullptr;
   float* outp = out.Data();
-  // Batch items are independent; each chunk quantizes into its own scratch.
-  // With fewer items than threads, run items serially so the int8 kernel's
-  // internal row parallelism can use the whole pool instead.
+  // Batch items are independent; each chunk gathers into its own scratch. With
+  // fewer items than threads, run items serially so the int8 kernel's internal
+  // row parallelism can use the whole pool instead.
   const auto run_items = [&](int64_t lo, int64_t hi) {
     std::vector<int8_t> colq(static_cast<size_t>(ckk * ohow));
     for (int64_t bi = lo; bi < hi; ++bi) {
-      QuantizeActivations(colp + bi * ckk * ohow, colq.data(), ckk * ohow, scale);
+      Im2ColItemI8(xq.data() + bi * chw, in_channels_, h, w, geom_, colq.data());
       Int8GemmWeightLhs(weights_, colq.data(), scale, biasp,
                         outp + bi * out_channels_ * ohow, ohow);
     }
@@ -142,25 +148,22 @@ Tensor Fp16Linear::Forward(const Tensor& input) {
   std::vector<int64_t> out_shape = input.Shape();
   out_shape.back() = out_features_;
   Tensor out = Tensor::Uninitialized(out_shape);
-  const float* x = input.Data();
   const float* biasp = bias_.Defined() ? bias_.Data() : nullptr;
-  const _Float16* wp = weights_.data();
   float* y = out.Data();
-  ParallelFor(rows, 4, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) {
-      const float* xrow = x + i * in_features_;
+  // Mixed-dtype packed GEMM: fp32 activations x fp16-stored weights, fp32
+  // accumulation (the weight matrix — the bandwidth-dominant operand at
+  // inference batch sizes — streams at half width).
+  Gemm(input.Data(), weights_.data(), y, rows, in_features_, out_features_,
+       /*trans_a=*/false, /*trans_b=*/true, /*accumulate=*/false);
+  if (biasp != nullptr) {
+    for (int64_t i = 0; i < rows; ++i) {
       float* yrow = y + i * out_features_;
+#pragma omp simd
       for (int64_t j = 0; j < out_features_; ++j) {
-        const _Float16* wrow = wp + j * in_features_;
-        float acc = 0.0F;
-#pragma omp simd reduction(+ : acc)
-        for (int64_t p = 0; p < in_features_; ++p) {
-          acc += static_cast<float>(wrow[p]) * xrow[p];
-        }
-        yrow[j] = biasp != nullptr ? acc + biasp[j] : acc;
+        yrow[j] += biasp[j];
       }
     }
-  });
+  }
   return out;
 }
 
@@ -203,29 +206,31 @@ Tensor Fp16Conv2d::Forward(const Tensor& input) {
   const float* biasp = bias_.Defined() ? bias_.Data() : nullptr;
   const _Float16* wp = weights_.data();
   float* outp = out.Data();
-  // (batch, out-channel) rows are independent; the k loop stays dense (the old
-  // zero-weight skip branch pessimized the common dense case).
-  ParallelFor(b * out_channels_, 2, [&](int64_t lo, int64_t hi) {
-    for (int64_t boc = lo; boc < hi; ++boc) {
-      const int64_t bi = boc / out_channels_;
-      const int64_t oc = boc % out_channels_;
-      const float* col = colsp + bi * ckk * ohow;
-      const _Float16* wrow = wp + oc * ckk;
-      float* orow = outp + (bi * out_channels_ + oc) * ohow;
-      const float add = biasp != nullptr ? biasp[oc] : 0.0F;
-      for (int64_t j = 0; j < ohow; ++j) {
-        orow[j] = add;
-      }
-      for (int64_t p = 0; p < ckk; ++p) {
-        const float wv = static_cast<float>(wrow[p]);
-        const float* crow = col + p * ohow;
+  // Mixed-dtype packed GEMM per batch item: fp16-stored weights x fp32 im2col
+  // columns, fp32 accumulation. With fewer items than threads, run items
+  // serially so the GEMM's internal parallelism can use the whole pool.
+  const auto run_items = [&](int64_t lo, int64_t hi) {
+    for (int64_t bi = lo; bi < hi; ++bi) {
+      float* obase = outp + bi * out_channels_ * ohow;
+      Gemm(wp, colsp + bi * ckk * ohow, obase, out_channels_, ckk, ohow,
+           /*trans_a=*/false, /*trans_b=*/false, /*accumulate=*/false);
+      if (biasp != nullptr) {
+        for (int64_t oc = 0; oc < out_channels_; ++oc) {
+          float* orow = obase + oc * ohow;
+          const float add = biasp[oc];
 #pragma omp simd
-        for (int64_t j = 0; j < ohow; ++j) {
-          orow[j] += wv * crow[j];
+          for (int64_t j = 0; j < ohow; ++j) {
+            orow[j] += add;
+          }
         }
       }
     }
-  });
+  };
+  if (b >= ComputePoolThreads()) {
+    ParallelFor(b, 1, run_items);
+  } else {
+    run_items(0, b);
+  }
   return out;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "src/tensor/compute_pool.h"
@@ -73,6 +74,54 @@ Tensor BatchedMatMulTransA(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+namespace {
+
+// One image [c,h,w] -> columns [c*kh*kw, oh*ow]; element type generic so the
+// int8 quantized path can gather bytes.
+template <class T>
+void Im2ColItem(const T* img, int64_t c, int64_t h, int64_t w, const ConvGeom& g,
+                T* col) {
+  const int64_t oh = g.OutH(h);
+  const int64_t ow = g.OutW(w);
+  for (int64_t ci = 0; ci < c; ++ci) {
+    for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
+      for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
+        const int64_t row = (ci * g.kernel_h + kh) * g.kernel_w + kw;
+        T* dst = col + row * oh * ow;
+        // stride 1 / dilation 1 (the dominant case): each output row is the
+        // source row shifted by kw-pad — zeroed edges around one contiguous
+        // copy. The generic gather below covers everything else.
+        const bool contiguous = g.stride == 1 && g.dilation == 1;
+        const int64_t shift = kw * g.dilation - g.pad;  // ix = ox + shift
+        const int64_t ox_lo = contiguous ? std::min<int64_t>(ow, std::max<int64_t>(0, -shift)) : 0;
+        const int64_t ox_hi = contiguous ? std::max<int64_t>(ox_lo, std::min<int64_t>(ow, w - shift)) : 0;
+        for (int64_t oy = 0; oy < oh; ++oy) {
+          const int64_t iy = oy * g.stride - g.pad + kh * g.dilation;
+          if (iy < 0 || iy >= h) {
+            std::fill(dst + oy * ow, dst + (oy + 1) * ow, T{});
+            continue;
+          }
+          const T* src_row = img + (ci * h + iy) * w;
+          if (contiguous) {
+            T* out_row = dst + oy * ow;
+            std::fill(out_row, out_row + ox_lo, T{});
+            std::memcpy(out_row + ox_lo, src_row + ox_lo + shift,
+                        static_cast<size_t>(ox_hi - ox_lo) * sizeof(T));
+            std::fill(out_row + ox_hi, out_row + ow, T{});
+            continue;
+          }
+          for (int64_t ox = 0; ox < ow; ++ox) {
+            const int64_t ix = ox * g.stride - g.pad + kw * g.dilation;
+            dst[oy * ow + ox] = (ix >= 0 && ix < w) ? src_row[ix] : T{};
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
 Tensor Im2Col(const Tensor& input, const ConvGeom& g) {
   EGERIA_CHECK(input.Dim() == 4);
   const int64_t b = input.Size(0);
@@ -88,34 +137,16 @@ Tensor Im2Col(const Tensor& input, const ConvGeom& g) {
   const int64_t col_rows = c * g.kernel_h * g.kernel_w;
   // Batch items write disjoint column blocks, so the loop shards cleanly.
   ParallelFor(b, 1, [&](int64_t b_lo, int64_t b_hi) {
-  for (int64_t bi = b_lo; bi < b_hi; ++bi) {
-    const float* img = in + bi * c * h * w;
-    float* col = out + bi * col_rows * oh * ow;
-    for (int64_t ci = 0; ci < c; ++ci) {
-      for (int64_t kh = 0; kh < g.kernel_h; ++kh) {
-        for (int64_t kw = 0; kw < g.kernel_w; ++kw) {
-          const int64_t row = (ci * g.kernel_h + kh) * g.kernel_w + kw;
-          float* dst = col + row * oh * ow;
-          for (int64_t oy = 0; oy < oh; ++oy) {
-            const int64_t iy = oy * g.stride - g.pad + kh * g.dilation;
-            if (iy < 0 || iy >= h) {
-              for (int64_t ox = 0; ox < ow; ++ox) {
-                dst[oy * ow + ox] = 0.0F;
-              }
-              continue;
-            }
-            const float* src_row = img + (ci * h + iy) * w;
-            for (int64_t ox = 0; ox < ow; ++ox) {
-              const int64_t ix = ox * g.stride - g.pad + kw * g.dilation;
-              dst[oy * ow + ox] = (ix >= 0 && ix < w) ? src_row[ix] : 0.0F;
-            }
-          }
-        }
-      }
+    for (int64_t bi = b_lo; bi < b_hi; ++bi) {
+      Im2ColItem(in + bi * c * h * w, c, h, w, g, out + bi * col_rows * oh * ow);
     }
-  }
   });
   return cols;
+}
+
+void Im2ColItemI8(const int8_t* img, int64_t c, int64_t h, int64_t w,
+                  const ConvGeom& g, int8_t* out) {
+  Im2ColItem(img, c, h, w, g, out);
 }
 
 Tensor Col2Im(const Tensor& cols, const ConvGeom& g, int64_t c, int64_t h, int64_t w) {

@@ -46,6 +46,14 @@ struct ConvGeom {
 
 // input [b,c,h,w] -> columns [b, c*kh*kw, oh*ow].
 Tensor Im2Col(const Tensor& input, const ConvGeom& geom);
+// Single-item int8 im2col for the quantized conv path: gathers one image
+// [c,h,w] into columns [c*kh*kw, oh*ow] with zero padding (code 0). Operating
+// on pre-quantized bytes moves 4x less data than the float gather and lets the
+// activation quantization run once over the image instead of once per im2col
+// element (quantization commutes with the rearrangement, so results are
+// identical).
+void Im2ColItemI8(const int8_t* img, int64_t c, int64_t h, int64_t w,
+                  const ConvGeom& geom, int8_t* out);
 // columns [b, c*kh*kw, oh*ow] -> input-shaped gradient [b,c,h,w] (scatter-add).
 Tensor Col2Im(const Tensor& cols, const ConvGeom& geom, int64_t c, int64_t h, int64_t w);
 

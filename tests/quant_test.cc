@@ -3,6 +3,7 @@
 // Table 2 depends on: an int8 reference stays semantically close to the model).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <memory>
 
 #include "src/models/chain_model.h"
@@ -167,6 +168,168 @@ TEST(ReferenceClone, QuantizedModulesRefuseBackward) {
   Tensor x = Tensor::Randn({2, 4}, rng);
   q.Forward(x);
   EXPECT_DEATH(q.Backward(x), "inference-only");
+}
+
+// ---- Round-trip / saturation property tests ----
+
+TEST(QuantizeProperty, PerChannelScaleSelection) {
+  // scale[r] = rowmax/127 for non-degenerate rows, 1.0 for all-zero rows, and
+  // the row maximum itself always round-trips to the full code +-127.
+  Rng rng(40);
+  Tensor w = Tensor::Randn({6, 64}, rng, 3.0F);
+  for (int64_t c = 0; c < 64; ++c) {
+    w.Data()[2 * 64 + c] = 0.0F;  // Degenerate all-zero channel.
+  }
+  QuantizedWeights q = QuantizeWeightsPerChannel(w);
+  for (int64_t r = 0; r < 6; ++r) {
+    float row_max = 0.0F;
+    int64_t argmax = 0;
+    for (int64_t c = 0; c < 64; ++c) {
+      if (std::abs(w.At(r, c)) > row_max) {
+        row_max = std::abs(w.At(r, c));
+        argmax = c;
+      }
+    }
+    if (row_max == 0.0F) {
+      EXPECT_EQ(q.scales[static_cast<size_t>(r)], 1.0F);
+      for (int64_t c = 0; c < 64; ++c) {
+        EXPECT_EQ(q.data[static_cast<size_t>(r * 64 + c)], 0);
+      }
+      continue;
+    }
+    EXPECT_NEAR(q.scales[static_cast<size_t>(r)], row_max / 127.0F,
+                1e-6F * row_max);
+    EXPECT_EQ(std::abs(q.data[static_cast<size_t>(r * 64 + argmax)]), 127);
+  }
+}
+
+TEST(QuantizeProperty, RoundTripErrorAtMostHalfScale) {
+  // quantize -> dequantize error <= scale/2 for every in-range activation.
+  Rng rng(41);
+  std::vector<float> x(512);
+  for (auto& v : x) {
+    v = rng.NextGaussian() * 2.5F;
+  }
+  const float scale = ActivationScale(x.data(), static_cast<int64_t>(x.size()));
+  std::vector<int8_t> q(x.size());
+  QuantizeActivations(x.data(), q.data(), static_cast<int64_t>(x.size()), scale);
+  for (size_t i = 0; i < x.size(); ++i) {
+    const float deq = static_cast<float>(q[i]) * scale;
+    EXPECT_LE(std::abs(deq - x[i]), scale / 2.0F + 1e-6F)
+        << "i=" << i << " x=" << x[i] << " q=" << static_cast<int>(q[i]);
+  }
+}
+
+TEST(QuantizeProperty, SaturationAtInt8Extremes) {
+  // Values beyond the representable range clamp to +-127 (never wrap, never
+  // reach -128), including extreme magnitudes.
+  const float scale = 0.1F;
+  std::vector<float> x{12.7F,  12.75F,  13.0F,  1e30F,  1e9F,
+                       -12.7F, -12.75F, -13.0F, -1e30F, -1e9F};
+  std::vector<int8_t> q(x.size());
+  QuantizeActivations(x.data(), q.data(), static_cast<int64_t>(x.size()), scale);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(q[i], 127) << "x=" << x[i];
+  }
+  for (size_t i = 5; i < 10; ++i) {
+    EXPECT_EQ(q[i], -127) << "x=" << x[i];
+  }
+  // In-range values still round to nearest, half away from zero.
+  std::vector<float> y{0.04F, 0.05F, 0.06F, -0.05F, -0.26F};
+  std::vector<int8_t> qy(y.size());
+  QuantizeActivations(y.data(), qy.data(), static_cast<int64_t>(y.size()), scale);
+  EXPECT_EQ(qy[0], 0);
+  EXPECT_EQ(qy[1], 1);
+  EXPECT_EQ(qy[2], 1);
+  EXPECT_EQ(qy[3], -1);
+  EXPECT_EQ(qy[4], -3);
+
+  // Non-finite inputs: +-inf clamp like any out-of-range value; NaN resolves to
+  // +127, identically in the vectorized body and the scalar tail (19 elements
+  // spans both on 16-lane targets).
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  std::vector<float> z(19, nan);
+  z[1] = inf;
+  z[18] = -inf;
+  std::vector<int8_t> qz(z.size());
+  QuantizeActivations(z.data(), qz.data(), static_cast<int64_t>(z.size()), scale);
+  EXPECT_EQ(qz[1], 127);
+  EXPECT_EQ(qz[18], -127);
+  for (size_t i = 0; i < z.size(); ++i) {
+    if (i != 1 && i != 18) {
+      EXPECT_EQ(qz[i], 127) << "NaN at index " << i;
+    }
+  }
+}
+
+TEST(QuantizeProperty, WeightQuantizationNeverProducesMinus128) {
+  // Symmetric quantization uses codes [-127, 127]; -128 would break the
+  // unsigned-bias trick in the packed dot4 kernel's error analysis.
+  Rng rng(42);
+  Tensor w = Tensor::Randn({16, 33}, rng, 10.0F);
+  QuantizedWeights q = QuantizeWeightsPerChannel(w);
+  for (int8_t v : q.data) {
+    EXPECT_GE(v, -127);
+  }
+}
+
+// The packed dot4 GEMM behind Int8GemmTransB/Int8GemmWeightLhs is exact in
+// int32, so the requantized outputs must match a naive reference bit for bit.
+TEST(Int8Kernels, MatchNaiveReferenceBitwise) {
+  Rng rng(43);
+  const int64_t m = 9;
+  const int64_t k = 70;  // k % 4 != 0: exercises dot4 padding
+  const int64_t n = 13;
+  Tensor w = Tensor::Randn({n, k}, rng);
+  QuantizedWeights q = QuantizeWeightsPerChannel(w);
+  std::vector<int8_t> a(static_cast<size_t>(m * k));
+  for (auto& v : a) {
+    v = static_cast<int8_t>(rng.NextBelow(255)) ;
+  }
+  std::vector<float> bias(static_cast<size_t>(n));
+  for (auto& v : bias) {
+    v = rng.NextGaussian();
+  }
+  const float a_scale = 0.037F;
+
+  std::vector<float> got(static_cast<size_t>(m * n));
+  Int8GemmTransB(a.data(), a_scale, q, bias.data(), got.data(), m);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int32_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(a[static_cast<size_t>(i * k + p)]) *
+               static_cast<int32_t>(q.data[static_cast<size_t>(j * k + p)]);
+      }
+      const float want = static_cast<float>(acc) * a_scale *
+                             q.scales[static_cast<size_t>(j)] +
+                         bias[static_cast<size_t>(j)];
+      ASSERT_EQ(got[static_cast<size_t>(i * n + j)], want) << i << "," << j;
+    }
+  }
+
+  // Weight-LHS orientation (the conv path): C[n_w, cols] = Wq * B.
+  const int64_t cols = 21;
+  std::vector<int8_t> b(static_cast<size_t>(k * cols));
+  for (auto& v : b) {
+    v = static_cast<int8_t>(rng.NextBelow(255));
+  }
+  std::vector<float> got2(static_cast<size_t>(n * cols));
+  Int8GemmWeightLhs(q, b.data(), a_scale, bias.data(), got2.data(), cols);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t j = 0; j < cols; ++j) {
+      int32_t acc = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += static_cast<int32_t>(q.data[static_cast<size_t>(r * k + p)]) *
+               static_cast<int32_t>(b[static_cast<size_t>(p * cols + j)]);
+      }
+      const float want =
+          static_cast<float>(acc) * (a_scale * q.scales[static_cast<size_t>(r)]) +
+          bias[static_cast<size_t>(r)];
+      ASSERT_EQ(got2[static_cast<size_t>(r * cols + j)], want) << r << "," << j;
+    }
+  }
 }
 
 TEST(Quantize, FakeQuantPreservesScale) {

@@ -129,6 +129,28 @@ TEST(TrainerIntegration, CacheDoesNotChangeTrainingNumerics) {
   }
 }
 
+TEST(TrainerIntegration, Fp16FrozenPrefixTrainsToComparableAccuracy) {
+  // Frozen-prefix forwards at fp16 (frozen_prefix_precision) must not derail
+  // training: same static freeze point as the fp32 run, accuracy within noise.
+  auto run = [](Precision prefix_precision) {
+    Workload w = MakeWorkload(9);
+    TrainConfig cfg = BaseConfig(5);
+    cfg.enable_egeria = true;
+    cfg.egeria.async_controller = false;
+    cfg.egeria.eval_interval_n = 1 << 20;  // No plasticity evals.
+    cfg.egeria.enable_cache = false;       // Exercise the prefix forward itself.
+    cfg.egeria.frozen_prefix_precision = prefix_precision;
+    StaticFreezeHook hook(/*epoch=*/1, /*stage=*/1);
+    Trainer trainer(*w.model, *w.train, *w.val, cfg);
+    trainer.SetFreezeHook(&hook);
+    return trainer.Run();
+  };
+  TrainResult fp32 = run(Precision::kFloat32);
+  TrainResult fp16 = run(Precision::kFloat16);
+  EXPECT_GT(fp16.final_frontier, 0);
+  EXPECT_GT(fp16.final_metric.display, fp32.final_metric.display - 0.08);
+}
+
 TEST(TrainerIntegration, UnfreezeOnLrDrop) {
   Workload w = MakeWorkload(9);
   TrainConfig cfg = BaseConfig(12);
