@@ -1,0 +1,165 @@
+#!/usr/bin/env python3
+"""Append a benchmark run to the BENCH_gemm.json trajectory; optionally gate.
+
+Usage:
+    bench_trajectory.py TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA [--gate]
+
+Parses the google-benchmark JSON report (BM_MatMul{,Fp16,Int8}/256) and the
+table2 smoke output, then updates-or-appends a git-SHA-keyed entry in the
+trajectory file (re-running on the same SHA replaces that SHA's entry; a clean
+run supersedes its own pre-commit "-dirty" entry).
+
+With --gate, additionally compares this run's GFLOP/s against the latest clean
+(non-dirty, different-SHA) entry already in the trajectory — falling back to
+the latest foreign "-dirty" entry when only pre-commit runs exist — and exits 1
+if any tracked kernel dropped by more than GATE_DROP_FRACTION. The entry is
+written either way, so the trajectory stays continuous even across a failing
+gate.
+
+Lives in its own file (not a shell heredoc) so `set -u` argv handling, exit
+codes, and CI log capture are all ordinary — the script validates its own argv.
+"""
+
+import datetime
+import json
+import re
+import sys
+
+GATE_DROP_FRACTION = 0.15
+GATE_KERNELS = ("BM_MatMul/256", "BM_MatMulFp16/256", "BM_MatMulInt8/256")
+
+
+def parse_benchmarks(bench_path):
+    with open(bench_path) as f:
+        report = json.load(f)
+    gflops = {}
+    for b in report.get("benchmarks", []):
+        value = 2.0 * b.get("items_per_second", 0.0) / 1e9
+        gflops[b["name"]] = round(value, 2)
+        print(f"{b['name']}: {value:.1f} GFLOP/s")
+    return gflops
+
+
+def parse_table2(table2_path):
+    smoke = {}
+    with open(table2_path) as f:
+        for line in f:
+            m = re.match(
+                r"TABLE2_SMOKE precision=(\S+) ref_fwd_ms=([\d.]+) "
+                r"speedup_vs_fp32=([\d.]+)", line)
+            if m:
+                smoke[m.group(1)] = {
+                    "ref_fwd_ms": float(m.group(2)),
+                    "speedup_vs_fp32": float(m.group(3)),
+                }
+            m = re.match(r"TABLE2_SMOKE fastest=(\S+)", line)
+            if m:
+                smoke["fastest"] = m.group(1)
+    return smoke
+
+
+def load_runs(traj_path):
+    try:
+        with open(traj_path) as f:
+            existing = json.load(f)
+    except (OSError, ValueError):
+        return []
+    if isinstance(existing, dict) and "runs" in existing:
+        return existing["runs"]
+    if isinstance(existing, dict) and "benchmarks" in existing:
+        # Pre-trajectory format: one raw google-benchmark report.
+        legacy = {"sha": "pre-trajectory", "gemm_gflops": {}}
+        for b in existing.get("benchmarks", []):
+            legacy["gemm_gflops"][b["name"]] = round(
+                2.0 * b.get("items_per_second", 0.0) / 1e9, 2)
+        return [legacy]
+    return []
+
+
+def gate_baseline(runs, sha):
+    """Latest clean entry that is not this SHA (nor its dirty twin); falls back
+    to the latest foreign dirty entry so the gate is never vacuous just because
+    the trajectory only holds pre-commit runs."""
+    base = sha[:-len("-dirty")] if sha.endswith("-dirty") else sha
+    fallback = None
+    for run in reversed(runs):
+        run_sha = run.get("sha", "")
+        if run_sha in (sha, base, base + "-dirty", "pre-trajectory"):
+            continue
+        if not run.get("gemm_gflops"):
+            continue
+        if run_sha.endswith("-dirty"):
+            fallback = fallback or run
+            continue
+        return run
+    return fallback
+
+
+def check_gate(entry, baseline):
+    if baseline is None:
+        print("bench gate: no prior entry to compare against; passing")
+        return True
+    ok = True
+    for name in GATE_KERNELS:
+        old = baseline["gemm_gflops"].get(name)
+        new = entry["gemm_gflops"].get(name)
+        if old is None or old <= 0.0:
+            continue
+        if new is None:
+            print(f"bench gate: {name} missing from this run (baseline "
+                  f"{baseline['sha']} had {old:.1f} GFLOP/s): FAIL")
+            ok = False
+            continue
+        drop = 1.0 - new / old
+        status = "FAIL" if drop > GATE_DROP_FRACTION else "ok"
+        print(f"bench gate: {name}: {new:.1f} vs {old:.1f} GFLOP/s "
+              f"(baseline {baseline['sha']}, drop {100.0 * drop:+.1f}%): {status}")
+        if drop > GATE_DROP_FRACTION:
+            ok = False
+    return ok
+
+
+def main(argv):
+    if len(argv) < 5:
+        print(f"usage: {argv[0]} TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA [--gate]",
+              file=sys.stderr)
+        return 2
+    traj_path, bench_path, table2_path, sha = argv[1:5]
+    gate = "--gate" in argv[5:]
+
+    entry = {
+        "sha": sha,
+        "timestamp": datetime.datetime.now(datetime.timezone.utc)
+            .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "gemm_gflops": parse_benchmarks(bench_path),
+        "table2_smoke": parse_table2(table2_path),
+    }
+
+    runs = load_runs(traj_path)
+    baseline = gate_baseline(runs, sha)
+
+    # Replace this SHA's entry. A clean run supersedes ALL dirty entries, not
+    # just its own pre-commit twin: commits land as new SHAs, so a dirty entry's
+    # "own" clean run usually never happens and scratch numbers would otherwise
+    # be permanent baselines.
+    base = sha[:-len("-dirty")] if sha.endswith("-dirty") else sha
+    drop = {sha, base + "-dirty"}
+    if not sha.endswith("-dirty"):
+        drop.update(r.get("sha", "") for r in runs
+                    if r.get("sha", "").endswith("-dirty"))
+    runs = [r for r in runs if r.get("sha") not in drop]
+    runs.append(entry)
+    with open(traj_path, "w") as f:
+        json.dump({"schema": "egeria-bench-trajectory-v1", "runs": runs}, f, indent=2)
+        f.write("\n")
+    print(f"trajectory: {len(runs)} run(s) in {traj_path} (this run: {sha})")
+
+    if gate and not check_gate(entry, baseline):
+        print(f"bench gate: REGRESSION (> {100 * GATE_DROP_FRACTION:.0f}% drop)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

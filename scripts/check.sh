@@ -7,9 +7,23 @@
 #   - the Table-2 smoke (reference-model forward latency per precision on the
 #     paper-geometry ResNet-56),
 # and APPENDS the results as a git-SHA-keyed entry to the BENCH_gemm.json
-# trajectory, so successive PRs' numbers line up and kernel regressions surface
-# (re-running on the same SHA updates that SHA's entry in place).
+# trajectory (scripts/bench_trajectory.py), so successive PRs' numbers line up
+# and kernel regressions surface (re-running on the same SHA updates that SHA's
+# entry in place).
+#
+# Usage: check.sh [--gate]
+#   --gate   After recording, compare this run's BM_MatMul{,Fp16,Int8}/256
+#            GFLOP/s against the latest clean-SHA trajectory entry and exit
+#            nonzero on a >15% drop (the CI bench-regression gate).
 set -euo pipefail
+
+gate=0
+for arg in "$@"; do
+  case "$arg" in
+    --gate) gate=1 ;;
+    *) echo "check.sh: unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 cd "$(dirname "$0")/.."
 repo_root=$(pwd)
@@ -21,20 +35,37 @@ cmake --build build -j "$(nproc)"
 
 echo "== bench smoke: BM_MatMul{,Fp16,Int8}/256 =="
 bench_tmp=$(mktemp)
+bench_err=$(mktemp)
 table2_tmp=$(mktemp)
-trap 'rm -f "$bench_tmp" "$table2_tmp"' EXIT
-# "1x" (exactly one iteration) needs google-benchmark >= 1.8; older releases get
-# a short min_time instead.
-./build/micro_kernels \
-  --benchmark_filter='^BM_MatMul(Fp16|Int8)?/256$' \
-  --benchmark_min_time=1x \
-  --benchmark_out="$bench_tmp" \
-  --benchmark_out_format=json ||
-./build/micro_kernels \
-  --benchmark_filter='^BM_MatMul(Fp16|Int8)?/256$' \
-  --benchmark_min_time=0.05 \
-  --benchmark_out="$bench_tmp" \
-  --benchmark_out_format=json
+trap 'rm -f "$bench_tmp" "$bench_err" "$table2_tmp"' EXIT
+
+run_micro() {
+  ./build/micro_kernels \
+    --benchmark_filter='^BM_MatMul(Fp16|Int8)?/256$' \
+    --benchmark_min_time="$1" \
+    --benchmark_out="$bench_tmp" \
+    --benchmark_out_format=json 2> "$bench_err"
+}
+
+# "1x" (exactly one iteration) needs google-benchmark >= 1.8; older releases
+# only accept a seconds value and reject the flag with a message naming it
+# ("The value of flag --benchmark_min_time is expected to be a double").
+# Fall back to a short min_time ONLY on that flag rejection — any other
+# failure (crashed kernel, bad filter, missing binary) must propagate, not be
+# retried and masked by the fallback run.
+rc=0
+run_micro 1x || rc=$?
+if [ "$rc" -ne 0 ]; then
+  if grep -q 'benchmark_min_time' "$bench_err"; then
+    echo "check.sh: --benchmark_min_time=1x unsupported; falling back to 0.05s"
+    run_micro 0.05
+  else
+    cat "$bench_err" >&2
+    echo "check.sh: micro_kernels failed (exit $rc); not retrying" >&2
+    exit "$rc"
+  fi
+fi
+cat "$bench_err" >&2 || true
 
 echo "== bench smoke: table2 reference-forward latency per precision =="
 ./build/table2_ref_precision --smoke | tee "$table2_tmp"
@@ -46,69 +77,11 @@ if ! git diff-index --quiet HEAD -- 2>/dev/null; then
   git_sha="${git_sha}-dirty"
 fi
 
-python3 - "$repo_root/BENCH_gemm.json" "$bench_tmp" "$table2_tmp" "$git_sha" <<'EOF'
-import datetime
-import json
-import re
-import sys
-
-traj_path, bench_path, table2_path, sha = sys.argv[1:5]
-
-entry = {
-    "sha": sha,
-    "timestamp": datetime.datetime.now(datetime.timezone.utc)
-        .strftime("%Y-%m-%dT%H:%M:%SZ"),
-    "gemm_gflops": {},
-    "table2_smoke": {},
-}
-
-with open(bench_path) as f:
-    report = json.load(f)
-for b in report.get("benchmarks", []):
-    gflops = 2.0 * b.get("items_per_second", 0.0) / 1e9
-    entry["gemm_gflops"][b["name"]] = round(gflops, 2)
-    print(f"{b['name']}: {gflops:.1f} GFLOP/s")
-
-with open(table2_path) as f:
-    for line in f:
-        m = re.match(
-            r"TABLE2_SMOKE precision=(\S+) ref_fwd_ms=([\d.]+) "
-            r"speedup_vs_fp32=([\d.]+)", line)
-        if m:
-            entry["table2_smoke"][m.group(1)] = {
-                "ref_fwd_ms": float(m.group(2)),
-                "speedup_vs_fp32": float(m.group(3)),
-            }
-        m = re.match(r"TABLE2_SMOKE fastest=(\S+)", line)
-        if m:
-            entry["table2_smoke"]["fastest"] = m.group(1)
-
-# Load (or migrate) the trajectory and update-or-append this SHA's entry.
-runs = []
-try:
-    with open(traj_path) as f:
-        existing = json.load(f)
-    if isinstance(existing, dict) and "runs" in existing:
-        runs = existing["runs"]
-    elif isinstance(existing, dict) and "benchmarks" in existing:
-        # Pre-trajectory format: one raw google-benchmark report.
-        legacy = {"sha": "pre-trajectory", "gemm_gflops": {}}
-        for b in existing.get("benchmarks", []):
-            legacy["gemm_gflops"][b["name"]] = round(
-                2.0 * b.get("items_per_second", 0.0) / 1e9, 2)
-        runs = [legacy]
-except (OSError, ValueError):
-    runs = []
-
-# Replace this SHA's entry; a clean run also supersedes its own pre-commit
-# "-dirty" entry so dirty runs never become permanent orphans.
-base = sha[:-len("-dirty")] if sha.endswith("-dirty") else sha
-runs = [r for r in runs if r.get("sha") not in (sha, base + "-dirty")]
-runs.append(entry)
-with open(traj_path, "w") as f:
-    json.dump({"schema": "egeria-bench-trajectory-v1", "runs": runs}, f, indent=2)
-    f.write("\n")
-print(f"trajectory: {len(runs)} run(s) in BENCH_gemm.json (this run: {sha})")
-EOF
+gate_args=()
+if [ "$gate" -eq 1 ]; then
+  gate_args=(--gate)
+fi
+python3 scripts/bench_trajectory.py "$repo_root/BENCH_gemm.json" \
+  "$bench_tmp" "$table2_tmp" "$git_sha" ${gate_args[@]+"${gate_args[@]}"}
 
 echo "check.sh: OK (trajectory in BENCH_gemm.json)"

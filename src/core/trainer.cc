@@ -61,6 +61,7 @@ Tensor Trainer::FrontierActivation() const { return model_.StageOutput(frontier_
 
 void Trainer::FreezeUpTo(int stage, int64_t iter) {
   EGERIA_CHECK(stage >= 0 && stage < model_.NumStages() - 1);
+  const int old_frontier = frontier_;
   for (int i = 0; i <= stage; ++i) {
     model_.SetStageFrozen(i, true);
     if (cfg_.egeria.frozen_prefix_precision != Precision::kFloat32) {
@@ -71,6 +72,18 @@ void Trainer::FreezeUpTo(int stage, int64_t iter) {
     }
   }
   frontier_ = stage + 1;
+  if (cfg_.release_frozen_optimizer_state && frontier_ > old_frontier) {
+    // The newly frozen params are the prefix of the previously active list
+    // that the new active list no longer contains.
+    std::vector<Parameter*> was_active = model_.ParamsFrom(old_frontier);
+    const size_t still_active = model_.ParamsFrom(frontier_).size();
+    EGERIA_CHECK(was_active.size() >= still_active);
+    was_active.resize(was_active.size() - still_active);
+    optimizer_->ReleaseState(was_active);
+  }
+  if (frontier_observer_ && frontier_ != old_frontier) {
+    frontier_observer_(old_frontier, frontier_, iter);
+  }
   result_.freeze_events.push_back({iter, static_cast<int>(iter / IterationsPerEpoch()),
                                    /*unfreeze=*/false, frontier_});
   result_.frontier_timeline.emplace_back(iter, frontier_);
@@ -81,11 +94,15 @@ void Trainer::FreezeUpTo(int stage, int64_t iter) {
 }
 
 void Trainer::UnfreezeAll(int64_t iter) {
+  const int old_frontier = frontier_;
   for (int i = 0; i < model_.NumStages(); ++i) {
     model_.SetStageFrozen(i, false);
     model_.SetStageForwardPrecision(i, Precision::kFloat32);
   }
   frontier_ = 0;
+  if (frontier_observer_ && old_frontier != 0) {
+    frontier_observer_(old_frontier, 0, iter);
+  }
   if (cache_ != nullptr) {
     cache_->Clear();  // Prefix weights will change; cached activations are stale.
   }

@@ -15,8 +15,10 @@
 #ifndef EGERIA_SRC_CORE_TRAINER_H_
 #define EGERIA_SRC_CORE_TRAINER_H_
 
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/activation_cache.h"
@@ -48,6 +50,11 @@ struct TrainConfig {
   int64_t train_samples_limit = -1;  // subsample the train set (quick benches)
   uint64_t seed = 42;
   bool verbose = false;
+
+  // Free momentum/Adam state for stages the moment they freeze (the optimizer-
+  // state half of freezing's memory saving). Parameters re-activated by a later
+  // unfreeze restart from zero state, matching the ZeRO-1 sharded path.
+  bool release_frozen_optimizer_state = true;
 
   bool enable_egeria = false;
   EgeriaConfig egeria;
@@ -108,6 +115,14 @@ class FreezeHook {
   virtual std::string Name() const = 0;
 };
 
+// Notified whenever the freeze frontier moves (FreezeUpTo / UnfreezeAll).
+// This is the single-process form of the distributed freeze->reshard protocol:
+// the ZeRO-1 shard map, activation cache, and optimizer state all key off the
+// frontier, so anything that partitions work by active parameters subscribes
+// here instead of polling.
+using FrontierObserver =
+    std::function<void(int old_frontier, int new_frontier, int64_t iter)>;
+
 class Trainer {
  public:
   Trainer(ChainModel& model, const Dataset& train_data, const Dataset& val_data,
@@ -115,6 +130,9 @@ class Trainer {
   ~Trainer();
 
   void SetFreezeHook(FreezeHook* hook) { hook_ = hook; }
+  void SetFrontierObserver(FrontierObserver observer) {
+    frontier_observer_ = std::move(observer);
+  }
 
   TrainResult Run();
 
@@ -128,6 +146,9 @@ class Trainer {
   int64_t TotalIterations() const;
   // Output of the frontmost active stage in the current iteration's forward pass.
   Tensor FrontierActivation() const;
+  // Resident optimizer-state bytes (shrinks when freezing releases the frozen
+  // prefix's state; see TrainConfig::release_frozen_optimizer_state).
+  int64_t OptimizerStateBytes() const { return optimizer_->StateBytes(); }
 
   // Runs validation (val_batches batches) in inference mode and restores training
   // mode. Also used standalone by benches.
@@ -150,6 +171,7 @@ class Trainer {
   std::unique_ptr<EgeriaController> controller_;
   std::unique_ptr<ActivationCache> cache_;
   FreezeHook* hook_ = nullptr;
+  FrontierObserver frontier_observer_;
 
   int frontier_ = 0;
   bool knowledge_stage_ = false;

@@ -1,24 +1,16 @@
 #include "src/distributed/allreduce.h"
 
+#include <cstring>
+
+#include "src/distributed/reduction_contract.h"
 #include "src/util/logging.h"
 
 namespace egeria {
 
-GradientAllReducer::GradientAllReducer(int world) : world_(world) {
+GradientAllReducer::GradientAllReducer(int world)
+    : world_(world), barrier_(world) {
   EGERIA_CHECK(world_ >= 1);
   param_lists_.resize(static_cast<size_t>(world_), nullptr);
-}
-
-void GradientAllReducer::Barrier() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  const int64_t gen = generation_;
-  if (++arrived_ == world_) {
-    arrived_ = 0;
-    ++generation_;
-    cv_.notify_all();
-  } else {
-    cv_.wait(lock, [&] { return generation_ != gen; });
-  }
 }
 
 void GradientAllReducer::AllReduce(int rank, const std::vector<Parameter*>& params) {
@@ -30,35 +22,155 @@ void GradientAllReducer::AllReduce(int rank, const std::vector<Parameter*>& para
     std::lock_guard<std::mutex> lock(mutex_);
     param_lists_[static_cast<size_t>(rank)] = &params;
   }
-  Barrier();  // All ranks registered.
+  barrier_.Wait();  // All ranks registered.
   if (rank == 0) {
-    const auto& base = *param_lists_[0];
+    // Sequential reference implementation of the reduction contract: fold each
+    // contract chunk in canonical ring order — (c+1)%W, (c+2)%W, ..., c — then
+    // average in a separate elementwise pass and broadcast. Any transport that
+    // honors the contract (the ring below) matches this bitwise.
+    std::vector<FlatParamView> views;
+    views.reserve(static_cast<size_t>(world_));
+    for (int r = 0; r < world_; ++r) {
+      const auto& list = *param_lists_[static_cast<size_t>(r)];
+      EGERIA_CHECK_MSG(list.size() == param_lists_[0]->size(),
+                       "rank param list mismatch");
+      views.emplace_back(list, FlatParamView::Field::kGrad);
+      EGERIA_CHECK(views.back().NumEl() == views[0].NumEl());
+    }
+    const int64_t total = views[0].NumEl();
     const float inv = 1.0F / static_cast<float>(world_);
-    int64_t bytes = 0;
-    for (size_t p = 0; p < base.size(); ++p) {
-      float* acc = base[p]->grad.Data();
-      const int64_t n = base[p]->grad.NumEl();
-      bytes += n * static_cast<int64_t>(sizeof(float));
-      for (int r = 1; r < world_; ++r) {
-        const auto& other = *param_lists_[static_cast<size_t>(r)];
-        EGERIA_CHECK_MSG(other.size() == base.size(), "rank param list mismatch");
-        const float* g = other[p]->grad.Data();
-        for (int64_t i = 0; i < n; ++i) {
-          acc[i] += g[i];
-        }
+    std::vector<float> buf(static_cast<size_t>(ChunkSize(total, world_, 0)));
+    for (int c = 0; c < world_; ++c) {
+      const int64_t cb = ChunkBegin(total, world_, c);
+      const int64_t ce = ChunkEnd(total, world_, c);
+      const int64_t n = ce - cb;
+      if (n == 0) {
+        continue;
+      }
+      views[static_cast<size_t>(RingRank(c + 1, world_))].CopyOut(cb, ce, buf.data());
+      for (int k = 2; k <= world_; ++k) {
+        views[static_cast<size_t>(RingRank(c + k, world_))].AddTo(cb, ce, buf.data());
       }
       for (int64_t i = 0; i < n; ++i) {
-        acc[i] *= inv;
+        buf[static_cast<size_t>(i)] *= inv;
       }
-      // Broadcast the averaged gradient back to every rank.
-      for (int r = 1; r < world_; ++r) {
-        const auto& other = *param_lists_[static_cast<size_t>(r)];
-        std::copy(acc, acc + n, other[p]->grad.Data());
+      for (int r = 0; r < world_; ++r) {
+        views[static_cast<size_t>(r)].CopyIn(cb, ce, buf.data());
       }
     }
-    bytes_reduced_.fetch_add(bytes);
+    bytes_reduced_.fetch_add(total * static_cast<int64_t>(sizeof(float)));
   }
-  Barrier();  // Averaged gradients visible to every rank.
+  barrier_.Wait();  // Averaged gradients visible to every rank.
+}
+
+RingAllReducer::RingAllReducer(int world) : world_(world), barrier_(world) {
+  EGERIA_CHECK(world_ >= 1);
+  flat_sizes_.resize(static_cast<size_t>(world_), 0);
+  outbox_.resize(static_cast<size_t>(world_));
+}
+
+void RingAllReducer::Register(int rank, FlatParamView& view) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flat_sizes_[static_cast<size_t>(rank)] = view.NumEl();
+  }
+  const int64_t max_chunk = ChunkSize(view.NumEl(), world_, 0);
+  outbox_[static_cast<size_t>(rank)].resize(static_cast<size_t>(max_chunk));
+  barrier_.Wait();  // All sizes registered, all outboxes sized.
+  EGERIA_CHECK_MSG(flat_sizes_[0] == view.NumEl(), "rank flat size mismatch");
+}
+
+std::pair<int64_t, int64_t> RingAllReducer::ReduceScatterAverage(int rank,
+                                                                 FlatParamView& view) {
+  EGERIA_CHECK(rank >= 0 && rank < world_);
+  const int64_t total = view.NumEl();
+  const int64_t own_begin = ChunkBegin(total, world_, rank);
+  const int64_t own_end = ChunkEnd(total, world_, rank);
+  if (world_ == 1) {
+    return {own_begin, own_end};
+  }
+  Register(rank, view);
+
+  // Chunk c's partial sum enters the ring at rank (c+1)%W (initial value: that
+  // rank's local chunk) and travels one hop per step, each visited rank folding
+  // in its own local chunk; after W-1 hops the fully-folded chunk sits at its
+  // owner, rank c. At step s rank r forwards chunk (r-1-s)%W and receives chunk
+  // (r-2-s)%W, so the final receive (s = W-2) is rank r's own chunk r.
+  std::vector<float> partial(static_cast<size_t>(ChunkSize(total, world_, 0)));
+  float* outbox = outbox_[static_cast<size_t>(rank)].data();
+  const float* inbox = outbox_[static_cast<size_t>(RingRank(rank - 1, world_))].data();
+  int64_t sent_bytes = 0;
+  for (int s = 0; s <= world_ - 2; ++s) {
+    const int c_send = RingRank(rank - 1 - s, world_);
+    const int64_t send_n = ChunkSize(total, world_, c_send);
+    if (s == 0) {
+      view.CopyOut(ChunkBegin(total, world_, c_send), ChunkEnd(total, world_, c_send),
+                   outbox);
+    } else if (send_n > 0) {
+      std::memcpy(outbox, partial.data(), static_cast<size_t>(send_n) * sizeof(float));
+    }
+    sent_bytes += send_n * static_cast<int64_t>(sizeof(float));
+    barrier_.Wait();  // Every outbox holds this step's message.
+    const int c_recv = RingRank(rank - 2 - s, world_);
+    const int64_t recv_n = ChunkSize(total, world_, c_recv);
+    if (recv_n > 0) {
+      std::memcpy(partial.data(), inbox, static_cast<size_t>(recv_n) * sizeof(float));
+    }
+    view.AddTo(ChunkBegin(total, world_, c_recv), ChunkEnd(total, world_, c_recv),
+               partial.data());
+    barrier_.Wait();  // Every inbox consumed; outboxes reusable.
+  }
+
+  // `partial` now holds the contract fold for chunk `rank`; average and land it.
+  const float inv = 1.0F / static_cast<float>(world_);
+  for (int64_t i = 0; i < own_end - own_begin; ++i) {
+    partial[static_cast<size_t>(i)] *= inv;
+  }
+  view.CopyIn(own_begin, own_end, partial.data());
+
+  wire_bytes_.fetch_add(sent_bytes);
+  if (rank == 0) {
+    payload_bytes_.fetch_add(total * static_cast<int64_t>(sizeof(float)));
+  }
+  return {own_begin, own_end};
+}
+
+void RingAllReducer::AllGather(int rank, FlatParamView& view) {
+  EGERIA_CHECK(rank >= 0 && rank < world_);
+  if (world_ == 1) {
+    return;
+  }
+  Register(rank, view);
+  const int64_t total = view.NumEl();
+
+  // Rank r seeds the ring with its own chunk r; every step each rank forwards
+  // the chunk it received last step, so after W-1 steps every rank has landed
+  // every owner's (bit-exact, owner-computed-once) chunk.
+  std::vector<float> recv(static_cast<size_t>(ChunkSize(total, world_, 0)));
+  float* outbox = outbox_[static_cast<size_t>(rank)].data();
+  const float* inbox = outbox_[static_cast<size_t>(RingRank(rank - 1, world_))].data();
+  int64_t sent_bytes = 0;
+  for (int s = 0; s <= world_ - 2; ++s) {
+    const int c_send = RingRank(rank - s, world_);
+    const int64_t send_n = ChunkSize(total, world_, c_send);
+    if (s == 0) {
+      view.CopyOut(ChunkBegin(total, world_, c_send), ChunkEnd(total, world_, c_send),
+                   outbox);
+    } else if (send_n > 0) {
+      std::memcpy(outbox, recv.data(), static_cast<size_t>(send_n) * sizeof(float));
+    }
+    sent_bytes += send_n * static_cast<int64_t>(sizeof(float));
+    barrier_.Wait();  // Every outbox holds this step's message.
+    const int c_recv = RingRank(rank - 1 - s, world_);
+    const int64_t recv_n = ChunkSize(total, world_, c_recv);
+    if (recv_n > 0) {
+      std::memcpy(recv.data(), inbox, static_cast<size_t>(recv_n) * sizeof(float));
+    }
+    view.CopyIn(ChunkBegin(total, world_, c_recv), ChunkEnd(total, world_, c_recv),
+                recv.data());
+    barrier_.Wait();  // Every inbox consumed; outboxes reusable.
+  }
+  wire_bytes_.fetch_add(sent_bytes);
 }
 
 }  // namespace egeria

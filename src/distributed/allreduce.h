@@ -1,16 +1,29 @@
-// Real (thread-based) gradient all-reduce for the data-parallel worker harness.
-// Workers call AllReduce with their parameter lists in identical order; rank 0
-// averages and every rank reads back the averaged gradients. Also counts payload
-// bytes so tests can assert that frozen stages are excluded from synchronization.
+// Thread-based gradient collectives for the data-parallel worker harness.
+//
+// Two implementations of the SAME reduction contract (reduction_contract.h):
+//
+//  - GradientAllReducer: the sequential reference. Rank 0 folds every chunk in
+//    canonical ring order and broadcasts. Obviously correct, zero concurrency in
+//    the arithmetic; tests pin the ring against it bitwise.
+//  - RingAllReducer: bandwidth-optimal ring reduce-scatter + all-gather over
+//    `world` contract chunks. Each link carries 2(W-1)/W of the payload instead
+//    of the star reducer's 2(W-1). Exposed as two halves so the ZeRO-1 sharded
+//    optimizer can run between them: reduce-scatter(grads) -> owner applies the
+//    optimizer update on its shard -> all-gather(params).
+//
+// Both count payload bytes so tests can assert that frozen stages drop out of
+// synchronization (the Fig. 10 traffic saving).
 #ifndef EGERIA_SRC_DISTRIBUTED_ALLREDUCE_H_
 #define EGERIA_SRC_DISTRIBUTED_ALLREDUCE_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <utility>
 #include <vector>
 
+#include "src/distributed/flat_view.h"
+#include "src/distributed/thread_barrier.h"
 #include "src/nn/module.h"
 
 namespace egeria {
@@ -20,21 +33,54 @@ class GradientAllReducer {
   explicit GradientAllReducer(int world);
 
   // Collective: blocks until all `world` ranks arrive; gradients are averaged
-  // elementwise across ranks. Parameter lists must align across ranks.
+  // elementwise across ranks per the reduction contract. Parameter lists must
+  // align across ranks.
   void AllReduce(int rank, const std::vector<Parameter*>& params);
 
   int64_t TotalBytesReduced() const { return bytes_reduced_.load(); }
 
  private:
-  void Barrier();
+  int world_;
+  std::mutex mutex_;
+  ThreadBarrier barrier_;
+  std::vector<const std::vector<Parameter*>*> param_lists_;
+  std::atomic<int64_t> bytes_reduced_{0};
+};
+
+class RingAllReducer {
+ public:
+  explicit RingAllReducer(int world);
+
+  // Collective ring reduce-scatter + average. On return, rank r's view holds
+  // the contract-averaged result in chunk r of the flat space; the other chunks
+  // are left with whatever partial state the ring deposited (callers own only
+  // their chunk until the matching AllGather). Returns rank r's owned flat
+  // range [begin, end).
+  std::pair<int64_t, int64_t> ReduceScatterAverage(int rank, FlatParamView& view);
+
+  // Collective ring all-gather: circulates each owner's chunk so every rank's
+  // view ends bitwise-identical. The view may be a different field than the
+  // reduce-scatter's (ZeRO-1 gathers updated parameter values, not gradients)
+  // but must have the same flat size.
+  void AllGather(int rank, FlatParamView& view);
+
+  // Logical payload: flat bytes per reduce-scatter call (comparable to
+  // GradientAllReducer::TotalBytesReduced).
+  int64_t TotalBytesReduced() const { return payload_bytes_.load(); }
+  // Bytes that actually traversed ring links (both phases): 2(W-1)/W of the
+  // payload per full reduce-scatter + all-gather round.
+  int64_t TotalWireBytes() const { return wire_bytes_.load(); }
+
+ private:
+  void Register(int rank, FlatParamView& view);
 
   int world_;
   std::mutex mutex_;
-  std::condition_variable cv_;
-  int arrived_ = 0;
-  int64_t generation_ = 0;
-  std::vector<const std::vector<Parameter*>*> param_lists_;
-  std::atomic<int64_t> bytes_reduced_{0};
+  ThreadBarrier barrier_;
+  std::vector<int64_t> flat_sizes_;  // per-rank registered view size (checked equal)
+  std::vector<std::vector<float>> outbox_;  // per-rank in-flight chunk
+  std::atomic<int64_t> payload_bytes_{0};
+  std::atomic<int64_t> wire_bytes_{0};
 };
 
 }  // namespace egeria

@@ -58,8 +58,12 @@ IterationTimeline SimulateIteration(const std::vector<StageCost>& stages,
       continue;
     }
     // Partitioned chunks pipeline over the ring, so the per-tensor latency is
-    // amortized across chunks rather than paid per chunk.
-    const double chunk_cost = net.AllReduceSeconds(bytes) / chunks;
+    // amortized across chunks rather than paid per chunk. The cost is the two
+    // ring phases explicitly: under ZeRO-1 sharding the reduce-scatter carries
+    // gradients and the all-gather carries owner-updated parameters, but the
+    // link occupancy is the same either way.
+    const double chunk_cost =
+        (net.ReduceScatterSeconds(bytes) + net.AllGatherSeconds(bytes)) / chunks;
     for (int c = 0; c < chunks; ++c) {
       pending.push_back({i, grad_ready[static_cast<size_t>(i)], chunk_cost});
       comm_total += chunk_cost;

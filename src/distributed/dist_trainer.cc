@@ -4,15 +4,35 @@
 #include <cmath>
 #include <limits>
 #include <thread>
+#include <tuple>
 
 #include "src/core/controller.h"
 #include "src/distributed/allreduce.h"
+#include "src/distributed/flat_view.h"
 #include "src/optim/optimizer.h"
+#include "src/optim/sharded_optimizer.h"
 #include "src/util/logging.h"
 
 namespace egeria {
 
 namespace {
+
+int64_t CountElems(const std::vector<Parameter*>& params) {
+  int64_t n = 0;
+  for (const Parameter* p : params) {
+    n += p->value.NumEl();
+  }
+  return n;
+}
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t h) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
 
 // Shared freeze state broadcast from the controller (worker 0) to all workers.
 //
@@ -63,7 +83,11 @@ DistTrainResult TrainDataParallel(
   const int64_t steps_per_epoch = loader.NumBatches() / cfg.world;
   EGERIA_CHECK_MSG(steps_per_epoch >= 1, "dataset too small for this world size");
 
+  const bool sharded = cfg.reducer == DistTrainConfig::Reducer::kRingSharded;
   GradientAllReducer reducer(cfg.world);
+  RingAllReducer ring(cfg.world);
+  ShardedSgdGroup shard_group(cfg.world, cfg.momentum, cfg.weight_decay);
+  std::vector<DistReshardEvent> reshard_events;  // written by rank 0 only
   SharedFreezeState freeze_state;
   std::unique_ptr<EgeriaController> controller;
   if (cfg.enable_egeria) {
@@ -82,6 +106,31 @@ DistTrainResult TrainDataParallel(
     int frontier = 0;
     int64_t iter = 0;
     bool knowledge_stage = !cfg.enable_egeria;
+
+    const int64_t total_elems = model.TotalParamCount();
+    int64_t shard_begin = 0;
+    int64_t shard_end = 0;
+    // Collective shard (re)partition over the active suffix at `frontier`.
+    // Every rank resolves the same frontier for the same iteration (see
+    // SharedFreezeState), so all ranks reach this in lockstep.
+    auto reshard = [&](int at_frontier, int64_t at_iter) {
+      const int64_t active = CountElems(model.ParamsFrom(at_frontier));
+      std::tie(shard_begin, shard_end) =
+          shard_group.Reshard(rank, total_elems - active, active);
+      if (rank == 0) {
+        DistReshardEvent ev;
+        ev.iter = at_iter;
+        ev.frontier = at_frontier;
+        ev.active_elems = active;
+        ev.payload_bytes_per_iter = active * static_cast<int64_t>(sizeof(float));
+        // Chunk 0 is the largest contract chunk, and rank 0 owns it.
+        ev.opt_state_bytes_per_rank = shard_group.StateBytes(0);
+        reshard_events.push_back(ev);
+      }
+    };
+    if (sharded) {
+      reshard(frontier, 0);
+    }
 
     for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
       // Every rank derives the same permutation (deterministic in (seed, epoch)).
@@ -102,6 +151,11 @@ DistTrainResult TrainDataParallel(
             model.SetStageFrozen(i, i < new_frontier);
           }
           frontier = new_frontier;
+          if (sharded) {
+            // Frontier moved: drop the newly frozen prefix from the shard map
+            // (and its optimizer state), repartition the survivors.
+            reshard(frontier, iter);
+          }
         }
 
         Batch batch = local.GetBatch(s * cfg.world + rank);
@@ -166,7 +220,18 @@ DistTrainResult TrainDataParallel(
         // Synchronize only active parameters — frozen stages are "excluded from
         // parameter synchronization" (paper S4.2.2, Fig. 10).
         const std::vector<Parameter*> active = model.ParamsFrom(frontier);
-        reducer.AllReduce(rank, active);
+        if (sharded) {
+          // ZeRO-1 round: ring reduce-scatter the gradients, owner applies the
+          // optimizer update on its shard, ring all-gather the updated weights.
+          FlatParamView grads(active, FlatParamView::Field::kGrad);
+          const auto owned = ring.ReduceScatterAverage(rank, grads);
+          EGERIA_CHECK(owned.first == shard_begin && owned.second == shard_end);
+          FlatParamView values(active, FlatParamView::Field::kValue);
+          shard_group.Step(rank, values, grads, shard_begin, shard_end, lr);
+          ring.AllGather(rank, values);
+        } else {
+          reducer.AllReduce(rank, active);
+        }
         if (rank == 0) {
           int64_t payload = 0;
           for (Parameter* p : active) {
@@ -175,7 +240,9 @@ DistTrainResult TrainDataParallel(
           bytes_synced.fetch_add(payload);
           full_bytes_total.fetch_add(full_bytes_per_iter);
         }
-        opt.Step(active, lr);
+        if (!sharded) {
+          opt.Step(active, lr);
+        }
       }
     }
   };
@@ -191,6 +258,8 @@ DistTrainResult TrainDataParallel(
   DistTrainResult result;
   result.bytes_synced = bytes_synced.load();
   result.bytes_full_model = full_bytes_total.load();
+  result.wire_bytes = ring.TotalWireBytes();
+  result.reshard_events = std::move(reshard_events);
   result.final_frontier = SharedFreezeState::ResolveAt(
       freeze_state.packed.load(), std::numeric_limits<int64_t>::max());
   result.iterations = static_cast<int64_t>(cfg.epochs) * steps_per_epoch;
@@ -215,6 +284,15 @@ DistTrainResult TrainDataParallel(
       }
     }
   }
+
+  // Content hash of the trained weights, for cross-path equivalence tests
+  // (ring-sharded vs sequential-reference must agree bitwise).
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (Parameter* p : params0) {
+    hash = Fnv1a(p->value.Data(),
+                 static_cast<size_t>(p->value.NumEl()) * sizeof(float), hash);
+  }
+  result.params_hash = hash;
 
   // Validate on replica 0.
   replicas[0]->SetTraining(false);

@@ -4,6 +4,14 @@
 // Worker 0 co-locates the Egeria controller; freeze/unfreeze decisions are broadcast
 // to all workers and applied at iteration boundaries, and frozen stages drop out of
 // the synchronization payload (the Fig. 10 traffic saving).
+//
+// Default synchronization is a ring reduce-scatter/all-gather with ZeRO-1
+// optimizer-state sharding: each rank owns one contract chunk of the flattened
+// active-parameter space, applies the optimizer update for its shard, and the
+// all-gather circulates updated parameters. The freeze frontier re-partitions
+// shards, so frozen parameters leave both the ring payload and per-rank
+// optimizer memory. The rank-0 star reduce survives as the sequential reference
+// implementation that tests compare against bitwise.
 #ifndef EGERIA_SRC_DISTRIBUTED_DIST_TRAINER_H_
 #define EGERIA_SRC_DISTRIBUTED_DIST_TRAINER_H_
 
@@ -30,18 +38,43 @@ struct DistTrainConfig {
   uint64_t seed = 42;
   int64_t val_batches = 4;
 
+  // Gradient synchronization + optimizer layout. Both implement the same
+  // reduction contract, so they produce bitwise-identical trained weights (on
+  // monotone-freezing runs; see sharded_optimizer.h for the unfreeze caveat).
+  enum class Reducer {
+    kRingSharded,           // ring reduce-scatter/all-gather + ZeRO-1 shards
+    kSequentialReference,   // rank-0 star reduce + fully replicated optimizer
+  };
+  Reducer reducer = Reducer::kRingSharded;
+
   bool enable_egeria = false;
   EgeriaConfig egeria;
+};
+
+// One entry per shard (re)partition in the ring-sharded path: the initial
+// partition plus one per freeze-frontier move. Captures the Fig. 10 scaling
+// argument: both the ring payload and per-rank optimizer state shrink as
+// stages freeze.
+struct DistReshardEvent {
+  int64_t iter = 0;
+  int frontier = 0;
+  int64_t active_elems = 0;             // flattened active-parameter elements
+  int64_t payload_bytes_per_iter = 0;   // ring payload at this frontier
+  int64_t opt_state_bytes_per_rank = 0; // largest shard's velocity bytes
 };
 
 struct DistTrainResult {
   double final_score = 0.0;
   double final_display = 0.0;
-  int64_t bytes_synced = 0;        // actual all-reduce payload
+  int64_t bytes_synced = 0;        // logical payload (sum of active grad bytes)
   int64_t bytes_full_model = 0;    // payload if nothing were frozen
+  int64_t wire_bytes = 0;          // bytes that traversed ring links (0 for the
+                                   // sequential reference path)
   int final_frontier = 0;
   int64_t iterations = 0;
   bool replicas_consistent = false;  // replicas bit-identical at the end
+  uint64_t params_hash = 0;          // FNV-1a over replica 0's final weights
+  std::vector<DistReshardEvent> reshard_events;  // ring-sharded path only
 };
 
 // `make_model` must build identical architectures (same seed) per call; replica 0's

@@ -1,0 +1,62 @@
+#include "src/distributed/flat_view.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+FlatParamView::FlatParamView(const std::vector<Parameter*>& params, Field field) {
+  spans_.reserve(params.size());
+  for (Parameter* p : params) {
+    Tensor& t = field == Field::kGrad ? p->grad : p->value;
+    const int64_t n = t.NumEl();
+    if (n == 0) {
+      continue;
+    }
+    spans_.push_back({t.Data(), total_, n});
+    total_ += n;
+  }
+}
+
+size_t FlatParamView::FindSpan(int64_t off) const {
+  // First span whose end is past `off`.
+  size_t lo = 0;
+  size_t hi = spans_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (spans_[mid].begin + spans_[mid].len <= off) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void FlatParamView::CopyOut(int64_t begin, int64_t end, float* dst) const {
+  EGERIA_CHECK(begin >= 0 && begin <= end && end <= total_);
+  ForEachSegment(begin, end, [&](const float* p, int64_t off, int64_t n) {
+    std::memcpy(dst + (off - begin), p, static_cast<size_t>(n) * sizeof(float));
+  });
+}
+
+void FlatParamView::CopyIn(int64_t begin, int64_t end, const float* src) {
+  EGERIA_CHECK(begin >= 0 && begin <= end && end <= total_);
+  ForEachSegment(begin, end, [&](float* p, int64_t off, int64_t n) {
+    std::memcpy(p, src + (off - begin), static_cast<size_t>(n) * sizeof(float));
+  });
+}
+
+void FlatParamView::AddTo(int64_t begin, int64_t end, float* acc) const {
+  EGERIA_CHECK(begin >= 0 && begin <= end && end <= total_);
+  ForEachSegment(begin, end, [&](const float* p, int64_t off, int64_t n) {
+    float* a = acc + (off - begin);
+    for (int64_t i = 0; i < n; ++i) {
+      a[i] += p[i];
+    }
+  });
+}
+
+}  // namespace egeria

@@ -1,0 +1,78 @@
+// Zero-copy flat view over an ordered parameter list: maps the concatenated
+// [param0, param1, ...] element space (grad or value field) onto the underlying
+// tensor storage, so collectives and the sharded optimizer can address
+// contiguous ranges of the flattened parameter space without materializing it.
+#ifndef EGERIA_SRC_DISTRIBUTED_FLAT_VIEW_H_
+#define EGERIA_SRC_DISTRIBUTED_FLAT_VIEW_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "src/nn/module.h"
+
+namespace egeria {
+
+class FlatParamView {
+ public:
+  enum class Field { kGrad, kValue };
+
+  FlatParamView(const std::vector<Parameter*>& params, Field field);
+
+  int64_t NumEl() const { return total_; }
+
+  // dst[0..end-begin) = view[begin..end)
+  void CopyOut(int64_t begin, int64_t end, float* dst) const;
+  // view[begin..end) = src[0..end-begin)
+  void CopyIn(int64_t begin, int64_t end, const float* src);
+  // acc[i] += view[begin+i] — elementwise, left operand preserved per element
+  // (the fold step of the reduction contract).
+  void AddTo(int64_t begin, int64_t end, float* acc) const;
+
+  // Invokes fn(ptr, global_offset, n) for each maximal contiguous segment of
+  // [begin, end); `global_offset` is the flat index of ptr[0].
+  template <class Fn>
+  void ForEachSegment(int64_t begin, int64_t end, Fn&& fn) const {
+    for (size_t s = FindSpan(begin); s < spans_.size(); ++s) {
+      const Span& sp = spans_[s];
+      if (sp.begin >= end) {
+        break;
+      }
+      const int64_t lo = std::max(begin, sp.begin);
+      const int64_t hi = std::min(end, sp.begin + sp.len);
+      if (hi > lo) {
+        fn(sp.ptr + (lo - sp.begin), lo, hi - lo);
+      }
+    }
+  }
+
+ private:
+  struct Span {
+    float* ptr = nullptr;
+    int64_t begin = 0;  // flat offset of ptr[0]
+    int64_t len = 0;
+  };
+
+  // Index of the span containing flat offset `off` (or the first span after it).
+  size_t FindSpan(int64_t off) const;
+
+  std::vector<Span> spans_;
+  int64_t total_ = 0;
+};
+
+// Walks value/grad views built over the SAME parameter list in lockstep:
+// fn(value_ptr, grad_ptr, global_offset, n) per contiguous segment of
+// [begin, end). Both views must have identical span structure.
+template <class Fn>
+void ForEachAlignedSegment(FlatParamView& values, const FlatParamView& grads,
+                           int64_t begin, int64_t end, Fn&& fn) {
+  values.ForEachSegment(begin, end, [&](float* w, int64_t off, int64_t n) {
+    grads.ForEachSegment(off, off + n, [&](float* g_as_mut, int64_t goff, int64_t gn) {
+      fn(w + (goff - off), g_as_mut, goff, gn);
+    });
+  });
+}
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_FLAT_VIEW_H_

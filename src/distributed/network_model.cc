@@ -2,30 +2,37 @@
 
 namespace egeria {
 
-double NetworkModel::RingSeconds(int64_t bytes, int ring_size, double gbps,
-                                 double latency) {
+double NetworkModel::RingPhaseSeconds(int64_t bytes, int ring_size, double gbps,
+                                      double latency) {
   if (ring_size <= 1 || bytes <= 0) {
     return 0.0;
   }
   const double n = static_cast<double>(ring_size);
   const double bw_bytes_per_s = gbps * 1e9 / 8.0;
-  // Reduce-scatter + all-gather: 2(n-1)/n of the payload crosses each link, with
-  // 2(n-1) latency hops.
-  return 2.0 * (n - 1.0) / n * static_cast<double>(bytes) / bw_bytes_per_s +
-         2.0 * (n - 1.0) * latency;
+  // One ring phase: (n-1)/n of the payload crosses each link, n-1 latency hops.
+  return (n - 1.0) / n * static_cast<double>(bytes) / bw_bytes_per_s +
+         (n - 1.0) * latency;
 }
 
-double NetworkModel::AllReduceSeconds(int64_t bytes) const {
+double NetworkModel::ReduceScatterSeconds(int64_t bytes) const {
   if (cfg_.World() <= 1 || bytes <= 0) {
     return 0.0;
   }
-  double total = 0.0;
-  // Intra-node ring among local GPUs.
-  total += RingSeconds(bytes, cfg_.gpus_per_node, cfg_.intra_node_gbps,
-                       cfg_.link_latency_s);
-  // Inter-node ring among node leaders (payload already locally reduced).
-  total += RingSeconds(bytes, cfg_.num_nodes, cfg_.inter_node_gbps, cfg_.link_latency_s);
-  return total;
+  // Intra-node ring among local GPUs, then an inter-node ring among node
+  // leaders (payload already locally reduced).
+  return RingPhaseSeconds(bytes, cfg_.gpus_per_node, cfg_.intra_node_gbps,
+                          cfg_.link_latency_s) +
+         RingPhaseSeconds(bytes, cfg_.num_nodes, cfg_.inter_node_gbps,
+                          cfg_.link_latency_s);
+}
+
+double NetworkModel::AllGatherSeconds(int64_t bytes) const {
+  // Symmetric to the reduce-scatter half (same payload, opposite direction).
+  return ReduceScatterSeconds(bytes);
+}
+
+double NetworkModel::AllReduceSeconds(int64_t bytes) const {
+  return ReduceScatterSeconds(bytes) + AllGatherSeconds(bytes);
 }
 
 }  // namespace egeria

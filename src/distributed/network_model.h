@@ -25,13 +25,24 @@ class NetworkModel {
  public:
   explicit NetworkModel(const ClusterConfig& cfg) : cfg_(cfg) {}
 
-  // Hierarchical ring all-reduce latency for `bytes` of gradient payload.
+  // Hierarchical ring all-reduce latency for `bytes` of gradient payload:
+  // ReduceScatterSeconds + AllGatherSeconds.
   double AllReduceSeconds(int64_t bytes) const;
+
+  // The two ring halves individually. Under ZeRO-1 sharding the halves carry
+  // different tensors (gradients down, updated parameters back) and bracket the
+  // owner's optimizer step, so schedulers can place them separately; each costs
+  // (n-1)/n of the payload per link with n-1 latency hops per ring level.
+  double ReduceScatterSeconds(int64_t bytes) const;
+  double AllGatherSeconds(int64_t bytes) const;
 
   const ClusterConfig& config() const { return cfg_; }
 
  private:
-  static double RingSeconds(int64_t bytes, int ring_size, double gbps, double latency);
+  // One ring phase (reduce-scatter or all-gather): (n-1)/n bandwidth term plus
+  // n-1 latency hops.
+  static double RingPhaseSeconds(int64_t bytes, int ring_size, double gbps,
+                                 double latency);
 
   ClusterConfig cfg_;
 };

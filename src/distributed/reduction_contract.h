@@ -1,0 +1,52 @@
+// The reduction contract: the single, documented accumulation order that every
+// gradient reducer in this repo implements, so that the bandwidth-optimal ring
+// and the obviously-correct sequential reference produce *bitwise-identical*
+// fp32 results (the same guarantee the GEMM backend gives for its chunked dW
+// reduction: fixed chunk partition, fixed fold order, no reassociation).
+//
+// Contract:
+//   1. The flattened payload (active parameters concatenated in ParamsFrom
+//      order) is split into `world` contiguous chunks; chunk sizes differ by at
+//      most one element, with the remainder spread over the lowest-index chunks
+//      (ChunkBegin/ChunkEnd below).
+//   2. Chunk `c` is reduced as a left-to-right fold in *ring order* starting at
+//      rank (c+1) mod world:
+//        sum_c = ((g[(c+1)%W] + g[(c+2)%W]) + ...) + g[c]
+//      i.e. the order in which a ring reduce-scatter naturally visits ranks,
+//      ending at the chunk's owner, rank c.
+//   3. Averaging is a separate elementwise multiply by 1/world AFTER the fold
+//      (never fused into the adds, so no FMA contraction can change bits).
+//
+// Any reducer that follows 1-3 matches any other bitwise, regardless of
+// transport (star, ring, tree-of-rings), which is what lets tests pin the ring
+// implementation against the sequential reference at every world size.
+#ifndef EGERIA_SRC_DISTRIBUTED_REDUCTION_CONTRACT_H_
+#define EGERIA_SRC_DISTRIBUTED_REDUCTION_CONTRACT_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace egeria {
+
+// First element of chunk `chunk` when `total` elements are split into `world`
+// contiguous chunks (remainder spread over the first `total % world` chunks).
+inline int64_t ChunkBegin(int64_t total, int world, int chunk) {
+  const int64_t base = total / world;
+  const int64_t rem = total % world;
+  return static_cast<int64_t>(chunk) * base + std::min<int64_t>(chunk, rem);
+}
+
+inline int64_t ChunkEnd(int64_t total, int world, int chunk) {
+  return ChunkBegin(total, world, chunk + 1);
+}
+
+inline int64_t ChunkSize(int64_t total, int world, int chunk) {
+  return ChunkEnd(total, world, chunk) - ChunkBegin(total, world, chunk);
+}
+
+// Rank index modulo world, tolerant of negative arguments (ring arithmetic).
+inline int RingRank(int r, int world) { return ((r % world) + world) % world; }
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_REDUCTION_CONTRACT_H_

@@ -6,6 +6,22 @@
 
 namespace egeria {
 
+void SgdUpdateRange(float* w, const float* g, float* v, int64_t n, float lr,
+                    float momentum, float weight_decay) {
+  for (int64_t i = 0; i < n; ++i) {
+    const float grad = g[i] + weight_decay * w[i];
+    v[i] = momentum * v[i] + grad;
+    w[i] -= lr * v[i];
+  }
+}
+
+void SgdUpdateRangeNoMomentum(float* w, const float* g, int64_t n, float lr,
+                              float weight_decay) {
+  for (int64_t i = 0; i < n; ++i) {
+    w[i] -= lr * (g[i] + weight_decay * w[i]);
+  }
+}
+
 Sgd::Sgd(float momentum, float weight_decay)
     : momentum_(momentum), weight_decay_(weight_decay) {}
 
@@ -15,22 +31,29 @@ void Sgd::Step(const std::vector<Parameter*>& params, float lr) {
     float* w = p->value.Data();
     const float* g = p->grad.Data();
     if (momentum_ == 0.0F) {
-      for (int64_t i = 0; i < n; ++i) {
-        w[i] -= lr * (g[i] + weight_decay_ * w[i]);
-      }
+      SgdUpdateRangeNoMomentum(w, g, n, lr, weight_decay_);
       continue;
     }
     auto it = velocity_.find(p);
     if (it == velocity_.end()) {
       it = velocity_.emplace(p, Tensor::Zeros(p->value.Shape())).first;
     }
-    float* v = it->second.Data();
-    for (int64_t i = 0; i < n; ++i) {
-      const float grad = g[i] + weight_decay_ * w[i];
-      v[i] = momentum_ * v[i] + grad;
-      w[i] -= lr * v[i];
-    }
+    SgdUpdateRange(w, g, it->second.Data(), n, lr, momentum_, weight_decay_);
   }
+}
+
+void Sgd::ReleaseState(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    velocity_.erase(p);
+  }
+}
+
+int64_t Sgd::StateBytes() const {
+  int64_t bytes = 0;
+  for (const auto& kv : velocity_) {
+    bytes += kv.second.NumEl() * static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
 }
 
 Adam::Adam(float beta1, float beta2, float eps, float weight_decay)
@@ -63,6 +86,21 @@ void Adam::Step(const std::vector<Parameter*>& params, float lr) {
       w[i] -= lr * mhat / (std::sqrt(vhat) + eps_);
     }
   }
+}
+
+void Adam::ReleaseState(const std::vector<Parameter*>& params) {
+  for (Parameter* p : params) {
+    state_.erase(p);
+  }
+}
+
+int64_t Adam::StateBytes() const {
+  int64_t bytes = 0;
+  for (const auto& kv : state_) {
+    bytes += (kv.second.m.NumEl() + kv.second.v.NumEl()) *
+             static_cast<int64_t>(sizeof(float));
+  }
+  return bytes;
 }
 
 }  // namespace egeria

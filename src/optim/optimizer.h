@@ -4,10 +4,13 @@
 // changes the active set during training: frozen parameters are excluded from the
 // update, exactly like setting requires_grad=false in the paper's PyTorch
 // implementation (S5). State (momentum / Adam moments) is keyed by Parameter pointer
-// and survives freeze/unfreeze cycles.
+// and survives freeze/unfreeze cycles unless the trainer explicitly releases it
+// (ReleaseState) when a stage freezes — the optimizer-state half of the memory
+// saving that sharding exploits across ranks.
 #ifndef EGERIA_SRC_OPTIM_OPTIMIZER_H_
 #define EGERIA_SRC_OPTIM_OPTIMIZER_H_
 
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
@@ -15,17 +18,33 @@
 
 namespace egeria {
 
+// The one compiled instance of the momentum-SGD update arithmetic. Every SGD
+// path (replicated Sgd, ZeRO-1 ShardedSgdGroup) calls these same functions so
+// their results are bitwise-identical — inlining the loops separately would let
+// the compiler contract mul+add chains differently per call site.
+void SgdUpdateRange(float* w, const float* g, float* v, int64_t n, float lr,
+                    float momentum, float weight_decay);
+void SgdUpdateRangeNoMomentum(float* w, const float* g, int64_t n, float lr,
+                              float weight_decay);
+
 class Optimizer {
  public:
   virtual ~Optimizer() = default;
   // Applies one update using accumulated gradients; does not zero them.
   virtual void Step(const std::vector<Parameter*>& params, float lr) = 0;
+  // Drops per-parameter state (momentum / moments) for `params`, freeing their
+  // memory; they restart from zero state if they ever become active again.
+  virtual void ReleaseState(const std::vector<Parameter*>& params) = 0;
+  // Resident bytes of optimizer state currently held.
+  virtual int64_t StateBytes() const = 0;
 };
 
 class Sgd : public Optimizer {
  public:
   explicit Sgd(float momentum = 0.9F, float weight_decay = 0.0F);
   void Step(const std::vector<Parameter*>& params, float lr) override;
+  void ReleaseState(const std::vector<Parameter*>& params) override;
+  int64_t StateBytes() const override;
 
  private:
   float momentum_;
@@ -38,6 +57,8 @@ class Adam : public Optimizer {
   Adam(float beta1 = 0.9F, float beta2 = 0.999F, float eps = 1e-8F,
        float weight_decay = 0.0F);
   void Step(const std::vector<Parameter*>& params, float lr) override;
+  void ReleaseState(const std::vector<Parameter*>& params) override;
+  int64_t StateBytes() const override;
 
  private:
   struct State {

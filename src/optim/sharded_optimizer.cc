@@ -1,0 +1,88 @@
+#include "src/optim/sharded_optimizer.h"
+
+#include <algorithm>
+
+#include "src/distributed/reduction_contract.h"
+#include "src/optim/optimizer.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+
+ShardedSgdGroup::ShardedSgdGroup(int world, float momentum, float weight_decay)
+    : world_(world), momentum_(momentum), weight_decay_(weight_decay),
+      barrier_(world) {
+  EGERIA_CHECK(world_ >= 1);
+  shards_.resize(static_cast<size_t>(world_));
+  frozen_elems_.resize(static_cast<size_t>(world_), 0);
+}
+
+std::pair<int64_t, int64_t> ShardedSgdGroup::Reshard(int rank, int64_t frozen_elems,
+                                                     int64_t active_elems) {
+  EGERIA_CHECK(rank >= 0 && rank < world_);
+  EGERIA_CHECK(frozen_elems >= 0 && active_elems >= 0);
+  const int64_t ab = ChunkBegin(active_elems, world_, rank);
+  const int64_t ae = ChunkEnd(active_elems, world_, rank);
+  const int64_t gb = frozen_elems + ab;
+  const int64_t ge = frozen_elems + ae;
+
+  // Every rank's previous-step optimizer work is done; old shard layouts
+  // (shards_[*]) are stable and readable.
+  barrier_.Wait();
+
+  // Build the new shard locally, pulling migrated momentum from whichever rank
+  // owned each global offset under the old partition; offsets nobody owned
+  // (newly active after an unfreeze, or first reshard) start at zero.
+  std::vector<float> next(static_cast<size_t>(ge - gb), 0.0F);
+  for (int r = 0; r < world_; ++r) {
+    const RankShard& old = shards_[static_cast<size_t>(r)];
+    const int64_t lo = std::max(gb, old.global_begin);
+    const int64_t hi = std::min(ge, old.global_end);
+    for (int64_t off = lo; off < hi; ++off) {
+      next[static_cast<size_t>(off - gb)] =
+          old.velocity[static_cast<size_t>(off - old.global_begin)];
+    }
+  }
+
+  barrier_.Wait();  // Every rank has finished reading old shards; safe to replace.
+
+  RankShard& s = shards_[static_cast<size_t>(rank)];
+  s.velocity = std::move(next);
+  s.global_begin = gb;
+  s.global_end = ge;
+  frozen_elems_[static_cast<size_t>(rank)] = frozen_elems;
+
+  // New layout fully published before anyone steps or reshards again.
+  barrier_.Wait();
+  return {ab, ae};
+}
+
+void ShardedSgdGroup::Step(int rank, FlatParamView& values, const FlatParamView& grads,
+                           int64_t begin, int64_t end, float lr) {
+  EGERIA_CHECK(rank >= 0 && rank < world_);
+  RankShard& s = shards_[static_cast<size_t>(rank)];
+  const int64_t frozen = frozen_elems_[static_cast<size_t>(rank)];
+  EGERIA_CHECK(frozen + begin >= s.global_begin && frozen + end <= s.global_end);
+  // SgdUpdateRange* are the same compiled instances Sgd::Step runs, which is
+  // what makes sharded and replicated updates bitwise-identical.
+  if (momentum_ == 0.0F) {
+    ForEachAlignedSegment(values, grads, begin, end,
+                          [&](float* w, const float* g, int64_t off, int64_t n) {
+                            (void)off;
+                            SgdUpdateRangeNoMomentum(w, g, n, lr, weight_decay_);
+                          });
+    return;
+  }
+  ForEachAlignedSegment(
+      values, grads, begin, end, [&](float* w, const float* g, int64_t off, int64_t n) {
+        float* v = s.velocity.data() + (frozen + off - s.global_begin);
+        SgdUpdateRange(w, g, v, n, lr, momentum_, weight_decay_);
+      });
+}
+
+int64_t ShardedSgdGroup::StateBytes(int rank) const {
+  EGERIA_CHECK(rank >= 0 && rank < world_);
+  return static_cast<int64_t>(shards_[static_cast<size_t>(rank)].velocity.size()) *
+         static_cast<int64_t>(sizeof(float));
+}
+
+}  // namespace egeria

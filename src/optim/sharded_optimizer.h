@@ -1,0 +1,67 @@
+// ZeRO-1-style sharded optimizer state for the data-parallel harness.
+//
+// Each rank owns one reduction-contract chunk of the flattened ACTIVE-parameter
+// space and keeps momentum only for that shard, so per-rank optimizer memory is
+// ~1/world of the replicated baseline and shrinks further as Egeria freezes
+// stages: the freeze frontier re-partitions shards over the surviving suffix,
+// migrates momentum for still-active elements to their new owners, and drops
+// the frozen prefix's state entirely.
+//
+// The update arithmetic is elementwise-identical to Sgd::Step, so a sharded run
+// is bitwise-identical to the replicated reference path as long as gradients
+// arrive through the same reduction contract. The one documented divergence:
+// parameters re-activated by an unfreeze restart with zero momentum (their
+// state was dropped at freeze time), whereas the replicated Sgd keeps stale
+// velocity across freeze cycles.
+#ifndef EGERIA_SRC_OPTIM_SHARDED_OPTIMIZER_H_
+#define EGERIA_SRC_OPTIM_SHARDED_OPTIMIZER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/distributed/flat_view.h"
+#include "src/distributed/thread_barrier.h"
+
+namespace egeria {
+
+class ShardedSgdGroup {
+ public:
+  ShardedSgdGroup(int world, float momentum, float weight_decay);
+
+  // Collective: partition the active suffix [frozen_elems, frozen_elems +
+  // active_elems) of the global flat parameter space into `world` contract
+  // chunks, migrating momentum between owners (elements that were frozen or
+  // never owned start at zero). Every rank must call this at the same logical
+  // step with identical arguments. Returns rank's shard [begin, end) in
+  // ACTIVE-space coordinates (offsets into a FlatParamView over the active
+  // parameter list).
+  std::pair<int64_t, int64_t> Reshard(int rank, int64_t frozen_elems,
+                                      int64_t active_elems);
+
+  // Local: momentum-SGD update on active-space range [begin, end), which must
+  // lie within rank's current shard. Arithmetic matches Sgd::Step bitwise.
+  void Step(int rank, FlatParamView& values, const FlatParamView& grads,
+            int64_t begin, int64_t end, float lr);
+
+  // Resident optimizer-state bytes held by `rank` (its velocity shard).
+  int64_t StateBytes(int rank) const;
+
+ private:
+  struct RankShard {
+    std::vector<float> velocity;  // indexed by global_offset - global_begin
+    int64_t global_begin = 0;
+    int64_t global_end = 0;
+  };
+
+  int world_;
+  float momentum_;
+  float weight_decay_;
+  ThreadBarrier barrier_;
+  std::vector<RankShard> shards_;
+  std::vector<int64_t> frozen_elems_;  // per rank, for active->global translation
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_OPTIM_SHARDED_OPTIMIZER_H_

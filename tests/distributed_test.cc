@@ -1,8 +1,11 @@
 // Distributed substrate: network model, communication scheduler properties
 // (ByteScheduler <= FIFO; Egeria reduces both compute and traffic), real all-reduce
-// correctness, and the data-parallel harness.
+// correctness (ring vs sequential reference, bitwise), shard repartitioning under
+// freezing, and the data-parallel harness.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <memory>
 #include <thread>
 
 #include "src/core/module_partitioner.h"
@@ -10,9 +13,12 @@
 #include "src/distributed/allreduce.h"
 #include "src/distributed/comm_scheduler.h"
 #include "src/distributed/dist_trainer.h"
+#include "src/distributed/flat_view.h"
 #include "src/distributed/network_model.h"
+#include "src/distributed/reduction_contract.h"
 #include "src/models/resnet.h"
 #include "src/optim/lr_scheduler.h"
+#include "src/util/rng.h"
 
 namespace egeria {
 namespace {
@@ -131,6 +137,171 @@ TEST(AllReduce, AveragesGradientsAcrossRanks) {
   EXPECT_EQ(reducer.TotalBytesReduced(), 4 * 4);
 }
 
+// ---- Ring reducer vs sequential reference (the reduction contract) ----
+
+// One "replica": a list of parameters with randomly filled gradients.
+using ParamSet = std::vector<std::unique_ptr<Parameter>>;
+
+ParamSet MakeParams(const std::vector<int64_t>& sizes, Rng& rng) {
+  ParamSet set;
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    auto p = std::make_unique<Parameter>("p" + std::to_string(i),
+                                         Tensor::Zeros({sizes[i]}));
+    for (int64_t j = 0; j < sizes[i]; ++j) {
+      p->grad.At(j) = rng.NextUniform(-2.0F, 2.0F);
+    }
+    set.push_back(std::move(p));
+  }
+  return set;
+}
+
+void CopyGrads(const ParamSet& src, ParamSet& dst) {
+  ASSERT_EQ(src.size(), dst.size());
+  for (size_t i = 0; i < src.size(); ++i) {
+    std::memcpy(dst[i]->grad.Data(), src[i]->grad.Data(),
+                static_cast<size_t>(src[i]->grad.NumEl()) * sizeof(float));
+  }
+}
+
+std::vector<Parameter*> Suffix(const ParamSet& set, size_t first) {
+  std::vector<Parameter*> out;
+  for (size_t i = first; i < set.size(); ++i) {
+    out.push_back(set[i].get());
+  }
+  return out;
+}
+
+// Runs the reference star reduce on `ref` and ring RS+AG on `ring_set` (both
+// restricted to params [first, end)), then asserts every rank's every gradient
+// is bitwise-identical across the two transports.
+void ReduceBothAndExpectBitwiseEqual(int world, std::vector<ParamSet>& ref,
+                                     std::vector<ParamSet>& ring_set, size_t first,
+                                     GradientAllReducer& reference,
+                                     RingAllReducer& ring) {
+  std::vector<std::vector<Parameter*>> ref_lists(static_cast<size_t>(world));
+  std::vector<std::vector<Parameter*>> ring_lists(static_cast<size_t>(world));
+  for (int r = 0; r < world; ++r) {
+    ref_lists[static_cast<size_t>(r)] = Suffix(ref[static_cast<size_t>(r)], first);
+    ring_lists[static_cast<size_t>(r)] = Suffix(ring_set[static_cast<size_t>(r)], first);
+  }
+  std::vector<std::thread> threads;
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      reference.AllReduce(r, ref_lists[static_cast<size_t>(r)]);
+      FlatParamView view(ring_lists[static_cast<size_t>(r)],
+                         FlatParamView::Field::kGrad);
+      ring.ReduceScatterAverage(r, view);
+      ring.AllGather(r, view);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  for (int r = 0; r < world; ++r) {
+    for (size_t p = first; p < ref[0].size(); ++p) {
+      const Tensor& a = ref[static_cast<size_t>(r)][p]->grad;
+      const Tensor& b = ring_set[static_cast<size_t>(r)][p]->grad;
+      ASSERT_EQ(0, std::memcmp(a.Data(), b.Data(),
+                               static_cast<size_t>(a.NumEl()) * sizeof(float)))
+          << "world=" << world << " rank=" << r << " param=" << p;
+    }
+  }
+}
+
+TEST(RingAllReduce, BitwiseMatchesSequentialReference) {
+  // Total 29 elements: not divisible by any tested world size, so every run
+  // exercises uneven contract chunks.
+  const std::vector<int64_t> sizes = {5, 7, 3, 11, 2, 1};
+  for (int world : {2, 3, 4}) {
+    Rng rng(1234 + static_cast<uint64_t>(world));
+    std::vector<ParamSet> ref;
+    std::vector<ParamSet> ring_set;
+    for (int r = 0; r < world; ++r) {
+      ref.push_back(MakeParams(sizes, rng));
+      ring_set.push_back(MakeParams(sizes, rng));
+      CopyGrads(ref.back(), ring_set.back());
+    }
+    GradientAllReducer reference(world);
+    RingAllReducer ring(world);
+    ReduceBothAndExpectBitwiseEqual(world, ref, ring_set, 0, reference, ring);
+    EXPECT_EQ(reference.TotalBytesReduced(), ring.TotalBytesReduced());
+    // Ring wire traffic is exactly 2(W-1)/W of the payload per link; summed over
+    // the W links that is 2(W-1) x payload for the reduce-scatter + all-gather.
+    const int64_t total = 29;
+    EXPECT_EQ(ring.TotalWireBytes(),
+              2 * (world - 1) * total * static_cast<int64_t>(sizeof(float)));
+  }
+}
+
+TEST(RingAllReduce, RepartitionMidRunStaysBitwise) {
+  // A rank drops newly frozen stages mid-run: round 0 reduces the full list,
+  // later rounds reduce shrinking suffixes. The ring must re-chunk the smaller
+  // flat space and stay bitwise-identical to the reference at every round.
+  const std::vector<int64_t> sizes = {6, 1, 9, 4, 7, 2};  // total 29
+  for (int world : {2, 3, 4}) {
+    Rng rng(77 + static_cast<uint64_t>(world));
+    std::vector<ParamSet> ref;
+    std::vector<ParamSet> ring_set;
+    for (int r = 0; r < world; ++r) {
+      ref.push_back(MakeParams(sizes, rng));
+      ring_set.push_back(MakeParams(sizes, rng));
+      CopyGrads(ref.back(), ring_set.back());
+    }
+    GradientAllReducer reference(world);
+    RingAllReducer ring(world);
+    for (size_t frozen_params : {size_t{0}, size_t{2}, size_t{3}, size_t{5}}) {
+      // Fresh local gradients each round, identical across transports.
+      for (int r = 0; r < world; ++r) {
+        for (auto& p : ref[static_cast<size_t>(r)]) {
+          for (int64_t j = 0; j < p->grad.NumEl(); ++j) {
+            p->grad.At(j) = rng.NextUniform(-2.0F, 2.0F);
+          }
+        }
+        CopyGrads(ref[static_cast<size_t>(r)], ring_set[static_cast<size_t>(r)]);
+      }
+      ReduceBothAndExpectBitwiseEqual(world, ref, ring_set, frozen_params,
+                                      reference, ring);
+    }
+  }
+}
+
+TEST(RingAllReduce, TinyPayloadLeavesEmptyChunks) {
+  // Fewer elements than ranks: the trailing contract chunks are empty and the
+  // ring must still terminate and match the reference bitwise.
+  const std::vector<int64_t> sizes = {2, 1};
+  const int world = 4;
+  Rng rng(9);
+  std::vector<ParamSet> ref;
+  std::vector<ParamSet> ring_set;
+  for (int r = 0; r < world; ++r) {
+    ref.push_back(MakeParams(sizes, rng));
+    ring_set.push_back(MakeParams(sizes, rng));
+    CopyGrads(ref.back(), ring_set.back());
+  }
+  GradientAllReducer reference(world);
+  RingAllReducer ring(world);
+  ReduceBothAndExpectBitwiseEqual(world, ref, ring_set, 0, reference, ring);
+}
+
+TEST(RingAllReduce, WorldOneIsIdentity) {
+  Rng rng(5);
+  ParamSet set = MakeParams({4, 3}, rng);
+  ParamSet orig = MakeParams({4, 3}, rng);
+  CopyGrads(set, orig);
+  RingAllReducer ring(1);
+  auto list = Suffix(set, 0);
+  FlatParamView view(list, FlatParamView::Field::kGrad);
+  const auto owned = ring.ReduceScatterAverage(0, view);
+  ring.AllGather(0, view);
+  EXPECT_EQ(owned.first, 0);
+  EXPECT_EQ(owned.second, 7);
+  for (size_t p = 0; p < set.size(); ++p) {
+    EXPECT_EQ(0, std::memcmp(set[p]->grad.Data(), orig[p]->grad.Data(),
+                             static_cast<size_t>(set[p]->grad.NumEl()) * sizeof(float)));
+  }
+  EXPECT_EQ(ring.TotalWireBytes(), 0);
+}
+
 class DistTrainerTest : public ::testing::Test {
  protected:
   static std::unique_ptr<ChainModel> MakeModel() {
@@ -199,6 +370,105 @@ TEST_F(DistTrainerTest, EgeriaCutsSynchronizationTraffic) {
   EXPECT_TRUE(r.replicas_consistent);
   EXPECT_GT(r.final_frontier, 0) << "controller froze nothing";
   EXPECT_LT(r.bytes_synced, r.bytes_full_model);
+}
+
+// The ZeRO-1 ring path and the replicated reference path implement the same
+// reduction contract and the same compiled SGD arithmetic, so whole training
+// runs must agree bitwise — with and without freezing mid-run.
+TEST_F(DistTrainerTest, ShardedPathBitwiseMatchesReferencePath) {
+  SyntheticImageConfig dcfg;
+  dcfg.num_classes = 4;
+  dcfg.num_samples = 128;
+  dcfg.height = 10;
+  dcfg.width = 10;
+  dcfg.noise_std = 0.4F;
+  SyntheticImageDataset train(dcfg);
+  auto vcfg = dcfg;
+  vcfg.sample_salt = 999999;
+  vcfg.num_samples = 32;
+  SyntheticImageDataset val(vcfg);
+
+  for (int world : {2, 3}) {
+    DistTrainConfig cfg;
+    cfg.world = world;
+    cfg.epochs = 4;
+    cfg.batch_size = 8;
+    cfg.task.kind = TaskKind::kClassification;
+    cfg.lr_schedule = std::make_shared<ConstantLr>(0.05F);
+    cfg.reducer = DistTrainConfig::Reducer::kSequentialReference;
+    DistTrainResult ref = TrainDataParallel(MakeModel, train, val, cfg);
+    cfg.reducer = DistTrainConfig::Reducer::kRingSharded;
+    DistTrainResult ring = TrainDataParallel(MakeModel, train, val, cfg);
+
+    EXPECT_TRUE(ref.replicas_consistent);
+    EXPECT_TRUE(ring.replicas_consistent);
+    EXPECT_EQ(ref.params_hash, ring.params_hash) << "world=" << world;
+    EXPECT_EQ(ref.bytes_synced, ring.bytes_synced);
+    EXPECT_EQ(ref.wire_bytes, 0);   // reference path reports no ring traffic
+    EXPECT_GT(ring.wire_bytes, 0);
+    EXPECT_DOUBLE_EQ(ref.final_score, ring.final_score);
+  }
+}
+
+TEST_F(DistTrainerTest, EgeriaShardedRunMatchesReferenceAndShrinksState) {
+  SyntheticImageConfig dcfg;
+  dcfg.num_classes = 4;
+  dcfg.num_samples = 128;
+  dcfg.height = 10;
+  dcfg.width = 10;
+  dcfg.noise_std = 0.4F;
+  SyntheticImageDataset train(dcfg);
+  auto vcfg = dcfg;
+  vcfg.sample_salt = 999999;
+  vcfg.num_samples = 32;
+  SyntheticImageDataset val(vcfg);
+
+  DistTrainConfig cfg;
+  cfg.world = 2;
+  cfg.epochs = 20;
+  cfg.batch_size = 8;
+  cfg.task.kind = TaskKind::kClassification;
+  cfg.lr_schedule = std::make_shared<ConstantLr>(0.05F);
+  cfg.enable_egeria = true;
+  cfg.egeria.tolerance_coef = 0.4;
+  cfg.egeria.async_controller = false;
+  cfg.egeria.eval_interval_n = 4;
+  cfg.egeria.window_w = 3;
+  cfg.egeria.enable_cache = false;
+  cfg.egeria.ref_update_evals = 2;
+
+  cfg.reducer = DistTrainConfig::Reducer::kRingSharded;
+  DistTrainResult ring = TrainDataParallel(MakeModel, train, val, cfg);
+  cfg.reducer = DistTrainConfig::Reducer::kSequentialReference;
+  DistTrainResult ref = TrainDataParallel(MakeModel, train, val, cfg);
+
+  // Identical training: same freeze timeline, same weights, bit for bit.
+  EXPECT_TRUE(ring.replicas_consistent);
+  EXPECT_GT(ring.final_frontier, 0) << "controller froze nothing";
+  EXPECT_EQ(ring.final_frontier, ref.final_frontier);
+  EXPECT_EQ(ring.params_hash, ref.params_hash);
+
+  // The freeze->reshard protocol: the initial partition plus one event per
+  // frontier move; every move strictly shrinks the active space, the ring
+  // payload, and the per-rank optimizer state (Fig. 10's scaling argument).
+  ASSERT_GE(ring.reshard_events.size(), 2U) << "no reshard after freezing";
+  EXPECT_EQ(ring.reshard_events[0].frontier, 0);
+  for (size_t i = 1; i < ring.reshard_events.size(); ++i) {
+    const DistReshardEvent& prev = ring.reshard_events[i - 1];
+    const DistReshardEvent& ev = ring.reshard_events[i];
+    EXPECT_GT(ev.frontier, prev.frontier);
+    EXPECT_LT(ev.active_elems, prev.active_elems);
+    EXPECT_LT(ev.payload_bytes_per_iter, prev.payload_bytes_per_iter);
+    EXPECT_LT(ev.opt_state_bytes_per_rank, prev.opt_state_bytes_per_rank);
+  }
+  EXPECT_EQ(ref.reshard_events.size(), 0U);
+  EXPECT_LT(ring.bytes_synced, ring.bytes_full_model);
+
+  // ZeRO-1 memory claim: each rank holds ~1/world of the active velocity.
+  const DistReshardEvent& first = ring.reshard_events[0];
+  EXPECT_LE(first.opt_state_bytes_per_rank,
+            first.active_elems * static_cast<int64_t>(sizeof(float)) / cfg.world +
+                static_cast<int64_t>(sizeof(float)));
 }
 
 }  // namespace

@@ -74,6 +74,32 @@ TEST(Optimizer, MomentumStateSurvivesActiveSetChanges) {
   EXPECT_NEAR(a.value.At(0), va - 0.1F * 0.9F * 1.0F, 1e-6F);
 }
 
+TEST(Optimizer, ReleaseStateFreesMemoryAndRestartsFromZero) {
+  Sgd opt(0.9F, 0.0F);
+  Parameter a("a", Tensor::FromVector({3}, {1.0F, 1.0F, 1.0F}));
+  a.grad.Fill_(1.0F);
+  opt.Step({&a}, 0.1F);
+  EXPECT_EQ(opt.StateBytes(), 3 * static_cast<int64_t>(sizeof(float)));
+  opt.ReleaseState({&a});
+  EXPECT_EQ(opt.StateBytes(), 0);
+  // Released velocity restarts at zero: a zero-gradient step no longer coasts.
+  const float w = a.value.At(0);
+  a.grad.Fill_(0.0F);
+  opt.Step({&a}, 0.1F);
+  EXPECT_FLOAT_EQ(a.value.At(0), w);
+}
+
+TEST(Optimizer, AdamStateBytesAndRelease) {
+  Adam opt;
+  Parameter a("a", Tensor::FromVector({2}, {1.0F, 2.0F}));
+  a.grad.Fill_(0.5F);
+  opt.Step({&a}, 0.01F);
+  // Adam holds two moments per element.
+  EXPECT_EQ(opt.StateBytes(), 2 * 2 * static_cast<int64_t>(sizeof(float)));
+  opt.ReleaseState({&a});
+  EXPECT_EQ(opt.StateBytes(), 0);
+}
+
 TEST(LrSchedule, StepDecayMilestones) {
   StepDecayLr lr(1.0F, 0.1F, {100, 200});
   EXPECT_FLOAT_EQ(lr.LrAt(50), 1.0F);

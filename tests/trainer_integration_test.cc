@@ -194,6 +194,36 @@ TEST(TrainerIntegration, StaticFreezeHookFreezesAtEpoch) {
   EXPECT_EQ(r.final_frontier, 1);
 }
 
+TEST(TrainerIntegration, FrontierObserverFiresAndFrozenStateIsReleased) {
+  Workload w = MakeWorkload(11);
+  TrainConfig cfg = BaseConfig(3);
+  StaticFreezeHook hook(1, 0);
+  Trainer trainer(*w.model, *w.train, *w.val, cfg);
+  trainer.SetFreezeHook(&hook);
+  struct Move {
+    int from;
+    int to;
+    int64_t iter;
+  };
+  std::vector<Move> moves;
+  trainer.SetFrontierObserver(
+      [&](int from, int to, int64_t iter) { moves.push_back({from, to, iter}); });
+  TrainResult r = trainer.Run();
+  ASSERT_EQ(moves.size(), 1U);
+  EXPECT_EQ(moves[0].from, 0);
+  EXPECT_EQ(moves[0].to, 1);
+  EXPECT_EQ(r.final_frontier, 1);
+  // The frozen prefix's momentum was released: resident optimizer state covers
+  // exactly the still-active parameters (every active param has stepped).
+  int64_t active_bytes = 0;
+  for (Parameter* p : w.model->ParamsFrom(1)) {
+    active_bytes += p->value.NumEl() * static_cast<int64_t>(sizeof(float));
+  }
+  EXPECT_EQ(trainer.OptimizerStateBytes(), active_bytes);
+  EXPECT_LT(active_bytes,
+            w.model->TotalParamCount() * static_cast<int64_t>(sizeof(float)));
+}
+
 TEST(TrainerIntegration, AutoFreezeHookFreezesOnGradNormDecay) {
   Workload w = MakeWorkload(13);
   TrainConfig cfg = BaseConfig(8);
