@@ -70,6 +70,9 @@ cat "$bench_err" >&2 || true
 echo "== bench smoke: table2 reference-forward latency per precision =="
 ./build/table2_ref_precision --smoke | tee "$table2_tmp"
 
+echo "== dist smoke: 2-process TCP ring (egeria_worker via launch_dist.sh) =="
+./scripts/launch_dist.sh -n 2 -t 300 -- --workload=tiny --epochs=2
+
 git_sha=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 # Uncommitted changes are not HEAD's numbers — mark them so a pre-commit run
 # never overwrites (or masquerades as) the parent commit's entry.

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Launch a multi-process egeria_worker world over the TCP transport.
+#
+# Usage: launch_dist.sh [-n WORLD] [-b WORKER_BIN] [-t TIMEOUT_S] [-l LOG_DIR]
+#                       [-- worker-args...]
+#
+# Spawns WORLD worker processes sharing a fresh rendezvous file (the TCP
+# transport binds port 0 and publishes the kernel-chosen port through it, so
+# parallel invocations never collide), waits with a hard timeout, and fails
+# loudly — per-rank logs are tailed on any error, and the script never hangs
+# past TIMEOUT_S.
+#
+# Example (2-rank smoke on the tiny workload):
+#   scripts/launch_dist.sh -n 2 -- --workload=tiny --epochs=2
+set -euo pipefail
+
+world=2
+bin=""
+timeout_s=300
+log_dir=""
+while getopts "n:b:t:l:" opt; do
+  case "$opt" in
+    n) world="$OPTARG" ;;
+    b) bin="$OPTARG" ;;
+    t) timeout_s="$OPTARG" ;;
+    l) log_dir="$OPTARG" ;;
+    *) echo "usage: $0 [-n world] [-b worker] [-t timeout_s] [-l log_dir] [-- args...]" >&2
+       exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+if [ -z "$bin" ]; then
+  bin="$repo_root/build/egeria_worker"
+fi
+if [ ! -x "$bin" ]; then
+  echo "launch_dist.sh: worker binary not found: $bin (build the repo first)" >&2
+  exit 2
+fi
+if [ -z "$log_dir" ]; then
+  log_dir=$(mktemp -d "${TMPDIR:-/tmp}/egeria-dist-XXXXXX")
+fi
+mkdir -p "$log_dir"
+rendezvous="$log_dir/rendezvous"
+rm -f "$rendezvous"
+
+echo "launch_dist.sh: world=$world logs=$log_dir"
+pids=()
+for ((r = 0; r < world; ++r)); do
+  "$bin" --rank="$r" --world="$world" --rendezvous="$rendezvous" "$@" \
+    > "$log_dir/rank_$r.log" 2>&1 &
+  pids+=($!)
+done
+
+dump_logs() {
+  for ((r = 0; r < world; ++r)); do
+    echo "---- rank $r (tail) ----" >&2
+    tail -n 20 "$log_dir/rank_$r.log" >&2 || true
+  done
+}
+
+deadline=$((SECONDS + timeout_s))
+while :; do
+  live=0
+  for pid in "${pids[@]}"; do
+    if kill -0 "$pid" 2> /dev/null; then
+      live=$((live + 1))
+    fi
+  done
+  if [ "$live" -eq 0 ]; then
+    break
+  fi
+  if [ "$SECONDS" -ge "$deadline" ]; then
+    echo "launch_dist.sh: TIMEOUT after ${timeout_s}s; killing $live live rank(s)" >&2
+    kill -9 "${pids[@]}" 2> /dev/null || true
+    wait 2> /dev/null || true
+    dump_logs
+    exit 124
+  fi
+  sleep 0.1
+done
+
+failed=0
+for ((r = 0; r < world; ++r)); do
+  if ! wait "${pids[$r]}"; then
+    echo "launch_dist.sh: rank $r exited nonzero" >&2
+    failed=1
+  fi
+done
+if [ "$failed" -ne 0 ]; then
+  dump_logs
+  exit 1
+fi
+
+grep -h "^EGERIA_RESULT" "$log_dir"/rank_*.log || true
+echo "launch_dist.sh: OK"

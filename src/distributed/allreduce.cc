@@ -3,7 +3,9 @@
 #include <cstring>
 
 #include "src/distributed/reduction_contract.h"
+#include "src/distributed/transport/ring_schedule.h"
 #include "src/util/logging.h"
+#include "src/util/timer.h"
 
 namespace egeria {
 
@@ -39,23 +41,23 @@ void GradientAllReducer::AllReduce(int rank, const std::vector<Parameter*>& para
     }
     const int64_t total = views[0].NumEl();
     const float inv = 1.0F / static_cast<float>(world_);
-    std::vector<float> buf(static_cast<size_t>(ChunkSize(total, world_, 0)));
+    std::vector<float> buf(static_cast<size_t>(ChunkSpan(total, world_, 0).size()));
     for (int c = 0; c < world_; ++c) {
-      const int64_t cb = ChunkBegin(total, world_, c);
-      const int64_t ce = ChunkEnd(total, world_, c);
-      const int64_t n = ce - cb;
-      if (n == 0) {
+      const Span chunk = ChunkSpan(total, world_, c);
+      if (chunk.size() == 0) {
         continue;
       }
-      views[static_cast<size_t>(RingRank(c + 1, world_))].CopyOut(cb, ce, buf.data());
+      views[static_cast<size_t>(RingRank(c + 1, world_))].CopyOut(
+          chunk.begin, chunk.end, buf.data());
       for (int k = 2; k <= world_; ++k) {
-        views[static_cast<size_t>(RingRank(c + k, world_))].AddTo(cb, ce, buf.data());
+        views[static_cast<size_t>(RingRank(c + k, world_))].AddTo(
+            chunk.begin, chunk.end, buf.data());
       }
-      for (int64_t i = 0; i < n; ++i) {
+      for (int64_t i = 0; i < chunk.size(); ++i) {
         buf[static_cast<size_t>(i)] *= inv;
       }
       for (int r = 0; r < world_; ++r) {
-        views[static_cast<size_t>(r)].CopyIn(cb, ce, buf.data());
+        views[static_cast<size_t>(r)].CopyIn(chunk.begin, chunk.end, buf.data());
       }
     }
     bytes_reduced_.fetch_add(total * static_cast<int64_t>(sizeof(float)));
@@ -63,114 +65,65 @@ void GradientAllReducer::AllReduce(int rank, const std::vector<Parameter*>& para
   barrier_.Wait();  // Averaged gradients visible to every rank.
 }
 
-RingAllReducer::RingAllReducer(int world) : world_(world), barrier_(world) {
-  EGERIA_CHECK(world_ >= 1);
-  flat_sizes_.resize(static_cast<size_t>(world_), 0);
-  outbox_.resize(static_cast<size_t>(world_));
-}
+RingAllReducer::RingAllReducer(Transport& transport) : transport_(transport) {}
 
-void RingAllReducer::Register(int rank, FlatParamView& view) {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    flat_sizes_[static_cast<size_t>(rank)] = view.NumEl();
-  }
-  const int64_t max_chunk = ChunkSize(view.NumEl(), world_, 0);
-  outbox_[static_cast<size_t>(rank)].resize(static_cast<size_t>(max_chunk));
-  barrier_.Wait();  // All sizes registered, all outboxes sized.
-  EGERIA_CHECK_MSG(flat_sizes_[0] == view.NumEl(), "rank flat size mismatch");
-}
-
-std::pair<int64_t, int64_t> RingAllReducer::ReduceScatterAverage(int rank,
-                                                                 FlatParamView& view) {
-  EGERIA_CHECK(rank >= 0 && rank < world_);
+std::pair<int64_t, int64_t> RingAllReducer::ReduceScatterAverage(FlatParamView& view) {
+  const int rank = transport_.Rank();
+  const int world = transport_.World();
   const int64_t total = view.NumEl();
-  const int64_t own_begin = ChunkBegin(total, world_, rank);
-  const int64_t own_end = ChunkEnd(total, world_, rank);
-  if (world_ == 1) {
-    return {own_begin, own_end};
+  const Span own = ChunkSpan(total, world, rank);
+  if (world == 1) {
+    return {own.begin, own.end};
   }
-  Register(rank, view);
+  WallTimer timer;
 
   // Chunk c's partial sum enters the ring at rank (c+1)%W (initial value: that
   // rank's local chunk) and travels one hop per step, each visited rank folding
   // in its own local chunk; after W-1 hops the fully-folded chunk sits at its
-  // owner, rank c. At step s rank r forwards chunk (r-1-s)%W and receives chunk
-  // (r-2-s)%W, so the final receive (s = W-2) is rank r's own chunk r.
-  std::vector<float> partial(static_cast<size_t>(ChunkSize(total, world_, 0)));
-  float* outbox = outbox_[static_cast<size_t>(rank)].data();
-  const float* inbox = outbox_[static_cast<size_t>(RingRank(rank - 1, world_))].data();
-  int64_t sent_bytes = 0;
-  for (int s = 0; s <= world_ - 2; ++s) {
-    const int c_send = RingRank(rank - 1 - s, world_);
-    const int64_t send_n = ChunkSize(total, world_, c_send);
-    if (s == 0) {
-      view.CopyOut(ChunkBegin(total, world_, c_send), ChunkEnd(total, world_, c_send),
-                   outbox);
-    } else if (send_n > 0) {
-      std::memcpy(outbox, partial.data(), static_cast<size_t>(send_n) * sizeof(float));
-    }
-    sent_bytes += send_n * static_cast<int64_t>(sizeof(float));
-    barrier_.Wait();  // Every outbox holds this step's message.
-    const int c_recv = RingRank(rank - 2 - s, world_);
-    const int64_t recv_n = ChunkSize(total, world_, c_recv);
-    if (recv_n > 0) {
-      std::memcpy(partial.data(), inbox, static_cast<size_t>(recv_n) * sizeof(float));
-    }
-    view.AddTo(ChunkBegin(total, world_, c_recv), ChunkEnd(total, world_, c_recv),
-               partial.data());
-    barrier_.Wait();  // Every inbox consumed; outboxes reusable.
-  }
+  // owner, rank c. For rank r that schedule is a circulation starting at chunk
+  // r-1, whose final receive is r's own chunk r; the in-place fold in `consume`
+  // is what the circulation forwards.
+  wire_bytes_ += RingCirculate(
+      transport_, rank - 1,
+      [&](int c) { return ChunkSpan(total, world, c); },
+      [&](float* buf, int, const Span& s) { view.CopyOut(s.begin, s.end, buf); },
+      [&](float* buf, int c, const Span& s) {
+        // Ring-order fold step: incoming partial sum (left operand, preserved
+        // per element) += this rank's local chunk.
+        view.AddTo(s.begin, s.end, buf);
+        if (c == rank) {
+          // Final step: buf holds the contract fold for our own chunk. Average
+          // in a separate pass (never fused into the adds) and land it.
+          const float inv = 1.0F / static_cast<float>(world);
+          for (int64_t i = 0; i < s.size(); ++i) {
+            buf[static_cast<size_t>(i)] *= inv;
+          }
+          view.CopyIn(s.begin, s.end, buf);
+        }
+      });
 
-  // `partial` now holds the contract fold for chunk `rank`; average and land it.
-  const float inv = 1.0F / static_cast<float>(world_);
-  for (int64_t i = 0; i < own_end - own_begin; ++i) {
-    partial[static_cast<size_t>(i)] *= inv;
-  }
-  view.CopyIn(own_begin, own_end, partial.data());
-
-  wire_bytes_.fetch_add(sent_bytes);
-  if (rank == 0) {
-    payload_bytes_.fetch_add(total * static_cast<int64_t>(sizeof(float)));
-  }
-  return {own_begin, own_end};
+  payload_bytes_ += total * static_cast<int64_t>(sizeof(float));
+  comm_seconds_ += timer.ElapsedSeconds();
+  return {own.begin, own.end};
 }
 
-void RingAllReducer::AllGather(int rank, FlatParamView& view) {
-  EGERIA_CHECK(rank >= 0 && rank < world_);
-  if (world_ == 1) {
+void RingAllReducer::AllGather(FlatParamView& view) {
+  const int world = transport_.World();
+  if (world == 1) {
     return;
   }
-  Register(rank, view);
+  WallTimer timer;
   const int64_t total = view.NumEl();
 
   // Rank r seeds the ring with its own chunk r; every step each rank forwards
   // the chunk it received last step, so after W-1 steps every rank has landed
   // every owner's (bit-exact, owner-computed-once) chunk.
-  std::vector<float> recv(static_cast<size_t>(ChunkSize(total, world_, 0)));
-  float* outbox = outbox_[static_cast<size_t>(rank)].data();
-  const float* inbox = outbox_[static_cast<size_t>(RingRank(rank - 1, world_))].data();
-  int64_t sent_bytes = 0;
-  for (int s = 0; s <= world_ - 2; ++s) {
-    const int c_send = RingRank(rank - s, world_);
-    const int64_t send_n = ChunkSize(total, world_, c_send);
-    if (s == 0) {
-      view.CopyOut(ChunkBegin(total, world_, c_send), ChunkEnd(total, world_, c_send),
-                   outbox);
-    } else if (send_n > 0) {
-      std::memcpy(outbox, recv.data(), static_cast<size_t>(send_n) * sizeof(float));
-    }
-    sent_bytes += send_n * static_cast<int64_t>(sizeof(float));
-    barrier_.Wait();  // Every outbox holds this step's message.
-    const int c_recv = RingRank(rank - 1 - s, world_);
-    const int64_t recv_n = ChunkSize(total, world_, c_recv);
-    if (recv_n > 0) {
-      std::memcpy(recv.data(), inbox, static_cast<size_t>(recv_n) * sizeof(float));
-    }
-    view.CopyIn(ChunkBegin(total, world_, c_recv), ChunkEnd(total, world_, c_recv),
-                recv.data());
-    barrier_.Wait();  // Every inbox consumed; outboxes reusable.
-  }
-  wire_bytes_.fetch_add(sent_bytes);
+  wire_bytes_ += RingCirculate(
+      transport_, transport_.Rank(),
+      [&](int c) { return ChunkSpan(total, world, c); },
+      [&](float* buf, int, const Span& s) { view.CopyOut(s.begin, s.end, buf); },
+      [&](const float* buf, int, const Span& s) { view.CopyIn(s.begin, s.end, buf); });
+  comm_seconds_ += timer.ElapsedSeconds();
 }
 
 }  // namespace egeria

@@ -1,14 +1,17 @@
 #include "src/distributed/dist_trainer.h"
 
-#include <atomic>
-#include <cmath>
-#include <limits>
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <tuple>
+#include <unistd.h>
 
 #include "src/core/controller.h"
 #include "src/distributed/allreduce.h"
 #include "src/distributed/flat_view.h"
+#include "src/distributed/transport/inproc_transport.h"
+#include "src/distributed/transport/tcp_transport.h"
 #include "src/optim/optimizer.h"
 #include "src/optim/sharded_optimizer.h"
 #include "src/util/logging.h"
@@ -34,219 +37,306 @@ uint64_t Fnv1a(const void* data, size_t len, uint64_t h) {
   return h;
 }
 
-// Shared freeze state broadcast from the controller (worker 0) to all workers.
-//
-// Rank 0 publishes decisions mid-iteration, racing with other ranks' start-of-
-// iteration reads: a fast rank 0 can publish iteration i's decision before a slow
-// rank has read the state for iteration i. The state is therefore a single packed
-// word holding BOTH the frontier active now and the one scheduled for the next
-// iteration, so every rank resolves the same frontier for the same iteration no
-// matter when its read lands relative to the publish.
-struct SharedFreezeState {
-  // current:16 | pending:16 | apply_iter:32 (iteration at which pending activates).
-  std::atomic<uint64_t> packed{0};
+uint64_t HashParams(const std::vector<Parameter*>& params) {
+  uint64_t hash = 0xCBF29CE484222325ULL;
+  for (const Parameter* p : params) {
+    hash = Fnv1a(p->value.Data(),
+                 static_cast<size_t>(p->value.NumEl()) * sizeof(float), hash);
+  }
+  return hash;
+}
 
-  static uint64_t Pack(int current, int pending, int64_t apply_iter) {
-    return (static_cast<uint64_t>(static_cast<uint16_t>(current)) << 48) |
-           (static_cast<uint64_t>(static_cast<uint16_t>(pending)) << 32) |
-           static_cast<uint64_t>(static_cast<uint32_t>(apply_iter));
-  }
-  // Frontier in effect at iteration `iter`.
-  static int ResolveAt(uint64_t packed, int64_t iter) {
-    const int current = static_cast<int>(static_cast<uint16_t>(packed >> 48));
-    const int pending = static_cast<int>(static_cast<uint16_t>(packed >> 32));
-    const int64_t apply_iter = static_cast<int64_t>(static_cast<uint32_t>(packed));
-    return iter >= apply_iter ? pending : current;
-  }
+// The per-iteration control-plane message rank 0 broadcasts: the freeze
+// frontier that takes effect from the NEXT iteration on. A fixed little
+// serialized struct (not a shared atomic) so the decision crosses process
+// boundaries; every rank applies it at the same iteration boundary, which is
+// what keeps active sets — and therefore the reduction payload — identical
+// across ranks.
+struct FreezeMsg {
+  int32_t next_frontier = 0;
 };
 
+int32_t ExchangeFrontier(Transport& transport, int rank, int32_t pending) {
+  FreezeMsg msg{pending};
+  const std::vector<uint8_t> wire =
+      transport.Broadcast(rank == 0 ? &msg : nullptr, rank == 0 ? sizeof(msg) : 0);
+  EGERIA_CHECK_MSG(wire.size() == sizeof(FreezeMsg), "bad freeze control message");
+  std::memcpy(&msg, wire.data(), sizeof(msg));
+  return msg.next_frontier;
+}
+
 }  // namespace
+
+RankTrainResult TrainRank(
+    Transport& transport,
+    const std::function<std::unique_ptr<ChainModel>()>& make_model,
+    const Dataset& train_data, const Dataset& val_data, const DistTrainConfig& cfg,
+    GradientAllReducer* reference_reducer) {
+  const int rank = transport.Rank();
+  const int world = transport.World();
+  EGERIA_CHECK(world >= 1 && cfg.world == world);
+  EGERIA_CHECK(cfg.lr_schedule != nullptr);
+  const bool sharded = cfg.reducer == DistTrainConfig::Reducer::kRingSharded;
+  EGERIA_CHECK_MSG(sharded || reference_reducer != nullptr,
+                   "sequential reference reducer requires in-process ranks");
+
+  RankTrainResult result;
+  result.rank = rank;
+  std::unique_ptr<ChainModel> model_owner = make_model();
+  ChainModel& model = *model_owner;
+
+  // Broadcast rank 0's initial weights so every replica starts bit-identical.
+  {
+    const std::vector<Parameter*> all = model.ParamsFrom(0);
+    FlatParamView values(all, FlatParamView::Field::kValue);
+    std::vector<uint8_t> buf;
+    if (rank == 0) {
+      buf.resize(static_cast<size_t>(values.NumEl()) * sizeof(float));
+      values.CopyOut(0, values.NumEl(), reinterpret_cast<float*>(buf.data()));
+    }
+    const std::vector<uint8_t> weights =
+        transport.Broadcast(buf.data(), static_cast<int64_t>(buf.size()));
+    EGERIA_CHECK_MSG(static_cast<int64_t>(weights.size()) ==
+                         values.NumEl() * static_cast<int64_t>(sizeof(float)),
+                     "initial weight broadcast size mismatch (model divergence?)");
+    if (rank != 0) {
+      values.CopyIn(0, values.NumEl(), reinterpret_cast<const float*>(weights.data()));
+    }
+  }
+
+  // One loader per rank over the same permutation; rank r consumes batches
+  // r, r+world, r+2*world, ... (disjoint shards of each epoch).
+  DataLoader loader(train_data, cfg.batch_size, /*shuffle=*/true, cfg.seed);
+  const int64_t steps_per_epoch = loader.NumBatches() / world;
+  EGERIA_CHECK_MSG(steps_per_epoch >= 1, "dataset too small for this world size");
+
+  RingAllReducer ring(transport);
+  ShardedSgd shard_opt(cfg.momentum, cfg.weight_decay);
+  std::unique_ptr<EgeriaController> controller;
+  if (cfg.enable_egeria && rank == 0) {
+    controller = std::make_unique<EgeriaController>(cfg.egeria, model.NumStages(),
+                                                    cfg.lr_schedule->IsAnnealing());
+  }
+
+  model.SetTraining(true);
+  Sgd opt(cfg.momentum, cfg.weight_decay);
+  int frontier = 0;
+  int32_t next_frontier = 0;
+  int64_t iter = 0;
+  bool knowledge_stage = !cfg.enable_egeria;
+  const int64_t total_elems = model.TotalParamCount();
+  const int64_t full_bytes_per_iter = total_elems * static_cast<int64_t>(sizeof(float));
+  int64_t shard_begin = 0;
+  int64_t shard_end = 0;
+  double seg_comm_start = 0.0;  // ring.CommSeconds() at current segment start
+
+  // Finalize the measured all-reduce seconds of the segment that just ended on
+  // rank 0's timeline. A segment recorded at event iter E covers the collective
+  // rounds of iterations max(E,1) .. next_start_iter-1 (iterations are numbered
+  // from 1; the initial partition is recorded at E=0 but its first round runs
+  // at iteration 1), so that is the round count to divide by.
+  auto finalize_segment = [&](int64_t next_start_iter) {
+    if (rank != 0 || result.reshard_events.empty()) {
+      return;
+    }
+    DistReshardEvent& prev = result.reshard_events.back();
+    const int64_t rounds = next_start_iter - std::max<int64_t>(prev.iter, 1);
+    prev.allreduce_seconds_per_iter =
+        rounds > 0
+            ? (ring.CommSeconds() - seg_comm_start) / static_cast<double>(rounds)
+            : 0.0;
+    seg_comm_start = ring.CommSeconds();
+  };
+
+  // Collective shard (re)partition over the active suffix at `at_frontier`.
+  // Every rank applies the same frontier at the same iteration (the control
+  // broadcast), so all ranks reach this in lockstep.
+  auto reshard = [&](int at_frontier, int64_t at_iter) {
+    const int64_t active = CountElems(model.ParamsFrom(at_frontier));
+    std::tie(shard_begin, shard_end) =
+        shard_opt.Reshard(transport, total_elems - active, active);
+    if (rank == 0) {
+      finalize_segment(at_iter);
+      DistReshardEvent ev;
+      ev.iter = at_iter;
+      ev.frontier = at_frontier;
+      ev.active_elems = active;
+      ev.payload_bytes_per_iter = active * static_cast<int64_t>(sizeof(float));
+      // Chunk 0 is the largest contract chunk, and rank 0 owns it.
+      ev.opt_state_bytes_per_rank = shard_opt.StateBytes();
+      result.reshard_events.push_back(ev);
+    }
+  };
+  if (sharded) {
+    reshard(frontier, 0);
+  }
+
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Every rank derives the same permutation (deterministic in (seed, epoch)).
+    DataLoader local(train_data, cfg.batch_size, /*shuffle=*/true, cfg.seed);
+    local.StartEpoch(epoch);
+    for (int64_t s = 0; s < steps_per_epoch; ++s) {
+      ++iter;
+      if (cfg.iteration_hook) {
+        cfg.iteration_hook(rank, iter);
+      }
+      const float lr = cfg.lr_schedule->LrAt(iter);
+
+      // Apply the frontier broadcast at the end of the previous iteration.
+      if (next_frontier != frontier) {
+        for (int i = 0; i < model.NumStages(); ++i) {
+          model.SetStageFrozen(i, i < next_frontier);
+        }
+        frontier = next_frontier;
+        if (sharded) {
+          // Frontier moved: drop the newly frozen prefix from the shard map
+          // (and its optimizer state), repartition the survivors.
+          reshard(frontier, iter);
+        }
+      }
+
+      Batch batch = local.GetBatch(s * world + rank);
+      model.SetBatch(batch);
+      Tensor logits = model.ForwardFrom(0, batch.input);
+      LossResult loss = TaskLoss(cfg.task, logits, batch);
+
+      for (Parameter* p : model.ParamsFrom(frontier)) {
+        p->grad.Zero_();
+      }
+      model.BackwardTo(frontier, loss.grad);
+
+      // Controller duties on rank 0 only (logically centralized, Fig. 5). Runs
+      // BEFORE this iteration's control broadcast so the decision reaches every
+      // rank in time to be applied at the same iteration boundary.
+      int32_t pending = static_cast<int32_t>(frontier);
+      if (rank == 0 && controller != nullptr) {
+        if (!cfg.egeria.async_controller) {
+          controller->RunPendingSync();
+        }
+        if (!knowledge_stage && iter >= cfg.egeria.eval_interval_n) {
+          knowledge_stage = true;  // Simplified bootstrap: fixed warmup.
+        }
+        if (knowledge_stage && controller->WantsSnapshot()) {
+          InferenceFactory float_factory;
+          controller->SubmitSnapshot(model.CloneForInference(float_factory));
+        }
+        if (knowledge_stage && iter % cfg.egeria.eval_interval_n == 0 &&
+            frontier < model.NumStages() - 1 - cfg.egeria.protected_tail + 1) {
+          EvalRequest req;
+          req.batch = batch;
+          req.train_act = model.StageOutput(frontier);
+          req.stage = frontier;
+          req.lr = lr;
+          req.iter = iter;
+          controller->SubmitEval(std::move(req));
+        }
+        for (const FreezeDecision& d : controller->DrainDecisions()) {
+          pending = d.kind == FreezeDecision::Kind::kFreezeUpTo
+                        ? static_cast<int32_t>(d.stage + 1)
+                        : 0;
+        }
+        if (auto d = controller->OnLr(lr, iter)) {
+          if (d->kind == FreezeDecision::Kind::kUnfreezeAll) {
+            pending = 0;
+          }
+        }
+      }
+
+      // Control plane: the frontier taking effect at iter+1, serialized and
+      // broadcast so it crosses process boundaries.
+      next_frontier = ExchangeFrontier(transport, rank, pending);
+
+      // Synchronize only active parameters — frozen stages are "excluded from
+      // parameter synchronization" (paper S4.2.2, Fig. 10).
+      const std::vector<Parameter*> active = model.ParamsFrom(frontier);
+      if (sharded) {
+        // ZeRO-1 round: ring reduce-scatter the gradients, owner applies the
+        // optimizer update on its shard, ring all-gather the updated weights.
+        FlatParamView grads(active, FlatParamView::Field::kGrad);
+        const auto owned = ring.ReduceScatterAverage(grads);
+        EGERIA_CHECK(owned.first == shard_begin && owned.second == shard_end);
+        FlatParamView values(active, FlatParamView::Field::kValue);
+        shard_opt.Step(values, grads, shard_begin, shard_end, lr);
+        ring.AllGather(values);
+      } else {
+        reference_reducer->AllReduce(rank, active);
+      }
+      int64_t payload = 0;
+      for (Parameter* p : active) {
+        payload += p->grad.NumEl() * static_cast<int64_t>(sizeof(float));
+      }
+      result.bytes_synced += payload;
+      result.bytes_full_model += full_bytes_per_iter;
+      if (!sharded) {
+        opt.Step(active, lr);
+      }
+    }
+  }
+
+  finalize_segment(iter + 1);  // The last segment ran through iteration `iter`.
+  result.final_frontier = frontier;
+  result.iterations = iter;
+  result.wire_bytes = ring.TotalWireBytes();
+  result.allreduce_seconds = ring.CommSeconds();
+  result.params_hash = HashParams(model.ParamsFrom(0));
+
+  // Validate on rank 0's replica.
+  if (rank == 0) {
+    model.SetTraining(false);
+    DataLoader val_loader(val_data, cfg.batch_size, /*shuffle=*/false, cfg.seed + 1);
+    std::vector<TaskMetric> parts;
+    const int64_t nb = std::min<int64_t>(cfg.val_batches, val_loader.NumBatches());
+    for (int64_t b = 0; b < nb; ++b) {
+      Batch batch = val_loader.GetBatch(b);
+      model.SetBatch(batch);
+      Tensor logits = model.ForwardFrom(0, batch.input);
+      parts.push_back(EvaluateTask(cfg.task, logits, batch));
+    }
+    const TaskMetric metric = AggregateMetric(cfg.task, parts);
+    result.final_score = metric.score;
+    result.final_display = metric.display;
+  }
+
+  result.model = std::move(model_owner);
+  return result;
+}
 
 DistTrainResult TrainDataParallel(
     const std::function<std::unique_ptr<ChainModel>()>& make_model,
     const Dataset& train_data, const Dataset& val_data, const DistTrainConfig& cfg) {
   EGERIA_CHECK(cfg.world >= 1);
   EGERIA_CHECK(cfg.lr_schedule != nullptr);
+  const bool use_tcp = cfg.transport == DistTrainConfig::TransportKind::kTcp;
 
-  // Build replicas and broadcast rank 0's weights.
-  std::vector<std::unique_ptr<ChainModel>> replicas;
-  for (int r = 0; r < cfg.world; ++r) {
-    replicas.push_back(make_model());
+  GradientAllReducer reference(cfg.world);
+  GradientAllReducer* reference_ptr =
+      cfg.reducer == DistTrainConfig::Reducer::kSequentialReference ? &reference
+                                                                    : nullptr;
+
+  InprocTransportGroup inproc(cfg.world);
+  std::string rendezvous_dir;
+  if (use_tcp) {
+    char tmpl[] = "/tmp/egeria-rdzv-XXXXXX";
+    EGERIA_CHECK_MSG(mkdtemp(tmpl) != nullptr, "mkdtemp failed for tcp rendezvous");
+    rendezvous_dir = tmpl;
   }
-  for (int r = 1; r < cfg.world; ++r) {
-    replicas[static_cast<size_t>(r)]->CopyStateFrom(*replicas[0]);
-  }
 
-  // One loader per rank over the same permutation; rank r consumes batches
-  // r, r+world, r+2*world, ... (disjoint shards of each epoch).
-  DataLoader loader(train_data, cfg.batch_size, /*shuffle=*/true, cfg.seed);
-  const int64_t steps_per_epoch = loader.NumBatches() / cfg.world;
-  EGERIA_CHECK_MSG(steps_per_epoch >= 1, "dataset too small for this world size");
-
-  const bool sharded = cfg.reducer == DistTrainConfig::Reducer::kRingSharded;
-  GradientAllReducer reducer(cfg.world);
-  RingAllReducer ring(cfg.world);
-  ShardedSgdGroup shard_group(cfg.world, cfg.momentum, cfg.weight_decay);
-  std::vector<DistReshardEvent> reshard_events;  // written by rank 0 only
-  SharedFreezeState freeze_state;
-  std::unique_ptr<EgeriaController> controller;
-  if (cfg.enable_egeria) {
-    controller = std::make_unique<EgeriaController>(cfg.egeria, replicas[0]->NumStages(),
-                                                    cfg.lr_schedule->IsAnnealing());
-  }
-  std::atomic<int64_t> bytes_synced{0};
-  const int64_t full_bytes_per_iter =
-      replicas[0]->TotalParamCount() * static_cast<int64_t>(sizeof(float));
-  std::atomic<int64_t> full_bytes_total{0};
-
+  std::vector<RankTrainResult> results(static_cast<size_t>(cfg.world));
   auto worker_fn = [&](int rank) {
-    ChainModel& model = *replicas[static_cast<size_t>(rank)];
-    model.SetTraining(true);
-    Sgd opt(cfg.momentum, cfg.weight_decay);
-    int frontier = 0;
-    int64_t iter = 0;
-    bool knowledge_stage = !cfg.enable_egeria;
-
-    const int64_t total_elems = model.TotalParamCount();
-    int64_t shard_begin = 0;
-    int64_t shard_end = 0;
-    // Collective shard (re)partition over the active suffix at `frontier`.
-    // Every rank resolves the same frontier for the same iteration (see
-    // SharedFreezeState), so all ranks reach this in lockstep.
-    auto reshard = [&](int at_frontier, int64_t at_iter) {
-      const int64_t active = CountElems(model.ParamsFrom(at_frontier));
-      std::tie(shard_begin, shard_end) =
-          shard_group.Reshard(rank, total_elems - active, active);
-      if (rank == 0) {
-        DistReshardEvent ev;
-        ev.iter = at_iter;
-        ev.frontier = at_frontier;
-        ev.active_elems = active;
-        ev.payload_bytes_per_iter = active * static_cast<int64_t>(sizeof(float));
-        // Chunk 0 is the largest contract chunk, and rank 0 owns it.
-        ev.opt_state_bytes_per_rank = shard_group.StateBytes(0);
-        reshard_events.push_back(ev);
-      }
-    };
-    if (sharded) {
-      reshard(frontier, 0);
-    }
-
-    for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
-      // Every rank derives the same permutation (deterministic in (seed, epoch)).
-      DataLoader local(train_data, cfg.batch_size, /*shuffle=*/true, cfg.seed);
-      local.StartEpoch(epoch);
-      for (int64_t s = 0; s < steps_per_epoch; ++s) {
-        ++iter;
-        const float lr = cfg.lr_schedule->LrAt(iter);
-
-        // Apply the freeze state in effect for this iteration. ResolveAt makes the
-        // read race-free: whether or not rank 0 has already published this
-        // iteration's decision (scheduled for iter+1), every rank resolves the
-        // same frontier for `iter`.
-        const int new_frontier =
-            SharedFreezeState::ResolveAt(freeze_state.packed.load(), iter);
-        if (new_frontier != frontier) {
-          for (int i = 0; i < model.NumStages(); ++i) {
-            model.SetStageFrozen(i, i < new_frontier);
-          }
-          frontier = new_frontier;
-          if (sharded) {
-            // Frontier moved: drop the newly frozen prefix from the shard map
-            // (and its optimizer state), repartition the survivors.
-            reshard(frontier, iter);
-          }
-        }
-
-        Batch batch = local.GetBatch(s * cfg.world + rank);
-        model.SetBatch(batch);
-        Tensor logits = model.ForwardFrom(0, batch.input);
-        LossResult loss = TaskLoss(cfg.task, logits, batch);
-
-        for (Parameter* p : model.ParamsFrom(frontier)) {
-          p->grad.Zero_();
-        }
-        model.BackwardTo(frontier, loss.grad);
-
-        // Controller duties on rank 0 only (logically centralized, Fig. 5). Runs
-        // BEFORE this iteration's all-reduce barrier so that a published freeze
-        // decision happens-before every rank's next iteration start — all ranks then
-        // apply it at the same iteration boundary and keep identical active sets.
-        if (rank == 0 && controller != nullptr) {
-          if (!cfg.egeria.async_controller) {
-            controller->RunPendingSync();
-          }
-          if (!knowledge_stage && iter >= cfg.egeria.eval_interval_n) {
-            knowledge_stage = true;  // Simplified bootstrap: fixed warmup.
-          }
-          if (knowledge_stage && controller->WantsSnapshot()) {
-            InferenceFactory float_factory;
-            controller->SubmitSnapshot(model.CloneForInference(float_factory));
-          }
-          if (knowledge_stage && iter % cfg.egeria.eval_interval_n == 0 &&
-              frontier < model.NumStages() - 1 - cfg.egeria.protected_tail + 1) {
-            EvalRequest req;
-            req.batch = batch;
-            req.train_act = model.StageOutput(frontier);
-            req.stage = frontier;
-            req.lr = lr;
-            req.iter = iter;
-            controller->SubmitEval(std::move(req));
-          }
-          bool changed = false;
-          int new_frontier = frontier;
-          for (const FreezeDecision& d : controller->DrainDecisions()) {
-            if (d.kind == FreezeDecision::Kind::kFreezeUpTo) {
-              new_frontier = d.stage + 1;
-            } else {
-              new_frontier = 0;
-            }
-            changed = true;
-          }
-          if (auto d = controller->OnLr(lr, iter)) {
-            new_frontier = (d->kind == FreezeDecision::Kind::kUnfreezeAll) ? 0 : new_frontier;
-            changed = true;
-          }
-          if (changed) {
-            // `frontier` is what every rank resolved for this iteration; the new
-            // decision takes effect at iter+1 on all ranks simultaneously (the
-            // all-reduce barrier below orders this publish before any rank's
-            // iter+1 read).
-            freeze_state.packed.store(
-                SharedFreezeState::Pack(frontier, new_frontier, iter + 1));
-          }
-        }
-
-        // Synchronize only active parameters — frozen stages are "excluded from
-        // parameter synchronization" (paper S4.2.2, Fig. 10).
-        const std::vector<Parameter*> active = model.ParamsFrom(frontier);
-        if (sharded) {
-          // ZeRO-1 round: ring reduce-scatter the gradients, owner applies the
-          // optimizer update on its shard, ring all-gather the updated weights.
-          FlatParamView grads(active, FlatParamView::Field::kGrad);
-          const auto owned = ring.ReduceScatterAverage(rank, grads);
-          EGERIA_CHECK(owned.first == shard_begin && owned.second == shard_end);
-          FlatParamView values(active, FlatParamView::Field::kValue);
-          shard_group.Step(rank, values, grads, shard_begin, shard_end, lr);
-          ring.AllGather(rank, values);
-        } else {
-          reducer.AllReduce(rank, active);
-        }
-        if (rank == 0) {
-          int64_t payload = 0;
-          for (Parameter* p : active) {
-            payload += p->grad.NumEl() * static_cast<int64_t>(sizeof(float));
-          }
-          bytes_synced.fetch_add(payload);
-          full_bytes_total.fetch_add(full_bytes_per_iter);
-        }
-        if (!sharded) {
-          opt.Step(active, lr);
-        }
-      }
+    if (use_tcp) {
+      TcpTransportOptions opts;
+      opts.rank = rank;
+      opts.world = cfg.world;
+      opts.rendezvous_file = rendezvous_dir + "/rendezvous";
+      // Ranks are threads here, so wiring completes in milliseconds.
+      std::unique_ptr<Transport> transport = MakeTcpTransport(opts);
+      results[static_cast<size_t>(rank)] =
+          TrainRank(*transport, make_model, train_data, val_data, cfg, reference_ptr);
+    } else {
+      results[static_cast<size_t>(rank)] = TrainRank(
+          inproc.Get(rank), make_model, train_data, val_data, cfg, reference_ptr);
     }
   };
-
   std::vector<std::thread> threads;
   for (int r = 0; r < cfg.world; ++r) {
     threads.emplace_back(worker_fn, r);
@@ -254,60 +344,31 @@ DistTrainResult TrainDataParallel(
   for (auto& t : threads) {
     t.join();
   }
+  if (!rendezvous_dir.empty()) {
+    unlink((rendezvous_dir + "/rendezvous").c_str());
+    rmdir(rendezvous_dir.c_str());
+  }
 
   DistTrainResult result;
-  result.bytes_synced = bytes_synced.load();
-  result.bytes_full_model = full_bytes_total.load();
-  result.wire_bytes = ring.TotalWireBytes();
-  result.reshard_events = std::move(reshard_events);
-  result.final_frontier = SharedFreezeState::ResolveAt(
-      freeze_state.packed.load(), std::numeric_limits<int64_t>::max());
-  result.iterations = static_cast<int64_t>(cfg.epochs) * steps_per_epoch;
-
-  // Replica consistency: synchronized SGD on averaged gradients must keep replicas
-  // identical (up to float nondeterminism, which our sequential reduce avoids).
+  const RankTrainResult& r0 = results[0];
+  result.final_score = r0.final_score;
+  result.final_display = r0.final_display;
+  result.bytes_synced = r0.bytes_synced;
+  result.bytes_full_model = r0.bytes_full_model;
+  result.allreduce_seconds = r0.allreduce_seconds;
+  result.final_frontier = r0.final_frontier;
+  result.iterations = r0.iterations;
+  result.params_hash = r0.params_hash;
+  result.reshard_events = r0.reshard_events;
+  // Synchronized SGD on contract-reduced gradients keeps replicas bitwise
+  // identical; the content hash makes that check transport-agnostic.
   result.replicas_consistent = true;
-  auto params0 = replicas[0]->ParamsFrom(0);
-  for (int r = 1; r < cfg.world && result.replicas_consistent; ++r) {
-    auto pr = replicas[static_cast<size_t>(r)]->ParamsFrom(0);
-    for (size_t i = 0; i < params0.size(); ++i) {
-      const Tensor& a = params0[i]->value;
-      const Tensor& b = pr[i]->value;
-      for (int64_t j = 0; j < a.NumEl(); ++j) {
-        if (std::abs(a.Data()[j] - b.Data()[j]) > 1e-6F) {
-          result.replicas_consistent = false;
-          break;
-        }
-      }
-      if (!result.replicas_consistent) {
-        break;
-      }
+  for (const RankTrainResult& r : results) {
+    result.wire_bytes += r.wire_bytes;
+    if (r.params_hash != r0.params_hash) {
+      result.replicas_consistent = false;
     }
   }
-
-  // Content hash of the trained weights, for cross-path equivalence tests
-  // (ring-sharded vs sequential-reference must agree bitwise).
-  uint64_t hash = 0xCBF29CE484222325ULL;
-  for (Parameter* p : params0) {
-    hash = Fnv1a(p->value.Data(),
-                 static_cast<size_t>(p->value.NumEl()) * sizeof(float), hash);
-  }
-  result.params_hash = hash;
-
-  // Validate on replica 0.
-  replicas[0]->SetTraining(false);
-  DataLoader val_loader(val_data, cfg.batch_size, /*shuffle=*/false, cfg.seed + 1);
-  std::vector<TaskMetric> parts;
-  const int64_t nb = std::min<int64_t>(cfg.val_batches, val_loader.NumBatches());
-  for (int64_t b = 0; b < nb; ++b) {
-    Batch batch = val_loader.GetBatch(b);
-    replicas[0]->SetBatch(batch);
-    Tensor logits = replicas[0]->ForwardFrom(0, batch.input);
-    parts.push_back(EvaluateTask(cfg.task, logits, batch));
-  }
-  const TaskMetric metric = AggregateMetric(cfg.task, parts);
-  result.final_score = metric.score;
-  result.final_display = metric.display;
   return result;
 }
 

@@ -1,9 +1,17 @@
-// Thread-based data-parallel training harness (the paper's Fig. 5 controller-worker
-// layout at process scale): K workers hold model replicas, train on disjoint shards
+// Data-parallel training harness (the paper's Fig. 5 controller-worker layout
+// at process scale): K workers hold model replicas, train on disjoint shards
 // of each batch permutation, and synchronize gradients with a real all-reduce.
-// Worker 0 co-locates the Egeria controller; freeze/unfreeze decisions are broadcast
-// to all workers and applied at iteration boundaries, and frozen stages drop out of
-// the synchronization payload (the Fig. 10 traffic saving).
+// Rank 0 co-locates the Egeria controller; freeze/unfreeze decisions travel as
+// control-plane broadcast messages and are applied at iteration boundaries, and
+// frozen stages drop out of the synchronization payload (the Fig. 10 traffic
+// saving).
+//
+// The per-rank loop (TrainRank) runs over a byte-oriented Transport, so the
+// same code serves two deployments:
+//   - TrainDataParallel: the in-process harness — ranks are threads over an
+//     InprocTransportGroup (or, for validation, TCP sockets between threads).
+//   - tools/egeria_worker.cc: one rank per OS process over MakeTcpTransport,
+//     launched by SpawnWorld / scripts/launch_dist.sh.
 //
 // Default synchronization is a ring reduce-scatter/all-gather with ZeRO-1
 // optimizer-state sharding: each rank owns one contract chunk of the flattened
@@ -11,7 +19,8 @@
 // all-gather circulates updated parameters. The freeze frontier re-partitions
 // shards, so frozen parameters leave both the ring payload and per-rank
 // optimizer memory. The rank-0 star reduce survives as the sequential reference
-// implementation that tests compare against bitwise.
+// implementation that tests compare against bitwise (in-process only: it reads
+// peers' gradients through shared memory).
 #ifndef EGERIA_SRC_DISTRIBUTED_DIST_TRAINER_H_
 #define EGERIA_SRC_DISTRIBUTED_DIST_TRAINER_H_
 
@@ -22,10 +31,13 @@
 #include "src/core/config.h"
 #include "src/core/task.h"
 #include "src/data/dataloader.h"
+#include "src/distributed/transport/transport.h"
 #include "src/models/chain_model.h"
 #include "src/optim/lr_scheduler.h"
 
 namespace egeria {
+
+class GradientAllReducer;
 
 struct DistTrainConfig {
   int world = 2;
@@ -47,20 +59,50 @@ struct DistTrainConfig {
   };
   Reducer reducer = Reducer::kRingSharded;
 
+  // How the in-process harness (TrainDataParallel) wires its ranks together.
+  // kTcp runs every collective over real localhost sockets — same arithmetic,
+  // actual bytes on a wire — and requires reducer == kRingSharded.
+  enum class TransportKind { kInproc, kTcp };
+  TransportKind transport = TransportKind::kInproc;
+
   bool enable_egeria = false;
   EgeriaConfig egeria;
+
+  // Test hook: invoked at the top of every iteration on every rank (fault
+  // injection for the multi-process launcher tests). Null = no-op.
+  std::function<void(int rank, int64_t iter)> iteration_hook;
 };
 
 // One entry per shard (re)partition in the ring-sharded path: the initial
 // partition plus one per freeze-frontier move. Captures the Fig. 10 scaling
-// argument: both the ring payload and per-rank optimizer state shrink as
-// stages freeze.
+// argument: the ring payload, per-rank optimizer state, AND measured all-reduce
+// seconds all shrink as stages freeze.
 struct DistReshardEvent {
   int64_t iter = 0;
   int frontier = 0;
   int64_t active_elems = 0;             // flattened active-parameter elements
   int64_t payload_bytes_per_iter = 0;   // ring payload at this frontier
-  int64_t opt_state_bytes_per_rank = 0; // largest shard's velocity bytes
+  int64_t opt_state_bytes_per_rank = 0; // rank 0's velocity shard bytes
+  // Measured mean wall seconds rank 0 spent in ring collectives per iteration
+  // while this frontier was in effect (i.e. over [iter, next event's iter)).
+  double allreduce_seconds_per_iter = 0.0;
+};
+
+// What one rank's training loop produces. rank 0 additionally validates and
+// carries the reshard timeline.
+struct RankTrainResult {
+  int rank = 0;
+  uint64_t params_hash = 0;        // FNV-1a over this rank's final weights
+  int final_frontier = 0;
+  int64_t iterations = 0;
+  int64_t bytes_synced = 0;        // logical payload (sum of active grad bytes)
+  int64_t bytes_full_model = 0;    // payload if nothing were frozen
+  int64_t wire_bytes = 0;          // bytes this rank pushed onto its ring link
+  double allreduce_seconds = 0.0;  // wall seconds in ring collectives
+  double final_score = 0.0;        // rank 0 only
+  double final_display = 0.0;      // rank 0 only
+  std::vector<DistReshardEvent> reshard_events;  // rank 0, ring-sharded only
+  std::unique_ptr<ChainModel> model;             // the trained replica
 };
 
 struct DistTrainResult {
@@ -68,8 +110,10 @@ struct DistTrainResult {
   double final_display = 0.0;
   int64_t bytes_synced = 0;        // logical payload (sum of active grad bytes)
   int64_t bytes_full_model = 0;    // payload if nothing were frozen
-  int64_t wire_bytes = 0;          // bytes that traversed ring links (0 for the
-                                   // sequential reference path)
+  int64_t wire_bytes = 0;          // bytes that traversed ring links, summed
+                                   // over ranks (0 for the sequential
+                                   // reference path)
+  double allreduce_seconds = 0.0;  // rank 0's measured collective seconds
   int final_frontier = 0;
   int64_t iterations = 0;
   bool replicas_consistent = false;  // replicas bit-identical at the end
@@ -77,8 +121,20 @@ struct DistTrainResult {
   std::vector<DistReshardEvent> reshard_events;  // ring-sharded path only
 };
 
-// `make_model` must build identical architectures (same seed) per call; replica 0's
-// weights are broadcast before training.
+// One rank's full training loop over `transport`. Collective: every rank of
+// the world must call this concurrently with an identical config and a
+// deterministic `make_model` (same architecture AND same seed per call; rank
+// 0's initial weights are additionally broadcast so replicas start
+// bit-identical even if seeding diverges). `reference_reducer` must be non-null
+// iff cfg.reducer == kSequentialReference (in-process threads only).
+RankTrainResult TrainRank(
+    Transport& transport,
+    const std::function<std::unique_ptr<ChainModel>()>& make_model,
+    const Dataset& train_data, const Dataset& val_data, const DistTrainConfig& cfg,
+    GradientAllReducer* reference_reducer = nullptr);
+
+// In-process harness: spawns cfg.world rank threads over the configured
+// transport and aggregates their RankTrainResults.
 DistTrainResult TrainDataParallel(
     const std::function<std::unique_ptr<ChainModel>()>& make_model,
     const Dataset& train_data, const Dataset& val_data, const DistTrainConfig& cfg);

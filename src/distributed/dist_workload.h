@@ -1,0 +1,43 @@
+// Canonical data-parallel workloads shared by the in-process tests, the
+// multi-process worker binary (tools/egeria_worker.cc), and the fig10 bench.
+//
+// Multi-process determinism hangs on every rank constructing EXACTLY the same
+// model and datasets from nothing but a workload name: the factories here are
+// fully seeded, so a worker process and an in-process reference run build
+// bit-identical replicas, and their final-weights FNV hashes are comparable.
+#ifndef EGERIA_SRC_DISTRIBUTED_DIST_WORKLOAD_H_
+#define EGERIA_SRC_DISTRIBUTED_DIST_WORKLOAD_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/data/dataset.h"
+#include "src/distributed/dist_trainer.h"
+#include "src/models/chain_model.h"
+
+namespace egeria {
+
+struct DistWorkload {
+  std::string name;
+  std::function<std::unique_ptr<ChainModel>()> make_model;
+  std::unique_ptr<Dataset> train;
+  std::unique_ptr<Dataset> val;
+  // Pre-filled config: task, lr schedule, batch size, epochs, and Egeria
+  // controller settings (enable_egeria defaults to false; flip it to turn the
+  // preconfigured controller on). world/transport are for the caller.
+  DistTrainConfig cfg;
+};
+
+// Known names:
+//  - "tiny":  3-stage CIFAR-style ResNet on 10x10 synthetic images; the test
+//             workload (same geometry the in-process DistTrainer tests pin).
+//  - "fig10": wider 4-stage ResNet with more samples — enough payload per
+//             iteration that the measured all-reduce time is bandwidth- rather
+//             than latency-shaped, for the fig10 --transport=tcp bench.
+// Aborts on an unknown name.
+DistWorkload MakeDistWorkload(const std::string& name);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_DIST_WORKLOAD_H_

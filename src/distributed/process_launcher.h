@@ -1,0 +1,51 @@
+// Fork/exec launcher for multi-process worlds: spawns one egeria_worker
+// process per rank, wires them to a fresh rendezvous file, redirects each
+// rank's output to a per-rank log, and supervises the world to completion.
+//
+// Failure handling is the point of this helper: a rank that exits nonzero
+// fails the world FAST (the survivors are killed instead of blocking in their
+// collectives until the transport deadline), and a rank that wedges trips the
+// overall timeout, after which everything is killed and a clean, attributable
+// error string comes back — the launcher never hangs.
+#ifndef EGERIA_SRC_DISTRIBUTED_PROCESS_LAUNCHER_H_
+#define EGERIA_SRC_DISTRIBUTED_PROCESS_LAUNCHER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace egeria {
+
+struct SpawnOptions {
+  std::string worker_binary;
+  int world = 2;
+  // Appended to every rank's command line after the launcher-owned
+  // --rank/--world/--rendezvous flags.
+  std::vector<std::string> common_args;
+  // Optional per-rank extras (fault injection in tests); may be shorter than
+  // `world`.
+  std::vector<std::vector<std::string>> per_rank_args;
+  // Directory for rank_<r>.log files and the rendezvous file; created if
+  // missing. Must be unique per spawn (parallel jobs must not share it).
+  std::string log_dir;
+  double timeout_s = 300.0;
+};
+
+struct SpawnResult {
+  bool ok = false;
+  bool timed_out = false;
+  std::string error;               // empty iff ok
+  std::vector<int> exit_codes;     // per rank; -1 = killed before exiting
+  std::vector<std::string> log_paths;
+  // key=value pairs parsed from each rank's "EGERIA_RESULT ..." log line.
+  std::vector<std::map<std::string, std::string>> rank_results;
+  // One map per "EGERIA_RESHARD ..." line in rank 0's log, in order.
+  std::vector<std::map<std::string, std::string>> reshard_timeline;
+};
+
+// Blocks until every rank exits, a rank fails, or the timeout expires.
+SpawnResult SpawnWorld(const SpawnOptions& options);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_PROCESS_LAUNCHER_H_

@@ -44,6 +44,21 @@ inline int64_t ChunkSize(int64_t total, int world, int chunk) {
   return ChunkEnd(total, world, chunk) - ChunkBegin(total, world, chunk);
 }
 
+// The [begin, end) contract chunk as one value, so callers that need both
+// bounds (every reducer and the sharded optimizer) don't recompute them by
+// hand. `chunk` may be given modulo world (ring arithmetic tolerated).
+struct Span {
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t size() const { return end - begin; }
+  int64_t bytes() const { return size() * static_cast<int64_t>(sizeof(float)); }
+};
+
+inline Span ChunkSpan(int64_t total, int world, int chunk) {
+  const int c = ((chunk % world) + world) % world;
+  return {ChunkBegin(total, world, c), ChunkEnd(total, world, c)};
+}
+
 // Rank index modulo world, tolerant of negative arguments (ring arithmetic).
 inline int RingRank(int r, int world) { return ((r % world) + world) % world; }
 

@@ -1,0 +1,83 @@
+#include "src/distributed/transport/inproc_transport.h"
+
+#include <cstring>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+
+class InprocTransportGroup::Endpoint : public Transport {
+ public:
+  Endpoint(Shared* shared, int rank) : shared_(shared), rank_(rank) {}
+
+  int Rank() const override { return rank_; }
+  int World() const override { return shared_->world; }
+
+  void RingExchange(const void* send_buf, int64_t send_bytes, void* recv_buf,
+                    int64_t recv_bytes) override {
+    EGERIA_CHECK(send_bytes >= 0 && recv_bytes >= 0);
+    const int world = shared_->world;
+    if (world == 1) {
+      // Self-loop: the ring degenerates to a copy.
+      EGERIA_CHECK_MSG(send_bytes == recv_bytes, "self-exchange size mismatch");
+      std::memcpy(recv_buf, send_buf, static_cast<size_t>(send_bytes));
+      return;
+    }
+    auto& mine = shared_->outbox[static_cast<size_t>(rank_)];
+    mine.resize(static_cast<size_t>(send_bytes));
+    if (send_bytes > 0) {
+      std::memcpy(mine.data(), send_buf, static_cast<size_t>(send_bytes));
+    }
+    shared_->barrier.Wait();  // Every outbox holds this step's message.
+    const auto& prev =
+        shared_->outbox[static_cast<size_t>((rank_ - 1 + world) % world)];
+    EGERIA_CHECK_MSG(static_cast<int64_t>(prev.size()) == recv_bytes,
+                     "ring frame size mismatch");
+    if (recv_bytes > 0) {
+      std::memcpy(recv_buf, prev.data(), static_cast<size_t>(recv_bytes));
+    }
+    shared_->barrier.Wait();  // Every inbox consumed; outboxes reusable.
+  }
+
+  void Barrier() override {
+    if (shared_->world > 1) {
+      shared_->barrier.Wait();
+    }
+  }
+
+  std::vector<uint8_t> Broadcast(const void* data, int64_t bytes) override {
+    if (shared_->world == 1) {
+      const auto* p = static_cast<const uint8_t*>(data);
+      return std::vector<uint8_t>(p, p + bytes);
+    }
+    if (rank_ == 0) {
+      EGERIA_CHECK(bytes >= 0 && (bytes == 0 || data != nullptr));
+      const auto* p = static_cast<const uint8_t*>(data);
+      shared_->bcast.assign(p, p + bytes);
+    }
+    shared_->barrier.Wait();  // Message posted.
+    std::vector<uint8_t> out = shared_->bcast;
+    shared_->barrier.Wait();  // All copies taken; slot reusable.
+    return out;
+  }
+
+ private:
+  Shared* shared_;
+  int rank_;
+};
+
+InprocTransportGroup::InprocTransportGroup(int world) : shared_(world) {
+  EGERIA_CHECK(world >= 1);
+  for (int r = 0; r < world; ++r) {
+    endpoints_.push_back(std::make_unique<Endpoint>(&shared_, r));
+  }
+}
+
+InprocTransportGroup::~InprocTransportGroup() = default;
+
+Transport& InprocTransportGroup::Get(int rank) {
+  EGERIA_CHECK(rank >= 0 && rank < shared_.world);
+  return *endpoints_[static_cast<size_t>(rank)];
+}
+
+}  // namespace egeria

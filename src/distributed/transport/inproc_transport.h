@@ -1,0 +1,50 @@
+// In-process (shared-memory) Transport: ranks are threads of one process.
+//
+// This backend reproduces the original thread-backed collectives — per-rank
+// mailboxes published across a generation-counting barrier — behind the same
+// byte-oriented interface the TCP backend implements, so the ring schedule and
+// the contract arithmetic are shared verbatim between the two.
+#ifndef EGERIA_SRC_DISTRIBUTED_TRANSPORT_INPROC_TRANSPORT_H_
+#define EGERIA_SRC_DISTRIBUTED_TRANSPORT_INPROC_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/distributed/thread_barrier.h"
+#include "src/distributed/transport/transport.h"
+
+namespace egeria {
+
+// Owns `world` Transport endpoints sharing one mailbox set. Create the group
+// on the coordinating thread, then hand Get(r) to rank r's thread. The group
+// must outlive every endpoint use.
+class InprocTransportGroup {
+ public:
+  explicit InprocTransportGroup(int world);
+  ~InprocTransportGroup();
+
+  InprocTransportGroup(const InprocTransportGroup&) = delete;
+  InprocTransportGroup& operator=(const InprocTransportGroup&) = delete;
+
+  Transport& Get(int rank);
+
+ private:
+  class Endpoint;
+
+  struct Shared {
+    explicit Shared(int world)
+        : world(world), barrier(world), outbox(static_cast<size_t>(world)) {}
+    int world;
+    ThreadBarrier barrier;
+    std::vector<std::vector<uint8_t>> outbox;  // per-rank in-flight message
+    std::vector<uint8_t> bcast;                // rank-0 control message slot
+  };
+
+  Shared shared_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_TRANSPORT_INPROC_TRANSPORT_H_

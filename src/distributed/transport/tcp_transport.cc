@@ -1,0 +1,451 @@
+#include "src/distributed/transport/tcp_transport.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using Deadline = Clock::time_point;
+
+constexpr uint32_t kHelloMagic = 0xE9E41A01U;
+constexpr uint32_t kHelloJoin = 1;  // rank -> rank 0, carries listener port
+constexpr uint32_t kHelloRing = 2;  // rank -> ring-next, data-plane link
+
+void EncodeU32(uint32_t v, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(v & 0xFFU);
+  out[1] = static_cast<uint8_t>((v >> 8) & 0xFFU);
+  out[2] = static_cast<uint8_t>((v >> 16) & 0xFFU);
+  out[3] = static_cast<uint8_t>((v >> 24) & 0xFFU);
+}
+
+uint32_t DecodeU32(const uint8_t* in) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) | (static_cast<uint32_t>(in[3]) << 24);
+}
+
+int RemainingMs(Deadline deadline) {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now())
+          .count();
+  if (left <= 0) {
+    return 0;
+  }
+  return static_cast<int>(left > 60'000 ? 60'000 : left);
+}
+
+bool Expired(Deadline deadline) { return Clock::now() >= deadline; }
+
+void SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  EGERIA_CHECK_MSG(flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                   "fcntl(O_NONBLOCK) failed");
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  EGERIA_CHECK_MSG(
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) == 0,
+      "setsockopt(TCP_NODELAY) failed");
+}
+
+// Waits for `events` on fd until the deadline; aborts with `what` on expiry.
+void PollOne(int fd, short events, Deadline deadline, const char* what) {
+  for (;;) {
+    struct pollfd p = {fd, events, 0};
+    const int rc = poll(&p, 1, RemainingMs(deadline));
+    if (rc > 0) {
+      return;  // Ready (or error condition: the next read/write reports it).
+    }
+    if (rc < 0 && errno == EINTR) {
+      continue;
+    }
+    EGERIA_CHECK_MSG(!(rc == 0 && Expired(deadline)),
+                     std::string("tcp transport timed out waiting to ") + what);
+    EGERIA_CHECK_MSG(rc >= 0, std::string("poll failed while waiting to ") + what);
+  }
+}
+
+void SendAllFd(int fd, const void* buf, size_t n, Deadline deadline) {
+  const auto* p = static_cast<const uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t rc = ::send(fd, p + done, n - done, MSG_NOSIGNAL);
+    if (rc > 0) {
+      done += static_cast<size_t>(rc);
+      continue;
+    }
+    EGERIA_CHECK_MSG(rc < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR),
+                     "tcp send failed (peer gone?)");
+    PollOne(fd, POLLOUT, deadline, "send");
+  }
+}
+
+void RecvAllFd(int fd, void* buf, size_t n, Deadline deadline) {
+  auto* p = static_cast<uint8_t*>(buf);
+  size_t done = 0;
+  while (done < n) {
+    const ssize_t rc = ::recv(fd, p + done, n - done, 0);
+    if (rc > 0) {
+      done += static_cast<size_t>(rc);
+      continue;
+    }
+    EGERIA_CHECK_MSG(rc != 0, "tcp peer closed connection mid-message");
+    EGERIA_CHECK_MSG(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR,
+                     "tcp recv failed");
+    PollOne(fd, POLLIN, deadline, "recv");
+  }
+}
+
+struct Hello {
+  uint32_t kind = 0;
+  uint32_t rank = 0;
+  uint32_t port = 0;
+};
+
+void SendHello(int fd, const Hello& h, Deadline deadline) {
+  uint8_t wire[16];
+  EncodeU32(kHelloMagic, wire);
+  EncodeU32(h.kind, wire + 4);
+  EncodeU32(h.rank, wire + 8);
+  EncodeU32(h.port, wire + 12);
+  SendAllFd(fd, wire, sizeof(wire), deadline);
+}
+
+Hello RecvHello(int fd, Deadline deadline) {
+  uint8_t wire[16];
+  RecvAllFd(fd, wire, sizeof(wire), deadline);
+  EGERIA_CHECK_MSG(DecodeU32(wire) == kHelloMagic,
+                   "bad hello magic (mixed worlds on one rendezvous file?)");
+  return Hello{DecodeU32(wire + 4), DecodeU32(wire + 8), DecodeU32(wire + 12)};
+}
+
+// Listener on 127.0.0.1 with a kernel-chosen ephemeral port.
+int ListenEphemeral(uint16_t* port_out) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EGERIA_CHECK_MSG(fd >= 0, "socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // Ephemeral: never collides across parallel jobs.
+  EGERIA_CHECK_MSG(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+                   "bind(127.0.0.1:0) failed");
+  EGERIA_CHECK_MSG(listen(fd, 64) == 0, "listen() failed");
+  socklen_t len = sizeof(addr);
+  EGERIA_CHECK_MSG(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+                   "getsockname() failed");
+  *port_out = ntohs(addr.sin_port);
+  return fd;
+}
+
+int AcceptWithDeadline(int listen_fd, Deadline deadline) {
+  PollOne(listen_fd, POLLIN, deadline, "accept a rank connection");
+  const int fd = accept(listen_fd, nullptr, nullptr);
+  EGERIA_CHECK_MSG(fd >= 0, "accept() failed");
+  SetNoDelay(fd);
+  SetNonBlocking(fd);
+  return fd;
+}
+
+int ConnectRetry(uint16_t port, Deadline deadline) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  for (;;) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    EGERIA_CHECK_MSG(fd >= 0, "socket() failed");
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      SetNoDelay(fd);
+      SetNonBlocking(fd);
+      return fd;
+    }
+    close(fd);
+    EGERIA_CHECK_MSG(!Expired(deadline),
+                     "tcp transport timed out connecting to port " +
+                         std::to_string(port));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+// Atomic publish: a reader never sees a half-written file.
+void WriteRendezvousFile(const std::string& path, uint16_t port) {
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "w");
+  EGERIA_CHECK_MSG(f != nullptr, "cannot write rendezvous file " + tmp);
+  std::fprintf(f, "127.0.0.1 %u\n", static_cast<unsigned>(port));
+  std::fclose(f);
+  EGERIA_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                   "cannot publish rendezvous file " + path);
+}
+
+uint16_t PollRendezvousFile(const std::string& path, Deadline deadline) {
+  for (;;) {
+    FILE* f = std::fopen(path.c_str(), "r");
+    if (f != nullptr) {
+      char host[64];
+      unsigned port = 0;
+      const int n = std::fscanf(f, "%63s %u", host, &port);
+      std::fclose(f);
+      if (n == 2 && port > 0 && port <= 65535) {
+        return static_cast<uint16_t>(port);
+      }
+    }
+    EGERIA_CHECK_MSG(!Expired(deadline),
+                     "tcp transport timed out waiting for rendezvous file " + path);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+double IoTimeoutSeconds(const TcpTransportOptions& options) {
+  if (const char* env = std::getenv("EGERIA_TCP_TIMEOUT_S")) {
+    const double v = std::atof(env);
+    if (v > 0.0) {
+      return v;
+    }
+  }
+  return options.io_timeout_s;
+}
+
+class TcpTransport : public Transport {
+ public:
+  explicit TcpTransport(const TcpTransportOptions& options)
+      : rank_(options.rank),
+        world_(options.world),
+        io_timeout_s_(IoTimeoutSeconds(options)) {
+    EGERIA_CHECK(world_ >= 1 && rank_ >= 0 && rank_ < world_);
+    if (world_ == 1) {
+      return;
+    }
+    EGERIA_CHECK_MSG(!options.rendezvous_file.empty(),
+                     "tcp transport needs a rendezvous file");
+    const Deadline deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(options.connect_timeout_s));
+
+    uint16_t my_port = 0;
+    const int listen_fd = ListenEphemeral(&my_port);
+    std::vector<uint16_t> ports(static_cast<size_t>(world_), 0);
+    ports[0] = my_port;
+
+    if (rank_ == 0) {
+      WriteRendezvousFile(options.rendezvous_file, my_port);
+      // Collect every rank's JOIN before publishing the port map, so no RING
+      // hello can reach this listener until all joins are accepted.
+      ctrl_fds_.assign(static_cast<size_t>(world_), -1);
+      for (int joined = 1; joined < world_; ++joined) {
+        const int fd = AcceptWithDeadline(listen_fd, deadline);
+        const Hello h = RecvHello(fd, deadline);
+        EGERIA_CHECK_MSG(h.kind == kHelloJoin && h.rank > 0 &&
+                             h.rank < static_cast<uint32_t>(world_) &&
+                             ctrl_fds_[h.rank] < 0,
+                         "unexpected join hello");
+        ctrl_fds_[h.rank] = fd;
+        ports[h.rank] = static_cast<uint16_t>(h.port);
+      }
+      std::vector<uint8_t> map(4 * static_cast<size_t>(world_));
+      for (int r = 0; r < world_; ++r) {
+        EncodeU32(ports[static_cast<size_t>(r)], map.data() + 4 * r);
+      }
+      for (int r = 1; r < world_; ++r) {
+        SendAllFd(ctrl_fds_[static_cast<size_t>(r)], map.data(), map.size(), deadline);
+      }
+    } else {
+      const uint16_t root_port = PollRendezvousFile(options.rendezvous_file, deadline);
+      ctrl_fd_ = ConnectRetry(root_port, deadline);
+      SendHello(ctrl_fd_, Hello{kHelloJoin, static_cast<uint32_t>(rank_), my_port},
+                deadline);
+      std::vector<uint8_t> map(4 * static_cast<size_t>(world_));
+      RecvAllFd(ctrl_fd_, map.data(), map.size(), deadline);
+      for (int r = 0; r < world_; ++r) {
+        ports[static_cast<size_t>(r)] = static_cast<uint16_t>(DecodeU32(map.data() + 4 * r));
+      }
+    }
+
+    // Data ring: connect to next, accept from prev.
+    next_fd_ = ConnectRetry(ports[static_cast<size_t>((rank_ + 1) % world_)], deadline);
+    SendHello(next_fd_, Hello{kHelloRing, static_cast<uint32_t>(rank_), 0}, deadline);
+    prev_fd_ = AcceptWithDeadline(listen_fd, deadline);
+    const Hello ring = RecvHello(prev_fd_, deadline);
+    EGERIA_CHECK_MSG(ring.kind == kHelloRing &&
+                         ring.rank == static_cast<uint32_t>((rank_ - 1 + world_) % world_),
+                     "ring hello from unexpected rank");
+    close(listen_fd);
+  }
+
+  ~TcpTransport() override {
+    for (int fd : {next_fd_, prev_fd_, ctrl_fd_}) {
+      if (fd >= 0) {
+        close(fd);
+      }
+    }
+    for (int fd : ctrl_fds_) {
+      if (fd >= 0) {
+        close(fd);
+      }
+    }
+  }
+
+  int Rank() const override { return rank_; }
+  int World() const override { return world_; }
+
+  void RingExchange(const void* send_buf, int64_t send_bytes, void* recv_buf,
+                    int64_t recv_bytes) override {
+    EGERIA_CHECK(send_bytes >= 0 && recv_bytes >= 0);
+    if (world_ == 1) {
+      EGERIA_CHECK_MSG(send_bytes == recv_bytes, "self-exchange size mismatch");
+      std::memcpy(recv_buf, send_buf, static_cast<size_t>(send_bytes));
+      return;
+    }
+    const Deadline deadline = IoDeadline();
+    uint8_t send_hdr[4];
+    uint8_t recv_hdr[4];
+    EncodeU32(static_cast<uint32_t>(send_bytes), send_hdr);
+    const auto* sp = static_cast<const uint8_t*>(send_buf);
+    auto* rp = static_cast<uint8_t*>(recv_buf);
+    const size_t s_total = 4 + static_cast<size_t>(send_bytes);
+    const size_t r_total = 4 + static_cast<size_t>(recv_bytes);
+    size_t s_done = 0;
+    size_t r_done = 0;
+    bool hdr_checked = false;
+    // One poll loop pumping both directions: a cycle of ranks all sending
+    // large frames still drains because every rank also receives.
+    while (s_done < s_total || r_done < r_total) {
+      struct pollfd fds[2];
+      int n = 0;
+      int si = -1;
+      int ri = -1;
+      if (s_done < s_total) {
+        fds[n] = {next_fd_, POLLOUT, 0};
+        si = n++;
+      }
+      if (r_done < r_total) {
+        fds[n] = {prev_fd_, POLLIN, 0};
+        ri = n++;
+      }
+      const int rc = poll(fds, static_cast<nfds_t>(n), RemainingMs(deadline));
+      if (rc < 0 && errno == EINTR) {
+        continue;
+      }
+      EGERIA_CHECK_MSG(!(rc == 0 && Expired(deadline)),
+                       "tcp ring exchange timed out (peer rank dead or stuck?)");
+      EGERIA_CHECK_MSG(rc >= 0, "poll failed in ring exchange");
+      if (si >= 0 && (fds[si].revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+        const uint8_t* p = s_done < 4 ? send_hdr + s_done : sp + (s_done - 4);
+        const size_t want = s_done < 4 ? 4 - s_done : s_total - s_done;
+        const ssize_t w = ::send(next_fd_, p, want, MSG_NOSIGNAL);
+        if (w > 0) {
+          s_done += static_cast<size_t>(w);
+        } else {
+          EGERIA_CHECK_MSG(w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK ||
+                                     errno == EINTR),
+                           "tcp send failed in ring exchange (peer gone?)");
+        }
+      }
+      if (ri >= 0 && (fds[ri].revents & (POLLIN | POLLERR | POLLHUP)) != 0) {
+        uint8_t* p = r_done < 4 ? recv_hdr + r_done : rp + (r_done - 4);
+        const size_t want = r_done < 4 ? 4 - r_done : r_total - r_done;
+        const ssize_t r = ::recv(prev_fd_, p, want, 0);
+        if (r > 0) {
+          r_done += static_cast<size_t>(r);
+        } else {
+          EGERIA_CHECK_MSG(r != 0, "tcp peer closed ring link mid-exchange");
+          EGERIA_CHECK_MSG(errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR,
+                           "tcp recv failed in ring exchange");
+        }
+        if (!hdr_checked && r_done >= 4) {
+          EGERIA_CHECK_MSG(DecodeU32(recv_hdr) == static_cast<uint32_t>(recv_bytes),
+                           "ring frame size mismatch (schedule desync)");
+          hdr_checked = true;
+        }
+      }
+    }
+  }
+
+  void Barrier() override {
+    if (world_ == 1) {
+      return;
+    }
+    const Deadline deadline = IoDeadline();
+    uint8_t token = 0;
+    if (rank_ == 0) {
+      for (int r = 1; r < world_; ++r) {
+        RecvAllFd(ctrl_fds_[static_cast<size_t>(r)], &token, 1, deadline);
+      }
+      token = 1;
+      for (int r = 1; r < world_; ++r) {
+        SendAllFd(ctrl_fds_[static_cast<size_t>(r)], &token, 1, deadline);
+      }
+    } else {
+      SendAllFd(ctrl_fd_, &token, 1, deadline);
+      RecvAllFd(ctrl_fd_, &token, 1, deadline);
+    }
+  }
+
+  std::vector<uint8_t> Broadcast(const void* data, int64_t bytes) override {
+    if (world_ == 1) {
+      const auto* p = static_cast<const uint8_t*>(data);
+      return std::vector<uint8_t>(p, p + bytes);
+    }
+    const Deadline deadline = IoDeadline();
+    if (rank_ == 0) {
+      EGERIA_CHECK(bytes >= 0 && (bytes == 0 || data != nullptr));
+      uint8_t hdr[4];
+      EncodeU32(static_cast<uint32_t>(bytes), hdr);
+      for (int r = 1; r < world_; ++r) {
+        const int fd = ctrl_fds_[static_cast<size_t>(r)];
+        SendAllFd(fd, hdr, 4, deadline);
+        SendAllFd(fd, data, static_cast<size_t>(bytes), deadline);
+      }
+      const auto* p = static_cast<const uint8_t*>(data);
+      return std::vector<uint8_t>(p, p + bytes);
+    }
+    uint8_t hdr[4];
+    RecvAllFd(ctrl_fd_, hdr, 4, deadline);
+    std::vector<uint8_t> out(DecodeU32(hdr));
+    RecvAllFd(ctrl_fd_, out.data(), out.size(), deadline);
+    return out;
+  }
+
+ private:
+  Deadline IoDeadline() const {
+    return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(io_timeout_s_));
+  }
+
+  int rank_;
+  int world_;
+  double io_timeout_s_;
+  int next_fd_ = -1;                // ring link to (rank+1)%W
+  int prev_fd_ = -1;                // ring link from (rank-1+W)%W
+  int ctrl_fd_ = -1;                // non-root: control link to rank 0
+  std::vector<int> ctrl_fds_;       // rank 0: control links, indexed by rank
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeTcpTransport(const TcpTransportOptions& options) {
+  return std::make_unique<TcpTransport>(options);
+}
+
+}  // namespace egeria

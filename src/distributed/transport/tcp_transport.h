@@ -1,0 +1,53 @@
+// TCP socket Transport: each rank may live in its own OS process.
+//
+// Rendezvous (no fixed ports, so parallel CI jobs never collide):
+//   1. Every rank binds a listener on 127.0.0.1 port 0 (kernel-chosen
+//      ephemeral port).
+//   2. Rank 0 publishes its listener port by atomically writing
+//      "host port\n" to `rendezvous_file` (tmp + rename).
+//   3. Ranks 1..W-1 poll the file, then connect-retry to rank 0 and send a
+//      JOIN hello carrying their own listener port. These W-1 sockets persist
+//      as the control plane (Barrier / Broadcast, star through rank 0).
+//   4. Rank 0 replies to every joined rank with the full rank->port map.
+//   5. Each rank connects to ring-next's listener (RING hello) and accepts
+//      one connection from ring-prev, completing the data ring.
+//
+// Wire format: every message is a little-endian uint32 length prefix followed
+// by that many payload bytes. RingExchange pumps its send (to next) and recv
+// (from prev) sockets in one poll loop, so the full-duplex contract holds even
+// when both directions exceed kernel socket buffers. TCP_NODELAY is set on all
+// links (collective steps are latency-bound small frames).
+//
+// Every blocking operation carries a deadline; on expiry the endpoint fails a
+// hard CHECK (the process exits nonzero and the launcher reports which rank
+// gave up, instead of the world hanging forever).
+#ifndef EGERIA_SRC_DISTRIBUTED_TRANSPORT_TCP_TRANSPORT_H_
+#define EGERIA_SRC_DISTRIBUTED_TRANSPORT_TCP_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+
+#include "src/distributed/transport/transport.h"
+
+namespace egeria {
+
+struct TcpTransportOptions {
+  int rank = 0;
+  int world = 1;
+  // File through which rank 0 publishes its ephemeral rendezvous port. Must
+  // name a writable location shared by all ranks (same machine) and not exist
+  // with stale contents (the launcher places it in a fresh temp dir).
+  std::string rendezvous_file;
+  // Deadline for the whole rendezvous + ring wiring phase.
+  double connect_timeout_s = 30.0;
+  // Per-collective deadline. EGERIA_TCP_TIMEOUT_S overrides when set.
+  double io_timeout_s = 120.0;
+};
+
+// Blocks until the full world is wired (all ranks must construct their
+// endpoints concurrently). Aborts with a diagnostic on timeout.
+std::unique_ptr<Transport> MakeTcpTransport(const TcpTransportOptions& options);
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_TRANSPORT_TCP_TRANSPORT_H_

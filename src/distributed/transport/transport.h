@@ -1,0 +1,59 @@
+// Byte-oriented transport abstraction for the ring collectives.
+//
+// A `Transport` is one rank's endpoint in a fixed world of `World()` ranks
+// arranged in a ring. It exposes exactly the primitives the reduction-contract
+// collectives need, and nothing about how bytes move:
+//
+//  - RingExchange: the ring step — send a buffer to rank (r+1)%W while
+//    receiving one from rank (r-1+W)%W. Full-duplex by contract so a cycle of
+//    blocking sends can never deadlock.
+//  - Barrier: world-wide rendezvous (star through rank 0 on socket backends).
+//  - Broadcast: small control-plane message from rank 0 to every rank (freeze
+//    frontier decisions, initial weight sync, reshard coordination).
+//
+// Two implementations:
+//  - InprocTransportGroup (inproc_transport.h): ranks are threads in one
+//    process; mailboxes + a generation barrier. Reproduces the original
+//    thread-backed collectives.
+//  - MakeTcpTransport (tcp_transport.h): ranks are OS processes (or threads)
+//    connected over localhost TCP with length-prefixed frames.
+//
+// All payloads are raw bytes in host representation: endpoints must share an
+// architecture (documented limitation; frame headers are little-endian on the
+// wire so a mismatch fails loudly at hello time rather than corrupting data).
+#ifndef EGERIA_SRC_DISTRIBUTED_TRANSPORT_TRANSPORT_H_
+#define EGERIA_SRC_DISTRIBUTED_TRANSPORT_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace egeria {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual int Rank() const = 0;
+  virtual int World() const = 0;
+
+  // One ring step: send `send_bytes` bytes to rank (Rank()+1)%World() while
+  // receiving exactly `recv_bytes` bytes from rank (Rank()-1+W)%World().
+  // Either side may be zero (empty contract chunks still exchange a frame so
+  // the schedule stays in lockstep). Blocks until both directions complete.
+  // Every rank of the world must call this collectively with matching counts
+  // (receiver's recv_bytes == its predecessor's send_bytes).
+  virtual void RingExchange(const void* send_buf, int64_t send_bytes,
+                            void* recv_buf, int64_t recv_bytes) = 0;
+
+  // Blocks until every rank has entered the barrier.
+  virtual void Barrier() = 0;
+
+  // Control plane: rank 0's `bytes` bytes at `data` are delivered to every
+  // rank; returns the message on all ranks (rank 0 included). Non-root ranks'
+  // arguments are ignored (pass nullptr, 0). Collective.
+  virtual std::vector<uint8_t> Broadcast(const void* data, int64_t bytes) = 0;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_TRANSPORT_TRANSPORT_H_

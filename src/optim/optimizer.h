@@ -19,7 +19,7 @@
 namespace egeria {
 
 // The one compiled instance of the momentum-SGD update arithmetic. Every SGD
-// path (replicated Sgd, ZeRO-1 ShardedSgdGroup) calls these same functions so
+// path (replicated Sgd, ZeRO-1 ShardedSgd) calls these same functions so
 // their results are bitwise-identical — inlining the loops separately would let
 // the compiler contract mul+add chains differently per call site.
 void SgdUpdateRange(float* w, const float* g, float* v, int64_t n, float lr,

@@ -1,67 +1,72 @@
 #include "src/optim/sharded_optimizer.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "src/distributed/reduction_contract.h"
+#include "src/distributed/transport/ring_schedule.h"
 #include "src/optim/optimizer.h"
 #include "src/util/logging.h"
 
 namespace egeria {
 
-ShardedSgdGroup::ShardedSgdGroup(int world, float momentum, float weight_decay)
-    : world_(world), momentum_(momentum), weight_decay_(weight_decay),
-      barrier_(world) {
-  EGERIA_CHECK(world_ >= 1);
-  shards_.resize(static_cast<size_t>(world_));
-  frozen_elems_.resize(static_cast<size_t>(world_), 0);
-}
+ShardedSgd::ShardedSgd(float momentum, float weight_decay)
+    : momentum_(momentum), weight_decay_(weight_decay) {}
 
-std::pair<int64_t, int64_t> ShardedSgdGroup::Reshard(int rank, int64_t frozen_elems,
-                                                     int64_t active_elems) {
-  EGERIA_CHECK(rank >= 0 && rank < world_);
+std::pair<int64_t, int64_t> ShardedSgd::Reshard(Transport& transport,
+                                                int64_t frozen_elems,
+                                                int64_t active_elems) {
   EGERIA_CHECK(frozen_elems >= 0 && active_elems >= 0);
-  const int64_t ab = ChunkBegin(active_elems, world_, rank);
-  const int64_t ae = ChunkEnd(active_elems, world_, rank);
-  const int64_t gb = frozen_elems + ab;
-  const int64_t ge = frozen_elems + ae;
+  const int rank = transport.Rank();
+  const int world = transport.World();
+  const Span active_span = ChunkSpan(active_elems, world, rank);
+  const int64_t gb = frozen_elems + active_span.begin;
+  const int64_t ge = frozen_elems + active_span.end;
 
-  // Every rank's previous-step optimizer work is done; old shard layouts
-  // (shards_[*]) are stable and readable.
-  barrier_.Wait();
-
-  // Build the new shard locally, pulling migrated momentum from whichever rank
-  // owned each global offset under the old partition; offsets nobody owned
-  // (newly active after an unfreeze, or first reshard) start at zero.
   std::vector<float> next(static_cast<size_t>(ge - gb), 0.0F);
-  for (int r = 0; r < world_; ++r) {
-    const RankShard& old = shards_[static_cast<size_t>(r)];
-    const int64_t lo = std::max(gb, old.global_begin);
-    const int64_t hi = std::min(ge, old.global_end);
-    for (int64_t off = lo; off < hi; ++off) {
-      next[static_cast<size_t>(off - gb)] =
-          old.velocity[static_cast<size_t>(off - old.global_begin)];
+  // Copy slices of an old shard [src_gb, src_ge) that overlap the new one.
+  auto merge = [&](int64_t src_gb, int64_t src_ge, const float* vel) {
+    const int64_t lo = std::max(gb, src_gb);
+    const int64_t hi = std::min(ge, src_ge);
+    if (hi > lo) {
+      std::memcpy(next.data() + (lo - gb), vel + (lo - src_gb),
+                  static_cast<size_t>(hi - lo) * sizeof(float));
     }
+  };
+
+  if (prev_active_ >= 0) {
+    // Bounds of rank r's shard under the previous partition — every rank can
+    // derive all of these locally, so migration frames need no metadata.
+    auto old_span = [&](int r) {
+      const Span s = ChunkSpan(prev_active_, world, r);
+      return Span{prev_frozen_ + s.begin, prev_frozen_ + s.end};
+    };
+    merge(global_begin_, global_end_, velocity_.data());
+    // All-gather of old shards: seed the ring with our own, forward what we
+    // received last step; after W-1 steps every rank has seen every old shard
+    // and kept the overlapping slices.
+    RingCirculate(
+        transport, rank, [&](int r) { return old_span(r); },
+        [&](float* buf, int, const Span& s) {
+          std::memcpy(buf, velocity_.data(),
+                      static_cast<size_t>(s.size()) * sizeof(float));
+        },
+        [&](const float* buf, int, const Span& s) { merge(s.begin, s.end, buf); });
   }
 
-  barrier_.Wait();  // Every rank has finished reading old shards; safe to replace.
-
-  RankShard& s = shards_[static_cast<size_t>(rank)];
-  s.velocity = std::move(next);
-  s.global_begin = gb;
-  s.global_end = ge;
-  frozen_elems_[static_cast<size_t>(rank)] = frozen_elems;
-
-  // New layout fully published before anyone steps or reshards again.
-  barrier_.Wait();
-  return {ab, ae};
+  velocity_ = std::move(next);
+  global_begin_ = gb;
+  global_end_ = ge;
+  frozen_elems_ = frozen_elems;
+  prev_frozen_ = frozen_elems;
+  prev_active_ = active_elems;
+  return {active_span.begin, active_span.end};
 }
 
-void ShardedSgdGroup::Step(int rank, FlatParamView& values, const FlatParamView& grads,
-                           int64_t begin, int64_t end, float lr) {
-  EGERIA_CHECK(rank >= 0 && rank < world_);
-  RankShard& s = shards_[static_cast<size_t>(rank)];
-  const int64_t frozen = frozen_elems_[static_cast<size_t>(rank)];
-  EGERIA_CHECK(frozen + begin >= s.global_begin && frozen + end <= s.global_end);
+void ShardedSgd::Step(FlatParamView& values, const FlatParamView& grads,
+                      int64_t begin, int64_t end, float lr) {
+  EGERIA_CHECK(frozen_elems_ + begin >= global_begin_ &&
+               frozen_elems_ + end <= global_end_);
   // SgdUpdateRange* are the same compiled instances Sgd::Step runs, which is
   // what makes sharded and replicated updates bitwise-identical.
   if (momentum_ == 0.0F) {
@@ -74,15 +79,13 @@ void ShardedSgdGroup::Step(int rank, FlatParamView& values, const FlatParamView&
   }
   ForEachAlignedSegment(
       values, grads, begin, end, [&](float* w, const float* g, int64_t off, int64_t n) {
-        float* v = s.velocity.data() + (frozen + off - s.global_begin);
+        float* v = velocity_.data() + (frozen_elems_ + off - global_begin_);
         SgdUpdateRange(w, g, v, n, lr, momentum_, weight_decay_);
       });
 }
 
-int64_t ShardedSgdGroup::StateBytes(int rank) const {
-  EGERIA_CHECK(rank >= 0 && rank < world_);
-  return static_cast<int64_t>(shards_[static_cast<size_t>(rank)].velocity.size()) *
-         static_cast<int64_t>(sizeof(float));
+int64_t ShardedSgd::StateBytes() const {
+  return static_cast<int64_t>(velocity_.size()) * static_cast<int64_t>(sizeof(float));
 }
 
 }  // namespace egeria

@@ -7,12 +7,20 @@
 // migrates momentum for still-active elements to their new owners, and drops
 // the frozen prefix's state entirely.
 //
-// The update arithmetic is elementwise-identical to Sgd::Step, so a sharded run
-// is bitwise-identical to the replicated reference path as long as gradients
-// arrive through the same reduction contract. The one documented divergence:
-// parameters re-activated by an unfreeze restart with zero momentum (their
-// state was dropped at freeze time), whereas the replicated Sgd keeps stale
-// velocity across freeze cycles.
+// ShardedSgd is ONE rank's shard. Reshard is a collective over the rank's
+// Transport: every rank circulates its old velocity shard around the ring (the
+// old partition is derivable by every rank from the shared previous
+// (frozen, active) pair, so all frame sizes are known a priori) and each rank
+// keeps the slices that overlap its new shard — the same migration the
+// original shared-memory implementation did by reading peers' vectors, now
+// expressed as messages so it works across process boundaries.
+//
+// The update arithmetic is elementwise-identical to Sgd::Step (the same
+// compiled SgdUpdateRange kernels), so a sharded run is bitwise-identical to
+// the replicated reference path as long as gradients arrive through the same
+// reduction contract. The one documented divergence: parameters re-activated
+// by an unfreeze restart with zero momentum (their state was dropped at freeze
+// time), whereas the replicated Sgd keeps stale velocity across freeze cycles.
 #ifndef EGERIA_SRC_OPTIM_SHARDED_OPTIMIZER_H_
 #define EGERIA_SRC_OPTIM_SHARDED_OPTIMIZER_H_
 
@@ -21,45 +29,44 @@
 #include <vector>
 
 #include "src/distributed/flat_view.h"
-#include "src/distributed/thread_barrier.h"
+#include "src/distributed/transport/transport.h"
 
 namespace egeria {
 
-class ShardedSgdGroup {
+class ShardedSgd {
  public:
-  ShardedSgdGroup(int world, float momentum, float weight_decay);
+  ShardedSgd(float momentum, float weight_decay);
 
   // Collective: partition the active suffix [frozen_elems, frozen_elems +
-  // active_elems) of the global flat parameter space into `world` contract
-  // chunks, migrating momentum between owners (elements that were frozen or
-  // never owned start at zero). Every rank must call this at the same logical
-  // step with identical arguments. Returns rank's shard [begin, end) in
-  // ACTIVE-space coordinates (offsets into a FlatParamView over the active
-  // parameter list).
-  std::pair<int64_t, int64_t> Reshard(int rank, int64_t frozen_elems,
+  // active_elems) of the global flat parameter space into World() contract
+  // chunks, migrating momentum between owners over the transport (elements
+  // that were frozen or never owned start at zero). Every rank must call this
+  // at the same logical step with identical arguments. Returns this rank's
+  // shard [begin, end) in ACTIVE-space coordinates (offsets into a
+  // FlatParamView over the active parameter list).
+  std::pair<int64_t, int64_t> Reshard(Transport& transport, int64_t frozen_elems,
                                       int64_t active_elems);
 
   // Local: momentum-SGD update on active-space range [begin, end), which must
-  // lie within rank's current shard. Arithmetic matches Sgd::Step bitwise.
-  void Step(int rank, FlatParamView& values, const FlatParamView& grads,
-            int64_t begin, int64_t end, float lr);
+  // lie within this rank's current shard. Arithmetic matches Sgd::Step bitwise.
+  void Step(FlatParamView& values, const FlatParamView& grads, int64_t begin,
+            int64_t end, float lr);
 
-  // Resident optimizer-state bytes held by `rank` (its velocity shard).
-  int64_t StateBytes(int rank) const;
+  // Resident optimizer-state bytes (this rank's velocity shard).
+  int64_t StateBytes() const;
 
  private:
-  struct RankShard {
-    std::vector<float> velocity;  // indexed by global_offset - global_begin
-    int64_t global_begin = 0;
-    int64_t global_end = 0;
-  };
-
-  int world_;
   float momentum_;
   float weight_decay_;
-  ThreadBarrier barrier_;
-  std::vector<RankShard> shards_;
-  std::vector<int64_t> frozen_elems_;  // per rank, for active->global translation
+  std::vector<float> velocity_;  // indexed by global_offset - global_begin_
+  int64_t global_begin_ = 0;
+  int64_t global_end_ = 0;
+  int64_t frozen_elems_ = 0;
+  // The partition every rank agreed on at the previous Reshard; -1 = none yet.
+  // Lets each rank reconstruct all peers' old shard bounds without metadata
+  // exchange during migration.
+  int64_t prev_frozen_ = -1;
+  int64_t prev_active_ = -1;
 };
 
 }  // namespace egeria

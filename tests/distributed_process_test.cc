@@ -1,0 +1,179 @@
+// Multi-process distributed training: ranks as real OS processes over the TCP
+// transport, spawned through the fork/exec launcher (SpawnWorld).
+//
+// The load-bearing assertion is the reduction contract crossing process
+// boundaries: a W-process TCP world must produce final weights whose FNV hash
+// is bitwise-equal to the single-process sequential-reference run of the same
+// workload — including a mid-run freeze + shard repartition. The launcher
+// itself is also under test: a wedged rank must surface as a clean timeout
+// error (never a hang), and a crashed rank must fail the world fast.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/distributed/dist_trainer.h"
+#include "src/distributed/dist_workload.h"
+#include "src/distributed/process_launcher.h"
+
+namespace egeria {
+namespace {
+
+std::string WorkerBinary() {
+  if (const char* env = std::getenv("EGERIA_WORKER_BIN")) {
+    return env;
+  }
+#ifdef EGERIA_WORKER_BIN
+  return EGERIA_WORKER_BIN;
+#else
+  return "./egeria_worker";
+#endif
+}
+
+// Fresh per-test log dir under ./dist_logs (cwd = build when run via ctest);
+// kept on failure so CI uploads it, removed on success to keep artifacts
+// meaningful.
+std::string MakeLogDir(const std::string& label) {
+  mkdir("dist_logs", 0755);
+  std::string tmpl = "dist_logs/" + label + "-XXXXXX";
+  EXPECT_NE(nullptr, mkdtemp(tmpl.data()));
+  return tmpl;
+}
+
+void RemoveLogDir(const SpawnOptions& options, const SpawnResult& result) {
+  for (const std::string& p : result.log_paths) {
+    unlink(p.c_str());
+  }
+  unlink((options.log_dir + "/rendezvous").c_str());
+  rmdir(options.log_dir.c_str());
+}
+
+uint64_t ParseHash(const std::map<std::string, std::string>& kv) {
+  const auto it = kv.find("params_hash");
+  if (it == kv.end()) {
+    return 0;
+  }
+  return std::strtoull(it->second.c_str(), nullptr, 16);
+}
+
+// In-process sequential-reference run of the named workload: the bitwise
+// ground truth the worker processes must reproduce.
+DistTrainResult ReferenceRun(const std::string& name, int world, bool egeria) {
+  DistWorkload w = MakeDistWorkload(name);
+  w.cfg.world = world;
+  w.cfg.enable_egeria = egeria;
+  w.cfg.reducer = DistTrainConfig::Reducer::kSequentialReference;
+  return TrainDataParallel(w.make_model, *w.train, *w.val, w.cfg);
+}
+
+TEST(DistributedProcess, ThreeProcessTcpWorldMatchesSequentialReferenceBitwise) {
+  const int world = 3;
+  const DistTrainResult ref = ReferenceRun("tiny", world, /*egeria=*/true);
+  ASSERT_TRUE(ref.replicas_consistent);
+  // The pin must cover a mid-run freeze: the reference run's controller froze
+  // at least one stage, so the TCP world has to reproduce the same reshard.
+  ASSERT_GT(ref.final_frontier, 0) << "workload no longer freezes; test is hollow";
+
+  SpawnOptions options;
+  options.worker_binary = WorkerBinary();
+  options.world = world;
+  options.common_args = {"--workload=tiny", "--egeria=1"};
+  options.log_dir = MakeLogDir("tcp3");
+  options.timeout_s = 240.0;
+  const SpawnResult run = SpawnWorld(options);
+  ASSERT_TRUE(run.ok) << run.error;
+
+  ASSERT_EQ(run.rank_results.size(), static_cast<size_t>(world));
+  const uint64_t hash0 = ParseHash(run.rank_results[0]);
+  ASSERT_NE(hash0, 0U) << "rank 0 reported no result";
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(ParseHash(run.rank_results[static_cast<size_t>(r)]), hash0)
+        << "rank " << r << " replica diverged";
+  }
+  // The acceptance pin: 3 OS processes over TCP == 1-process reference, bitwise.
+  EXPECT_EQ(hash0, ref.params_hash);
+  EXPECT_EQ(std::atoi(run.rank_results[0].at("final_frontier").c_str()),
+            ref.final_frontier);
+  // Freezing re-partitioned the shards at least once past the initial layout.
+  EXPECT_GE(run.reshard_timeline.size(), 2U);
+  if (!HasFailure()) {
+    RemoveLogDir(options, run);
+  }
+}
+
+TEST(DistributedProcess, TwoProcessWorldMatchesReferenceWithoutFreezing) {
+  const int world = 2;
+  DistWorkload w = MakeDistWorkload("tiny");
+  w.cfg.world = world;
+  w.cfg.epochs = 3;
+  w.cfg.reducer = DistTrainConfig::Reducer::kSequentialReference;
+  const DistTrainResult ref =
+      TrainDataParallel(w.make_model, *w.train, *w.val, w.cfg);
+
+  SpawnOptions options;
+  options.worker_binary = WorkerBinary();
+  options.world = world;
+  options.common_args = {"--workload=tiny", "--epochs=3"};
+  options.log_dir = MakeLogDir("tcp2");
+  options.timeout_s = 120.0;
+  const SpawnResult run = SpawnWorld(options);
+  ASSERT_TRUE(run.ok) << run.error;
+  const uint64_t hash0 = ParseHash(run.rank_results[0]);
+  EXPECT_EQ(hash0, ref.params_hash);
+  EXPECT_EQ(ParseHash(run.rank_results[1]), hash0);
+  if (!HasFailure()) {
+    RemoveLogDir(options, run);
+  }
+}
+
+TEST(DistributedProcess, KillOneRankSurfacesCleanTimeoutError) {
+  SpawnOptions options;
+  options.worker_binary = WorkerBinary();
+  options.world = 3;
+  options.common_args = {"--workload=tiny", "--epochs=3"};
+  // Rank 2 wedges mid-run (iteration 3): the survivors block in their
+  // collectives; the launcher must kill the world at its deadline and say so,
+  // not hang until the transport's much larger io timeout.
+  options.per_rank_args = {{}, {}, {"--fault=hang:3"}};
+  options.log_dir = MakeLogDir("hang");
+  options.timeout_s = 8.0;
+  const SpawnResult run = SpawnWorld(options);
+  EXPECT_FALSE(run.ok);
+  EXPECT_TRUE(run.timed_out);
+  EXPECT_NE(run.error.find("timed out"), std::string::npos) << run.error;
+  // The wedged rank is named so the failure is attributable from the summary.
+  EXPECT_NE(run.error.find("2"), std::string::npos) << run.error;
+  if (!HasFailure()) {
+    RemoveLogDir(options, run);
+  }
+}
+
+TEST(DistributedProcess, CrashedRankFailsTheWorldFast) {
+  SpawnOptions options;
+  options.worker_binary = WorkerBinary();
+  options.world = 3;
+  options.common_args = {"--workload=tiny", "--epochs=3"};
+  options.per_rank_args = {{}, {"--fault=exit:3"}, {}};
+  options.log_dir = MakeLogDir("crash");
+  // Generous deadline: fail-fast must beat it by a wide margin (the survivors
+  // are killed as soon as rank 1's nonzero exit is reaped).
+  options.timeout_s = 60.0;
+  const SpawnResult run = SpawnWorld(options);
+  EXPECT_FALSE(run.ok);
+  EXPECT_FALSE(run.timed_out);
+  // Attribution races: rank 1's neighbors notice the dead socket and abort
+  // almost as fast as rank 1 exits, so the launcher may reap either first. The
+  // guarantees under test: a named-rank error, and rank 1's true exit code.
+  EXPECT_NE(run.error.find("exited with code"), std::string::npos) << run.error;
+  EXPECT_EQ(run.exit_codes[1], 3);
+  if (!HasFailure()) {
+    RemoveLogDir(options, run);
+  }
+}
+
+}  // namespace
+}  // namespace egeria

@@ -4,8 +4,14 @@
 // freezing, and the data-parallel harness.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "src/core/module_partitioner.h"
@@ -16,6 +22,8 @@
 #include "src/distributed/flat_view.h"
 #include "src/distributed/network_model.h"
 #include "src/distributed/reduction_contract.h"
+#include "src/distributed/transport/inproc_transport.h"
+#include "src/distributed/transport/tcp_transport.h"
 #include "src/models/resnet.h"
 #include "src/optim/lr_scheduler.h"
 #include "src/util/rng.h"
@@ -138,6 +146,80 @@ TEST(AllReduce, AveragesGradientsAcrossRanks) {
 }
 
 // ---- Ring reducer vs sequential reference (the reduction contract) ----
+//
+// The ring schedule runs over a byte-oriented Transport; both backends — the
+// in-process mailbox transport and real localhost TCP sockets — must match the
+// sequential reference reducer BITWISE at every world size. Ranks are threads
+// here even for the TCP backend (sockets don't care), which keeps the pin
+// tests fast; tests/distributed_process_test.cc covers ranks as OS processes.
+
+enum class TransportCase { kInproc, kTcp };
+
+const char* TransportName(TransportCase c) {
+  return c == TransportCase::kInproc ? "inproc" : "tcp";
+}
+
+// Runs `body(rank, transport)` on `world` rank threads wired by the given
+// transport backend.
+void RunWorld(TransportCase kind, int world,
+              const std::function<void(int, Transport&)>& body) {
+  std::vector<std::thread> threads;
+  if (kind == TransportCase::kInproc) {
+    InprocTransportGroup group(world);
+    for (int r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] { body(r, group.Get(r)); });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    return;
+  }
+  char tmpl[] = "/tmp/egeria-ring-test-XXXXXX";
+  ASSERT_NE(nullptr, mkdtemp(tmpl));
+  const std::string rendezvous = std::string(tmpl) + "/rendezvous";
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      TcpTransportOptions opts;
+      opts.rank = r;
+      opts.world = world;
+      opts.rendezvous_file = rendezvous;
+      std::unique_ptr<Transport> transport = MakeTcpTransport(opts);
+      body(r, *transport);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  unlink(rendezvous.c_str());
+  rmdir(tmpl);
+}
+
+// The control-plane primitives behave identically on both backends: Broadcast
+// delivers rank 0's bytes everywhere (empty payloads included) and Barrier
+// releases no rank before every rank arrived.
+TEST(Transport, BroadcastAndBarrierAgreeAcrossBackends) {
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    for (int world : {2, 3}) {
+      std::atomic<int> arrived{0};
+      RunWorld(kind, world, [&](int rank, Transport& transport) {
+        const uint32_t root_word = 0xABCD1234U;
+        const auto msg = transport.Broadcast(rank == 0 ? &root_word : nullptr,
+                                             rank == 0 ? sizeof(root_word) : 0);
+        ASSERT_EQ(msg.size(), sizeof(root_word));
+        uint32_t got = 0;
+        std::memcpy(&got, msg.data(), sizeof(got));
+        EXPECT_EQ(got, root_word) << TransportName(kind) << " rank " << rank;
+        const auto empty = transport.Broadcast(nullptr, 0);
+        EXPECT_TRUE(empty.empty());
+        // Everyone checks in before the barrier; nobody may observe a count
+        // below `world` after it.
+        arrived.fetch_add(1);
+        transport.Barrier();
+        EXPECT_EQ(arrived.load(), world) << TransportName(kind) << " rank " << rank;
+      });
+    }
+  }
+}
 
 // One "replica": a list of parameters with randomly filled gradients.
 using ParamSet = std::vector<std::unique_ptr<Parameter>>;
@@ -171,75 +253,133 @@ std::vector<Parameter*> Suffix(const ParamSet& set, size_t first) {
   return out;
 }
 
-// Runs the reference star reduce on `ref` and ring RS+AG on `ring_set` (both
-// restricted to params [first, end)), then asserts every rank's every gradient
-// is bitwise-identical across the two transports.
-void ReduceBothAndExpectBitwiseEqual(int world, std::vector<ParamSet>& ref,
-                                     std::vector<ParamSet>& ring_set, size_t first,
-                                     GradientAllReducer& reference,
-                                     RingAllReducer& ring) {
+// Per-round bitwise comparison state for one transport backend's ring run.
+struct RingRunStats {
+  int64_t payload_rank0 = 0;
+  int64_t wire_sum = 0;
+};
+
+// Runs the reference star reduce on `ref` and ring RS+AG over `kind` on
+// `ring_set` (both restricted to params [first, end)), then asserts every
+// rank's every gradient is bitwise-identical across the two reducers.
+RingRunStats ReduceBothAndExpectBitwiseEqual(TransportCase kind, int world,
+                                             std::vector<ParamSet>& ref,
+                                             std::vector<ParamSet>& ring_set,
+                                             size_t first,
+                                             GradientAllReducer& reference) {
   std::vector<std::vector<Parameter*>> ref_lists(static_cast<size_t>(world));
   std::vector<std::vector<Parameter*>> ring_lists(static_cast<size_t>(world));
   for (int r = 0; r < world; ++r) {
     ref_lists[static_cast<size_t>(r)] = Suffix(ref[static_cast<size_t>(r)], first);
     ring_lists[static_cast<size_t>(r)] = Suffix(ring_set[static_cast<size_t>(r)], first);
   }
-  std::vector<std::thread> threads;
-  for (int r = 0; r < world; ++r) {
-    threads.emplace_back([&, r] {
-      reference.AllReduce(r, ref_lists[static_cast<size_t>(r)]);
-      FlatParamView view(ring_lists[static_cast<size_t>(r)],
-                         FlatParamView::Field::kGrad);
-      ring.ReduceScatterAverage(r, view);
-      ring.AllGather(r, view);
-    });
+  {
+    std::vector<std::thread> threads;
+    for (int r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] {
+        reference.AllReduce(r, ref_lists[static_cast<size_t>(r)]);
+      });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
   }
-  for (auto& t : threads) {
-    t.join();
-  }
+  RingRunStats stats;
+  std::mutex stats_mutex;
+  RunWorld(kind, world, [&](int rank, Transport& transport) {
+    RingAllReducer ring(transport);
+    FlatParamView view(ring_lists[static_cast<size_t>(rank)],
+                       FlatParamView::Field::kGrad);
+    ring.ReduceScatterAverage(view);
+    ring.AllGather(view);
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats.wire_sum += ring.TotalWireBytes();
+    if (rank == 0) {
+      stats.payload_rank0 = ring.TotalBytesReduced();
+    }
+  });
   for (int r = 0; r < world; ++r) {
     for (size_t p = first; p < ref[0].size(); ++p) {
       const Tensor& a = ref[static_cast<size_t>(r)][p]->grad;
       const Tensor& b = ring_set[static_cast<size_t>(r)][p]->grad;
-      ASSERT_EQ(0, std::memcmp(a.Data(), b.Data(),
+      EXPECT_EQ(0, std::memcmp(a.Data(), b.Data(),
                                static_cast<size_t>(a.NumEl()) * sizeof(float)))
-          << "world=" << world << " rank=" << r << " param=" << p;
+          << "transport=" << TransportName(kind) << " world=" << world
+          << " rank=" << r << " param=" << p;
     }
   }
+  return stats;
 }
 
 TEST(RingAllReduce, BitwiseMatchesSequentialReference) {
   // Total 29 elements: not divisible by any tested world size, so every run
-  // exercises uneven contract chunks.
+  // exercises uneven contract chunks — over BOTH transport backends.
   const std::vector<int64_t> sizes = {5, 7, 3, 11, 2, 1};
-  for (int world : {2, 3, 4}) {
-    Rng rng(1234 + static_cast<uint64_t>(world));
-    std::vector<ParamSet> ref;
-    std::vector<ParamSet> ring_set;
-    for (int r = 0; r < world; ++r) {
-      ref.push_back(MakeParams(sizes, rng));
-      ring_set.push_back(MakeParams(sizes, rng));
-      CopyGrads(ref.back(), ring_set.back());
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    for (int world : {2, 3, 4}) {
+      Rng rng(1234 + static_cast<uint64_t>(world));
+      std::vector<ParamSet> ref;
+      std::vector<ParamSet> ring_set;
+      for (int r = 0; r < world; ++r) {
+        ref.push_back(MakeParams(sizes, rng));
+        ring_set.push_back(MakeParams(sizes, rng));
+        CopyGrads(ref.back(), ring_set.back());
+      }
+      GradientAllReducer reference(world);
+      const RingRunStats stats =
+          ReduceBothAndExpectBitwiseEqual(kind, world, ref, ring_set, 0, reference);
+      EXPECT_EQ(reference.TotalBytesReduced(), stats.payload_rank0);
+      // Ring wire traffic is exactly 2(W-1)/W of the payload per link; summed
+      // over the W links that is 2(W-1) x payload for reduce-scatter+all-gather.
+      const int64_t total = 29;
+      EXPECT_EQ(stats.wire_sum,
+                2 * (world - 1) * total * static_cast<int64_t>(sizeof(float)));
     }
-    GradientAllReducer reference(world);
-    RingAllReducer ring(world);
-    ReduceBothAndExpectBitwiseEqual(world, ref, ring_set, 0, reference, ring);
-    EXPECT_EQ(reference.TotalBytesReduced(), ring.TotalBytesReduced());
-    // Ring wire traffic is exactly 2(W-1)/W of the payload per link; summed over
-    // the W links that is 2(W-1) x payload for the reduce-scatter + all-gather.
-    const int64_t total = 29;
-    EXPECT_EQ(ring.TotalWireBytes(),
-              2 * (world - 1) * total * static_cast<int64_t>(sizeof(float)));
   }
 }
 
 TEST(RingAllReduce, RepartitionMidRunStaysBitwise) {
   // A rank drops newly frozen stages mid-run: round 0 reduces the full list,
   // later rounds reduce shrinking suffixes. The ring must re-chunk the smaller
-  // flat space and stay bitwise-identical to the reference at every round.
+  // flat space and stay bitwise-identical to the reference at every round, on
+  // both transport backends.
   const std::vector<int64_t> sizes = {6, 1, 9, 4, 7, 2};  // total 29
-  for (int world : {2, 3, 4}) {
-    Rng rng(77 + static_cast<uint64_t>(world));
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    for (int world : {2, 3, 4}) {
+      Rng rng(77 + static_cast<uint64_t>(world));
+      std::vector<ParamSet> ref;
+      std::vector<ParamSet> ring_set;
+      for (int r = 0; r < world; ++r) {
+        ref.push_back(MakeParams(sizes, rng));
+        ring_set.push_back(MakeParams(sizes, rng));
+        CopyGrads(ref.back(), ring_set.back());
+      }
+      GradientAllReducer reference(world);
+      for (size_t frozen_params : {size_t{0}, size_t{2}, size_t{3}, size_t{5}}) {
+        // Fresh local gradients each round, identical across reducers.
+        for (int r = 0; r < world; ++r) {
+          for (auto& p : ref[static_cast<size_t>(r)]) {
+            for (int64_t j = 0; j < p->grad.NumEl(); ++j) {
+              p->grad.At(j) = rng.NextUniform(-2.0F, 2.0F);
+            }
+          }
+          CopyGrads(ref[static_cast<size_t>(r)], ring_set[static_cast<size_t>(r)]);
+        }
+        ReduceBothAndExpectBitwiseEqual(kind, world, ref, ring_set, frozen_params,
+                                        reference);
+      }
+    }
+  }
+}
+
+TEST(RingAllReduce, TinyPayloadLeavesEmptyChunks) {
+  // Fewer elements than ranks: the trailing contract chunks are empty and the
+  // ring must still terminate (zero-length frames keep the schedule in
+  // lockstep on the wire) and match the reference bitwise.
+  const std::vector<int64_t> sizes = {2, 1};
+  const int world = 4;
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    Rng rng(9);
     std::vector<ParamSet> ref;
     std::vector<ParamSet> ring_set;
     for (int r = 0; r < world; ++r) {
@@ -248,39 +388,8 @@ TEST(RingAllReduce, RepartitionMidRunStaysBitwise) {
       CopyGrads(ref.back(), ring_set.back());
     }
     GradientAllReducer reference(world);
-    RingAllReducer ring(world);
-    for (size_t frozen_params : {size_t{0}, size_t{2}, size_t{3}, size_t{5}}) {
-      // Fresh local gradients each round, identical across transports.
-      for (int r = 0; r < world; ++r) {
-        for (auto& p : ref[static_cast<size_t>(r)]) {
-          for (int64_t j = 0; j < p->grad.NumEl(); ++j) {
-            p->grad.At(j) = rng.NextUniform(-2.0F, 2.0F);
-          }
-        }
-        CopyGrads(ref[static_cast<size_t>(r)], ring_set[static_cast<size_t>(r)]);
-      }
-      ReduceBothAndExpectBitwiseEqual(world, ref, ring_set, frozen_params,
-                                      reference, ring);
-    }
+    ReduceBothAndExpectBitwiseEqual(kind, world, ref, ring_set, 0, reference);
   }
-}
-
-TEST(RingAllReduce, TinyPayloadLeavesEmptyChunks) {
-  // Fewer elements than ranks: the trailing contract chunks are empty and the
-  // ring must still terminate and match the reference bitwise.
-  const std::vector<int64_t> sizes = {2, 1};
-  const int world = 4;
-  Rng rng(9);
-  std::vector<ParamSet> ref;
-  std::vector<ParamSet> ring_set;
-  for (int r = 0; r < world; ++r) {
-    ref.push_back(MakeParams(sizes, rng));
-    ring_set.push_back(MakeParams(sizes, rng));
-    CopyGrads(ref.back(), ring_set.back());
-  }
-  GradientAllReducer reference(world);
-  RingAllReducer ring(world);
-  ReduceBothAndExpectBitwiseEqual(world, ref, ring_set, 0, reference, ring);
 }
 
 TEST(RingAllReduce, WorldOneIsIdentity) {
@@ -288,11 +397,12 @@ TEST(RingAllReduce, WorldOneIsIdentity) {
   ParamSet set = MakeParams({4, 3}, rng);
   ParamSet orig = MakeParams({4, 3}, rng);
   CopyGrads(set, orig);
-  RingAllReducer ring(1);
+  InprocTransportGroup group(1);
+  RingAllReducer ring(group.Get(0));
   auto list = Suffix(set, 0);
   FlatParamView view(list, FlatParamView::Field::kGrad);
-  const auto owned = ring.ReduceScatterAverage(0, view);
-  ring.AllGather(0, view);
+  const auto owned = ring.ReduceScatterAverage(view);
+  ring.AllGather(view);
   EXPECT_EQ(owned.first, 0);
   EXPECT_EQ(owned.second, 7);
   for (size_t p = 0; p < set.size(); ++p) {
@@ -399,14 +509,21 @@ TEST_F(DistTrainerTest, ShardedPathBitwiseMatchesReferencePath) {
     DistTrainResult ref = TrainDataParallel(MakeModel, train, val, cfg);
     cfg.reducer = DistTrainConfig::Reducer::kRingSharded;
     DistTrainResult ring = TrainDataParallel(MakeModel, train, val, cfg);
+    // Same schedule, real sockets: the TCP backend must not change a single bit.
+    cfg.transport = DistTrainConfig::TransportKind::kTcp;
+    DistTrainResult tcp = TrainDataParallel(MakeModel, train, val, cfg);
 
     EXPECT_TRUE(ref.replicas_consistent);
     EXPECT_TRUE(ring.replicas_consistent);
+    EXPECT_TRUE(tcp.replicas_consistent);
     EXPECT_EQ(ref.params_hash, ring.params_hash) << "world=" << world;
+    EXPECT_EQ(ref.params_hash, tcp.params_hash) << "world=" << world;
     EXPECT_EQ(ref.bytes_synced, ring.bytes_synced);
+    EXPECT_EQ(ring.wire_bytes, tcp.wire_bytes);
     EXPECT_EQ(ref.wire_bytes, 0);   // reference path reports no ring traffic
     EXPECT_GT(ring.wire_bytes, 0);
     EXPECT_DOUBLE_EQ(ref.final_score, ring.final_score);
+    EXPECT_DOUBLE_EQ(ref.final_score, tcp.final_score);
   }
 }
 
@@ -441,12 +558,27 @@ TEST_F(DistTrainerTest, EgeriaShardedRunMatchesReferenceAndShrinksState) {
   DistTrainResult ring = TrainDataParallel(MakeModel, train, val, cfg);
   cfg.reducer = DistTrainConfig::Reducer::kSequentialReference;
   DistTrainResult ref = TrainDataParallel(MakeModel, train, val, cfg);
+  // The whole freezing run again over real sockets: mid-run freeze + reshard
+  // (momentum migration as ring messages) must reproduce the weights bitwise.
+  cfg.reducer = DistTrainConfig::Reducer::kRingSharded;
+  cfg.transport = DistTrainConfig::TransportKind::kTcp;
+  DistTrainResult tcp = TrainDataParallel(MakeModel, train, val, cfg);
 
   // Identical training: same freeze timeline, same weights, bit for bit.
   EXPECT_TRUE(ring.replicas_consistent);
   EXPECT_GT(ring.final_frontier, 0) << "controller froze nothing";
   EXPECT_EQ(ring.final_frontier, ref.final_frontier);
   EXPECT_EQ(ring.params_hash, ref.params_hash);
+  EXPECT_TRUE(tcp.replicas_consistent);
+  EXPECT_EQ(tcp.final_frontier, ring.final_frontier);
+  EXPECT_EQ(tcp.params_hash, ring.params_hash);
+  ASSERT_EQ(tcp.reshard_events.size(), ring.reshard_events.size());
+  for (size_t i = 0; i < ring.reshard_events.size(); ++i) {
+    EXPECT_EQ(tcp.reshard_events[i].iter, ring.reshard_events[i].iter);
+    EXPECT_EQ(tcp.reshard_events[i].frontier, ring.reshard_events[i].frontier);
+    EXPECT_EQ(tcp.reshard_events[i].payload_bytes_per_iter,
+              ring.reshard_events[i].payload_bytes_per_iter);
+  }
 
   // The freeze->reshard protocol: the initial partition plus one event per
   // frontier move; every move strictly shrinks the active space, the ring

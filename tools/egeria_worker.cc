@@ -1,0 +1,181 @@
+// egeria_worker: one rank of a multi-process data-parallel world.
+//
+// Launched W times (by SpawnWorld, scripts/launch_dist.sh, or by hand) with a
+// shared rendezvous file; each process wires itself into the TCP ring, runs
+// the same per-rank training loop the in-process harness uses (TrainRank), and
+// reports machine-readable results on stdout:
+//
+//   EGERIA_RESULT rank=.. world=.. params_hash=.. final_frontier=.. ...
+//   EGERIA_RESHARD iter=.. frontier=.. payload_bytes=.. allreduce_s_per_iter=..
+//
+// The EGERIA_RESULT params_hash of every rank of a TCP world is bitwise-equal
+// to the single-process sequential-reference run of the same workload — the
+// reduction contract, across OS processes and a real wire.
+//
+// Flags:
+//   --rank=R --world=W --rendezvous=PATH   (required; env EGERIA_RANK /
+//       EGERIA_WORLD / EGERIA_RENDEZVOUS are fallbacks)
+//   --workload=tiny|fig10   (default tiny; see src/distributed/dist_workload.h)
+//   --epochs=N              (override the workload default)
+//   --egeria=0|1            (enable the freezing controller; default 0)
+//   --connect-timeout=S --io-timeout=S
+//   --fault=hang:I | exit:I (test-only: at iteration I this rank hangs
+//       forever / exits 3; I=0 fires before the transport even connects)
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/distributed/dist_trainer.h"
+#include "src/distributed/dist_workload.h"
+#include "src/distributed/transport/tcp_transport.h"
+
+namespace egeria {
+namespace {
+
+bool FlagValue(const char* arg, const char* name, std::string* out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (std::strncmp(arg, prefix.c_str(), prefix.size()) != 0) {
+    return false;
+  }
+  *out = arg + prefix.size();
+  return true;
+}
+
+int EnvOrDie(const char* flag, const char* env_name, const std::string& flag_value) {
+  if (!flag_value.empty()) {
+    return std::atoi(flag_value.c_str());
+  }
+  if (const char* env = std::getenv(env_name)) {
+    return std::atoi(env);
+  }
+  std::fprintf(stderr, "egeria_worker: missing --%s / $%s\n", flag, env_name);
+  std::exit(2);
+}
+
+[[noreturn]] void HangForever() {
+  for (;;) {
+    sleep(3600);
+  }
+}
+
+int Main(int argc, char** argv) {
+  std::string rank_s;
+  std::string world_s;
+  std::string rendezvous;
+  std::string workload_name = "tiny";
+  std::string epochs_s;
+  std::string egeria_s = "0";
+  std::string connect_timeout_s;
+  std::string io_timeout_s;
+  std::string fault;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (FlagValue(a, "rank", &rank_s) || FlagValue(a, "world", &world_s) ||
+        FlagValue(a, "rendezvous", &rendezvous) ||
+        FlagValue(a, "workload", &workload_name) ||
+        FlagValue(a, "epochs", &epochs_s) || FlagValue(a, "egeria", &egeria_s) ||
+        FlagValue(a, "connect-timeout", &connect_timeout_s) ||
+        FlagValue(a, "io-timeout", &io_timeout_s) || FlagValue(a, "fault", &fault)) {
+      continue;
+    }
+    std::fprintf(stderr, "egeria_worker: unknown argument %s\n", a);
+    return 2;
+  }
+  const int rank = EnvOrDie("rank", "EGERIA_RANK", rank_s);
+  const int world = EnvOrDie("world", "EGERIA_WORLD", world_s);
+  if (rendezvous.empty()) {
+    if (const char* env = std::getenv("EGERIA_RENDEZVOUS")) {
+      rendezvous = env;
+    }
+  }
+  if (rendezvous.empty() && world > 1) {
+    std::fprintf(stderr, "egeria_worker: missing --rendezvous / $EGERIA_RENDEZVOUS\n");
+    return 2;
+  }
+
+  // Test-only fault injection: "<kind>:<iter>"; iter 0 = before the transport
+  // connects, so peers see a silent (hang) or failed (exit) rank at wiring time.
+  int64_t fault_iter = -1;
+  bool fault_hang = false;
+  if (!fault.empty()) {
+    const size_t colon = fault.find(':');
+    const std::string kind = fault.substr(0, colon);
+    fault_iter = colon == std::string::npos ? 0 : std::atoll(fault.c_str() + colon + 1);
+    fault_hang = kind == "hang";
+    if (!fault_hang && kind != "exit") {
+      std::fprintf(stderr, "egeria_worker: bad --fault %s\n", fault.c_str());
+      return 2;
+    }
+    if (fault_iter <= 0) {
+      if (fault_hang) {
+        HangForever();
+      }
+      return 3;
+    }
+  }
+
+  DistWorkload w = MakeDistWorkload(workload_name);
+  w.cfg.world = world;
+  if (!epochs_s.empty()) {
+    w.cfg.epochs = std::atoi(epochs_s.c_str());
+  }
+  w.cfg.enable_egeria = std::atoi(egeria_s.c_str()) != 0;
+  w.cfg.reducer = DistTrainConfig::Reducer::kRingSharded;
+  if (fault_iter > 0) {
+    const int64_t at = fault_iter;
+    const bool hang = fault_hang;
+    w.cfg.iteration_hook = [rank, at, hang](int r, int64_t iter) {
+      if (r == rank && iter == at) {
+        if (hang) {
+          HangForever();
+        }
+        std::exit(3);
+      }
+    };
+  }
+
+  TcpTransportOptions topts;
+  topts.rank = rank;
+  topts.world = world;
+  topts.rendezvous_file = rendezvous;
+  if (!connect_timeout_s.empty()) {
+    topts.connect_timeout_s = std::atof(connect_timeout_s.c_str());
+  }
+  if (!io_timeout_s.empty()) {
+    topts.io_timeout_s = std::atof(io_timeout_s.c_str());
+  }
+  std::unique_ptr<Transport> transport = MakeTcpTransport(topts);
+
+  RankTrainResult r =
+      TrainRank(*transport, w.make_model, *w.train, *w.val, w.cfg, nullptr);
+
+  for (const DistReshardEvent& ev : r.reshard_events) {
+    std::printf("EGERIA_RESHARD iter=%lld frontier=%d active_elems=%lld "
+                "payload_bytes=%lld opt_state_bytes=%lld allreduce_s_per_iter=%.6f\n",
+                static_cast<long long>(ev.iter), ev.frontier,
+                static_cast<long long>(ev.active_elems),
+                static_cast<long long>(ev.payload_bytes_per_iter),
+                static_cast<long long>(ev.opt_state_bytes_per_rank),
+                ev.allreduce_seconds_per_iter);
+  }
+  std::printf("EGERIA_RESULT rank=%d world=%d workload=%s params_hash=%016llx "
+              "final_frontier=%d iterations=%lld bytes_synced=%lld "
+              "bytes_full_model=%lld wire_bytes=%lld allreduce_seconds=%.6f "
+              "final_acc=%.4f\n",
+              rank, world, w.name.c_str(),
+              static_cast<unsigned long long>(r.params_hash), r.final_frontier,
+              static_cast<long long>(r.iterations),
+              static_cast<long long>(r.bytes_synced),
+              static_cast<long long>(r.bytes_full_model),
+              static_cast<long long>(r.wire_bytes), r.allreduce_seconds,
+              r.final_display);
+  return 0;
+}
+
+}  // namespace
+}  // namespace egeria
+
+int main(int argc, char** argv) { return egeria::Main(argc, argv); }
