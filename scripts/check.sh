@@ -73,6 +73,47 @@ echo "== bench smoke: table2 reference-forward latency per precision =="
 echo "== dist smoke: 2-process TCP ring (egeria_worker via launch_dist.sh) =="
 ./scripts/launch_dist.sh -n 2 -t 300 -- --workload=tiny --epochs=2
 
+echo "== dist smoke: crash-resume (checkpoint, --fault=exit, restart, hash pin) =="
+# A 2-process world writes checkpoints, every rank is killed mid-run by fault
+# injection, and rerunning the SAME command (minus the fault) resumes from the
+# latest complete checkpoint. The final weights hash must be bitwise-equal to
+# an uninterrupted run's — the checkpoint subsystem's bitwise-resume contract,
+# exercised end to end from the command line.
+resume_tmp=$(mktemp -d "${TMPDIR:-/tmp}/egeria-resume-XXXXXX")
+trap 'rm -f "$bench_tmp" "$bench_err" "$table2_tmp"; rm -rf "$resume_tmp"' EXIT
+hash_of() {
+  grep -h '^EGERIA_RESULT' "$1"/rank_*.log \
+    | sed -n 's/.*params_hash=\([0-9a-f]*\).*/\1/p' | sort -u
+}
+./scripts/launch_dist.sh -n 2 -t 300 -l "$resume_tmp/ref" -- \
+  --workload=tiny --epochs=3
+ref_hash=$(hash_of "$resume_tmp/ref")
+[ -n "$ref_hash" ] && [ "$(printf '%s\n' "$ref_hash" | wc -l)" -eq 1 ] || {
+  echo "check.sh: reference run produced inconsistent hashes" >&2; exit 1; }
+# Crash run: both ranks exit at iteration 6; the checkpoint at 4 survives.
+./scripts/launch_dist.sh -n 2 -t 300 -l "$resume_tmp/crash" -- \
+  --workload=tiny --epochs=3 --ckpt-dir="$resume_tmp/ckpt" --ckpt-interval=4 \
+  --fault=exit:6 > /dev/null 2>&1 && {
+  echo "check.sh: fault injection did not fire" >&2; exit 1; } || true
+./build/egeria_ckpt latest "$resume_tmp/ckpt" > /dev/null || {
+  echo "check.sh: no complete checkpoint survived the crash" >&2; exit 1; }
+./build/egeria_ckpt list "$resume_tmp/ckpt"
+# Restart (same command, no fault): workers resume and finish the run.
+./scripts/launch_dist.sh -n 2 -t 300 -l "$resume_tmp/resume" -- \
+  --workload=tiny --epochs=3 --ckpt-dir="$resume_tmp/ckpt" --ckpt-interval=4
+resume_hash=$(hash_of "$resume_tmp/resume")
+if [ "$resume_hash" != "$ref_hash" ]; then
+  echo "check.sh: crash-resume hash $resume_hash != uninterrupted $ref_hash" >&2
+  exit 1
+fi
+# The pin must come from a genuine resume, not a silent from-scratch rerun.
+if grep -h '^EGERIA_RESULT' "$resume_tmp/resume"/rank_*.log \
+     | grep -q 'resumed_from=-1'; then
+  echo "check.sh: restart did not resume from the checkpoint" >&2
+  exit 1
+fi
+echo "check.sh: crash-resume hash pin OK ($ref_hash)"
+
 git_sha=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 # Uncommitted changes are not HEAD's numbers — mark them so a pre-commit run
 # never overwrites (or masquerades as) the parent commit's entry.

@@ -32,14 +32,10 @@ std::string ActivationCache::PathFor(int64_t id) const {
 }
 
 void ActivationCache::SetStage(int stage) {
-  std::vector<std::string> stale;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stage == stage_) {
       return;
-    }
-    for (int64_t id : on_disk_) {
-      stale.push_back(PathFor(id));
     }
     stage_ = stage;
     memory_.clear();
@@ -47,9 +43,18 @@ void ActivationCache::SetStage(int stage) {
     on_disk_.clear();
     stats_.bytes_written = 0;
   }
-  for (const auto& path : stale) {
-    std::error_code ec;
-    fs::remove(path, ec);
+  // Sweep EVERY spill file, not just the ids tracked in on_disk_: after a
+  // crash-restart the directory can hold spills from a previous incarnation
+  // (possibly a different frontier) that this instance never recorded. They
+  // are stale the moment the boundary stage changes, and an untracked
+  // same-stage leftover would only shadow the bytes-written accounting, so a
+  // stage change clears the directory outright. Concurrent prefetch loads of
+  // removed files degrade to misses via the hardened reader.
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.is_regular_file(ec)) {
+      fs::remove(entry.path(), ec);
+    }
   }
 }
 

@@ -15,6 +15,8 @@
 #define EGERIA_SRC_CORE_CONTROLLER_H_
 
 #include <atomic>
+#include <functional>
+#include <iosfwd>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -82,6 +84,29 @@ class EgeriaController {
   // Generation time of the last reference build (Table 2 / S6.5 overhead).
   double LastQuantizeSeconds() const { return last_quantize_seconds_.load(); }
 
+  // ---- Checkpoint support ----
+  // Serializes the full decision state: the freezing policy, refresh
+  // bookkeeping, plasticity history, undrained freeze decisions, and — when a
+  // reference exists — the float snapshot the current reference was quantized
+  // from (quantization is deterministic, so the reference is rebuilt
+  // bit-identically on restore).
+  //
+  // Synchronous controllers (async_controller=false) round-trip bitwise: the
+  // save first runs the pending snapshot/eval work inline — exactly the
+  // computation the next iteration's RunPendingSync would have done, moved
+  // across an iteration boundary where nothing else computes — then persists
+  // the resulting decisions (re-enqueueing them, so a save not followed by a
+  // crash changes nothing). In async mode queued evaluations are not captured
+  // (dropping an eval is legal by design, but bitwise resume is then not
+  // guaranteed). Call RestoreState before submitting any work.
+  void SaveState(std::ostream& os);
+  // `make_snapshot` must produce a model structurally identical to the
+  // snapshots the trainer submits (a float CloneForInference of the training
+  // model); saved weights are loaded into it before the reference rebuild.
+  // Returns false (and logs) on a malformed or mismatched blob.
+  bool RestoreState(std::istream& is,
+                    const std::function<std::unique_ptr<ChainModel>()>& make_snapshot);
+
  private:
   void ControllerLoop();
   void BuildReference(std::unique_ptr<ChainModel> snapshot);
@@ -93,7 +118,17 @@ class EgeriaController {
   mutable std::mutex policy_mutex_;
   FreezingPolicy policy_;
 
+  // Serializes the controller thread's reference lifecycle (BuildReference
+  // reassigns reference_/ref_snapshot_, ProcessEval mutates observer state and
+  // the refresh counter) against SaveState walking those structures from the
+  // training thread. Uncontended in synchronous mode; in async mode it is
+  // what makes a mid-training checkpoint safe (a queued eval may still be
+  // dropped — async saves are best-effort, not bitwise).
+  mutable std::mutex reference_mutex_;
   std::unique_ptr<ChainModel> reference_;
+  // The float snapshot reference_ was quantized from, retained so checkpoints
+  // can persist (and deterministically rebuild) the reference.
+  std::unique_ptr<ChainModel> ref_snapshot_;
   std::atomic<bool> has_reference_{false};
   std::atomic<bool> wants_snapshot_{true};  // initial generation
   std::atomic<int64_t> evals_done_{0};

@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <optional>
 #include <vector>
 
@@ -55,6 +56,16 @@ class FreezingPolicy {
 
   // Exposed for tests and the Fig. 12 sensitivity bench.
   double ToleranceOf(int stage) const;
+
+  // Checkpoint support: the full decision state (per-stage smoothing/fit
+  // histories with their incrementally-maintained sums, tolerances, stale
+  // counters, the frontier, and the unfreeze bookkeeping). A policy restored
+  // via LoadState produces bitwise-identical decisions to one that lived
+  // through the readings. LoadState expects a policy constructed with the
+  // same (cfg, num_stages, lr_is_annealing); returns false (and logs) on a
+  // malformed or mismatched blob.
+  void SaveState(std::ostream& os) const;
+  bool LoadState(std::istream& is);
 
  private:
   void ResetStageState(int stage);

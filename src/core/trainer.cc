@@ -4,7 +4,10 @@
 
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 
+#include "src/ckpt/state_dict.h"
+#include "src/ckpt/wire.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -173,6 +176,148 @@ void Trainer::UpdateBootstrap(double loss, int64_t iter) {
   bootstrap_prev_avg_ = avg;
 }
 
+namespace {
+constexpr uint32_t kTrainerStateMagic = 0x52544745;  // 'EGTR'
+constexpr uint32_t kTrainerStateVersion = 1;
+}  // namespace
+
+void Trainer::SaveTrainingCheckpoint(int64_t iter) {
+  CkptManifest m;
+  m.kind = "trainer";
+  m.iter = iter;
+  m.world = 1;
+  m.frontier = frontier_;
+  m.next_frontier = frontier_;
+  m.dir = CheckpointStepDir(cfg_.checkpoint.dir, iter);
+  if (!EnsureDir(m.dir)) {
+    return;
+  }
+
+  // Model state dict + optimizer state share one checkpoint file (the "#field"
+  // optimizer keys cannot collide with state-dict names).
+  Checkpoint state = ExportModelState(model_);
+  std::vector<Parameter*> params;
+  std::vector<std::string> names;
+  auto named = NamedParams(model_);
+  for (auto& [name, p] : named) {
+    names.push_back(std::move(name));
+    params.push_back(p);
+  }
+  optimizer_->ExportState(params, names, state);
+  bool ok = SaveCheckpoint(m.dir + "/model.state", state) &&
+            AddManifestFile(m, "model.state");
+
+  {
+    std::ofstream os(m.dir + "/trainer.state", std::ios::binary | std::ios::trunc);
+    wire::Write(os, kTrainerStateMagic);
+    wire::Write(os, kTrainerStateVersion);
+    wire::Write(os, iter);
+    wire::Write(os, static_cast<int32_t>(frontier_));
+    wire::Write(os, static_cast<uint8_t>(knowledge_stage_ ? 1 : 0));
+    wire::Write(os, bootstrap_prev_avg_);
+    wire::Write(os, bootstrap_window_sum_);
+    wire::Write(os, bootstrap_window_count_);
+    wire::Write(os, result_.bootstrap_end_iter);
+    ok = ok && static_cast<bool>(os);
+  }
+  ok = ok && AddManifestFile(m, "trainer.state");
+
+  if (controller_ != nullptr) {
+    {
+      std::ofstream os(m.dir + "/controller.state", std::ios::binary | std::ios::trunc);
+      controller_->SaveState(os);
+      ok = ok && static_cast<bool>(os);
+    }
+    ok = ok && AddManifestFile(m, "controller.state");
+  }
+
+  if (!ok || !CommitManifest(m)) {
+    EGERIA_LOG(kError) << "checkpoint at iter " << iter
+                       << " failed; training continues uncheckpointed";
+    return;
+  }
+  ApplyRetention(cfg_.checkpoint.dir, cfg_.checkpoint.keep_last);
+  if (cfg_.verbose) {
+    EGERIA_LOG(kInfo) << "checkpointed iter " << iter << " -> " << m.dir;
+  }
+}
+
+int64_t Trainer::TryResume() {
+  const auto m = FindLatestCheckpoint(cfg_.checkpoint.dir);
+  if (!m) {
+    return -1;
+  }
+  if (m->kind != "trainer") {
+    EGERIA_LOG(kError) << m->dir << " is a '" << m->kind
+                       << "' checkpoint; Trainer cannot resume from it";
+    return -1;
+  }
+  Checkpoint state;
+  if (!LoadCheckpoint(m->dir + "/model.state", state)) {
+    // Nothing restored yet: a fresh start from scratch is still sound.
+    return -1;
+  }
+  // From here on the restore mutates live state (model weights first), so a
+  // failure must be fatal: returning -1 would silently train a "fresh" run
+  // from half-restored weights. These paths only fire when the checkpoint
+  // does not match the configured model/optimizer — an operator error worth
+  // stopping on, not papering over.
+  EGERIA_CHECK_MSG(LoadModelState(state, model_),
+                   m->dir + ": checkpoint does not match this model architecture");
+  std::vector<Parameter*> params;
+  std::vector<std::string> names;
+  auto named = NamedParams(model_);
+  for (auto& [name, p] : named) {
+    names.push_back(std::move(name));
+    params.push_back(p);
+  }
+  EGERIA_CHECK_MSG(optimizer_->ImportState(params, names, state),
+                   m->dir + ": optimizer state does not match this configuration");
+
+  std::ifstream is(m->dir + "/trainer.state", std::ios::binary);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  int64_t iter = 0;
+  int32_t frontier = 0;
+  uint8_t knowledge_stage = 0;
+  EGERIA_CHECK_MSG(wire::Read(is, magic) && magic == kTrainerStateMagic &&
+                       wire::Read(is, version) && version == kTrainerStateVersion &&
+                       wire::Read(is, iter) && wire::Read(is, frontier) &&
+                       wire::Read(is, knowledge_stage) &&
+                       wire::Read(is, bootstrap_prev_avg_) &&
+                       wire::Read(is, bootstrap_window_sum_) &&
+                       wire::Read(is, bootstrap_window_count_) &&
+                       wire::Read(is, result_.bootstrap_end_iter),
+                   m->dir + ": malformed trainer.state");
+  EGERIA_CHECK(iter == m->iter);
+  EGERIA_CHECK(frontier >= 0 && frontier < model_.NumStages());
+  knowledge_stage_ = knowledge_stage != 0;
+
+  // Reapply the freeze frontier (and the frozen prefix's reduced-precision
+  // forward substitution) exactly as FreezeUpTo left it.
+  frontier_ = frontier;
+  for (int i = 0; i < model_.NumStages(); ++i) {
+    model_.SetStageFrozen(i, i < frontier_);
+    if (i < frontier_ && cfg_.egeria.frozen_prefix_precision != Precision::kFloat32) {
+      model_.SetStageForwardPrecision(i, cfg_.egeria.frozen_prefix_precision);
+    }
+  }
+
+  if (controller_ != nullptr) {
+    EGERIA_CHECK_MSG(m->HasFile("controller.state"),
+                     m->dir + ": Egeria enabled but no controller state saved");
+    std::ifstream cs(m->dir + "/controller.state", std::ios::binary);
+    const bool restored = controller_->RestoreState(cs, [this] {
+      InferenceFactory float_factory;
+      return model_.CloneForInference(float_factory);
+    });
+    EGERIA_CHECK_MSG(restored, m->dir + ": controller state restore failed");
+  }
+  EGERIA_LOG(kInfo) << "resumed from " << m->dir << " (iter " << iter << ", frontier "
+                    << frontier_ << ")";
+  return iter;
+}
+
 TaskMetric Trainer::Validate() {
   model_.SetTraining(false);
   std::vector<TaskMetric> parts;
@@ -196,13 +341,27 @@ TrainResult Trainer::Run() {
   // Without Egeria there is no bootstrap gate to pass.
   knowledge_stage_ = false;
 
-  for (int epoch = 0; epoch < cfg_.epochs; ++epoch) {
+  int start_epoch = 0;
+  int64_t start_batch = 0;
+  if (!cfg_.checkpoint.dir.empty() && cfg_.checkpoint.resume) {
+    const int64_t resumed = TryResume();
+    if (resumed >= 0) {
+      iter = resumed;
+      start_epoch = static_cast<int>(iter / IterationsPerEpoch());
+      start_batch = iter % IterationsPerEpoch();
+      result_.resumed_from_iter = resumed;
+    }
+  }
+  bool stop = false;
+
+  for (int epoch = start_epoch; epoch < cfg_.epochs && !stop; ++epoch) {
     loader_.StartEpoch(epoch);
     double epoch_loss = 0.0;
     int64_t epoch_batches = 0;
     WallTimer epoch_timer;
 
-    for (int64_t b = 0; b < loader_.NumBatches(); ++b) {
+    for (int64_t b = epoch == start_epoch ? start_batch : 0; b < loader_.NumBatches();
+         ++b) {
       ++iter;
       const float lr = cfg_.lr_schedule->LrAt(iter);
 
@@ -295,6 +454,25 @@ TrainResult Trainer::Run() {
         hook_->OnIteration(*this, batch, iter);
       }
       ++result_.iterations;
+
+      // --- Checkpoint + crash-drill stop (end of iteration: weights, optimizer
+      // state, and the controller's decision state are all consistent here) ---
+      const bool at_interval =
+          cfg_.checkpoint.enabled() && iter % cfg_.checkpoint.interval_iters == 0;
+      if (at_interval) {
+        SaveTrainingCheckpoint(iter);
+      }
+      if (cfg_.stop_after_iters >= 0 && iter >= cfg_.stop_after_iters) {
+        if (cfg_.checkpoint.enabled() && !at_interval) {
+          SaveTrainingCheckpoint(iter);
+        }
+        result_.stopped_early = true;
+        stop = true;
+        break;
+      }
+    }
+    if (stop) {
+      break;  // Partial epoch: no epoch stats, no validation.
     }
 
     const double epoch_seconds = epoch_timer.ElapsedSeconds();

@@ -21,6 +21,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/ckpt/checkpoint.h"
 #include "src/core/activation_cache.h"
 #include "src/core/config.h"
 #include "src/core/controller.h"
@@ -58,6 +59,22 @@ struct TrainConfig {
 
   bool enable_egeria = false;
   EgeriaConfig egeria;
+
+  // Fault tolerance: when checkpoint.enabled(), Run() snapshots the full
+  // training state (model + BN stats, optimizer state, freeze frontier,
+  // controller/policy state, loop cursors) every interval_iters iterations and
+  // — if the directory already holds a complete checkpoint — resumes from the
+  // latest one instead of starting over. Bitwise-resume contract: with a
+  // deterministic configuration (synchronous controller), a run checkpointed
+  // at iteration k and resumed produces final weights bit-identical to the
+  // uninterrupted run. Timing fields of TrainResult (TTA, per-epoch seconds)
+  // cover only the resumed segment.
+  CheckpointOptions checkpoint;
+
+  // Stop cleanly after this many iterations (a final checkpoint is written if
+  // checkpointing is enabled); <0 runs to completion. Crash-drill hook for
+  // resume tests and benches.
+  int64_t stop_after_iters = -1;
 };
 
 struct FreezeEvent {
@@ -102,6 +119,11 @@ struct TrainResult {
   std::vector<PlasticityRecord> plasticity;
   int final_frontier = 0;
   double last_ref_quantize_seconds = 0.0;
+
+  // Checkpoint/restore bookkeeping: iteration the run resumed from (-1 = fresh
+  // start) and whether stop_after_iters ended the run before cfg.epochs.
+  int64_t resumed_from_iter = -1;
+  bool stopped_early = false;
 };
 
 class Trainer;
@@ -159,6 +181,13 @@ class Trainer {
   void MaybeSubmitEval(const Batch& batch, float lr, int64_t iter);
   void UpdateBootstrap(double loss, int64_t iter);
   std::unique_ptr<Optimizer> MakeOptimizer() const;
+  // Writes a complete checkpoint for `iter` completed iterations (manifest
+  // committed last) and applies retention. Logged best-effort: a failed save
+  // never aborts training.
+  void SaveTrainingCheckpoint(int64_t iter);
+  // Restores the latest complete checkpoint; returns the iteration to resume
+  // after, or -1 when there is nothing (or nothing usable) to resume from.
+  int64_t TryResume();
 
   ChainModel& model_;
   const Dataset& train_data_;

@@ -7,6 +7,10 @@
 #include <tuple>
 #include <unistd.h>
 
+#include <fstream>
+
+#include "src/ckpt/state_dict.h"
+#include "src/ckpt/wire.h"
 #include "src/core/controller.h"
 #include "src/distributed/allreduce.h"
 #include "src/distributed/flat_view.h"
@@ -14,6 +18,7 @@
 #include "src/distributed/transport/tcp_transport.h"
 #include "src/optim/optimizer.h"
 #include "src/optim/sharded_optimizer.h"
+#include "src/tensor/serialize.h"
 #include "src/util/logging.h"
 
 namespace egeria {
@@ -28,20 +33,11 @@ int64_t CountElems(const std::vector<Parameter*>& params) {
   return n;
 }
 
-uint64_t Fnv1a(const void* data, size_t len, uint64_t h) {
-  const auto* bytes = static_cast<const unsigned char*>(data);
-  for (size_t i = 0; i < len; ++i) {
-    h ^= bytes[i];
-    h *= 0x100000001B3ULL;
-  }
-  return h;
-}
-
 uint64_t HashParams(const std::vector<Parameter*>& params) {
-  uint64_t hash = 0xCBF29CE484222325ULL;
+  uint64_t hash = kFnv64Offset;
   for (const Parameter* p : params) {
-    hash = Fnv1a(p->value.Data(),
-                 static_cast<size_t>(p->value.NumEl()) * sizeof(float), hash);
+    hash = Fnv1a64(p->value.Data(),
+                   static_cast<size_t>(p->value.NumEl()) * sizeof(float), hash);
   }
   return hash;
 }
@@ -63,6 +59,68 @@ int32_t ExchangeFrontier(Transport& transport, int rank, int32_t pending) {
   EGERIA_CHECK_MSG(wire.size() == sizeof(FreezeMsg), "bad freeze control message");
   std::memcpy(&msg, wire.data(), sizeof(msg));
   return msg.next_frontier;
+}
+
+// ---- Distributed checkpoint files ----
+
+constexpr uint32_t kShardMagic = 0x44534745;  // 'EGSD'
+constexpr uint32_t kDistStateMagic = 0x44544745;  // 'EGTD'
+constexpr uint32_t kDistStateVersion = 1;
+
+std::string ShardFileName(int rank) {
+  return "shard_r" + std::to_string(rank) + ".state";
+}
+
+// Per-replica buffer section (BatchNorm running statistics): never
+// synchronized by training, so every rank persists its own.
+std::string BuffersFileName(int rank) {
+  return "buffers_r" + std::to_string(rank) + ".state";
+}
+
+bool WriteShardFile(const std::string& path, const ShardedSgd::ShardState& s) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) {
+    return false;
+  }
+  wire::Write(os, kShardMagic);
+  wire::Write(os, kDistStateVersion);
+  wire::Write(os, s.frozen_elems);
+  wire::Write(os, s.active_elems);
+  wire::Write(os, s.global_begin);
+  wire::Write(os, s.global_end);
+  wire::WriteFloats(os, s.velocity);
+  return static_cast<bool>(os);
+}
+
+// AND-reduces a per-rank success flag around the ring (W-1 exchange steps);
+// doubles as the rendezvous that guarantees every rank's files are fully
+// written before rank 0 hashes them into the manifest. A manifest must never
+// commit over a torn peer file: the torn bytes would checksum "valid" and
+// poison every future resume of that step.
+bool AllRanksOk(Transport& transport, bool ok) {
+  uint8_t acc = ok ? 1 : 0;
+  for (int step = 0; step + 1 < transport.World(); ++step) {
+    uint8_t incoming = 1;
+    transport.RingExchange(&acc, 1, &incoming, 1);
+    acc = (acc != 0 && incoming != 0) ? 1 : 0;
+  }
+  return acc != 0;
+}
+
+bool ReadShardFile(const std::string& path, ShardedSgd::ShardState& s) {
+  std::ifstream is(path, std::ios::binary);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  if (!is || !wire::Read(is, magic) || magic != kShardMagic ||
+      !wire::Read(is, version) || version != kDistStateVersion ||
+      !wire::Read(is, s.frozen_elems) || !wire::Read(is, s.active_elems) ||
+      !wire::Read(is, s.global_begin) || !wire::Read(is, s.global_end) ||
+      !wire::ReadFloats(is, s.velocity) ||
+      s.global_end - s.global_begin != static_cast<int64_t>(s.velocity.size())) {
+    EGERIA_LOG(kError) << path << ": malformed optimizer shard";
+    return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -167,15 +225,214 @@ RankTrainResult TrainRank(
       result.reshard_events.push_back(ev);
     }
   };
-  if (sharded) {
+  // ---- Checkpoint plumbing ----
+  // Collective save: every rank writes its shard, then rank 0 snapshots the
+  // (replica-identical, post-all-gather) model plus controller/loop state and
+  // commits the manifest. The trailing barrier keeps "latest complete
+  // checkpoint" well-defined for every rank before anyone can crash ahead.
+  auto save_checkpoint = [&](int64_t at_iter) {
+    const std::string step_dir = CheckpointStepDir(cfg.ckpt.dir, at_iter);
+    bool ok = EnsureDir(step_dir);
+    if (ok && sharded) {
+      ok = WriteShardFile(step_dir + "/" + ShardFileName(rank), shard_opt.ExportShard());
+    }
+    if (ok) {
+      ok = SaveCheckpoint(step_dir + "/" + BuffersFileName(rank),
+                          ExportModelBuffers(model));
+    }
+    ok = AllRanksOk(transport, ok);
+    if (rank == 0 && !ok) {
+      EGERIA_LOG(kError) << "distributed checkpoint at iter " << at_iter
+                         << ": a rank failed to write its files; step abandoned "
+                            "(training continues from the previous checkpoint)";
+    }
+    if (rank == 0 && ok) {
+      CkptManifest m;
+      m.kind = "dist";
+      m.iter = at_iter;
+      m.world = world;
+      m.frontier = frontier;
+      m.next_frontier = next_frontier;
+      m.dir = step_dir;
+      const int64_t active = CountElems(model.ParamsFrom(frontier));
+      m.frozen_elems = total_elems - active;
+      m.active_elems = active;
+      Checkpoint state = ExportModelState(model);
+      if (!sharded) {
+        // Sequential reference path: the replicated optimizer state is
+        // identical on every rank; persist rank 0's alongside the weights.
+        std::vector<Parameter*> params;
+        std::vector<std::string> names;
+        auto named = NamedParams(model);
+        for (auto& [name, p] : named) {
+          names.push_back(std::move(name));
+          params.push_back(p);
+        }
+        opt.ExportState(params, names, state);
+      }
+      ok = ok && SaveCheckpoint(step_dir + "/model.state", state) &&
+           AddManifestFile(m, "model.state");
+      {
+        std::ofstream os(step_dir + "/dist.state", std::ios::binary | std::ios::trunc);
+        wire::Write(os, kDistStateMagic);
+        wire::Write(os, kDistStateVersion);
+        wire::Write(os, at_iter);
+        wire::Write(os, static_cast<uint8_t>(knowledge_stage ? 1 : 0));
+        ok = ok && static_cast<bool>(os);
+      }
+      ok = ok && AddManifestFile(m, "dist.state");
+      if (controller != nullptr) {
+        {
+          std::ofstream os(step_dir + "/controller.state",
+                           std::ios::binary | std::ios::trunc);
+          controller->SaveState(os);
+          ok = ok && static_cast<bool>(os);
+        }
+        ok = ok && AddManifestFile(m, "controller.state");
+      }
+      for (int r = 0; r < world && ok; ++r) {
+        ok = AddManifestFile(m, BuffersFileName(r));
+        if (ok && sharded) {
+          ok = AddManifestFile(m, ShardFileName(r));
+        }
+      }
+      if (!ok || !CommitManifest(m)) {
+        EGERIA_LOG(kError) << "distributed checkpoint at iter " << at_iter
+                           << " failed; training continues uncheckpointed";
+      } else {
+        ApplyRetention(cfg.ckpt.dir, cfg.ckpt.keep_last);
+      }
+    }
+    transport.Barrier();
+  };
+
+  // ---- Resume ----
+  // Rank 0 picks the latest complete checkpoint and broadcasts its iteration,
+  // so every rank restores the same step even if retention or a concurrent
+  // writer could have raced a per-rank scan.
+  int64_t resume_iter = -1;
+  if (!cfg.ckpt.dir.empty() && cfg.ckpt.resume) {
+    int64_t found = -1;
+    if (rank == 0) {
+      if (const auto m = FindLatestCheckpoint(cfg.ckpt.dir)) {
+        if (m->kind == "dist") {
+          found = m->iter;
+        } else {
+          EGERIA_LOG(kError) << m->dir << " is a '" << m->kind
+                             << "' checkpoint; distributed resume ignores it";
+        }
+      }
+    }
+    const std::vector<uint8_t> msg = transport.Broadcast(
+        rank == 0 ? &found : nullptr, rank == 0 ? sizeof(found) : 0);
+    EGERIA_CHECK(msg.size() == sizeof(found));
+    std::memcpy(&found, msg.data(), sizeof(found));
+    resume_iter = found;
+  }
+  if (resume_iter >= 0) {
+    const std::string step_dir = CheckpointStepDir(cfg.ckpt.dir, resume_iter);
+    const auto m = ReadManifest(step_dir);
+    EGERIA_CHECK_MSG(m.has_value(), "resume checkpoint vanished: " + step_dir);
+    EGERIA_CHECK_MSG(m->frozen_elems + m->active_elems == total_elems,
+                     "checkpoint was taken for a different model");
+    iter = m->iter;
+    frontier = m->frontier;
+    next_frontier = m->next_frontier;
+    for (int i = 0; i < model.NumStages(); ++i) {
+      model.SetStageFrozen(i, i < frontier);
+    }
+    Checkpoint state;
+    EGERIA_CHECK_MSG(LoadCheckpoint(step_dir + "/model.state", state) &&
+                         LoadModelState(state, model),
+                     "model state restore failed: " + step_dir);
+    // Buffers (BatchNorm running stats) are per-replica: restore this rank's
+    // own section, overriding the rank-0 copy model.state carries. Elastic
+    // restart maps new ranks onto saved replicas round-robin — buffers have
+    // no world-invariant owner, and both sides of the elastic hash pin use
+    // this same convention.
+    {
+      const int saved_rank = rank % m->world;
+      Checkpoint bufs;
+      EGERIA_CHECK_MSG(
+          LoadCheckpoint(step_dir + "/" + BuffersFileName(saved_rank), bufs) &&
+              LoadModelBuffers(bufs, model),
+          "replica buffer restore failed: " + step_dir);
+    }
+    {
+      std::ifstream is(step_dir + "/dist.state", std::ios::binary);
+      uint32_t magic = 0;
+      uint32_t version = 0;
+      int64_t saved_iter = 0;
+      uint8_t ks = 0;
+      EGERIA_CHECK_MSG(wire::Read(is, magic) && magic == kDistStateMagic &&
+                           wire::Read(is, version) && version == kDistStateVersion &&
+                           wire::Read(is, saved_iter) && saved_iter == m->iter &&
+                           wire::Read(is, ks),
+                       "malformed dist.state: " + step_dir);
+      knowledge_stage = ks != 0;
+    }
+    if (sharded) {
+      // Re-fold the saved momentum shards through the reduction-contract
+      // partition at THIS world size — the saved world may differ (elastic
+      // restart); every element's value is preserved, only ownership moves.
+      std::vector<ShardedSgd::ShardState> saved(static_cast<size_t>(m->world));
+      for (int r = 0; r < m->world; ++r) {
+        EGERIA_CHECK_MSG(
+            ReadShardFile(step_dir + "/" + ShardFileName(r),
+                          saved[static_cast<size_t>(r)]),
+            "optimizer shard restore failed: " + step_dir);
+      }
+      std::tie(shard_begin, shard_end) = shard_opt.RestoreShard(
+          rank, world, m->frozen_elems, m->active_elems, saved);
+    } else {
+      std::vector<Parameter*> params;
+      std::vector<std::string> names;
+      auto named = NamedParams(model);
+      for (auto& [name, p] : named) {
+        names.push_back(std::move(name));
+        params.push_back(p);
+      }
+      EGERIA_CHECK_MSG(opt.ImportState(params, names, state),
+                       "replicated optimizer restore failed: " + step_dir);
+    }
+    if (rank == 0) {
+      if (controller != nullptr) {
+        EGERIA_CHECK_MSG(m->HasFile("controller.state"),
+                         "Egeria enabled but checkpoint has no controller state");
+        std::ifstream cs(step_dir + "/controller.state", std::ios::binary);
+        InferenceFactory float_factory;
+        EGERIA_CHECK_MSG(
+            controller->RestoreState(cs,
+                                     [&] { return model.CloneForInference(float_factory); }),
+            "controller state restore failed: " + step_dir);
+      }
+      // Open the resumed segment on the reshard timeline.
+      DistReshardEvent ev;
+      ev.iter = iter;
+      ev.frontier = frontier;
+      ev.active_elems = m->active_elems;
+      ev.payload_bytes_per_iter = m->active_elems * static_cast<int64_t>(sizeof(float));
+      ev.opt_state_bytes_per_rank = shard_opt.StateBytes();
+      result.reshard_events.push_back(ev);
+      seg_comm_start = ring.CommSeconds();
+    }
+    result.resumed_from_iter = resume_iter;
+    EGERIA_LOG(kInfo) << "rank " << rank << " resumed from " << step_dir << " (iter "
+                      << iter << ", frontier " << frontier << ", saved world "
+                      << m->world << ")";
+  } else if (sharded) {
     reshard(frontier, 0);
   }
 
-  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+  const int start_epoch = static_cast<int>(iter / steps_per_epoch);
+  const int64_t start_step = iter % steps_per_epoch;
+  bool stop = false;
+
+  for (int epoch = start_epoch; epoch < cfg.epochs && !stop; ++epoch) {
     // Every rank derives the same permutation (deterministic in (seed, epoch)).
     DataLoader local(train_data, cfg.batch_size, /*shuffle=*/true, cfg.seed);
     local.StartEpoch(epoch);
-    for (int64_t s = 0; s < steps_per_epoch; ++s) {
+    for (int64_t s = epoch == start_epoch ? start_step : 0; s < steps_per_epoch; ++s) {
       ++iter;
       if (cfg.iteration_hook) {
         cfg.iteration_hook(rank, iter);
@@ -270,6 +527,22 @@ RankTrainResult TrainRank(
       if (!sharded) {
         opt.Step(active, lr);
       }
+
+      // --- Checkpoint + crash-drill stop (collective; every rank shares the
+      // config, so the cadence is in lockstep) ---
+      const bool at_interval =
+          cfg.ckpt.enabled() && iter % cfg.ckpt.interval_iters == 0;
+      if (at_interval) {
+        save_checkpoint(iter);
+      }
+      if (cfg.stop_after_iters >= 0 && iter >= cfg.stop_after_iters) {
+        if (cfg.ckpt.enabled() && !at_interval) {
+          save_checkpoint(iter);
+        }
+        result.stopped_early = true;
+        stop = true;
+        break;
+      }
     }
   }
 
@@ -359,6 +632,8 @@ DistTrainResult TrainDataParallel(
   result.final_frontier = r0.final_frontier;
   result.iterations = r0.iterations;
   result.params_hash = r0.params_hash;
+  result.resumed_from_iter = r0.resumed_from_iter;
+  result.stopped_early = r0.stopped_early;
   result.reshard_events = r0.reshard_events;
   // Synchronized SGD on contract-reduced gradients keeps replicas bitwise
   // identical; the content hash makes that check transport-agnostic.

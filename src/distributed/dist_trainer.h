@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/ckpt/checkpoint.h"
 #include "src/core/config.h"
 #include "src/core/task.h"
 #include "src/data/dataloader.h"
@@ -68,6 +69,23 @@ struct DistTrainConfig {
   bool enable_egeria = false;
   EgeriaConfig egeria;
 
+  // Fault tolerance: when ckpt.enabled(), every rank persists its ZeRO-1
+  // momentum shard each interval, rank 0 commits the manifest (model state,
+  // controller state, loop cursors) after a barrier, and a world started
+  // against a directory holding a complete checkpoint resumes from it. The
+  // saved world size need not match the resuming one: shards are re-folded
+  // through the reduction-contract partition (elastic restart). Bitwise-resume
+  // contract: resuming at the SAME world size reproduces the uninterrupted
+  // run's final weights bit-for-bit; an elastic resume is bitwise-equal to any
+  // other resume of the same checkpoint at the new world size (in-process or
+  // multi-process).
+  CheckpointOptions ckpt;
+
+  // Stop every rank cleanly after this many iterations (a final checkpoint is
+  // written when checkpointing is enabled); <0 runs to completion. All ranks
+  // share the config, so the world stops in lockstep.
+  int64_t stop_after_iters = -1;
+
   // Test hook: invoked at the top of every iteration on every rank (fault
   // injection for the multi-process launcher tests). Null = no-op.
   std::function<void(int rank, int64_t iter)> iteration_hook;
@@ -101,6 +119,8 @@ struct RankTrainResult {
   double allreduce_seconds = 0.0;  // wall seconds in ring collectives
   double final_score = 0.0;        // rank 0 only
   double final_display = 0.0;      // rank 0 only
+  int64_t resumed_from_iter = -1;  // checkpoint iteration resumed from, -1 = fresh
+  bool stopped_early = false;      // stop_after_iters ended the run
   std::vector<DistReshardEvent> reshard_events;  // rank 0, ring-sharded only
   std::unique_ptr<ChainModel> model;             // the trained replica
 };
@@ -118,6 +138,8 @@ struct DistTrainResult {
   int64_t iterations = 0;
   bool replicas_consistent = false;  // replicas bit-identical at the end
   uint64_t params_hash = 0;          // FNV-1a over replica 0's final weights
+  int64_t resumed_from_iter = -1;    // rank 0's resume point (-1 = fresh start)
+  bool stopped_early = false;
   std::vector<DistReshardEvent> reshard_events;  // ring-sharded path only
 };
 

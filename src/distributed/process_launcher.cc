@@ -14,6 +14,7 @@
 #include <sstream>
 #include <thread>
 
+#include "src/ckpt/checkpoint.h"
 #include "src/util/logging.h"
 
 namespace egeria {
@@ -207,6 +208,46 @@ SpawnResult SpawnWorld(const SpawnOptions& options) {
   result.reshard_timeline = ParseKvLines(result.log_paths[0], "EGERIA_RESHARD");
   result.ok = true;
   return result;
+}
+
+SpawnResult SpawnWorldWithRecovery(const SpawnOptions& options,
+                                   const RecoverySpec& recovery) {
+  SpawnResult last;
+  for (int attempt = 0; attempt <= recovery.max_restarts; ++attempt) {
+    SpawnOptions cur = options;
+    cur.log_dir = options.log_dir + "/attempt_" + std::to_string(attempt);
+    if (attempt > 0) {
+      if (recovery.restart_world > 0) {
+        cur.world = recovery.restart_world;
+      }
+      if (recovery.drop_per_rank_args_on_restart) {
+        cur.per_rank_args.clear();
+      }
+    }
+    last = SpawnWorld(cur);
+    last.attempts = attempt + 1;
+    if (last.ok) {
+      return last;
+    }
+    if (attempt == recovery.max_restarts) {
+      break;
+    }
+    std::string resume = "from scratch (no complete checkpoint yet)";
+    if (!recovery.ckpt_dir.empty()) {
+      if (const auto m = FindLatestCheckpoint(recovery.ckpt_dir)) {
+        resume = "from " + m->dir + " (iter " + std::to_string(m->iter) + ")";
+      }
+    }
+    EGERIA_LOG(kWarn) << "world attempt " << attempt + 1 << " failed (" << last.error
+                      << "); restarting " << resume
+                      << (attempt == 0 && recovery.restart_world > 0 &&
+                                  recovery.restart_world != options.world
+                              ? " at world " + std::to_string(recovery.restart_world)
+                              : "");
+  }
+  last.error = "world failed after " + std::to_string(recovery.max_restarts + 1) +
+               " attempt(s); last error: " + last.error;
+  return last;
 }
 
 }  // namespace egeria

@@ -41,10 +41,39 @@ struct SpawnResult {
   std::vector<std::map<std::string, std::string>> rank_results;
   // One map per "EGERIA_RESHARD ..." line in rank 0's log, in order.
   std::vector<std::map<std::string, std::string>> reshard_timeline;
+  // Worlds launched in total (1 = no restart was needed). Only
+  // SpawnWorldWithRecovery ever reports more than 1.
+  int attempts = 1;
 };
 
 // Blocks until every rank exits, a rank fails, or the timeout expires.
 SpawnResult SpawnWorld(const SpawnOptions& options);
+
+// Fault-tolerant supervision on top of SpawnWorld. A crashed or wedged world
+// is killed (SpawnWorld's fail-fast/timeout semantics) and relaunched up to
+// `max_restarts` times; workers launched with --ckpt-dir pointing at
+// `ckpt_dir` resume from the latest complete checkpoint on their own, so a
+// restart continues the run rather than repeating it (with no checkpoint yet,
+// the restart deterministically recomputes from scratch — same final state).
+struct RecoverySpec {
+  int max_restarts = 2;
+  // Checkpoint root the workers write/resume from; used by the launcher only
+  // to report the resume point. Pass it to the workers via --ckpt-dir in
+  // SpawnOptions::common_args.
+  std::string ckpt_dir;
+  // Elastic restart: world size for relaunched attempts (0 = keep
+  // options.world). The workers re-fold the saved optimizer shards through
+  // the reduction-contract partition at the new size.
+  int restart_world = 0;
+  // Per-rank extras (fault injection in tests) are one-shot: restarts drop
+  // them so an injected crash cannot re-fire forever.
+  bool drop_per_rank_args_on_restart = true;
+};
+
+// Each attempt runs in <options.log_dir>/attempt_<n>. Returns the final
+// attempt's result with `attempts` filled in.
+SpawnResult SpawnWorldWithRecovery(const SpawnOptions& options,
+                                   const RecoverySpec& recovery);
 
 }  // namespace egeria
 

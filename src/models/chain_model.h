@@ -33,6 +33,16 @@ class ChainModel {
   virtual int64_t StageParamCount(int i) = 0;
   virtual std::vector<Parameter*> StageParams(int i) = 0;
 
+  // The training modules making up stage i, in a stable order (most stages are
+  // one module; the Transformer's first decoder stage also owns the target
+  // embedding). The checkpoint subsystem traverses these to reach state that
+  // is not a Parameter (BatchNorm running statistics). Default: none — such a
+  // model checkpoints parameters only.
+  virtual std::vector<Module*> StageModules(int i) {
+    (void)i;
+    return {};
+  }
+
   // Parameters of stages [first_stage, NumStages). The active set under freezing.
   std::vector<Parameter*> ParamsFrom(int first_stage);
   int64_t TotalParamCount();
@@ -100,6 +110,9 @@ class StageChainModel : public ChainModel {
   std::string StageName(int i) const override;
   int64_t StageParamCount(int i) override;
   std::vector<Parameter*> StageParams(int i) override;
+  std::vector<Module*> StageModules(int i) override {
+    return {stages_[static_cast<size_t>(i)].get()};
+  }
 
   Tensor ForwardFrom(int start, const Tensor& input) override;
   void BackwardTo(int stop, const Tensor& grad_output) override;

@@ -81,6 +81,28 @@ std::vector<Parameter*> TransformerChainModel::StageParams(int i) {
   return out_proj_->Parameters();
 }
 
+std::vector<Module*> TransformerChainModel::StageModules(int i) {
+  // StageModules feeds the checkpoint subsystem's non-parameter-buffer
+  // traversal. TransformerDecoderLayer lives outside the Module interface, but
+  // its sublayers (LayerNorm, attention, FFN) are parameter-only — there are
+  // no buffers to miss, so decoder stages expose just their Module-typed parts
+  // (the target embedding on the first decoder stage).
+  if (i == 0) {
+    return {src_embed_.get()};
+  }
+  if (i <= num_enc_) {
+    return {encoders_[static_cast<size_t>(i - 1)].get()};
+  }
+  if (i < ProjStage()) {
+    const int layer = i - num_enc_ - 1;
+    if (layer == 0) {
+      return {tgt_embed_.get()};
+    }
+    return {};
+  }
+  return {out_proj_.get()};
+}
+
 void TransformerChainModel::SetBatch(const Batch& batch) {
   EGERIA_CHECK_MSG(batch.target_input.Defined(),
                    name_ + ": seq2seq batch requires target_input");

@@ -50,6 +50,7 @@ class TransformerChainModel : public ChainModel {
   std::string StageName(int i) const override;
   int64_t StageParamCount(int i) override;
   std::vector<Parameter*> StageParams(int i) override;
+  std::vector<Module*> StageModules(int i) override;
 
   void SetBatch(const Batch& batch) override;
   Tensor ForwardFrom(int start, const Tensor& input) override;

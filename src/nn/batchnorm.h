@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/nn/module.h"
@@ -26,6 +27,9 @@ class BatchNorm2d : public Module {
   Tensor Backward(const Tensor& grad_output) override;
 
   std::vector<Parameter*> LocalParams() override;
+  std::vector<std::pair<std::string, Tensor*>> LocalStateTensors() override {
+    return {{"running_mean", &running_mean_}, {"running_var", &running_var_}};
+  }
   std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
   void CopyStateFrom(const Module& other) override;
 

@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/tensor/tensor.h"
@@ -67,6 +68,14 @@ class Module {
 
   // Parameters owned directly by this module (not by children).
   virtual std::vector<Parameter*> LocalParams() { return {}; }
+  // Non-parameter tensors that are part of the module's persistent training
+  // state (BatchNorm running statistics). CopyStateFrom already replicates
+  // them between live models; this hook is what lets the checkpoint subsystem
+  // persist them to disk alongside parameters. Names must be stable and
+  // unique within the module.
+  virtual std::vector<std::pair<std::string, Tensor*>> LocalStateTensors() {
+    return {};
+  }
   // Direct submodules. Used for recursive traversal (params, modes).
   virtual std::vector<Module*> Children() { return {}; }
 

@@ -1,6 +1,7 @@
 #include "src/optim/optimizer.h"
 
 #include <cmath>
+#include <utility>
 
 #include "src/util/logging.h"
 
@@ -56,6 +57,36 @@ int64_t Sgd::StateBytes() const {
   return bytes;
 }
 
+void Sgd::ExportState(const std::vector<Parameter*>& params,
+                      const std::vector<std::string>& names, Checkpoint& out) const {
+  EGERIA_CHECK(params.size() == names.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const auto it = velocity_.find(params[i]);
+    if (it != velocity_.end()) {
+      out.emplace(names[i] + "#v", it->second.Clone());
+    }
+  }
+}
+
+bool Sgd::ImportState(const std::vector<Parameter*>& params,
+                      const std::vector<std::string>& names, const Checkpoint& in) {
+  EGERIA_CHECK(params.size() == names.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    velocity_.erase(params[i]);
+    const auto it = in.find(names[i] + "#v");
+    if (it == in.end()) {
+      continue;  // No saved state: matches a released / never-stepped param.
+    }
+    if (it->second.NumEl() != params[i]->value.NumEl()) {
+      EGERIA_LOG(kError) << "sgd state " << names[i] << " has " << it->second.NumEl()
+                         << " elements, parameter has " << params[i]->value.NumEl();
+      return false;
+    }
+    velocity_.emplace(params[i], it->second.Clone());
+  }
+  return true;
+}
+
 Adam::Adam(float beta1, float beta2, float eps, float weight_decay)
     : beta1_(beta1), beta2_(beta2), eps_(eps), weight_decay_(weight_decay) {}
 
@@ -101,6 +132,50 @@ int64_t Adam::StateBytes() const {
              static_cast<int64_t>(sizeof(float));
   }
   return bytes;
+}
+
+void Adam::ExportState(const std::vector<Parameter*>& params,
+                       const std::vector<std::string>& names, Checkpoint& out) const {
+  EGERIA_CHECK(params.size() == names.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const auto it = state_.find(params[i]);
+    if (it == state_.end()) {
+      continue;
+    }
+    out.emplace(names[i] + "#m", it->second.m.Clone());
+    out.emplace(names[i] + "#v", it->second.v.Clone());
+    // The step counter as a 1-element tensor; float is exact below 2^24 steps,
+    // far beyond any run in this repo.
+    out.emplace(names[i] + "#t",
+                Tensor::Full({1}, static_cast<float>(it->second.t)));
+  }
+}
+
+bool Adam::ImportState(const std::vector<Parameter*>& params,
+                       const std::vector<std::string>& names, const Checkpoint& in) {
+  EGERIA_CHECK(params.size() == names.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    state_.erase(params[i]);
+    const auto m_it = in.find(names[i] + "#m");
+    const auto v_it = in.find(names[i] + "#v");
+    const auto t_it = in.find(names[i] + "#t");
+    if (m_it == in.end() && v_it == in.end() && t_it == in.end()) {
+      continue;
+    }
+    if (m_it == in.end() || v_it == in.end() || t_it == in.end() ||
+        m_it->second.NumEl() != params[i]->value.NumEl() ||
+        v_it->second.NumEl() != params[i]->value.NumEl() ||
+        t_it->second.NumEl() != 1) {
+      EGERIA_LOG(kError) << "adam state " << names[i] << " is incomplete or misshapen";
+      return false;
+    }
+    State s;
+    s.m = m_it->second.Clone();
+    s.v = v_it->second.Clone();
+    s.t = static_cast<int64_t>(t_it->second.At(int64_t{0}));
+    state_.emplace(params[i], std::move(s));
+  }
+  return true;
 }
 
 }  // namespace egeria

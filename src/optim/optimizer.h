@@ -11,10 +11,12 @@
 #define EGERIA_SRC_OPTIM_OPTIMIZER_H_
 
 #include <cstdint>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "src/nn/module.h"
+#include "src/tensor/serialize.h"
 
 namespace egeria {
 
@@ -37,6 +39,19 @@ class Optimizer {
   virtual void ReleaseState(const std::vector<Parameter*>& params) = 0;
   // Resident bytes of optimizer state currently held.
   virtual int64_t StateBytes() const = 0;
+
+  // Checkpoint support. ExportState adds this optimizer's per-parameter state
+  // to `out`, keyed "<names[i]>#<field>" for params[i]; parameters that hold
+  // no state (released frozen stages, never-stepped params) contribute
+  // nothing. ImportState is the exact inverse: present entries are restored
+  // bitwise, absent entries leave the parameter stateless (matching
+  // ReleaseState semantics). Returns false (and logs) on a shape mismatch.
+  virtual void ExportState(const std::vector<Parameter*>& params,
+                           const std::vector<std::string>& names,
+                           Checkpoint& out) const = 0;
+  virtual bool ImportState(const std::vector<Parameter*>& params,
+                           const std::vector<std::string>& names,
+                           const Checkpoint& in) = 0;
 };
 
 class Sgd : public Optimizer {
@@ -45,6 +60,10 @@ class Sgd : public Optimizer {
   void Step(const std::vector<Parameter*>& params, float lr) override;
   void ReleaseState(const std::vector<Parameter*>& params) override;
   int64_t StateBytes() const override;
+  void ExportState(const std::vector<Parameter*>& params,
+                   const std::vector<std::string>& names, Checkpoint& out) const override;
+  bool ImportState(const std::vector<Parameter*>& params,
+                   const std::vector<std::string>& names, const Checkpoint& in) override;
 
  private:
   float momentum_;
@@ -59,6 +78,10 @@ class Adam : public Optimizer {
   void Step(const std::vector<Parameter*>& params, float lr) override;
   void ReleaseState(const std::vector<Parameter*>& params) override;
   int64_t StateBytes() const override;
+  void ExportState(const std::vector<Parameter*>& params,
+                   const std::vector<std::string>& names, Checkpoint& out) const override;
+  bool ImportState(const std::vector<Parameter*>& params,
+                   const std::vector<std::string>& names, const Checkpoint& in) override;
 
  private:
   struct State {

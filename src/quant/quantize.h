@@ -48,6 +48,14 @@ class MinMaxObserver {
   bool Calibrated() const { return observed_; }
   float Scale() const;
 
+  // Checkpoint support: the observed range IS the calibration, so restoring
+  // it bit-for-bit reproduces every post-restore quantized forward.
+  float MaxAbs() const { return max_abs_; }
+  void Restore(float max_abs, bool observed) {
+    max_abs_ = max_abs;
+    observed_ = observed;
+  }
+
  private:
   float max_abs_ = 0.0F;
   bool observed_ = false;

@@ -23,6 +23,17 @@ enum class QuantMode { kDynamic, kStatic };
 // Number of forward passes used for observer calibration in static mode.
 inline constexpr int kStaticCalibrationBatches = 2;
 
+// Static-mode self-calibration state (observer range + remaining calibration
+// batches). Checkpoints persist this for every quantized module of the
+// reference model: a reference rebuilt from a snapshot mid-calibration must
+// continue with the same scales, or post-restore plasticity readings — and
+// therefore freeze decisions — drift off the uninterrupted run.
+struct QuantCalibrationState {
+  float max_abs = 0.0F;
+  bool observed = false;
+  int calibration_left = kStaticCalibrationBatches;
+};
+
 class QuantLinear : public Module {
  public:
   QuantLinear(const Linear& src, QuantMode mode);
@@ -30,6 +41,14 @@ class QuantLinear : public Module {
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;  // CHECK-fails: inference only
   std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+  QuantCalibrationState calibration() const {
+    return {observer_.MaxAbs(), observer_.Calibrated(), calibration_left_};
+  }
+  void RestoreCalibration(const QuantCalibrationState& s) {
+    observer_.Restore(s.max_abs, s.observed);
+    calibration_left_ = s.calibration_left;
+  }
 
  private:
   float InputScale(const float* x, int64_t n);
@@ -50,6 +69,14 @@ class QuantConv2d : public Module {
   Tensor Forward(const Tensor& input) override;
   Tensor Backward(const Tensor& grad_output) override;
   std::unique_ptr<Module> CloneForInference(const InferenceFactory& factory) const override;
+
+  QuantCalibrationState calibration() const {
+    return {observer_.MaxAbs(), observer_.Calibrated(), calibration_left_};
+  }
+  void RestoreCalibration(const QuantCalibrationState& s) {
+    observer_.Restore(s.max_abs, s.observed);
+    calibration_left_ = s.calibration_left;
+  }
 
  private:
   float InputScale(const float* x, int64_t n);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "src/util/logging.h"
 
@@ -44,6 +45,13 @@ void MovingAverage::Reset() {
   total_count_ = 0;
 }
 
+void MovingAverage::Restore(std::deque<double> values, double sum, size_t total_count) {
+  EGERIA_CHECK(values.size() <= window_);
+  values_ = std::move(values);
+  sum_ = sum;
+  total_count_ = total_count;
+}
+
 WindowedLinearFit::WindowedLinearFit(size_t window) : window_(window) {
   EGERIA_CHECK(window_ >= 2);
 }
@@ -69,6 +77,11 @@ void WindowedLinearFit::SetWindow(size_t window) {
 }
 
 void WindowedLinearFit::Reset() { values_.clear(); }
+
+void WindowedLinearFit::Restore(std::deque<double> values) {
+  EGERIA_CHECK(values.size() <= window_);
+  values_ = std::move(values);
+}
 
 LinearFit FitLine(const std::vector<double>& y) {
   LinearFit fit;

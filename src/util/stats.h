@@ -25,6 +25,14 @@ class MovingAverage {
   void SetWindow(size_t window);  // Shrinks history if needed (used when halving W).
   void Reset();
 
+  // Checkpoint support. The running sum_ is maintained incrementally
+  // (add/subtract as values enter and leave the window), so restoring bitwise
+  // requires persisting it verbatim — recomputing it from the history can
+  // differ in the low bits and change downstream freeze decisions.
+  const std::deque<double>& History() const { return values_; }
+  double Sum() const { return sum_; }
+  void Restore(std::deque<double> values, double sum, size_t total_count);
+
  private:
   size_t window_;
   std::deque<double> values_;
@@ -50,6 +58,10 @@ class WindowedLinearFit {
   size_t Count() const { return values_.size(); }
   void SetWindow(size_t window);
   void Reset();
+
+  // Checkpoint support (the fit itself is a pure function of the history).
+  const std::deque<double>& History() const { return values_; }
+  void Restore(std::deque<double> values);
 
  private:
   size_t window_;

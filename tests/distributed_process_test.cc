@@ -14,8 +14,10 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
+#include "src/ckpt/checkpoint.h"
 #include "src/distributed/dist_trainer.h"
 #include "src/distributed/dist_workload.h"
 #include "src/distributed/process_launcher.h"
@@ -127,6 +129,139 @@ TEST(DistributedProcess, TwoProcessWorldMatchesReferenceWithoutFreezing) {
   EXPECT_EQ(ParseHash(run.rank_results[1]), hash0);
   if (!HasFailure()) {
     RemoveLogDir(options, run);
+  }
+}
+
+// ---- Fault tolerance: crash, auto-restart, resume — the acceptance pin ----
+
+int64_t ParseInt(const std::map<std::string, std::string>& kv, const char* key,
+                 int64_t missing = -1) {
+  const auto it = kv.find(key);
+  return it == kv.end() ? missing : std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+// A world-3 TCP run with a rank killed mid-run — the kill placed so the
+// recovery window SPANS the first freeze/reshard event — must auto-restart
+// from the latest complete checkpoint and finish with weights bitwise-equal
+// to the uninterrupted single-process reference.
+TEST(DistributedProcess, CrashedWorldAutoRestartsAndMatchesReferenceBitwise) {
+  const int world = 3;
+  // Uninterrupted references: the sequential rank-0 reducer (the repo's
+  // ground truth) and the in-process ring run (pinned equal to it by the
+  // tests above), whose reshard timeline locates the first freeze.
+  const DistTrainResult seq_ref = ReferenceRun("tiny", world, /*egeria=*/true);
+  ASSERT_TRUE(seq_ref.replicas_consistent);
+  DistWorkload ring_w = MakeDistWorkload("tiny");
+  ring_w.cfg.world = world;
+  ring_w.cfg.enable_egeria = true;
+  const DistTrainResult ring_ref =
+      TrainDataParallel(ring_w.make_model, *ring_w.train, *ring_w.val, ring_w.cfg);
+  ASSERT_EQ(ring_ref.params_hash, seq_ref.params_hash);
+  ASSERT_GE(ring_ref.reshard_events.size(), 2U) << "workload no longer freezes";
+  const int64_t freeze_iter = ring_ref.reshard_events[1].iter;
+  ASSERT_GE(freeze_iter, 4) << "freeze too early to stage a spanning checkpoint";
+  ASSERT_LE(freeze_iter + 2, ring_ref.iterations - 3) << "freeze too late to crash after";
+  // One checkpoint lands just before the freeze; the crash fires just after
+  // the freeze+reshard applied, so the restart replays both from the
+  // checkpoint (the next interval checkpoint, 2*(f-1), is past the crash).
+  const int64_t ckpt_interval = freeze_iter - 1;
+  const int64_t fault_iter = freeze_iter + 2;
+
+  SpawnOptions options;
+  options.worker_binary = WorkerBinary();
+  options.world = world;
+  options.log_dir = MakeLogDir("recover");
+  const std::string ckpt_dir = options.log_dir + "/ckpt";
+  options.common_args = {"--workload=tiny", "--egeria=1", "--ckpt-dir=" + ckpt_dir,
+                         "--ckpt-interval=" + std::to_string(ckpt_interval)};
+  options.per_rank_args = {{}, {"--fault=exit:" + std::to_string(fault_iter)}, {}};
+  options.timeout_s = 240.0;
+  RecoverySpec recovery;
+  recovery.max_restarts = 1;
+  recovery.ckpt_dir = ckpt_dir;
+  const SpawnResult run = SpawnWorldWithRecovery(options, recovery);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.attempts, 2) << "fault injection never fired";
+
+  ASSERT_EQ(run.rank_results.size(), static_cast<size_t>(world));
+  const uint64_t hash0 = ParseHash(run.rank_results[0]);
+  ASSERT_NE(hash0, 0U);
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(ParseHash(run.rank_results[static_cast<size_t>(r)]), hash0)
+        << "rank " << r << " replica diverged";
+    EXPECT_EQ(ParseInt(run.rank_results[static_cast<size_t>(r)], "resumed_from"),
+              ckpt_interval)
+        << "rank " << r << " did not resume from the pre-freeze checkpoint";
+  }
+  // The acceptance pin: crash + auto-restart == uninterrupted single-process
+  // reference, bit for bit, across a freeze/reshard replay.
+  EXPECT_EQ(hash0, seq_ref.params_hash);
+  EXPECT_EQ(ParseInt(run.rank_results[0], "final_frontier"), seq_ref.final_frontier);
+  if (!HasFailure()) {
+    std::filesystem::remove_all(options.log_dir);
+  }
+}
+
+// Elastic restart: a checkpoint written by a world-4 TCP-process run resumed
+// by a world-3 process run (momentum shards re-folded through the
+// reduction-contract partition) must match, bitwise, the in-process world-3
+// resume of the same checkpoint.
+TEST(DistributedProcess, ElasticRestartWorld4To3MatchesInProcessReference) {
+  const std::string log_dir = MakeLogDir("elastic");
+  const std::string dir_proc = log_dir + "/ckpt_proc";
+  const std::string dir_ref = log_dir + "/ckpt_ref";
+
+  // Stage a world-4 checkpoint in-process (bitwise-equal to what a 4-process
+  // world writes: the weights are pinned across harnesses, shards and buffer
+  // sections are deterministic functions of the run).
+  DistWorkload stage = MakeDistWorkload("tiny");
+  stage.cfg.world = 4;
+  stage.cfg.enable_egeria = true;
+  stage.cfg.ckpt.dir = dir_proc;
+  stage.cfg.ckpt.interval_iters = 6;
+  stage.cfg.stop_after_iters = 24;
+  const DistTrainResult staged =
+      TrainDataParallel(stage.make_model, *stage.train, *stage.val, stage.cfg);
+  ASSERT_TRUE(staged.stopped_early);
+  std::filesystem::copy(dir_proc, dir_ref, std::filesystem::copy_options::recursive);
+  const auto latest = FindLatestCheckpoint(dir_proc);
+  ASSERT_TRUE(latest.has_value());
+  ASSERT_EQ(latest->iter, 24);
+  ASSERT_EQ(latest->world, 4);
+
+  // In-process elastic reference: resume the same checkpoint at world 3.
+  DistWorkload ref = MakeDistWorkload("tiny");
+  ref.cfg.world = 3;
+  ref.cfg.enable_egeria = true;
+  ref.cfg.ckpt.dir = dir_ref;
+  ref.cfg.ckpt.interval_iters = 6;
+  const DistTrainResult inproc =
+      TrainDataParallel(ref.make_model, *ref.train, *ref.val, ref.cfg);
+  ASSERT_EQ(inproc.resumed_from_iter, 24);
+  ASSERT_TRUE(inproc.replicas_consistent);
+
+  // Elastic restart as real OS processes over TCP.
+  SpawnOptions options;
+  options.worker_binary = WorkerBinary();
+  options.world = 3;
+  options.log_dir = log_dir + "/world3";
+  options.common_args = {"--workload=tiny", "--egeria=1", "--ckpt-dir=" + dir_proc,
+                         "--ckpt-interval=6"};
+  options.timeout_s = 240.0;
+  const SpawnResult run = SpawnWorld(options);
+  ASSERT_TRUE(run.ok) << run.error;
+  const uint64_t hash0 = ParseHash(run.rank_results[0]);
+  ASSERT_NE(hash0, 0U);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(ParseHash(run.rank_results[static_cast<size_t>(r)]), hash0);
+    EXPECT_EQ(ParseInt(run.rank_results[static_cast<size_t>(r)], "resumed_from"), 24);
+  }
+  // The elastic hash pin: 3 OS processes resuming a world-4 checkpoint ==
+  // the in-process world-3 resume, bit for bit.
+  EXPECT_EQ(hash0, inproc.params_hash);
+  EXPECT_EQ(ParseInt(run.rank_results[0], "final_frontier"), inproc.final_frontier);
+  if (!HasFailure()) {
+    std::filesystem::remove_all(log_dir);
   }
 }
 

@@ -9,16 +9,19 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "src/ckpt/checkpoint.h"
 #include "src/core/module_partitioner.h"
 #include "src/data/synthetic_image.h"
 #include "src/distributed/allreduce.h"
 #include "src/distributed/comm_scheduler.h"
 #include "src/distributed/dist_trainer.h"
+#include "src/distributed/dist_workload.h"
 #include "src/distributed/flat_view.h"
 #include "src/distributed/network_model.h"
 #include "src/distributed/reduction_contract.h"
@@ -601,6 +604,105 @@ TEST_F(DistTrainerTest, EgeriaShardedRunMatchesReferenceAndShrinksState) {
   EXPECT_LE(first.opt_state_bytes_per_rank,
             first.active_elems * static_cast<int64_t>(sizeof(float)) / cfg.world +
                 static_cast<int64_t>(sizeof(float)));
+}
+
+// ---- Checkpoint/restore: the bitwise-resume contract at harness level ----
+
+std::string MakeCkptDir(const std::string& label) {
+  std::string tmpl =
+      (std::filesystem::temp_directory_path() / ("egeria-" + label + "-XXXXXX"))
+          .string();
+  EXPECT_NE(nullptr, mkdtemp(tmpl.data()));
+  return tmpl;
+}
+
+// A world that dies mid-run (here: a clean lockstep stop standing in for the
+// crash) and restarts against the same checkpoint directory must finish with
+// final weights bit-identical to the uninterrupted run — including freeze
+// decisions and shard repartitions that happen AFTER the resume point.
+TEST(DistResume, SameWorldResumeBitwiseMatchesUninterrupted) {
+  DistWorkload w = MakeDistWorkload("tiny");
+  w.cfg.world = 3;
+  w.cfg.enable_egeria = true;
+  const DistTrainResult ref = TrainDataParallel(w.make_model, *w.train, *w.val, w.cfg);
+  ASSERT_TRUE(ref.replicas_consistent);
+  ASSERT_GT(ref.final_frontier, 0) << "workload no longer freezes; test is hollow";
+
+  const std::string dir = MakeCkptDir("dresume");
+  DistWorkload crash = MakeDistWorkload("tiny");
+  crash.cfg.world = 3;
+  crash.cfg.enable_egeria = true;
+  crash.cfg.ckpt.dir = dir;
+  crash.cfg.ckpt.interval_iters = 7;
+  crash.cfg.stop_after_iters = 37;
+  const DistTrainResult stopped =
+      TrainDataParallel(crash.make_model, *crash.train, *crash.val, crash.cfg);
+  EXPECT_TRUE(stopped.stopped_early);
+  ASSERT_LT(stopped.iterations, ref.iterations);
+
+  DistWorkload resume = MakeDistWorkload("tiny");
+  resume.cfg.world = 3;
+  resume.cfg.enable_egeria = true;
+  resume.cfg.ckpt.dir = dir;
+  resume.cfg.ckpt.interval_iters = 7;
+  const DistTrainResult resumed =
+      TrainDataParallel(resume.make_model, *resume.train, *resume.val, resume.cfg);
+  EXPECT_EQ(resumed.resumed_from_iter, 37);
+  EXPECT_TRUE(resumed.replicas_consistent);
+  EXPECT_EQ(resumed.final_frontier, ref.final_frontier);
+  EXPECT_EQ(resumed.params_hash, ref.params_hash)
+      << "resume diverged from the uninterrupted run";
+  EXPECT_EQ(resumed.iterations, ref.iterations);
+  std::filesystem::remove_all(dir);
+}
+
+// Elastic restart: a world-4 checkpoint resumed at world 3. The saved momentum
+// shards are re-folded through the reduction-contract partition, so any two
+// resumes of the same checkpoint at the new world size — inproc threads or
+// real TCP sockets — must agree bitwise.
+TEST(DistResume, ElasticResumeWorld4To3AgreesAcrossTransports) {
+  const std::string dir_a = MakeCkptDir("elasticA");
+  const std::string dir_b = MakeCkptDir("elasticB");
+
+  DistWorkload stage = MakeDistWorkload("tiny");
+  stage.cfg.world = 4;
+  stage.cfg.enable_egeria = true;
+  stage.cfg.ckpt.dir = dir_a;
+  stage.cfg.ckpt.interval_iters = 6;
+  stage.cfg.stop_after_iters = 24;
+  const DistTrainResult staged =
+      TrainDataParallel(stage.make_model, *stage.train, *stage.val, stage.cfg);
+  ASSERT_TRUE(staged.stopped_early);
+  // Clone the checkpoint before any resume appends newer steps to it.
+  std::filesystem::copy(dir_a, dir_b, std::filesystem::copy_options::recursive);
+  const auto latest = FindLatestCheckpoint(dir_b);
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->iter, 24);
+  EXPECT_EQ(latest->world, 4);  // Written by world 4, about to resume at 3.
+
+  auto resume_at_3 = [](const std::string& dir,
+                        DistTrainConfig::TransportKind transport) {
+    DistWorkload w = MakeDistWorkload("tiny");
+    w.cfg.world = 3;
+    w.cfg.enable_egeria = true;
+    w.cfg.transport = transport;
+    w.cfg.ckpt.dir = dir;
+    w.cfg.ckpt.interval_iters = 6;
+    return TrainDataParallel(w.make_model, *w.train, *w.val, w.cfg);
+  };
+  const DistTrainResult inproc =
+      resume_at_3(dir_a, DistTrainConfig::TransportKind::kInproc);
+  const DistTrainResult tcp = resume_at_3(dir_b, DistTrainConfig::TransportKind::kTcp);
+
+  EXPECT_EQ(inproc.resumed_from_iter, 24);
+  EXPECT_EQ(tcp.resumed_from_iter, 24);
+  EXPECT_TRUE(inproc.replicas_consistent);
+  EXPECT_TRUE(tcp.replicas_consistent);
+  EXPECT_EQ(inproc.params_hash, tcp.params_hash)
+      << "elastic resume is transport-dependent";
+  EXPECT_EQ(inproc.final_frontier, tcp.final_frontier);
+  std::filesystem::remove_all(dir_a);
+  std::filesystem::remove_all(dir_b);
 }
 
 }  // namespace

@@ -18,6 +18,13 @@
 //   --workload=tiny|fig10   (default tiny; see src/distributed/dist_workload.h)
 //   --epochs=N              (override the workload default)
 //   --egeria=0|1            (enable the freezing controller; default 0)
+//   --ckpt-dir=PATH         (checkpoint root; with a complete checkpoint
+//       present the rank RESUMES from it — rerunning the same command after a
+//       crash continues the run, even at a different --world: elastic restart)
+//   --ckpt-interval=N       (snapshot every N iterations; default 0 = off)
+//   --ckpt-keep=N           (complete checkpoints retained; default 2)
+//   --stop-after=N          (stop cleanly after N iterations, writing a final
+//       checkpoint — stages elastic-restart drills from the command line)
 //   --connect-timeout=S --io-timeout=S
 //   --fault=hang:I | exit:I (test-only: at iteration I this rank hangs
 //       forever / exits 3; I=0 fires before the transport even connects)
@@ -71,12 +78,20 @@ int Main(int argc, char** argv) {
   std::string connect_timeout_s;
   std::string io_timeout_s;
   std::string fault;
+  std::string ckpt_dir;
+  std::string ckpt_interval_s;
+  std::string ckpt_keep_s;
+  std::string stop_after_s;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (FlagValue(a, "rank", &rank_s) || FlagValue(a, "world", &world_s) ||
         FlagValue(a, "rendezvous", &rendezvous) ||
         FlagValue(a, "workload", &workload_name) ||
         FlagValue(a, "epochs", &epochs_s) || FlagValue(a, "egeria", &egeria_s) ||
+        FlagValue(a, "ckpt-dir", &ckpt_dir) ||
+        FlagValue(a, "ckpt-interval", &ckpt_interval_s) ||
+        FlagValue(a, "ckpt-keep", &ckpt_keep_s) ||
+        FlagValue(a, "stop-after", &stop_after_s) ||
         FlagValue(a, "connect-timeout", &connect_timeout_s) ||
         FlagValue(a, "io-timeout", &io_timeout_s) || FlagValue(a, "fault", &fault)) {
       continue;
@@ -124,6 +139,16 @@ int Main(int argc, char** argv) {
   }
   w.cfg.enable_egeria = std::atoi(egeria_s.c_str()) != 0;
   w.cfg.reducer = DistTrainConfig::Reducer::kRingSharded;
+  w.cfg.ckpt.dir = ckpt_dir;
+  if (!ckpt_interval_s.empty()) {
+    w.cfg.ckpt.interval_iters = std::atoll(ckpt_interval_s.c_str());
+  }
+  if (!ckpt_keep_s.empty()) {
+    w.cfg.ckpt.keep_last = std::atoi(ckpt_keep_s.c_str());
+  }
+  if (!stop_after_s.empty()) {
+    w.cfg.stop_after_iters = std::atoll(stop_after_s.c_str());
+  }
   if (fault_iter > 0) {
     const int64_t at = fault_iter;
     const bool hang = fault_hang;
@@ -164,14 +189,15 @@ int Main(int argc, char** argv) {
   std::printf("EGERIA_RESULT rank=%d world=%d workload=%s params_hash=%016llx "
               "final_frontier=%d iterations=%lld bytes_synced=%lld "
               "bytes_full_model=%lld wire_bytes=%lld allreduce_seconds=%.6f "
-              "final_acc=%.4f\n",
+              "final_acc=%.4f resumed_from=%lld stopped_early=%d\n",
               rank, world, w.name.c_str(),
               static_cast<unsigned long long>(r.params_hash), r.final_frontier,
               static_cast<long long>(r.iterations),
               static_cast<long long>(r.bytes_synced),
               static_cast<long long>(r.bytes_full_model),
               static_cast<long long>(r.wire_bytes), r.allreduce_seconds,
-              r.final_display);
+              r.final_display, static_cast<long long>(r.resumed_from_iter),
+              r.stopped_early ? 1 : 0);
   return 0;
 }
 
