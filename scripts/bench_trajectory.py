@@ -2,12 +2,19 @@
 """Append a benchmark run to the BENCH_gemm.json trajectory; optionally gate.
 
 Usage:
-    bench_trajectory.py TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA [--gate]
+    bench_trajectory.py TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA
+        [--integrity=FILE] [--gate]
 
 Parses the google-benchmark JSON report (BM_MatMul{,Fp16,Int8}/256) and the
 table2 smoke output, then updates-or-appends a git-SHA-keyed entry in the
 trajectory file (re-running on the same SHA replaces that SHA's entry; a clean
 run supersedes its own pre-commit "-dirty" entry).
+
+With --integrity=FILE, additionally parses bench/integrity_overhead train-mode
+output (EGERIA_INTEGRITY_BENCH / EGERIA_HEARTBEAT_BENCH lines) into the entry,
+so the frame-integrity and heartbeat tax on the fig10 TCP allreduce path is
+tracked alongside the kernel numbers. Advisory only — shared-host distributed
+timings are too noisy to gate on.
 
 With --gate, additionally compares this run's GFLOP/s against the latest clean
 (non-dirty, different-SHA) entry already in the trajectory — falling back to
@@ -56,6 +63,29 @@ def parse_table2(table2_path):
             if m:
                 smoke["fastest"] = m.group(1)
     return smoke
+
+
+def parse_integrity(path):
+    overhead = {}
+    keys = {
+        "EGERIA_INTEGRITY_BENCH": "integrity",
+        "EGERIA_HEARTBEAT_BENCH": "heartbeat",
+    }
+    with open(path) as f:
+        for line in f:
+            fields = line.split()
+            if not fields or fields[0] not in keys:
+                continue
+            parsed = {}
+            for kv in fields[1:]:
+                k, _, v = kv.partition("=")
+                try:
+                    parsed[k] = float(v) if "." in v or "-" in v else int(v)
+                except ValueError:
+                    parsed[k] = v
+            overhead[keys[fields[0]]] = parsed
+            print(line.rstrip())
+    return overhead
 
 
 def load_runs(traj_path):
@@ -121,11 +151,18 @@ def check_gate(entry, baseline):
 
 def main(argv):
     if len(argv) < 5:
-        print(f"usage: {argv[0]} TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA [--gate]",
-              file=sys.stderr)
+        print(f"usage: {argv[0]} TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA "
+              f"[--integrity=FILE] [--gate]", file=sys.stderr)
         return 2
     traj_path, bench_path, table2_path, sha = argv[1:5]
     gate = "--gate" in argv[5:]
+    integrity_path = None
+    for arg in argv[5:]:
+        if arg.startswith("--integrity="):
+            integrity_path = arg[len("--integrity="):]
+        elif arg != "--gate":
+            print(f"{argv[0]}: unknown argument {arg}", file=sys.stderr)
+            return 2
 
     entry = {
         "sha": sha,
@@ -134,6 +171,8 @@ def main(argv):
         "gemm_gflops": parse_benchmarks(bench_path),
         "table2_smoke": parse_table2(table2_path),
     }
+    if integrity_path:
+        entry["integrity_overhead"] = parse_integrity(integrity_path)
 
     runs = load_runs(traj_path)
     baseline = gate_baseline(runs, sha)

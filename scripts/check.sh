@@ -3,13 +3,17 @@
 #
 # Runs the canonical build-and-test line from ROADMAP.md, then:
 #   - the BM_MatMul{,Fp16,Int8}/256 microbenchmarks (items_per_second * 2 =
-#     FLOP/s; each item is one multiply-add), and
+#     FLOP/s; each item is one multiply-add),
 #   - the Table-2 smoke (reference-model forward latency per precision on the
 #     paper-geometry ResNet-56),
+#   - distributed smokes: a 2-process TCP world, a crash-resume drill, and a
+#     one-seed chaos drill (fault injection -> typed checksum abort ->
+#     checkpoint resume, hash-pinned), and
+#   - the frame-integrity / heartbeat overhead bench on real fig10 TCP worlds,
 # and APPENDS the results as a git-SHA-keyed entry to the BENCH_gemm.json
 # trajectory (scripts/bench_trajectory.py), so successive PRs' numbers line up
 # and kernel regressions surface (re-running on the same SHA updates that SHA's
-# entry in place).
+# entry in place). The integrity/heartbeat record is advisory (never gated).
 #
 # Usage: check.sh [--gate]
 #   --gate   After recording, compare this run's BM_MatMul{,Fp16,Int8}/256
@@ -37,7 +41,8 @@ echo "== bench smoke: BM_MatMul{,Fp16,Int8}/256 =="
 bench_tmp=$(mktemp)
 bench_err=$(mktemp)
 table2_tmp=$(mktemp)
-trap 'rm -f "$bench_tmp" "$bench_err" "$table2_tmp"' EXIT
+integrity_tmp=$(mktemp)
+trap 'rm -f "$bench_tmp" "$bench_err" "$table2_tmp" "$integrity_tmp"' EXIT
 
 run_micro() {
   ./build/micro_kernels \
@@ -80,7 +85,7 @@ echo "== dist smoke: crash-resume (checkpoint, --fault=exit, restart, hash pin) 
 # an uninterrupted run's — the checkpoint subsystem's bitwise-resume contract,
 # exercised end to end from the command line.
 resume_tmp=$(mktemp -d "${TMPDIR:-/tmp}/egeria-resume-XXXXXX")
-trap 'rm -f "$bench_tmp" "$bench_err" "$table2_tmp"; rm -rf "$resume_tmp"' EXIT
+trap 'rm -f "$bench_tmp" "$bench_err" "$table2_tmp" "$integrity_tmp"; rm -rf "$resume_tmp"' EXIT
 hash_of() {
   grep -h '^EGERIA_RESULT' "$1"/rank_*.log \
     | sed -n 's/.*params_hash=\([0-9a-f]*\).*/\1/p' | sort -u
@@ -114,6 +119,41 @@ if grep -h '^EGERIA_RESULT' "$resume_tmp/resume"/rank_*.log \
 fi
 echo "check.sh: crash-resume hash pin OK ($ref_hash)"
 
+echo "== dist smoke: one-seed chaos (corrupt -> checksum abort -> resume pin) =="
+# Seed 19's derived scenario at world 2 corrupts a frame on rank 0 at
+# iteration 5 (FaultPlan::FromSeed is deterministic, so this smoke is too).
+# The flipped byte must surface as a typed integrity failure — nonzero exit
+# with EGERIA_ABORT code=checksum — never as silent gradient corruption, and
+# the rerun without the fault must resume from the surviving checkpoint and
+# pin the uninterrupted run's weights hash bitwise.
+./scripts/launch_dist.sh -n 2 -t 300 -l "$resume_tmp/chaos" -- \
+  --workload=tiny --epochs=3 --ckpt-dir="$resume_tmp/chaos_ckpt" \
+  --ckpt-interval=4 --fault=seed:19 > /dev/null 2>&1 && {
+  echo "check.sh: chaos seed 19 did not fire" >&2; exit 1; } || true
+grep -h '^EGERIA_ABORT' "$resume_tmp/chaos"/rank_*.log || true
+grep -hq 'code=checksum' "$resume_tmp/chaos"/rank_*.log || {
+  echo "check.sh: expected a checksum abort from chaos seed 19" >&2; exit 1; }
+./scripts/launch_dist.sh -n 2 -t 300 -l "$resume_tmp/chaos_resume" -- \
+  --workload=tiny --epochs=3 --ckpt-dir="$resume_tmp/chaos_ckpt" \
+  --ckpt-interval=4
+chaos_hash=$(hash_of "$resume_tmp/chaos_resume")
+if [ "$chaos_hash" != "$ref_hash" ]; then
+  echo "check.sh: chaos-resume hash $chaos_hash != uninterrupted $ref_hash" >&2
+  exit 1
+fi
+if grep -h '^EGERIA_RESULT' "$resume_tmp/chaos_resume"/rank_*.log \
+     | grep -q 'resumed_from=-1'; then
+  echo "check.sh: chaos restart did not resume from the checkpoint" >&2
+  exit 1
+fi
+echo "check.sh: chaos smoke OK (seed 19: checksum abort, resume pin $chaos_hash)"
+
+echo "== dist bench: frame-integrity / heartbeat overhead (advisory) =="
+# Paired-median protocol over real fig10 TCP worlds (bench/integrity_overhead.cc).
+# Modest repeats keep check.sh quick; the recorded number is advisory context
+# in the trajectory — shared-host distributed timings are too noisy to gate.
+./build/integrity_overhead --world=3 --epochs=6 --repeats=3 | tee "$integrity_tmp"
+
 git_sha=$(git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
 # Uncommitted changes are not HEAD's numbers — mark them so a pre-commit run
 # never overwrites (or masquerades as) the parent commit's entry.
@@ -126,6 +166,7 @@ if [ "$gate" -eq 1 ]; then
   gate_args=(--gate)
 fi
 python3 scripts/bench_trajectory.py "$repo_root/BENCH_gemm.json" \
-  "$bench_tmp" "$table2_tmp" "$git_sha" ${gate_args[@]+"${gate_args[@]}"}
+  "$bench_tmp" "$table2_tmp" "$git_sha" --integrity="$integrity_tmp" \
+  ${gate_args[@]+"${gate_args[@]}"}
 
 echo "check.sh: OK (trajectory in BENCH_gemm.json)"

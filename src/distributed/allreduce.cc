@@ -67,13 +67,17 @@ void GradientAllReducer::AllReduce(int rank, const std::vector<Parameter*>& para
 
 RingAllReducer::RingAllReducer(Transport& transport) : transport_(transport) {}
 
-std::pair<int64_t, int64_t> RingAllReducer::ReduceScatterAverage(FlatParamView& view) {
+TransportStatus RingAllReducer::ReduceScatterAverage(
+    FlatParamView& view, std::pair<int64_t, int64_t>* owned) {
   const int rank = transport_.Rank();
   const int world = transport_.World();
   const int64_t total = view.NumEl();
   const Span own = ChunkSpan(total, world, rank);
+  if (owned != nullptr) {
+    *owned = {own.begin, own.end};
+  }
   if (world == 1) {
-    return {own.begin, own.end};
+    return TransportStatus::Ok();
   }
   WallTimer timer;
 
@@ -83,7 +87,7 @@ std::pair<int64_t, int64_t> RingAllReducer::ReduceScatterAverage(FlatParamView& 
   // owner, rank c. For rank r that schedule is a circulation starting at chunk
   // r-1, whose final receive is r's own chunk r; the in-place fold in `consume`
   // is what the circulation forwards.
-  wire_bytes_ += RingCirculate(
+  const TransportStatus st = RingCirculate(
       transport_, rank - 1,
       [&](int c) { return ChunkSpan(total, world, c); },
       [&](float* buf, int, const Span& s) { view.CopyOut(s.begin, s.end, buf); },
@@ -100,17 +104,20 @@ std::pair<int64_t, int64_t> RingAllReducer::ReduceScatterAverage(FlatParamView& 
           }
           view.CopyIn(s.begin, s.end, buf);
         }
-      });
-
-  payload_bytes_ += total * static_cast<int64_t>(sizeof(float));
+      },
+      &wire_bytes_);
   comm_seconds_ += timer.ElapsedSeconds();
-  return {own.begin, own.end};
+  if (!st.ok()) {
+    return st;
+  }
+  payload_bytes_ += total * static_cast<int64_t>(sizeof(float));
+  return st;
 }
 
-void RingAllReducer::AllGather(FlatParamView& view) {
+TransportStatus RingAllReducer::AllGather(FlatParamView& view) {
   const int world = transport_.World();
   if (world == 1) {
-    return;
+    return TransportStatus::Ok();
   }
   WallTimer timer;
   const int64_t total = view.NumEl();
@@ -118,12 +125,14 @@ void RingAllReducer::AllGather(FlatParamView& view) {
   // Rank r seeds the ring with its own chunk r; every step each rank forwards
   // the chunk it received last step, so after W-1 steps every rank has landed
   // every owner's (bit-exact, owner-computed-once) chunk.
-  wire_bytes_ += RingCirculate(
+  const TransportStatus st = RingCirculate(
       transport_, transport_.Rank(),
       [&](int c) { return ChunkSpan(total, world, c); },
       [&](float* buf, int, const Span& s) { view.CopyOut(s.begin, s.end, buf); },
-      [&](const float* buf, int, const Span& s) { view.CopyIn(s.begin, s.end, buf); });
+      [&](const float* buf, int, const Span& s) { view.CopyIn(s.begin, s.end, buf); },
+      &wire_bytes_);
   comm_seconds_ += timer.ElapsedSeconds();
+  return st;
 }
 
 }  // namespace egeria

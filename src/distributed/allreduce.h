@@ -62,18 +62,20 @@ class RingAllReducer {
  public:
   explicit RingAllReducer(Transport& transport);
 
-  // Collective ring reduce-scatter + average. On return, this rank's view
-  // holds the contract-averaged result in chunk Rank() of the flat space; the
-  // other chunks are left with whatever partial state the ring deposited
-  // (callers own only their chunk until the matching AllGather). Returns the
-  // owned flat range [begin, end).
-  std::pair<int64_t, int64_t> ReduceScatterAverage(FlatParamView& view);
+  // Collective ring reduce-scatter + average. On ok, this rank's view holds
+  // the contract-averaged result in chunk Rank() of the flat space; the other
+  // chunks are left with whatever partial state the ring deposited (callers
+  // own only their chunk until the matching AllGather). `owned` (nullable)
+  // receives the owned flat range [begin, end). On a transport error the view
+  // holds partial fold state and must not be consumed.
+  TransportStatus ReduceScatterAverage(FlatParamView& view,
+                                       std::pair<int64_t, int64_t>* owned);
 
   // Collective ring all-gather: circulates each owner's chunk so every rank's
-  // view ends bitwise-identical. The view may be a different field than the
-  // reduce-scatter's (ZeRO-1 gathers updated parameter values, not gradients)
-  // but must have the same flat size.
-  void AllGather(FlatParamView& view);
+  // view ends bitwise-identical on ok. The view may be a different field than
+  // the reduce-scatter's (ZeRO-1 gathers updated parameter values, not
+  // gradients) but must have the same flat size.
+  TransportStatus AllGather(FlatParamView& view);
 
   // Logical payload: flat bytes per reduce-scatter call (comparable to
   // GradientAllReducer::TotalBytesReduced).

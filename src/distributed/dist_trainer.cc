@@ -15,6 +15,7 @@
 #include "src/distributed/allreduce.h"
 #include "src/distributed/flat_view.h"
 #include "src/distributed/transport/inproc_transport.h"
+#include "src/distributed/transport/integrity_transport.h"
 #include "src/distributed/transport/tcp_transport.h"
 #include "src/optim/optimizer.h"
 #include "src/optim/sharded_optimizer.h"
@@ -52,13 +53,19 @@ struct FreezeMsg {
   int32_t next_frontier = 0;
 };
 
-int32_t ExchangeFrontier(Transport& transport, int rank, int32_t pending) {
+TransportStatus ExchangeFrontier(Transport& transport, int rank, int32_t pending,
+                                 int32_t* next_frontier) {
   FreezeMsg msg{pending};
-  const std::vector<uint8_t> wire =
-      transport.Broadcast(rank == 0 ? &msg : nullptr, rank == 0 ? sizeof(msg) : 0);
+  std::vector<uint8_t> wire;
+  TransportStatus st = transport.Broadcast(
+      rank == 0 ? &msg : nullptr, rank == 0 ? sizeof(msg) : 0, &wire);
+  if (!st.ok()) {
+    return st;
+  }
   EGERIA_CHECK_MSG(wire.size() == sizeof(FreezeMsg), "bad freeze control message");
   std::memcpy(&msg, wire.data(), sizeof(msg));
-  return msg.next_frontier;
+  *next_frontier = msg.next_frontier;
+  return st;
 }
 
 // ---- Distributed checkpoint files ----
@@ -97,14 +104,18 @@ bool WriteShardFile(const std::string& path, const ShardedSgd::ShardState& s) {
 // written before rank 0 hashes them into the manifest. A manifest must never
 // commit over a torn peer file: the torn bytes would checksum "valid" and
 // poison every future resume of that step.
-bool AllRanksOk(Transport& transport, bool ok) {
+TransportStatus AllRanksOk(Transport& transport, bool ok, bool* all_ok) {
   uint8_t acc = ok ? 1 : 0;
   for (int step = 0; step + 1 < transport.World(); ++step) {
     uint8_t incoming = 1;
-    transport.RingExchange(&acc, 1, &incoming, 1);
+    TransportStatus st = transport.RingExchange(&acc, 1, &incoming, 1);
+    if (!st.ok()) {
+      return st;
+    }
     acc = (acc != 0 && incoming != 0) ? 1 : 0;
   }
-  return acc != 0;
+  *all_ok = acc != 0;
+  return TransportStatus::Ok();
 }
 
 bool ReadShardFile(const std::string& path, ShardedSgd::ShardState& s) {
@@ -124,6 +135,20 @@ bool ReadShardFile(const std::string& path, ShardedSgd::ShardState& s) {
 }
 
 }  // namespace
+
+// Propagates a transport error out of TrainRank: records the first error on
+// the result (errors-as-values — a dead, hung or corrupting peer surfaces to
+// the caller, never an abort), hands the model back, and returns. Requires
+// `result` and `model_owner` in scope.
+#define EGERIA_RETURN_ON_TRANSPORT_ERROR(expr)   \
+  do {                                           \
+    TransportStatus st_ = (expr);                \
+    if (!st_.ok()) {                             \
+      result.status = std::move(st_);            \
+      result.model = std::move(model_owner);     \
+      return result;                             \
+    }                                            \
+  } while (0)
 
 RankTrainResult TrainRank(
     Transport& transport,
@@ -152,8 +177,9 @@ RankTrainResult TrainRank(
       buf.resize(static_cast<size_t>(values.NumEl()) * sizeof(float));
       values.CopyOut(0, values.NumEl(), reinterpret_cast<float*>(buf.data()));
     }
-    const std::vector<uint8_t> weights =
-        transport.Broadcast(buf.data(), static_cast<int64_t>(buf.size()));
+    std::vector<uint8_t> weights;
+    EGERIA_RETURN_ON_TRANSPORT_ERROR(transport.Broadcast(
+        buf.data(), static_cast<int64_t>(buf.size()), &weights));
     EGERIA_CHECK_MSG(static_cast<int64_t>(weights.size()) ==
                          values.NumEl() * static_cast<int64_t>(sizeof(float)),
                      "initial weight broadcast size mismatch (model divergence?)");
@@ -209,10 +235,15 @@ RankTrainResult TrainRank(
   // Collective shard (re)partition over the active suffix at `at_frontier`.
   // Every rank applies the same frontier at the same iteration (the control
   // broadcast), so all ranks reach this in lockstep.
-  auto reshard = [&](int at_frontier, int64_t at_iter) {
+  auto reshard = [&](int at_frontier, int64_t at_iter) -> TransportStatus {
     const int64_t active = CountElems(model.ParamsFrom(at_frontier));
-    std::tie(shard_begin, shard_end) =
-        shard_opt.Reshard(transport, total_elems - active, active);
+    std::pair<int64_t, int64_t> shard{0, 0};
+    TransportStatus st =
+        shard_opt.Reshard(transport, total_elems - active, active, &shard);
+    if (!st.ok()) {
+      return st;
+    }
+    std::tie(shard_begin, shard_end) = shard;
     if (rank == 0) {
       finalize_segment(at_iter);
       DistReshardEvent ev;
@@ -224,13 +255,17 @@ RankTrainResult TrainRank(
       ev.opt_state_bytes_per_rank = shard_opt.StateBytes();
       result.reshard_events.push_back(ev);
     }
+    return TransportStatus::Ok();
   };
   // ---- Checkpoint plumbing ----
   // Collective save: every rank writes its shard, then rank 0 snapshots the
   // (replica-identical, post-all-gather) model plus controller/loop state and
   // commits the manifest. The trailing barrier keeps "latest complete
   // checkpoint" well-defined for every rank before anyone can crash ahead.
-  auto save_checkpoint = [&](int64_t at_iter) {
+  // A transport error anywhere in the save aborts BEFORE the manifest commit:
+  // the step directory is left manifest-less — invisible to resume, swept by
+  // retention — so an aborting world can never publish torn state.
+  auto save_checkpoint = [&](int64_t at_iter) -> TransportStatus {
     const std::string step_dir = CheckpointStepDir(cfg.ckpt.dir, at_iter);
     bool ok = EnsureDir(step_dir);
     if (ok && sharded) {
@@ -240,7 +275,14 @@ RankTrainResult TrainRank(
       ok = SaveCheckpoint(step_dir + "/" + BuffersFileName(rank),
                           ExportModelBuffers(model));
     }
-    ok = AllRanksOk(transport, ok);
+    {
+      bool all_ok = false;
+      TransportStatus st = AllRanksOk(transport, ok, &all_ok);
+      if (!st.ok()) {
+        return st;
+      }
+      ok = all_ok;
+    }
     if (rank == 0 && !ok) {
       EGERIA_LOG(kError) << "distributed checkpoint at iter " << at_iter
                          << ": a rank failed to write its files; step abandoned "
@@ -303,7 +345,7 @@ RankTrainResult TrainRank(
         ApplyRetention(cfg.ckpt.dir, cfg.ckpt.keep_last);
       }
     }
-    transport.Barrier();
+    return transport.Barrier();
   };
 
   // ---- Resume ----
@@ -323,8 +365,9 @@ RankTrainResult TrainRank(
         }
       }
     }
-    const std::vector<uint8_t> msg = transport.Broadcast(
-        rank == 0 ? &found : nullptr, rank == 0 ? sizeof(found) : 0);
+    std::vector<uint8_t> msg;
+    EGERIA_RETURN_ON_TRANSPORT_ERROR(transport.Broadcast(
+        rank == 0 ? &found : nullptr, rank == 0 ? sizeof(found) : 0, &msg));
     EGERIA_CHECK(msg.size() == sizeof(found));
     std::memcpy(&found, msg.data(), sizeof(found));
     resume_iter = found;
@@ -421,7 +464,7 @@ RankTrainResult TrainRank(
                       << iter << ", frontier " << frontier << ", saved world "
                       << m->world << ")";
   } else if (sharded) {
-    reshard(frontier, 0);
+    EGERIA_RETURN_ON_TRANSPORT_ERROR(reshard(frontier, 0));
   }
 
   const int start_epoch = static_cast<int>(iter / steps_per_epoch);
@@ -448,7 +491,7 @@ RankTrainResult TrainRank(
         if (sharded) {
           // Frontier moved: drop the newly frozen prefix from the shard map
           // (and its optimizer state), repartition the survivors.
-          reshard(frontier, iter);
+          EGERIA_RETURN_ON_TRANSPORT_ERROR(reshard(frontier, iter));
         }
       }
 
@@ -501,7 +544,8 @@ RankTrainResult TrainRank(
 
       // Control plane: the frontier taking effect at iter+1, serialized and
       // broadcast so it crosses process boundaries.
-      next_frontier = ExchangeFrontier(transport, rank, pending);
+      EGERIA_RETURN_ON_TRANSPORT_ERROR(
+          ExchangeFrontier(transport, rank, pending, &next_frontier));
 
       // Synchronize only active parameters — frozen stages are "excluded from
       // parameter synchronization" (paper S4.2.2, Fig. 10).
@@ -510,11 +554,12 @@ RankTrainResult TrainRank(
         // ZeRO-1 round: ring reduce-scatter the gradients, owner applies the
         // optimizer update on its shard, ring all-gather the updated weights.
         FlatParamView grads(active, FlatParamView::Field::kGrad);
-        const auto owned = ring.ReduceScatterAverage(grads);
+        std::pair<int64_t, int64_t> owned{0, 0};
+        EGERIA_RETURN_ON_TRANSPORT_ERROR(ring.ReduceScatterAverage(grads, &owned));
         EGERIA_CHECK(owned.first == shard_begin && owned.second == shard_end);
         FlatParamView values(active, FlatParamView::Field::kValue);
         shard_opt.Step(values, grads, shard_begin, shard_end, lr);
-        ring.AllGather(values);
+        EGERIA_RETURN_ON_TRANSPORT_ERROR(ring.AllGather(values));
       } else {
         reference_reducer->AllReduce(rank, active);
       }
@@ -533,11 +578,11 @@ RankTrainResult TrainRank(
       const bool at_interval =
           cfg.ckpt.enabled() && iter % cfg.ckpt.interval_iters == 0;
       if (at_interval) {
-        save_checkpoint(iter);
+        EGERIA_RETURN_ON_TRANSPORT_ERROR(save_checkpoint(iter));
       }
       if (cfg.stop_after_iters >= 0 && iter >= cfg.stop_after_iters) {
         if (cfg.ckpt.enabled() && !at_interval) {
-          save_checkpoint(iter);
+          EGERIA_RETURN_ON_TRANSPORT_ERROR(save_checkpoint(iter));
         }
         result.stopped_early = true;
         stop = true;
@@ -574,6 +619,8 @@ RankTrainResult TrainRank(
   return result;
 }
 
+#undef EGERIA_RETURN_ON_TRANSPORT_ERROR
+
 DistTrainResult TrainDataParallel(
     const std::function<std::unique_ptr<ChainModel>()>& make_model,
     const Dataset& train_data, const Dataset& val_data, const DistTrainConfig& cfg) {
@@ -596,6 +643,20 @@ DistTrainResult TrainDataParallel(
 
   std::vector<RankTrainResult> results(static_cast<size_t>(cfg.world));
   auto worker_fn = [&](int rank) {
+    // Run with the frame-integrity layer unless the config opts out, so the
+    // in-process harness exercises the exact decorator stack the multi-process
+    // worker ships (integrity adds headers, not semantics: all bitwise pins
+    // hold either way).
+    auto run = [&](Transport& base) {
+      if (cfg.frame_integrity) {
+        IntegrityTransport checked(&base);
+        results[static_cast<size_t>(rank)] =
+            TrainRank(checked, make_model, train_data, val_data, cfg, reference_ptr);
+      } else {
+        results[static_cast<size_t>(rank)] =
+            TrainRank(base, make_model, train_data, val_data, cfg, reference_ptr);
+      }
+    };
     if (use_tcp) {
       TcpTransportOptions opts;
       opts.rank = rank;
@@ -603,11 +664,9 @@ DistTrainResult TrainDataParallel(
       opts.rendezvous_file = rendezvous_dir + "/rendezvous";
       // Ranks are threads here, so wiring completes in milliseconds.
       std::unique_ptr<Transport> transport = MakeTcpTransport(opts);
-      results[static_cast<size_t>(rank)] =
-          TrainRank(*transport, make_model, train_data, val_data, cfg, reference_ptr);
+      run(*transport);
     } else {
-      results[static_cast<size_t>(rank)] = TrainRank(
-          inproc.Get(rank), make_model, train_data, val_data, cfg, reference_ptr);
+      run(inproc.Get(rank));
     }
   };
   std::vector<std::thread> threads;
@@ -635,6 +694,7 @@ DistTrainResult TrainDataParallel(
   result.resumed_from_iter = r0.resumed_from_iter;
   result.stopped_early = r0.stopped_early;
   result.reshard_events = r0.reshard_events;
+  result.status = r0.status;
   // Synchronized SGD on contract-reduced gradients keeps replicas bitwise
   // identical; the content hash makes that check transport-agnostic.
   result.replicas_consistent = true;
@@ -642,6 +702,13 @@ DistTrainResult TrainDataParallel(
     result.wire_bytes += r.wire_bytes;
     if (r.params_hash != r0.params_hash) {
       result.replicas_consistent = false;
+    }
+    if (!r.status.ok()) {
+      // Any failed rank invalidates the consistency claim; surface the first.
+      result.replicas_consistent = false;
+      if (result.status.ok()) {
+        result.status = r.status;
+      }
     }
   }
   return result;

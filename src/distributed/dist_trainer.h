@@ -86,6 +86,13 @@ struct DistTrainConfig {
   // share the config, so the world stops in lockstep.
   int64_t stop_after_iters = -1;
 
+  // Frame integrity: wrap every rank's transport in IntegrityTransport
+  // (checksums + sequence numbers on all collective frames; see
+  // transport/integrity_transport.h). Adds a 16-byte header per frame but no
+  // semantics, so all bitwise pins hold with it on. The multi-process worker
+  // has its own flag (egeria_worker --integrity).
+  bool frame_integrity = true;
+
   // Test hook: invoked at the top of every iteration on every rank (fault
   // injection for the multi-process launcher tests). Null = no-op.
   std::function<void(int rank, int64_t iter)> iteration_hook;
@@ -121,6 +128,11 @@ struct RankTrainResult {
   double final_display = 0.0;      // rank 0 only
   int64_t resumed_from_iter = -1;  // checkpoint iteration resumed from, -1 = fresh
   bool stopped_early = false;      // stop_after_iters ended the run
+  // Why the loop ended: ok() for a clean run; otherwise the first transport
+  // error this rank observed (peer death, corrupt frame, coordinated abort).
+  // On error the model/metrics fields reflect the last completed iteration —
+  // no partial collective output is ever consumed.
+  TransportStatus status;
   std::vector<DistReshardEvent> reshard_events;  // rank 0, ring-sharded only
   std::unique_ptr<ChainModel> model;             // the trained replica
 };
@@ -140,6 +152,8 @@ struct DistTrainResult {
   uint64_t params_hash = 0;          // FNV-1a over replica 0's final weights
   int64_t resumed_from_iter = -1;    // rank 0's resume point (-1 = fresh start)
   bool stopped_early = false;
+  // First non-ok rank status (any error forces replicas_consistent = false).
+  TransportStatus status;
   std::vector<DistReshardEvent> reshard_events;  // ring-sharded path only
 };
 

@@ -8,6 +8,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <fstream>
@@ -114,6 +115,7 @@ SpawnResult SpawnWorld(const SpawnOptions& options) {
   unlink(rendezvous.c_str());  // Never rendezvous against stale contents.
 
   SpawnResult result;
+  result.final_world = options.world;
   result.exit_codes.assign(static_cast<size_t>(options.world), -1);
   std::vector<pid_t> pids(static_cast<size_t>(options.world), -1);
   for (int r = 0; r < options.world; ++r) {
@@ -213,12 +215,17 @@ SpawnResult SpawnWorld(const SpawnOptions& options) {
 SpawnResult SpawnWorldWithRecovery(const SpawnOptions& options,
                                    const RecoverySpec& recovery) {
   SpawnResult last;
+  double backoff_s = recovery.backoff_initial_s;
   for (int attempt = 0; attempt <= recovery.max_restarts; ++attempt) {
     SpawnOptions cur = options;
     cur.log_dir = options.log_dir + "/attempt_" + std::to_string(attempt);
     if (attempt > 0) {
       if (recovery.restart_world > 0) {
         cur.world = recovery.restart_world;
+      } else if (recovery.shrink_world_on_restart) {
+        // Each restart models one permanently lost machine: W-1 per attempt,
+        // never below a singleton world.
+        cur.world = std::max(1, options.world - attempt);
       }
       if (recovery.drop_per_rank_args_on_restart) {
         cur.per_rank_args.clear();
@@ -239,11 +246,13 @@ SpawnResult SpawnWorldWithRecovery(const SpawnOptions& options,
       }
     }
     EGERIA_LOG(kWarn) << "world attempt " << attempt + 1 << " failed (" << last.error
-                      << "); restarting " << resume
-                      << (attempt == 0 && recovery.restart_world > 0 &&
-                                  recovery.restart_world != options.world
-                              ? " at world " + std::to_string(recovery.restart_world)
-                              : "");
+                      << "); restarting " << resume << " after "
+                      << backoff_s << "s backoff";
+    if (backoff_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff_s));
+    }
+    backoff_s = std::min(recovery.backoff_max_s,
+                         backoff_s * recovery.backoff_multiplier);
   }
   last.error = "world failed after " + std::to_string(recovery.max_restarts + 1) +
                " attempt(s); last error: " + last.error;

@@ -44,6 +44,9 @@ struct SpawnResult {
   // Worlds launched in total (1 = no restart was needed). Only
   // SpawnWorldWithRecovery ever reports more than 1.
   int attempts = 1;
+  // World size of the attempt this result describes (elastic restarts may
+  // shrink it below SpawnOptions::world).
+  int final_world = 0;
 };
 
 // Blocks until every rank exits, a rank fails, or the timeout expires.
@@ -65,9 +68,19 @@ struct RecoverySpec {
   // options.world). The workers re-fold the saved optimizer shards through
   // the reduction-contract partition at the new size.
   int restart_world = 0;
+  // Alternative elastic policy: each restart drops one rank (floor 1),
+  // modeling a world that permanently lost a machine. Ignored when
+  // restart_world > 0 pins the restart size explicitly.
+  bool shrink_world_on_restart = false;
   // Per-rank extras (fault injection in tests) are one-shot: restarts drop
   // them so an injected crash cannot re-fire forever.
   bool drop_per_rank_args_on_restart = true;
+  // Exponential backoff between attempts (sleep before each relaunch):
+  // initial * multiplier^(attempt-1), capped at max. Keeps a crash-looping
+  // world from hammering the machine while still restarting promptly.
+  double backoff_initial_s = 0.5;
+  double backoff_multiplier = 2.0;
+  double backoff_max_s = 30.0;
 };
 
 // Each attempt runs in <options.log_dir>/attempt_<n>. Returns the final

@@ -1,0 +1,300 @@
+#include "src/distributed/transport/fault_injection.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "src/util/logging.h"
+
+namespace egeria {
+namespace {
+
+constexpr const char* kValidSpec =
+    "valid forms: hang:I, exit:I, corrupt:I, truncate:I, delay:I, drop:I, "
+    "dup:I (I = 1-based training iteration; <=0 for hang/exit fires before "
+    "wiring), or a single seed:S";
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) {
+    return false;
+  }
+  size_t i = s[0] == '-' ? 1 : 0;
+  if (i >= s.size()) {
+    return false;
+  }
+  int64_t v = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') {
+      return false;
+    }
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = s[0] == '-' ? -v : v;
+  return true;
+}
+
+bool KindFromName(const std::string& name, FaultKind* out) {
+  if (name == "corrupt") {
+    *out = FaultKind::kCorrupt;
+  } else if (name == "truncate") {
+    *out = FaultKind::kTruncate;
+  } else if (name == "delay") {
+    *out = FaultKind::kDelay;
+  } else if (name == "drop") {
+    *out = FaultKind::kDrop;
+  } else if (name == "dup") {
+    *out = FaultKind::kDup;
+  } else if (name == "hang") {
+    *out = FaultKind::kHang;
+  } else if (name == "exit") {
+    *out = FaultKind::kExit;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCorrupt:
+      return "corrupt";
+    case FaultKind::kTruncate:
+      return "truncate";
+    case FaultKind::kDelay:
+      return "delay";
+    case FaultKind::kDrop:
+      return "drop";
+    case FaultKind::kDup:
+      return "dup";
+    case FaultKind::kHang:
+      return "hang";
+    case FaultKind::kExit:
+      return "exit";
+  }
+  return "?";
+}
+
+bool FaultPlan::Parse(const std::string& spec, int world, int rank,
+                      FaultPlan* out, std::string* error) {
+  out->events.clear();
+  if (spec.empty()) {
+    return true;
+  }
+  std::vector<std::string> entries;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = spec.find(',', start);
+    entries.push_back(spec.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start));
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  for (const std::string& entry : entries) {
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= entry.size()) {
+      *error = "malformed fault entry '" + entry + "' (" + kValidSpec + ")";
+      return false;
+    }
+    const std::string name = entry.substr(0, colon);
+    const std::string arg = entry.substr(colon + 1);
+    if (name == "seed") {
+      int64_t seed = 0;
+      if (!ParseInt64(arg, &seed) || seed < 0) {
+        *error = "malformed fault seed '" + arg + "' (" + kValidSpec + ")";
+        return false;
+      }
+      if (entries.size() != 1) {
+        *error = "seed:S cannot be combined with explicit fault entries";
+        return false;
+      }
+      *out = FromSeed(static_cast<uint64_t>(seed), world, rank);
+      return true;
+    }
+    FaultEvent ev;
+    if (!KindFromName(name, &ev.kind)) {
+      *error = "unknown fault kind '" + name + "' (" + kValidSpec + ")";
+      return false;
+    }
+    if (!ParseInt64(arg, &ev.iter)) {
+      *error = "malformed fault iteration '" + arg + "' in '" + entry + "' (" +
+               kValidSpec + ")";
+      return false;
+    }
+    if (ev.iter <= 0 && ev.kind != FaultKind::kHang &&
+        ev.kind != FaultKind::kExit) {
+      *error = "fault '" + entry + "' needs a positive iteration (" +
+               kValidSpec + ")";
+      return false;
+    }
+    out->events.push_back(ev);
+  }
+  return true;
+}
+
+FaultPlan FaultPlan::FromSeed(uint64_t seed, int world, int rank) {
+  EGERIA_CHECK(world >= 1 && rank >= 0 && rank < world);
+  // hash of the raw seed first, so adjacent seeds produce unrelated scenarios
+  uint64_t state = seed;
+  const uint64_t r0 = SplitMix64(&state);
+  const uint64_t r1 = SplitMix64(&state);
+  const uint64_t r2 = SplitMix64(&state);
+  static constexpr FaultKind kKinds[6] = {
+      FaultKind::kCorrupt, FaultKind::kTruncate, FaultKind::kDelay,
+      FaultKind::kDrop,    FaultKind::kHang,     FaultKind::kExit,
+  };
+  FaultPlan plan;
+  const int target = static_cast<int>(r1 % static_cast<uint64_t>(world));
+  if (target == rank) {
+    FaultEvent ev;
+    ev.kind = kKinds[r0 % 6];
+    ev.iter = 2 + static_cast<int64_t>(r2 % 10);
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+FaultInjectingTransport::FaultInjectingTransport(Transport* base,
+                                                 FaultPlan plan)
+    : base_(base), plan_(std::move(plan)) {
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.kind == FaultKind::kDup) {
+      capture_frames_ = true;
+    }
+  }
+}
+
+void FaultInjectingTransport::BeginIteration(int64_t iter) {
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.iter != iter) {
+      continue;
+    }
+    if (ev.kind == FaultKind::kHang || ev.kind == FaultKind::kExit) {
+      continue;  // process-level; the worker's hook executes these
+    }
+    EGERIA_LOG(kWarn) << "fault injection: arming " << FaultKindName(ev.kind)
+                      << " at iteration " << iter << " on rank "
+                      << base_->Rank();
+    armed_.push_back(ev);
+  }
+}
+
+bool FaultInjectingTransport::TakeArmed(FaultKind kind) {
+  for (size_t i = 0; i < armed_.size(); ++i) {
+    if (armed_[i].kind == kind) {
+      armed_.erase(armed_.begin() + static_cast<long>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+TransportStatus FaultInjectingTransport::FireGenericFaults() {
+  for (size_t i = 0; i < armed_.size(); ++i) {
+    if (armed_[i].kind == FaultKind::kDelay) {
+      const int ms = armed_[i].delay_ms;
+      armed_.erase(armed_.begin() + static_cast<long>(i));
+      std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      break;  // at most one delay per collective
+    }
+  }
+  if (TakeArmed(FaultKind::kDrop)) {
+    const TransportStatus st = TransportStatus::Error(
+        TransportError::kPeerClosed,
+        "rank " + std::to_string(base_->Rank()) +
+            ": fault injection dropped the connection");
+    base_->LocalAbort(st);
+    if (failed_.ok()) {
+      failed_ = st;
+    }
+    return st;
+  }
+  return TransportStatus::Ok();
+}
+
+TransportStatus FaultInjectingTransport::RingExchange(const void* send_buf,
+                                                      int64_t send_bytes,
+                                                      void* recv_buf,
+                                                      int64_t recv_bytes) {
+  if (!failed_.ok()) {
+    return failed_;
+  }
+  TransportStatus st = FireGenericFaults();
+  if (!st.ok()) {
+    return st;
+  }
+  const auto* send_ptr = static_cast<const uint8_t*>(send_buf);
+  int64_t wire_bytes = send_bytes;
+  if (TakeArmed(FaultKind::kCorrupt) && send_bytes > 0) {
+    scratch_.assign(send_ptr, send_ptr + send_bytes);
+    // Flip a byte past the 8-byte integrity header (when framing is present
+    // it lands in the payload or the digest trailer) so the corruption is the
+    // checksum's to catch, not a header parse error.
+    const int64_t off =
+        send_bytes > 17 ? 16 + (send_bytes - 16) / 2 : send_bytes - 1;
+    scratch_[static_cast<size_t>(off)] ^= 0x40;
+    send_ptr = scratch_.data();
+  } else if (TakeArmed(FaultKind::kTruncate)) {
+    wire_bytes = send_bytes / 2;
+  } else if (TakeArmed(FaultKind::kDup) && !last_frame_.empty()) {
+    // Replay the previous frame, padded/cut to the current announced size so
+    // the failure surfaces as a stale sequence number, not a size desync.
+    scratch_.assign(static_cast<size_t>(send_bytes), 0);
+    std::memcpy(scratch_.data(), last_frame_.data(),
+                std::min(static_cast<size_t>(send_bytes), last_frame_.size()));
+    send_ptr = scratch_.data();
+  }
+  if (capture_frames_ && send_ptr != scratch_.data() && send_bytes > 0) {
+    last_frame_.assign(send_ptr, send_ptr + send_bytes);
+  }
+  st = base_->RingExchange(send_ptr, wire_bytes, recv_buf, recv_bytes);
+  if (!st.ok() && failed_.ok()) {
+    failed_ = st;
+  }
+  return st;
+}
+
+TransportStatus FaultInjectingTransport::Barrier() {
+  if (!failed_.ok()) {
+    return failed_;
+  }
+  TransportStatus st = FireGenericFaults();
+  if (!st.ok()) {
+    return st;
+  }
+  st = base_->Barrier();
+  if (!st.ok() && failed_.ok()) {
+    failed_ = st;
+  }
+  return st;
+}
+
+TransportStatus FaultInjectingTransport::Broadcast(const void* data,
+                                                   int64_t bytes,
+                                                   std::vector<uint8_t>* out) {
+  if (!failed_.ok()) {
+    return failed_;
+  }
+  TransportStatus st = FireGenericFaults();
+  if (!st.ok()) {
+    return st;
+  }
+  st = base_->Broadcast(data, bytes, out);
+  if (!st.ok() && failed_.ok()) {
+    failed_ = st;
+  }
+  return st;
+}
+
+}  // namespace egeria

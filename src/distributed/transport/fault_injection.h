@@ -1,0 +1,126 @@
+// Deterministic fault injection for the distributed runtime.
+//
+// FaultInjectingTransport is a Transport decorator that perturbs collectives
+// according to a declarative, fully deterministic FaultPlan — no RNG at
+// injection time, so a failing chaos seed replays bit-for-bit. Plans come
+// from either an explicit spec ("corrupt:6,delay:9") or a seed
+// ("seed:17"), which expands through a splitmix64 chain into one fault at a
+// derived (kind, target rank, iteration).
+//
+// Kinds:
+//   corrupt   flip one payload byte of the next ring frame (below the
+//             integrity header) -> receiver reports kChecksum
+//   truncate  send half the announced ring frame -> receiver reports
+//             kSequence (size desync)
+//   dup       resend the previous ring frame instead of the current one ->
+//             receiver reports kSequence (stale sequence number)
+//   delay     sleep ~400ms before the next collective — transient; the run
+//             must still complete (exercises the hang detector's grace)
+//   drop      fail the local endpoint as if the connection dropped ->
+//             this rank sees kPeerClosed, peers see closed sockets / a
+//             poisoned group
+//   hang      process-level: the worker's iteration hook blocks forever
+//             (exercises the heartbeat failure detector)
+//   exit      process-level: the worker exits(3) mid-training
+//             (exercises crash recovery)
+//
+// Transport-level faults arm at BeginIteration(i) (the trainer's iteration
+// hook) and fire on the NEXT matching collective; corrupt/truncate/dup apply
+// to ring frames only (broadcast is root-asymmetric), delay/drop to any
+// collective. hang/exit are executed by the worker process itself, not here.
+//
+// Stack order: IntegrityTransport(FaultInjectingTransport(backend)) — faults
+// inject BELOW the checksum layer, so corruption is detected, not trusted.
+#ifndef EGERIA_SRC_DISTRIBUTED_TRANSPORT_FAULT_INJECTION_H_
+#define EGERIA_SRC_DISTRIBUTED_TRANSPORT_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/distributed/transport/transport.h"
+
+namespace egeria {
+
+enum class FaultKind : int {
+  kCorrupt,
+  kTruncate,
+  kDelay,
+  kDrop,
+  kDup,
+  kHang,
+  kExit,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDelay;
+  // Training iteration (1-based) at which the fault arms. For hang/exit,
+  // iter <= 0 means "before the transport is even wired" (worker-level).
+  int64_t iter = 0;
+  int delay_ms = 400;  // kDelay only; must stay under the hang-detector grace
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  // Parses a worker --fault spec: comma-separated `kind:iter` entries with
+  // kinds hang/exit/corrupt/truncate/delay/drop/dup, or a single `seed:S`
+  // entry expanded via FromSeed (hence world/rank). Unknown kinds and
+  // malformed iterations are rejected with a message listing the valid forms
+  // — never silently ignored.
+  static bool Parse(const std::string& spec, int world, int rank,
+                    FaultPlan* out, std::string* error);
+
+  // Deterministically derives one fault from `seed`: a kind from
+  // {corrupt, truncate, delay, drop, hang, exit}, a target rank, and an
+  // iteration in [2, 11]. Every rank calls this with the same seed; only the
+  // derived target rank receives a non-empty plan, so one seed fully
+  // describes a world-wide chaos scenario.
+  static FaultPlan FromSeed(uint64_t seed, int world, int rank);
+};
+
+// Decorator executing the transport-level faults of a plan. Process-level
+// kinds (hang/exit) in the plan are ignored here; callers (egeria_worker)
+// handle them in the iteration hook. Does not own the base transport.
+class FaultInjectingTransport : public Transport {
+ public:
+  FaultInjectingTransport(Transport* base, FaultPlan plan);
+
+  // Called from the trainer's iteration hook; arms every plan event whose
+  // iter matches. Events fire on the next matching collective.
+  void BeginIteration(int64_t iter);
+
+  int Rank() const override { return base_->Rank(); }
+  int World() const override { return base_->World(); }
+
+  TransportStatus RingExchange(const void* send_buf, int64_t send_bytes,
+                               void* recv_buf, int64_t recv_bytes) override;
+  TransportStatus Barrier() override;
+  TransportStatus Broadcast(const void* data, int64_t bytes,
+                            std::vector<uint8_t>* out) override;
+  void LocalAbort(const TransportStatus& reason) override {
+    base_->LocalAbort(reason);
+  }
+
+ private:
+  // Fires any armed delay/drop (any collective). Returns non-ok if the
+  // endpoint dropped.
+  TransportStatus FireGenericFaults();
+  bool TakeArmed(FaultKind kind);
+
+  Transport* base_;
+  FaultPlan plan_;
+  std::vector<FaultEvent> armed_;
+  bool capture_frames_ = false;        // plan contains a dup event
+  std::vector<uint8_t> last_frame_;    // previous ring send, for dup
+  std::vector<uint8_t> scratch_;
+  TransportStatus failed_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_TRANSPORT_FAULT_INJECTION_H_

@@ -6,6 +6,26 @@
 
 namespace egeria {
 
+void InprocTransportGroup::Shared::Abort(const TransportStatus& reason) {
+  {
+    std::lock_guard<std::mutex> lock(abort_mutex);
+    if (abort_reason.ok()) {
+      abort_reason = reason.ok()
+                         ? TransportStatus::Error(TransportError::kAborted,
+                                                  "inproc group aborted")
+                         : reason;
+    }
+  }
+  barrier.Abort();
+}
+
+TransportStatus InprocTransportGroup::Shared::AbortedStatus() {
+  std::lock_guard<std::mutex> lock(abort_mutex);
+  return abort_reason.ok() ? TransportStatus::Error(TransportError::kAborted,
+                                                    "inproc group aborted")
+                           : abort_reason;
+}
+
 class InprocTransportGroup::Endpoint : public Transport {
  public:
   Endpoint(Shared* shared, int rank) : shared_(shared), rank_(rank) {}
@@ -13,55 +33,88 @@ class InprocTransportGroup::Endpoint : public Transport {
   int Rank() const override { return rank_; }
   int World() const override { return shared_->world; }
 
-  void RingExchange(const void* send_buf, int64_t send_bytes, void* recv_buf,
-                    int64_t recv_bytes) override {
+  TransportStatus RingExchange(const void* send_buf, int64_t send_bytes,
+                               void* recv_buf, int64_t recv_bytes) override {
     EGERIA_CHECK(send_bytes >= 0 && recv_bytes >= 0);
     const int world = shared_->world;
     if (world == 1) {
       // Self-loop: the ring degenerates to a copy.
-      EGERIA_CHECK_MSG(send_bytes == recv_bytes, "self-exchange size mismatch");
+      if (send_bytes != recv_bytes) {
+        return SizeMismatch(send_bytes, recv_bytes);
+      }
       std::memcpy(recv_buf, send_buf, static_cast<size_t>(send_bytes));
-      return;
+      return TransportStatus::Ok();
     }
     auto& mine = shared_->outbox[static_cast<size_t>(rank_)];
     mine.resize(static_cast<size_t>(send_bytes));
     if (send_bytes > 0) {
       std::memcpy(mine.data(), send_buf, static_cast<size_t>(send_bytes));
     }
-    shared_->barrier.Wait();  // Every outbox holds this step's message.
+    if (!shared_->barrier.Wait()) {  // Every outbox holds this step's message.
+      return shared_->AbortedStatus();
+    }
     const auto& prev =
         shared_->outbox[static_cast<size_t>((rank_ - 1 + world) % world)];
-    EGERIA_CHECK_MSG(static_cast<int64_t>(prev.size()) == recv_bytes,
-                     "ring frame size mismatch");
+    if (static_cast<int64_t>(prev.size()) != recv_bytes) {
+      // Schedule desync (a truncated/mis-sized frame from the predecessor).
+      // Poison the group: the peers would otherwise block at the next barrier
+      // waiting for this rank.
+      const TransportStatus st =
+          SizeMismatch(static_cast<int64_t>(prev.size()), recv_bytes);
+      shared_->Abort(st);
+      return st;
+    }
     if (recv_bytes > 0) {
       std::memcpy(recv_buf, prev.data(), static_cast<size_t>(recv_bytes));
     }
-    shared_->barrier.Wait();  // Every inbox consumed; outboxes reusable.
-  }
-
-  void Barrier() override {
-    if (shared_->world > 1) {
-      shared_->barrier.Wait();
+    if (!shared_->barrier.Wait()) {  // Every inbox consumed; outboxes reusable.
+      return shared_->AbortedStatus();
     }
+    return TransportStatus::Ok();
   }
 
-  std::vector<uint8_t> Broadcast(const void* data, int64_t bytes) override {
+  TransportStatus Barrier() override {
+    if (shared_->world > 1 && !shared_->barrier.Wait()) {
+      return shared_->AbortedStatus();
+    }
+    return TransportStatus::Ok();
+  }
+
+  TransportStatus Broadcast(const void* data, int64_t bytes,
+                            std::vector<uint8_t>* out) override {
     if (shared_->world == 1) {
       const auto* p = static_cast<const uint8_t*>(data);
-      return std::vector<uint8_t>(p, p + bytes);
+      out->assign(p, p + bytes);
+      return TransportStatus::Ok();
     }
     if (rank_ == 0) {
       EGERIA_CHECK(bytes >= 0 && (bytes == 0 || data != nullptr));
       const auto* p = static_cast<const uint8_t*>(data);
       shared_->bcast.assign(p, p + bytes);
     }
-    shared_->barrier.Wait();  // Message posted.
-    std::vector<uint8_t> out = shared_->bcast;
-    shared_->barrier.Wait();  // All copies taken; slot reusable.
-    return out;
+    if (!shared_->barrier.Wait()) {  // Message posted.
+      return shared_->AbortedStatus();
+    }
+    *out = shared_->bcast;
+    if (!shared_->barrier.Wait()) {  // All copies taken; slot reusable.
+      return shared_->AbortedStatus();
+    }
+    return TransportStatus::Ok();
+  }
+
+  void LocalAbort(const TransportStatus& reason) override {
+    shared_->Abort(reason);
   }
 
  private:
+  TransportStatus SizeMismatch(int64_t got, int64_t want) const {
+    return TransportStatus::Error(
+        TransportError::kSequence,
+        "rank " + std::to_string(rank_) + ": ring frame size mismatch (got " +
+            std::to_string(got) + " bytes, expected " + std::to_string(want) +
+            "; truncated frame or schedule desync)");
+  }
+
   Shared* shared_;
   int rank_;
 };

@@ -4,11 +4,19 @@
 // mailboxes published across a generation-counting barrier — behind the same
 // byte-oriented interface the TCP backend implements, so the ring schedule and
 // the contract arithmetic are shared verbatim between the two.
+//
+// Failure model: collectives here cannot lose or corrupt bytes on their own,
+// but a layer above can fail one endpoint (integrity mismatch, injected
+// fault, LocalAbort). Because every thread of the group meets at the shared
+// barrier, one failed endpoint poisons the barrier so ALL ranks' collectives
+// return a typed error promptly — never a deadlocked thread world. The first
+// abort reason is preserved and echoed to every rank.
 #ifndef EGERIA_SRC_DISTRIBUTED_TRANSPORT_INPROC_TRANSPORT_H_
 #define EGERIA_SRC_DISTRIBUTED_TRANSPORT_INPROC_TRANSPORT_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/distributed/thread_barrier.h"
@@ -35,10 +43,19 @@ class InprocTransportGroup {
   struct Shared {
     explicit Shared(int world)
         : world(world), barrier(world), outbox(static_cast<size_t>(world)) {}
+
+    // Poison the group with `reason` (first caller wins) and release every
+    // thread blocked at the barrier.
+    void Abort(const TransportStatus& reason);
+    // The status a rank's collective should return after the group aborted.
+    TransportStatus AbortedStatus();
+
     int world;
     ThreadBarrier barrier;
     std::vector<std::vector<uint8_t>> outbox;  // per-rank in-flight message
     std::vector<uint8_t> bcast;                // rank-0 control message slot
+    std::mutex abort_mutex;
+    TransportStatus abort_reason;  // valid once barrier.Aborted()
   };
 
   Shared shared_;

@@ -1,0 +1,222 @@
+#include "src/distributed/transport/integrity_transport.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/distributed/transport/frame_digest.h"
+#include "src/util/logging.h"
+
+namespace egeria {
+namespace {
+
+constexpr uint16_t kKindRing = kIntegrityKindRing;
+constexpr uint16_t kKindBcast = kIntegrityKindBcast;
+
+void PutU32(uint32_t v, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(v & 0xFFU);
+  out[1] = static_cast<uint8_t>((v >> 8) & 0xFFU);
+  out[2] = static_cast<uint8_t>((v >> 16) & 0xFFU);
+  out[3] = static_cast<uint8_t>((v >> 24) & 0xFFU);
+}
+
+uint32_t GetU32(const uint8_t* in) {
+  return static_cast<uint32_t>(in[0]) | (static_cast<uint32_t>(in[1]) << 8) |
+         (static_cast<uint32_t>(in[2]) << 16) | (static_cast<uint32_t>(in[3]) << 24);
+}
+
+void PutU16(uint16_t v, uint8_t* out) {
+  out[0] = static_cast<uint8_t>(v & 0xFFU);
+  out[1] = static_cast<uint8_t>((v >> 8) & 0xFFU);
+}
+
+uint16_t GetU16(const uint8_t* in) {
+  return static_cast<uint16_t>(static_cast<uint16_t>(in[0]) |
+                               (static_cast<uint16_t>(in[1]) << 8));
+}
+
+void PutU64(uint64_t v, uint8_t* out) {
+  PutU32(static_cast<uint32_t>(v & 0xFFFFFFFFULL), out);
+  PutU32(static_cast<uint32_t>(v >> 32), out + 4);
+}
+
+uint64_t GetU64(const uint8_t* in) {
+  return static_cast<uint64_t>(GetU32(in)) |
+         (static_cast<uint64_t>(GetU32(in + 4)) << 32);
+}
+
+// Fills a complete frame around `payload`: 8-byte [seq][kind][src] header,
+// payload bytes, 8-byte digest trailer. `frame` must hold
+// kIntegrityOverheadBytes + payload_bytes.
+void WriteFrame(uint32_t seq, uint16_t kind, uint16_t src_rank,
+                const void* payload, size_t payload_bytes, uint8_t* frame) {
+  PutU32(seq, frame);
+  PutU16(kind, frame + 4);
+  PutU16(src_rank, frame + 6);
+  if (payload_bytes > 0) {
+    std::memcpy(frame + kIntegrityHeaderBytes, payload, payload_bytes);
+  }
+  PutU64(FrameDigest64(payload, payload_bytes),
+         frame + kIntegrityHeaderBytes + payload_bytes);
+}
+
+std::string Hex64(uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+TransportStatus IntegrityTransport::FailVerify(TransportStatus st) {
+  if (failed_.ok()) {
+    failed_ = st;
+  }
+  // Poison the backend so peers unwind with a typed error rather than waiting
+  // on a rank that will never complete another collective.
+  base_->LocalAbort(st);
+  return st;
+}
+
+TransportStatus IntegrityTransport::RingExchange(const void* send_buf,
+                                                 int64_t send_bytes,
+                                                 void* recv_buf,
+                                                 int64_t recv_bytes) {
+  if (!failed_.ok()) {
+    return failed_;
+  }
+  EGERIA_CHECK(send_bytes >= 0 && recv_bytes >= 0);
+  const uint16_t src = static_cast<uint16_t>(Rank());
+  const int prev_rank = (Rank() - 1 + World()) % World();
+  send_frame_.resize(static_cast<size_t>(kIntegrityOverheadBytes + send_bytes));
+  WriteFrame(ring_send_seq_, kKindRing, src, send_buf,
+             static_cast<size_t>(send_bytes), send_frame_.data());
+  ++ring_send_seq_;
+  recv_frame_.resize(static_cast<size_t>(kIntegrityOverheadBytes + recv_bytes));
+  TransportStatus st = base_->RingExchange(
+      send_frame_.data(), static_cast<int64_t>(send_frame_.size()),
+      recv_frame_.data(), static_cast<int64_t>(recv_frame_.size()));
+  if (!st.ok()) {
+    if (failed_.ok()) {
+      failed_ = st;
+    }
+    return st;
+  }
+  const uint8_t* hdr = recv_frame_.data();
+  const uint32_t seq = GetU32(hdr);
+  const uint16_t kind = GetU16(hdr + 4);
+  const uint16_t sender = GetU16(hdr + 6);
+  const uint64_t claimed =
+      GetU64(recv_frame_.data() + kIntegrityHeaderBytes + recv_bytes);
+  if (kind != kKindRing || sender != static_cast<uint16_t>(prev_rank)) {
+    return FailVerify(TransportStatus::Error(
+        TransportError::kProtocol,
+        "rank " + std::to_string(Rank()) + ": ring frame header invalid (kind " +
+            std::to_string(kind) + ", sender " + std::to_string(sender) +
+            ", expected ring frame from rank " + std::to_string(prev_rank) +
+            ")"));
+  }
+  if (seq != ring_recv_seq_) {
+    return FailVerify(TransportStatus::Error(
+        TransportError::kSequence,
+        "rank " + std::to_string(Rank()) + ": ring frame sequence mismatch "
+            "(got seq " + std::to_string(seq) + ", expected " +
+            std::to_string(ring_recv_seq_) +
+            "; duplicated, replayed or dropped frame)"));
+  }
+  ++ring_recv_seq_;
+  const uint64_t actual = FrameDigest64(recv_frame_.data() + kIntegrityHeaderBytes,
+                                        static_cast<size_t>(recv_bytes));
+  if (actual != claimed) {
+    return FailVerify(TransportStatus::Error(
+        TransportError::kChecksum,
+        "rank " + std::to_string(Rank()) + ": ring frame checksum mismatch from "
+            "rank " + std::to_string(prev_rank) + " (claimed " + Hex64(claimed) +
+            ", computed " + Hex64(actual) + " over " +
+            std::to_string(recv_bytes) + " bytes, seq " + std::to_string(seq) +
+            "; corrupted in transit)"));
+  }
+  if (recv_bytes > 0) {
+    std::memcpy(recv_buf, recv_frame_.data() + kIntegrityHeaderBytes,
+                static_cast<size_t>(recv_bytes));
+  }
+  return TransportStatus::Ok();
+}
+
+TransportStatus IntegrityTransport::Broadcast(const void* data, int64_t bytes,
+                                              std::vector<uint8_t>* out) {
+  if (!failed_.ok()) {
+    return failed_;
+  }
+  const uint32_t seq = bcast_seq_++;
+  if (Rank() == 0) {
+    EGERIA_CHECK(bytes >= 0 && (bytes == 0 || data != nullptr));
+    send_frame_.resize(static_cast<size_t>(kIntegrityOverheadBytes + bytes));
+    WriteFrame(seq, kKindBcast, 0, data, static_cast<size_t>(bytes),
+               send_frame_.data());
+    TransportStatus st = base_->Broadcast(
+        send_frame_.data(), static_cast<int64_t>(send_frame_.size()),
+        &recv_frame_);
+    if (!st.ok()) {
+      if (failed_.ok()) {
+        failed_ = st;
+      }
+      return st;
+    }
+    const auto* p = static_cast<const uint8_t*>(data);
+    out->assign(p, p + bytes);
+    return TransportStatus::Ok();
+  }
+  TransportStatus st = base_->Broadcast(nullptr, 0, &recv_frame_);
+  if (!st.ok()) {
+    if (failed_.ok()) {
+      failed_ = st;
+    }
+    return st;
+  }
+  if (static_cast<int64_t>(recv_frame_.size()) < kIntegrityOverheadBytes) {
+    return FailVerify(TransportStatus::Error(
+        TransportError::kProtocol,
+        "rank " + std::to_string(Rank()) + ": broadcast frame short (" +
+            std::to_string(recv_frame_.size()) +
+            " bytes, need 16 bytes of integrity framing)"));
+  }
+  const uint8_t* hdr = recv_frame_.data();
+  const uint32_t got_seq = GetU32(hdr);
+  const uint16_t kind = GetU16(hdr + 4);
+  const uint16_t sender = GetU16(hdr + 6);
+  const size_t payload =
+      recv_frame_.size() - static_cast<size_t>(kIntegrityOverheadBytes);
+  const uint64_t claimed =
+      GetU64(recv_frame_.data() + kIntegrityHeaderBytes + payload);
+  if (kind != kKindBcast || sender != 0) {
+    return FailVerify(TransportStatus::Error(
+        TransportError::kProtocol,
+        "rank " + std::to_string(Rank()) + ": broadcast frame header invalid "
+            "(kind " + std::to_string(kind) + ", sender " +
+            std::to_string(sender) + ")"));
+  }
+  if (got_seq != seq) {
+    return FailVerify(TransportStatus::Error(
+        TransportError::kSequence,
+        "rank " + std::to_string(Rank()) + ": broadcast sequence mismatch (got "
+            "seq " + std::to_string(got_seq) + ", expected " +
+            std::to_string(seq) + ")"));
+  }
+  const uint64_t actual =
+      FrameDigest64(recv_frame_.data() + kIntegrityHeaderBytes, payload);
+  if (actual != claimed) {
+    return FailVerify(TransportStatus::Error(
+        TransportError::kChecksum,
+        "rank " + std::to_string(Rank()) + ": broadcast checksum mismatch "
+            "(claimed " + Hex64(claimed) + ", computed " + Hex64(actual) +
+            " over " + std::to_string(payload) + " bytes, seq " +
+            std::to_string(got_seq) + "; corrupted in transit)"));
+  }
+  out->assign(recv_frame_.begin() + kIntegrityHeaderBytes,
+              recv_frame_.end() - kIntegrityTrailerBytes);
+  return TransportStatus::Ok();
+}
+
+}  // namespace egeria

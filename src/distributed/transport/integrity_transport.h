@@ -1,0 +1,89 @@
+// Frame-integrity decorator: checksums + sequence numbers over any Transport.
+//
+// Every RingExchange and Broadcast payload gains an 8-byte header and an
+// 8-byte trailer (16 bytes of framing total, little-endian):
+//
+//   [u32 seq][u16 kind][u16 src_rank]  payload  [u64 digest]
+//
+// where `digest` is FrameDigest64 of the payload, `seq` is a per-stream
+// monotonic counter (ring and broadcast streams count independently; every
+// rank of a world advances them in lockstep because collectives are
+// world-synchronous), and `kind`/`src_rank` pin the frame to its stream and
+// sender. The digest TRAILS the payload so a streaming implementation can
+// hash bytes as they cross the wire and emit/verify the digest last — that is
+// exactly what the TCP transport's native `frame_integrity` mode does (same
+// wire format, hashing overlapped with the socket pump; see tcp_transport.h).
+// On receive the decorator verifies all four fields and maps failures to
+// typed errors:
+//
+//   digest mismatch        -> kChecksum  (expected/got hex, bytes, seq)
+//   seq mismatch           -> kSequence  (duplicate, replayed or skipped frame)
+//   bad kind / wrong sender-> kProtocol
+//
+// A verification failure also calls LocalAbort on the base transport BEFORE
+// returning, so peers sharing a poisonable backend (inproc group) or waiting
+// on this rank's sockets unwind with a typed error instead of deadlocking.
+// Corruption is never silently consumed.
+//
+// Stack order with fault injection: IntegrityTransport must wrap OUTSIDE the
+// fault injector — IntegrityTransport(FaultInjectingTransport(backend)) — so
+// injected corruption happens below the checksum and is caught by it.
+//
+// Barrier carries no payload and passes through. The decorator does not own
+// the base transport.
+#ifndef EGERIA_SRC_DISTRIBUTED_TRANSPORT_INTEGRITY_TRANSPORT_H_
+#define EGERIA_SRC_DISTRIBUTED_TRANSPORT_INTEGRITY_TRANSPORT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/distributed/transport/transport.h"
+
+namespace egeria {
+
+// Framing bytes around every ring/broadcast payload: an 8-byte
+// [seq][kind][src_rank] header before it and an 8-byte digest trailer after.
+inline constexpr int64_t kIntegrityHeaderBytes = 8;
+inline constexpr int64_t kIntegrityTrailerBytes = 8;
+inline constexpr int64_t kIntegrityOverheadBytes =
+    kIntegrityHeaderBytes + kIntegrityTrailerBytes;
+
+// Stream tags in the frame header's `kind` field, shared with the TCP
+// transport's native frame_integrity mode (identical wire format).
+inline constexpr uint16_t kIntegrityKindRing = 1;
+inline constexpr uint16_t kIntegrityKindBcast = 2;
+
+class IntegrityTransport : public Transport {
+ public:
+  explicit IntegrityTransport(Transport* base) : base_(base) {}
+
+  int Rank() const override { return base_->Rank(); }
+  int World() const override { return base_->World(); }
+
+  TransportStatus RingExchange(const void* send_buf, int64_t send_bytes,
+                               void* recv_buf, int64_t recv_bytes) override;
+  TransportStatus Barrier() override { return base_->Barrier(); }
+  TransportStatus Broadcast(const void* data, int64_t bytes,
+                            std::vector<uint8_t>* out) override;
+  void LocalAbort(const TransportStatus& reason) override {
+    base_->LocalAbort(reason);
+  }
+
+ private:
+  // Latches the first verification failure, poisons the base transport, and
+  // returns the status.
+  TransportStatus FailVerify(TransportStatus st);
+
+  Transport* base_;
+  TransportStatus failed_;
+  uint32_t ring_send_seq_ = 0;
+  uint32_t ring_recv_seq_ = 0;
+  uint32_t bcast_seq_ = 0;
+  // Scratch frames reused across collectives to avoid per-step allocation.
+  std::vector<uint8_t> send_frame_;
+  std::vector<uint8_t> recv_frame_;
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_TRANSPORT_INTEGRITY_TRANSPORT_H_

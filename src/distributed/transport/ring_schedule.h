@@ -28,13 +28,16 @@ namespace egeria {
 // seed(buf, index, span)    fills buf with this rank's local copy of the item.
 // consume(buf, index, span) handles the received item; may mutate buf in
 //                           place, which is what gets forwarded next step.
-// Returns the bytes this rank pushed onto its ring link.
+// `sent_bytes` (nullable) accumulates the bytes this rank pushed onto its
+// ring link. A transport error stops the circulation immediately — no consume
+// runs for the failed step — and propagates to the caller.
 template <class SpanFn, class SeedFn, class ConsumeFn>
-int64_t RingCirculate(Transport& transport, int start, SpanFn&& span_of,
-                      SeedFn&& seed, ConsumeFn&& consume) {
+TransportStatus RingCirculate(Transport& transport, int start, SpanFn&& span_of,
+                              SeedFn&& seed, ConsumeFn&& consume,
+                              int64_t* sent_bytes) {
   const int world = transport.World();
   if (world == 1) {
-    return 0;
+    return TransportStatus::Ok();
   }
   int64_t max_elems = 0;
   for (int i = 0; i < world; ++i) {
@@ -42,7 +45,6 @@ int64_t RingCirculate(Transport& transport, int start, SpanFn&& span_of,
   }
   std::vector<float> send_buf(static_cast<size_t>(max_elems));
   std::vector<float> recv_buf(static_cast<size_t>(max_elems));
-  int64_t sent_bytes = 0;
   for (int s = 0; s <= world - 2; ++s) {
     const int i_send = RingRank(start - s, world);
     const int i_recv = RingRank(start - 1 - s, world);
@@ -55,12 +57,17 @@ int64_t RingCirculate(Transport& transport, int start, SpanFn&& span_of,
       std::memcpy(send_buf.data(), recv_buf.data(),
                   static_cast<size_t>(c_send.size()) * sizeof(float));
     }
-    transport.RingExchange(send_buf.data(), c_send.bytes(), recv_buf.data(),
-                           c_recv.bytes());
+    TransportStatus st = transport.RingExchange(
+        send_buf.data(), c_send.bytes(), recv_buf.data(), c_recv.bytes());
+    if (!st.ok()) {
+      return st;
+    }
     consume(recv_buf.data(), i_recv, c_recv);
-    sent_bytes += c_send.bytes();
+    if (sent_bytes != nullptr) {
+      *sent_bytes += c_send.bytes();
+    }
   }
-  return sent_bytes;
+  return TransportStatus::Ok();
 }
 
 }  // namespace egeria

@@ -11,6 +11,8 @@
 //   4. Rank 0 replies to every joined rank with the full rank->port map.
 //   5. Each rank connects to ring-next's listener (RING hello) and accepts
 //      one connection from ring-prev, completing the data ring.
+//   6. With the heartbeat enabled, each rank additionally connects a
+//      dedicated HB link to rank 0 (HB hello) for the failure detector.
 //
 // Wire format: every message is a little-endian uint32 length prefix followed
 // by that many payload bytes. RingExchange pumps its send (to next) and recv
@@ -18,9 +20,18 @@
 // when both directions exceed kernel socket buffers. TCP_NODELAY is set on all
 // links (collective steps are latency-bound small frames).
 //
-// Every blocking operation carries a deadline; on expiry the endpoint fails a
-// hard CHECK (the process exits nonzero and the launcher reports which rank
-// gave up, instead of the world hanging forever).
+// Failure model (see src/distributed/README.md "Failure model"): every
+// steady-state collective returns a TransportStatus instead of aborting. A
+// closed link is kPeerClosed, an expired per-collective deadline is kTimeout,
+// a frame-size desync is kSequence. With heartbeat_interval_s > 0, rank 0
+// runs a failure detector over the HB links: every rank beats twice per
+// interval carrying its collective-progress counters, so a rank that stops
+// making progress between collectives (wedged process, SIGSTOP, test-injected
+// hang) is detected within ~2x the interval — far sooner than the coarse
+// io_timeout_s deadline — and rank 0 broadcasts ABORT so every survivor's
+// in-flight collective returns kAborted promptly and the world exits through
+// the clean (no torn checkpoint) path. Construction-time wiring failures
+// remain fatal CHECKs: there is nothing to recover yet.
 #ifndef EGERIA_SRC_DISTRIBUTED_TRANSPORT_TCP_TRANSPORT_H_
 #define EGERIA_SRC_DISTRIBUTED_TRANSPORT_TCP_TRANSPORT_H_
 
@@ -42,10 +53,31 @@ struct TcpTransportOptions {
   double connect_timeout_s = 30.0;
   // Per-collective deadline. EGERIA_TCP_TIMEOUT_S overrides when set.
   double io_timeout_s = 120.0;
+  // Heartbeat failure detector period; 0 disables (default — in-process
+  // harnesses and benches don't want extra threads). EGERIA_HB_INTERVAL_S
+  // overrides when set. Every rank of a world MUST agree on whether the
+  // heartbeat is enabled: the setting changes the wiring handshake.
+  // egeria_worker enables it by default (--hb-interval).
+  double heartbeat_interval_s = 0.0;
+  // Native frame integrity: every ring/broadcast frame carries the same
+  // 8-byte [seq][kind][src] header + 8-byte FrameDigest64 trailer the
+  // IntegrityTransport decorator emits (bit-identical wire format — the two
+  // implementations interoperate within one world), but the hashing is
+  // interleaved with the socket pump in bounded chunks — the sender hashes
+  // just ahead of each gather-write so the digest trailer rides in the same
+  // sendmsg as the last payload bytes, and the receiver hashes each chunk as
+  // it arrives — so the digest work overlaps the wire and adds no blocking
+  // boundaries. That is what keeps the integrity tax on the allreduce path
+  // under the 2% budget; the decorator's whole-frame staging copies cost far
+  // more on large frames and the decorator is kept only for inproc worlds
+  // and for fault-injection stacks (the injector must sit BELOW the
+  // checksum, which native verification cannot express). Every rank of a
+  // world must agree on this setting: it changes the wire format.
+  bool frame_integrity = false;
 };
 
 // Blocks until the full world is wired (all ranks must construct their
-// endpoints concurrently). Aborts with a diagnostic on timeout.
+// endpoints concurrently). Aborts with a diagnostic on wiring timeout.
 std::unique_ptr<Transport> MakeTcpTransport(const TcpTransportOptions& options);
 
 }  // namespace egeria

@@ -11,12 +11,24 @@
 //  - Broadcast: small control-plane message from rank 0 to every rank (freeze
 //    frontier decisions, initial weight sync, reshard coordination).
 //
+// Every collective returns a TransportStatus (transport_status.h): a dead,
+// hung, or corrupting peer surfaces as a typed error value that propagates up
+// to the training loop, never as a process abort. After a non-ok return the
+// endpoint is permanently failed — further collectives return an error too —
+// so callers unwind once and exit cleanly. LocalAbort lets a layer above
+// (integrity verification, the heartbeat failure detector, fault injection)
+// fail the endpoint deliberately, which also releases any peer threads
+// blocked on this endpoint's participation (inproc backend).
+//
 // Two implementations:
 //  - InprocTransportGroup (inproc_transport.h): ranks are threads in one
 //    process; mailboxes + a generation barrier. Reproduces the original
 //    thread-backed collectives.
 //  - MakeTcpTransport (tcp_transport.h): ranks are OS processes (or threads)
 //    connected over localhost TCP with length-prefixed frames.
+// Plus two decorators sharing this interface: IntegrityTransport (checksums +
+// sequence numbers on every frame) and FaultInjectingTransport (deterministic
+// fault schedules for chaos testing).
 //
 // All payloads are raw bytes in host representation: endpoints must share an
 // architecture (documented limitation; frame headers are little-endian on the
@@ -26,6 +38,8 @@
 
 #include <cstdint>
 #include <vector>
+
+#include "src/distributed/transport/transport_status.h"
 
 namespace egeria {
 
@@ -39,19 +53,31 @@ class Transport {
   // One ring step: send `send_bytes` bytes to rank (Rank()+1)%World() while
   // receiving exactly `recv_bytes` bytes from rank (Rank()-1+W)%World().
   // Either side may be zero (empty contract chunks still exchange a frame so
-  // the schedule stays in lockstep). Blocks until both directions complete.
-  // Every rank of the world must call this collectively with matching counts
-  // (receiver's recv_bytes == its predecessor's send_bytes).
-  virtual void RingExchange(const void* send_buf, int64_t send_bytes,
-                            void* recv_buf, int64_t recv_bytes) = 0;
+  // the schedule stays in lockstep). Blocks until both directions complete or
+  // the operation fails. Every rank of the world must call this collectively
+  // with matching counts (receiver's recv_bytes == its predecessor's
+  // send_bytes); a mismatch is a schedule desync and returns kSequence.
+  virtual TransportStatus RingExchange(const void* send_buf, int64_t send_bytes,
+                                       void* recv_buf, int64_t recv_bytes) = 0;
 
-  // Blocks until every rank has entered the barrier.
-  virtual void Barrier() = 0;
+  // Blocks until every rank has entered the barrier (or the operation fails).
+  virtual TransportStatus Barrier() = 0;
 
   // Control plane: rank 0's `bytes` bytes at `data` are delivered to every
-  // rank; returns the message on all ranks (rank 0 included). Non-root ranks'
-  // arguments are ignored (pass nullptr, 0). Collective.
-  virtual std::vector<uint8_t> Broadcast(const void* data, int64_t bytes) = 0;
+  // rank; on success *out holds the message on all ranks (rank 0 included).
+  // Non-root ranks' data/bytes arguments are ignored (pass nullptr, 0).
+  // Collective.
+  virtual TransportStatus Broadcast(const void* data, int64_t bytes,
+                                    std::vector<uint8_t>* out) = 0;
+
+  // Permanently fails this endpoint with `reason`: every in-flight and future
+  // collective returns a non-ok status promptly instead of blocking until a
+  // deadline. On the inproc backend this poisons the whole group (peer
+  // threads blocked on this endpoint's participation are released with
+  // kAborted); on TCP it fails only the local endpoint — peers observe the
+  // closed sockets when this process/thread unwinds. Idempotent; the first
+  // reason wins.
+  virtual void LocalAbort(const TransportStatus& reason) = 0;
 };
 
 }  // namespace egeria

@@ -1,0 +1,74 @@
+// Typed, recoverable transport errors.
+//
+// The transport layer used to abort the whole process on any anomaly
+// (EGERIA_CHECK). That turned every infrastructure hiccup — a dead peer, a
+// hung rank, a flipped byte — into an unattributable crash. Steady-state
+// transport operations now return a TransportStatus instead: the error
+// propagates as a value through the collectives (RingExchange/Barrier/
+// Broadcast -> RingCirculate -> RingAllReducer / ShardedSgd::Reshard ->
+// TrainRank), so a failure surfaces as a recoverable, diagnosable condition
+// at the training loop, which exits cleanly (committing no torn checkpoint
+// state) and lets the launcher restart the world from the last complete
+// checkpoint.
+//
+// Hard EGERIA_CHECKs remain only for programmer errors (negative sizes,
+// calling a collective out of contract) and for construction-time wiring
+// failures, where the process has nothing to clean up yet.
+#ifndef EGERIA_SRC_DISTRIBUTED_TRANSPORT_TRANSPORT_STATUS_H_
+#define EGERIA_SRC_DISTRIBUTED_TRANSPORT_TRANSPORT_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace egeria {
+
+enum class TransportError : int {
+  kOk = 0,
+  kPeerClosed,  // peer closed / reset a link (crash, clean exit, drop fault)
+  kTimeout,     // deadline expired inside a blocking operation
+  kChecksum,    // frame payload digest mismatch (corruption on the wire)
+  kSequence,    // frame size or sequence-number desync (lost/dup/truncated)
+  kProtocol,    // malformed frame (bad magic/kind/short header)
+  kAborted,     // coordinated world abort (failure detector or LocalAbort)
+  kIo,          // socket-level failure (send/recv/poll errno)
+};
+
+// Stable lowercase token for logs and EGERIA_ABORT key=value output.
+inline const char* TransportErrorName(TransportError code) {
+  switch (code) {
+    case TransportError::kOk:
+      return "ok";
+    case TransportError::kPeerClosed:
+      return "peer_closed";
+    case TransportError::kTimeout:
+      return "timeout";
+    case TransportError::kChecksum:
+      return "checksum";
+    case TransportError::kSequence:
+      return "sequence";
+    case TransportError::kProtocol:
+      return "protocol";
+    case TransportError::kAborted:
+      return "aborted";
+    case TransportError::kIo:
+      return "io";
+  }
+  return "unknown";
+}
+
+struct TransportStatus {
+  TransportError code = TransportError::kOk;
+  std::string message;
+
+  bool ok() const { return code == TransportError::kOk; }
+  const char* code_name() const { return TransportErrorName(code); }
+
+  static TransportStatus Ok() { return TransportStatus{}; }
+  static TransportStatus Error(TransportError code, std::string message) {
+    return TransportStatus{code, std::move(message)};
+  }
+};
+
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_DISTRIBUTED_TRANSPORT_TRANSPORT_STATUS_H_

@@ -13,9 +13,9 @@ namespace egeria {
 ShardedSgd::ShardedSgd(float momentum, float weight_decay)
     : momentum_(momentum), weight_decay_(weight_decay) {}
 
-std::pair<int64_t, int64_t> ShardedSgd::Reshard(Transport& transport,
-                                                int64_t frozen_elems,
-                                                int64_t active_elems) {
+TransportStatus ShardedSgd::Reshard(Transport& transport, int64_t frozen_elems,
+                                    int64_t active_elems,
+                                    std::pair<int64_t, int64_t>* shard) {
   EGERIA_CHECK(frozen_elems >= 0 && active_elems >= 0);
   const int rank = transport.Rank();
   const int world = transport.World();
@@ -44,14 +44,19 @@ std::pair<int64_t, int64_t> ShardedSgd::Reshard(Transport& transport,
     merge(global_begin_, global_end_, velocity_.data());
     // All-gather of old shards: seed the ring with our own, forward what we
     // received last step; after W-1 steps every rank has seen every old shard
-    // and kept the overlapping slices.
-    RingCirculate(
+    // and kept the overlapping slices. On error, bail before mutating any
+    // member: `next` is local, so the old partition stays intact.
+    const TransportStatus st = RingCirculate(
         transport, rank, [&](int r) { return old_span(r); },
         [&](float* buf, int, const Span& s) {
           std::memcpy(buf, velocity_.data(),
                       static_cast<size_t>(s.size()) * sizeof(float));
         },
-        [&](const float* buf, int, const Span& s) { merge(s.begin, s.end, buf); });
+        [&](const float* buf, int, const Span& s) { merge(s.begin, s.end, buf); },
+        nullptr);
+    if (!st.ok()) {
+      return st;
+    }
   }
 
   velocity_ = std::move(next);
@@ -60,7 +65,10 @@ std::pair<int64_t, int64_t> ShardedSgd::Reshard(Transport& transport,
   frozen_elems_ = frozen_elems;
   prev_frozen_ = frozen_elems;
   prev_active_ = active_elems;
-  return {active_span.begin, active_span.end};
+  if (shard != nullptr) {
+    *shard = {active_span.begin, active_span.end};
+  }
+  return TransportStatus::Ok();
 }
 
 void ShardedSgd::Step(FlatParamView& values, const FlatParamView& grads,

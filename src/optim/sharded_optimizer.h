@@ -41,11 +41,14 @@ class ShardedSgd {
   // active_elems) of the global flat parameter space into World() contract
   // chunks, migrating momentum between owners over the transport (elements
   // that were frozen or never owned start at zero). Every rank must call this
-  // at the same logical step with identical arguments. Returns this rank's
-  // shard [begin, end) in ACTIVE-space coordinates (offsets into a
-  // FlatParamView over the active parameter list).
-  std::pair<int64_t, int64_t> Reshard(Transport& transport, int64_t frozen_elems,
-                                      int64_t active_elems);
+  // at the same logical step with identical arguments. On ok, `shard`
+  // (nullable) receives this rank's shard [begin, end) in ACTIVE-space
+  // coordinates (offsets into a FlatParamView over the active parameter
+  // list). On a transport error the optimizer state is left UNCHANGED (the
+  // old partition still applies) so a recovering caller can retry or unwind.
+  TransportStatus Reshard(Transport& transport, int64_t frozen_elems,
+                          int64_t active_elems,
+                          std::pair<int64_t, int64_t>* shard);
 
   // Local: momentum-SGD update on active-space range [begin, end), which must
   // lie within this rank's current shard. Arithmetic matches Sgd::Step bitwise.

@@ -1,0 +1,385 @@
+// Failure-path coverage for the self-healing transport stack: frame digests,
+// the integrity decorator's typed error taxonomy (checksum / sequence /
+// protocol), deterministic fault injection (plan parsing, seed expansion, and
+// each transport-level kind firing as documented), and the collective error
+// paths on BOTH backends — a peer that corrupts, truncates, replays, or drops
+// must surface as a typed TransportStatus on the affected ranks, never as a
+// hang or a crash.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/distributed/transport/fault_injection.h"
+#include "src/distributed/transport/frame_digest.h"
+#include "src/distributed/transport/inproc_transport.h"
+#include "src/distributed/transport/integrity_transport.h"
+#include "src/distributed/transport/tcp_transport.h"
+
+namespace egeria {
+namespace {
+
+// ---- FrameDigest64 ----
+
+TEST(FrameDigest, DeterministicAndSensitive) {
+  std::vector<uint8_t> buf(1000);
+  for (size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  const uint64_t d = FrameDigest64(buf.data(), buf.size());
+  EXPECT_EQ(d, FrameDigest64(buf.data(), buf.size()));
+  // Every single-bit flip, anywhere (block lanes and tail), changes the digest.
+  for (size_t off : {size_t{0}, size_t{7}, size_t{63}, size_t{64}, size_t{640},
+                     buf.size() - 1}) {
+    buf[off] ^= 0x01;
+    EXPECT_NE(d, FrameDigest64(buf.data(), buf.size())) << "offset " << off;
+    buf[off] ^= 0x01;
+  }
+  // Length is part of the digest: a truncated frame never matches.
+  EXPECT_NE(d, FrameDigest64(buf.data(), buf.size() - 1));
+  EXPECT_NE(FrameDigest64(buf.data(), 0), FrameDigest64(buf.data(), 1));
+}
+
+// ---- FaultPlan parsing (the strict --fault contract) ----
+
+TEST(FaultPlan, ParsesExplicitEntries) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("corrupt:6,delay:9,hang:0", 3, 1, &plan, &error))
+      << error;
+  ASSERT_EQ(plan.events.size(), 3U);
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kCorrupt);
+  EXPECT_EQ(plan.events[0].iter, 6);
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kDelay);
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kHang);
+  EXPECT_EQ(plan.events[2].iter, 0);
+  EXPECT_TRUE(FaultPlan::Parse("", 3, 1, &plan, &error));
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlan, RejectsUnknownKindsAndMalformedIterations) {
+  FaultPlan plan;
+  std::string error;
+  // Unknown kind: a typo'd chaos spec must be a hard error, not a clean run.
+  EXPECT_FALSE(FaultPlan::Parse("corupt:6", 3, 1, &plan, &error));
+  EXPECT_NE(error.find("unknown fault kind"), std::string::npos) << error;
+  EXPECT_NE(error.find("valid forms"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::Parse("corrupt:six", 3, 1, &plan, &error));
+  EXPECT_NE(error.find("malformed fault iteration"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::Parse("corrupt", 3, 1, &plan, &error));
+  EXPECT_FALSE(FaultPlan::Parse("corrupt:", 3, 1, &plan, &error));
+  EXPECT_FALSE(FaultPlan::Parse(":6", 3, 1, &plan, &error));
+  // Only process-level faults may fire "before wiring".
+  EXPECT_FALSE(FaultPlan::Parse("corrupt:0", 3, 1, &plan, &error));
+  EXPECT_NE(error.find("positive iteration"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::Parse("drop:-2", 3, 1, &plan, &error));
+  // seed must stand alone and be a non-negative integer.
+  EXPECT_FALSE(FaultPlan::Parse("seed:7,corrupt:3", 3, 1, &plan, &error));
+  EXPECT_NE(error.find("cannot be combined"), std::string::npos) << error;
+  EXPECT_FALSE(FaultPlan::Parse("seed:x", 3, 1, &plan, &error));
+  EXPECT_FALSE(FaultPlan::Parse("seed:-1", 3, 1, &plan, &error));
+}
+
+TEST(FaultPlan, SeedExpansionIsDeterministicAndTargetsOneRank) {
+  for (uint64_t seed = 1; seed <= 32; ++seed) {
+    for (int world : {2, 3, 4}) {
+      int targeted = 0;
+      for (int rank = 0; rank < world; ++rank) {
+        const FaultPlan a = FaultPlan::FromSeed(seed, world, rank);
+        const FaultPlan b = FaultPlan::FromSeed(seed, world, rank);
+        ASSERT_EQ(a.events.size(), b.events.size());
+        if (!a.events.empty()) {
+          ++targeted;
+          ASSERT_EQ(a.events.size(), 1U);
+          EXPECT_EQ(a.events[0].kind, b.events[0].kind);
+          EXPECT_EQ(a.events[0].iter, b.events[0].iter);
+          EXPECT_GE(a.events[0].iter, 2);
+          EXPECT_LE(a.events[0].iter, 11);
+        }
+      }
+      // One seed = one fault on exactly one rank of the world.
+      EXPECT_EQ(targeted, 1) << "seed " << seed << " world " << world;
+    }
+  }
+  // The seed space reaches every kind (the chaos matrix depends on this).
+  std::set<std::string> kinds;
+  for (uint64_t seed = 1; seed <= 64; ++seed) {
+    for (int rank = 0; rank < 3; ++rank) {
+      const FaultPlan p = FaultPlan::FromSeed(seed, 3, rank);
+      for (const FaultEvent& ev : p.events) {
+        kinds.insert(FaultKindName(ev.kind));
+      }
+    }
+  }
+  for (const char* kind : {"corrupt", "truncate", "delay", "drop", "hang", "exit"}) {
+    EXPECT_TRUE(kinds.count(kind)) << kind << " never derived from seeds 1..64";
+  }
+}
+
+// ---- World harness over both backends ----
+
+enum class TransportCase { kInproc, kTcp };
+
+const char* TransportName(TransportCase c) {
+  return c == TransportCase::kInproc ? "inproc" : "tcp";
+}
+
+// Runs `body(rank, transport)` on `world` rank threads wired by the given
+// backend (inproc mailboxes or real localhost TCP sockets).
+void RunWorld(TransportCase kind, int world,
+              const std::function<void(int, Transport&)>& body) {
+  std::vector<std::thread> threads;
+  if (kind == TransportCase::kInproc) {
+    InprocTransportGroup group(world);
+    for (int r = 0; r < world; ++r) {
+      threads.emplace_back([&, r] { body(r, group.Get(r)); });
+    }
+    for (auto& t : threads) {
+      t.join();
+    }
+    return;
+  }
+  char tmpl[] = "/tmp/egeria-fault-test-XXXXXX";
+  ASSERT_NE(nullptr, mkdtemp(tmpl));
+  const std::string rendezvous = std::string(tmpl) + "/rendezvous";
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      TcpTransportOptions opts;
+      opts.rank = r;
+      opts.world = world;
+      opts.rendezvous_file = rendezvous;
+      opts.io_timeout_s = 30.0;  // backstop: these tests must not hang
+      std::unique_ptr<Transport> transport = MakeTcpTransport(opts);
+      body(r, *transport);
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  unlink(rendezvous.c_str());
+  rmdir(tmpl);
+}
+
+// Ring-neighbor of the faulty rank: the receiver that must detect the fault.
+int NextRank(int rank, int world) { return (rank + 1) % world; }
+
+// Runs `iters` world-synchronous ring exchanges on every rank, with rank
+// `faulty` owning a FaultInjectingTransport armed from `plan`. Every rank's
+// transport is wrapped in IntegrityTransport (the production stack order).
+// Records each rank's FIRST non-ok status.
+std::vector<TransportStatus> RingRounds(TransportCase kind, int world,
+                                        int faulty, const FaultPlan& plan,
+                                        int64_t iters) {
+  std::vector<TransportStatus> first_error(static_cast<size_t>(world));
+  RunWorld(kind, world, [&](int rank, Transport& base) {
+    FaultPlan mine = rank == faulty ? plan : FaultPlan{};
+    FaultInjectingTransport injector(&base, mine);
+    IntegrityTransport checked(&injector);
+    std::vector<uint8_t> send(96);
+    std::vector<uint8_t> recv(96);
+    for (int64_t iter = 1; iter <= iters; ++iter) {
+      injector.BeginIteration(iter);
+      for (size_t i = 0; i < send.size(); ++i) {
+        send[i] = static_cast<uint8_t>(rank * 31 + iter * 7 + i);
+      }
+      const TransportStatus st =
+          checked.RingExchange(send.data(), static_cast<int64_t>(send.size()),
+                               recv.data(), static_cast<int64_t>(recv.size()));
+      if (!st.ok()) {
+        first_error[static_cast<size_t>(rank)] = st;
+        return;  // an errored rank leaves; peers must still unwind with errors
+      }
+      // A clean exchange must deliver the previous rank's exact payload.
+      const int prev = (rank + world - 1) % world;
+      for (size_t i = 0; i < recv.size(); ++i) {
+        ASSERT_EQ(recv[i], static_cast<uint8_t>(prev * 31 + iter * 7 + i))
+            << TransportName(kind) << " rank " << rank << " iter " << iter;
+      }
+    }
+  });
+  return first_error;
+}
+
+TEST(TransportFaults, CleanWorldRoundTripsThroughIntegrityLayer) {
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    for (int world : {2, 3}) {
+      const auto errors = RingRounds(kind, world, 0, FaultPlan{}, 4);
+      for (int r = 0; r < world; ++r) {
+        EXPECT_TRUE(errors[static_cast<size_t>(r)].ok())
+            << TransportName(kind) << " rank " << r << ": "
+            << errors[static_cast<size_t>(r)].message;
+      }
+    }
+  }
+}
+
+TEST(TransportFaults, CorruptFrameSurfacesAsChecksumErrorAtReceiver) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("corrupt:2", 3, 1, &plan, &error)) << error;
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    const int faulty = 1;
+    const auto errors = RingRounds(kind, 3, faulty, plan, 3);
+    const TransportStatus& at_receiver =
+        errors[static_cast<size_t>(NextRank(faulty, 3))];
+    EXPECT_EQ(at_receiver.code, TransportError::kChecksum)
+        << TransportName(kind) << ": " << at_receiver.message;
+    EXPECT_NE(at_receiver.message.find("corrupted in transit"), std::string::npos)
+        << at_receiver.message;
+  }
+}
+
+TEST(TransportFaults, TruncatedFrameSurfacesAsSequenceErrorAtReceiver) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("truncate:2", 3, 1, &plan, &error)) << error;
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    const int faulty = 1;
+    const auto errors = RingRounds(kind, 3, faulty, plan, 3);
+    const TransportStatus& at_receiver =
+        errors[static_cast<size_t>(NextRank(faulty, 3))];
+    EXPECT_EQ(at_receiver.code, TransportError::kSequence)
+        << TransportName(kind) << ": " << at_receiver.message;
+  }
+}
+
+TEST(TransportFaults, ReplayedFrameSurfacesAsSequenceErrorAtReceiver) {
+  // dup needs a captured previous frame: iteration 1 is clean, the replay
+  // fires at iteration 2 and must be caught as a stale sequence number.
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("dup:2", 3, 1, &plan, &error)) << error;
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    const int faulty = 1;
+    const auto errors = RingRounds(kind, 3, faulty, plan, 3);
+    const TransportStatus& at_receiver =
+        errors[static_cast<size_t>(NextRank(faulty, 3))];
+    EXPECT_EQ(at_receiver.code, TransportError::kSequence)
+        << TransportName(kind) << ": " << at_receiver.message;
+  }
+}
+
+TEST(TransportFaults, DelayIsTransientAndTheWorldStillCompletes) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("delay:2", 3, 1, &plan, &error)) << error;
+  plan.events[0].delay_ms = 50;  // keep the suite fast
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    const auto errors = RingRounds(kind, 3, 1, plan, 3);
+    for (int r = 0; r < 3; ++r) {
+      EXPECT_TRUE(errors[static_cast<size_t>(r)].ok())
+          << TransportName(kind) << " rank " << r << ": "
+          << errors[static_cast<size_t>(r)].message;
+    }
+  }
+}
+
+TEST(TransportFaults, DroppedConnectionSurfacesTypedErrorsEverywhere) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("drop:2", 3, 1, &plan, &error)) << error;
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    const int faulty = 1;
+    const auto errors = RingRounds(kind, 3, faulty, plan, 4);
+    // The dropping rank reports the drop itself...
+    EXPECT_EQ(errors[static_cast<size_t>(faulty)].code,
+              TransportError::kPeerClosed)
+        << TransportName(kind) << ": " << errors[static_cast<size_t>(faulty)].message;
+    EXPECT_NE(errors[static_cast<size_t>(faulty)].message.find("fault injection"),
+              std::string::npos);
+    // ...and every survivor unwinds with a typed error (kAborted through the
+    // poisoned inproc group, kPeerClosed/kAborted over dead sockets) instead
+    // of hanging in its next collective.
+    for (int r = 0; r < 3; ++r) {
+      if (r == faulty) {
+        continue;
+      }
+      const TransportStatus& st = errors[static_cast<size_t>(r)];
+      EXPECT_FALSE(st.ok()) << TransportName(kind) << " rank " << r
+                            << " never observed the drop";
+      EXPECT_TRUE(st.code == TransportError::kPeerClosed ||
+                  st.code == TransportError::kAborted ||
+                  st.code == TransportError::kSequence)
+          << TransportName(kind) << " rank " << r << ": " << st.message;
+    }
+  }
+}
+
+// A peer that disappears between collectives (clean socket close / poisoned
+// group, no fault injector involved): Barrier and Broadcast on the survivors
+// must return typed errors, never hang.
+TEST(TransportFaults, PeerExitFailsBarrierAndBroadcastWithTypedErrors) {
+  for (TransportCase kind : {TransportCase::kInproc, TransportCase::kTcp}) {
+    for (int world : {2, 3}) {
+      std::vector<TransportStatus> barrier_st(static_cast<size_t>(world));
+      std::vector<TransportStatus> bcast_st(static_cast<size_t>(world));
+      RunWorld(kind, world, [&](int rank, Transport& transport) {
+        if (rank == world - 1) {
+          // Dies "mid-run": poison + close without participating further.
+          transport.LocalAbort(TransportStatus::Error(
+              TransportError::kPeerClosed, "test: rank exits early"));
+          return;
+        }
+        barrier_st[static_cast<size_t>(rank)] = transport.Barrier();
+        const uint32_t word = 0x5A5A5A5AU;
+        std::vector<uint8_t> out;
+        bcast_st[static_cast<size_t>(rank)] = transport.Broadcast(
+            rank == 0 ? &word : nullptr, rank == 0 ? sizeof(word) : 0, &out);
+      });
+      for (int r = 0; r + 1 < world; ++r) {
+        EXPECT_FALSE(barrier_st[static_cast<size_t>(r)].ok() &&
+                     bcast_st[static_cast<size_t>(r)].ok())
+            << TransportName(kind) << " world " << world << " rank " << r
+            << " noticed nothing";
+        for (const TransportStatus& st : {barrier_st[static_cast<size_t>(r)],
+                                          bcast_st[static_cast<size_t>(r)]}) {
+          if (!st.ok()) {
+            EXPECT_TRUE(st.code == TransportError::kPeerClosed ||
+                        st.code == TransportError::kAborted)
+                << TransportName(kind) << " rank " << r << ": " << st.message;
+          }
+        }
+      }
+    }
+  }
+}
+
+// After any integrity failure the endpoint is latched: every later collective
+// returns the same first error instead of shipping more suspect frames.
+TEST(TransportFaults, IntegrityFailureLatchesTheEndpoint) {
+  FaultPlan plan;
+  std::string error;
+  ASSERT_TRUE(FaultPlan::Parse("corrupt:1", 2, 0, &plan, &error)) << error;
+  RunWorld(TransportCase::kInproc, 2, [&](int rank, Transport& base) {
+    FaultPlan mine = rank == 0 ? plan : FaultPlan{};
+    FaultInjectingTransport injector(&base, mine);
+    IntegrityTransport checked(&injector);
+    injector.BeginIteration(1);
+    std::vector<uint8_t> buf(64, static_cast<uint8_t>(rank));
+    std::vector<uint8_t> got(64);
+    const TransportStatus st = checked.RingExchange(
+        buf.data(), 64, got.data(), 64);
+    if (rank == 1) {
+      ASSERT_EQ(st.code, TransportError::kChecksum) << st.message;
+      const TransportStatus again = checked.RingExchange(
+          buf.data(), 64, got.data(), 64);
+      EXPECT_EQ(again.code, TransportError::kChecksum);
+      EXPECT_EQ(again.message, st.message);
+      // The group was poisoned with the original verification failure, so
+      // even the payload-free Barrier reports it (first reason wins).
+      EXPECT_EQ(checked.Barrier().code, TransportError::kChecksum);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace egeria

@@ -12,9 +12,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <string>
 
 #include "src/ckpt/checkpoint.h"
@@ -269,7 +271,9 @@ TEST(DistributedProcess, KillOneRankSurfacesCleanTimeoutError) {
   SpawnOptions options;
   options.worker_binary = WorkerBinary();
   options.world = 3;
-  options.common_args = {"--workload=tiny", "--epochs=3"};
+  // Heartbeat off: this test pins the launcher's own deadline as the
+  // last-resort backstop when no failure detector is running.
+  options.common_args = {"--workload=tiny", "--epochs=3", "--hb-interval=0"};
   // Rank 2 wedges mid-run (iteration 3): the survivors block in their
   // collectives; the launcher must kill the world at its deadline and say so,
   // not hang until the transport's much larger io timeout.
@@ -282,6 +286,46 @@ TEST(DistributedProcess, KillOneRankSurfacesCleanTimeoutError) {
   EXPECT_NE(run.error.find("timed out"), std::string::npos) << run.error;
   // The wedged rank is named so the failure is attributable from the summary.
   EXPECT_NE(run.error.find("2"), std::string::npos) << run.error;
+  if (!HasFailure()) {
+    RemoveLogDir(options, run);
+  }
+}
+
+// The heartbeat failure detector: with --hb-interval=0.5, a rank that wedges
+// between collectives must be detected by rank 0, the world aborted, and the
+// survivors exited (code 4, EGERIA_ABORT) within a few seconds — strictly
+// sooner than both the 60s transport io deadline and the launcher's own 30s
+// backstop. This is the timed acceptance pin for O(heartbeat) detection.
+TEST(DistributedProcess, HeartbeatDetectsHungRankWellUnderTransportDeadline) {
+  SpawnOptions options;
+  options.worker_binary = WorkerBinary();
+  options.world = 3;
+  options.common_args = {"--workload=tiny", "--epochs=3", "--hb-interval=0.5",
+                         "--io-timeout=60"};
+  options.per_rank_args = {{}, {}, {"--fault=hang:3"}};
+  options.log_dir = MakeLogDir("hbdetect");
+  options.timeout_s = 30.0;
+  const auto start = std::chrono::steady_clock::now();
+  const SpawnResult run = SpawnWorld(options);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_FALSE(run.ok);
+  // NOT the launcher deadline: the failure detector beat it. The world failed
+  // fast through a survivor's clean exit-4 abort.
+  EXPECT_FALSE(run.timed_out) << run.error;
+  EXPECT_NE(run.error.find("exited with code 4"), std::string::npos) << run.error;
+  // Detection + abort + exit must take O(heartbeat interval), not O(io
+  // timeout). The bound is deliberately loose (slow CI) yet far under both
+  // the 60s transport deadline and the 30s launcher backstop.
+  EXPECT_LT(wall, 15.0) << "hung rank not detected in O(heartbeat interval)";
+  // Rank 0's failure detector named the hung rank and broadcast the abort.
+  std::ifstream log0(run.log_paths[0]);
+  const std::string contents((std::istreambuf_iterator<char>(log0)),
+                             std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("EGERIA_ABORT"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("failure detector"), std::string::npos) << contents;
+  EXPECT_NE(contents.find("rank 2"), std::string::npos) << contents;
   if (!HasFailure()) {
     RemoveLogDir(options, run);
   }

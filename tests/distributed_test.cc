@@ -206,18 +206,22 @@ TEST(Transport, BroadcastAndBarrierAgreeAcrossBackends) {
       std::atomic<int> arrived{0};
       RunWorld(kind, world, [&](int rank, Transport& transport) {
         const uint32_t root_word = 0xABCD1234U;
-        const auto msg = transport.Broadcast(rank == 0 ? &root_word : nullptr,
-                                             rank == 0 ? sizeof(root_word) : 0);
+        std::vector<uint8_t> msg;
+        ASSERT_TRUE(transport
+                        .Broadcast(rank == 0 ? &root_word : nullptr,
+                                   rank == 0 ? sizeof(root_word) : 0, &msg)
+                        .ok());
         ASSERT_EQ(msg.size(), sizeof(root_word));
         uint32_t got = 0;
         std::memcpy(&got, msg.data(), sizeof(got));
         EXPECT_EQ(got, root_word) << TransportName(kind) << " rank " << rank;
-        const auto empty = transport.Broadcast(nullptr, 0);
+        std::vector<uint8_t> empty;
+        ASSERT_TRUE(transport.Broadcast(nullptr, 0, &empty).ok());
         EXPECT_TRUE(empty.empty());
         // Everyone checks in before the barrier; nobody may observe a count
         // below `world` after it.
         arrived.fetch_add(1);
-        transport.Barrier();
+        ASSERT_TRUE(transport.Barrier().ok());
         EXPECT_EQ(arrived.load(), world) << TransportName(kind) << " rank " << rank;
       });
     }
@@ -293,8 +297,8 @@ RingRunStats ReduceBothAndExpectBitwiseEqual(TransportCase kind, int world,
     RingAllReducer ring(transport);
     FlatParamView view(ring_lists[static_cast<size_t>(rank)],
                        FlatParamView::Field::kGrad);
-    ring.ReduceScatterAverage(view);
-    ring.AllGather(view);
+    ASSERT_TRUE(ring.ReduceScatterAverage(view, nullptr).ok());
+    ASSERT_TRUE(ring.AllGather(view).ok());
     std::lock_guard<std::mutex> lock(stats_mutex);
     stats.wire_sum += ring.TotalWireBytes();
     if (rank == 0) {
@@ -404,8 +408,9 @@ TEST(RingAllReduce, WorldOneIsIdentity) {
   RingAllReducer ring(group.Get(0));
   auto list = Suffix(set, 0);
   FlatParamView view(list, FlatParamView::Field::kGrad);
-  const auto owned = ring.ReduceScatterAverage(view);
-  ring.AllGather(view);
+  std::pair<int64_t, int64_t> owned{-1, -1};
+  ASSERT_TRUE(ring.ReduceScatterAverage(view, &owned).ok());
+  ASSERT_TRUE(ring.AllGather(view).ok());
   EXPECT_EQ(owned.first, 0);
   EXPECT_EQ(owned.second, 7);
   for (size_t p = 0; p < set.size(); ++p) {

@@ -12,6 +12,16 @@
 // to the single-process sequential-reference run of the same workload — the
 // reduction contract, across OS processes and a real wire.
 //
+// Failure protocol (see src/distributed/README.md "Failure model"): a rank
+// whose training loop ends on a transport error prints
+//
+//   EGERIA_ABORT rank=.. code=.. reason=".."
+//
+// and exits 4. The launcher's fail-fast supervision then kills the survivors
+// (who are themselves aborting after the heartbeat broadcast) and, under
+// SpawnWorldWithRecovery, relaunches the world to resume from the latest
+// complete checkpoint.
+//
 // Flags:
 //   --rank=R --world=W --rendezvous=PATH   (required; env EGERIA_RANK /
 //       EGERIA_WORLD / EGERIA_RENDEZVOUS are fallbacks)
@@ -26,8 +36,16 @@
 //   --stop-after=N          (stop cleanly after N iterations, writing a final
 //       checkpoint — stages elastic-restart drills from the command line)
 //   --connect-timeout=S --io-timeout=S
-//   --fault=hang:I | exit:I (test-only: at iteration I this rank hangs
-//       forever / exits 3; I=0 fires before the transport even connects)
+//   --hb-interval=S         (heartbeat failure-detector period; default 2.0,
+//       0 disables. Every rank of a world must agree.)
+//   --integrity=0|1         (frame checksums + sequence numbers; default 1.
+//       Every rank of a world must agree.)
+//   --fault=SPEC            (test-only deterministic fault injection: comma-
+//       separated kind:iter entries with kinds
+//       corrupt/truncate/delay/drop/dup/hang/exit, or a single seed:S entry;
+//       see src/distributed/transport/fault_injection.h. hang:0 / exit:0 fire
+//       before the transport even connects. Malformed specs are a usage
+//       error, exit 2.)
 #include <unistd.h>
 
 #include <cstdio>
@@ -37,6 +55,8 @@
 
 #include "src/distributed/dist_trainer.h"
 #include "src/distributed/dist_workload.h"
+#include "src/distributed/transport/fault_injection.h"
+#include "src/distributed/transport/integrity_transport.h"
 #include "src/distributed/transport/tcp_transport.h"
 
 namespace egeria {
@@ -77,6 +97,8 @@ int Main(int argc, char** argv) {
   std::string egeria_s = "0";
   std::string connect_timeout_s;
   std::string io_timeout_s;
+  std::string hb_interval_s;
+  std::string integrity_s = "1";
   std::string fault;
   std::string ckpt_dir;
   std::string ckpt_interval_s;
@@ -93,7 +115,9 @@ int Main(int argc, char** argv) {
         FlagValue(a, "ckpt-keep", &ckpt_keep_s) ||
         FlagValue(a, "stop-after", &stop_after_s) ||
         FlagValue(a, "connect-timeout", &connect_timeout_s) ||
-        FlagValue(a, "io-timeout", &io_timeout_s) || FlagValue(a, "fault", &fault)) {
+        FlagValue(a, "io-timeout", &io_timeout_s) ||
+        FlagValue(a, "hb-interval", &hb_interval_s) ||
+        FlagValue(a, "integrity", &integrity_s) || FlagValue(a, "fault", &fault)) {
       continue;
     }
     std::fprintf(stderr, "egeria_worker: unknown argument %s\n", a);
@@ -111,24 +135,26 @@ int Main(int argc, char** argv) {
     return 2;
   }
 
-  // Test-only fault injection: "<kind>:<iter>"; iter 0 = before the transport
-  // connects, so peers see a silent (hang) or failed (exit) rank at wiring time.
-  int64_t fault_iter = -1;
-  bool fault_hang = false;
+  // Strictly validated fault plan: an unknown kind or malformed iteration is
+  // a usage error (exit 2), never a silently clean run.
+  FaultPlan plan;
   if (!fault.empty()) {
-    const size_t colon = fault.find(':');
-    const std::string kind = fault.substr(0, colon);
-    fault_iter = colon == std::string::npos ? 0 : std::atoll(fault.c_str() + colon + 1);
-    fault_hang = kind == "hang";
-    if (!fault_hang && kind != "exit") {
-      std::fprintf(stderr, "egeria_worker: bad --fault %s\n", fault.c_str());
+    std::string error;
+    if (!FaultPlan::Parse(fault, world, rank, &plan, &error)) {
+      std::fprintf(stderr, "egeria_worker: %s\n", error.c_str());
       return 2;
     }
-    if (fault_iter <= 0) {
-      if (fault_hang) {
+  }
+  // Pre-wiring process faults: peers see a silent (hang) or failed (exit)
+  // rank at rendezvous time.
+  for (const FaultEvent& ev : plan.events) {
+    if (ev.iter <= 0) {
+      if (ev.kind == FaultKind::kHang) {
         HangForever();
       }
-      return 3;
+      if (ev.kind == FaultKind::kExit) {
+        return 3;
+      }
     }
   }
 
@@ -149,33 +175,66 @@ int Main(int argc, char** argv) {
   if (!stop_after_s.empty()) {
     w.cfg.stop_after_iters = std::atoll(stop_after_s.c_str());
   }
-  if (fault_iter > 0) {
-    const int64_t at = fault_iter;
-    const bool hang = fault_hang;
-    w.cfg.iteration_hook = [rank, at, hang](int r, int64_t iter) {
-      if (r == rank && iter == at) {
-        if (hang) {
-          HangForever();
-        }
-        std::exit(3);
-      }
-    };
-  }
+  // TrainRank gets the already-wrapped transport; don't double-wrap.
+  w.cfg.frame_integrity = false;
 
   TcpTransportOptions topts;
   topts.rank = rank;
   topts.world = world;
   topts.rendezvous_file = rendezvous;
+  topts.heartbeat_interval_s =
+      hb_interval_s.empty() ? 2.0 : std::atof(hb_interval_s.c_str());
   if (!connect_timeout_s.empty()) {
     topts.connect_timeout_s = std::atof(connect_timeout_s.c_str());
   }
   if (!io_timeout_s.empty()) {
     topts.io_timeout_s = std::atof(io_timeout_s.c_str());
   }
-  std::unique_ptr<Transport> transport = MakeTcpTransport(topts);
+  // Production path: the TCP transport's native in-pump integrity (hashing
+  // overlapped with the wire — see tcp_transport.h). A rank with a --fault
+  // spec keeps the decorator stack instead: the injector must corrupt BELOW
+  // the checksum to be caught, which only
+  // IntegrityTransport(FaultInjectingTransport(raw)) can express. Both emit
+  // bit-identical wire frames, so a world may mix faulted and clean ranks.
+  const bool integrity = std::atoi(integrity_s.c_str()) != 0;
+  const bool decorate = !fault.empty();
+  topts.frame_integrity = integrity && !decorate;
+  std::unique_ptr<Transport> base = MakeTcpTransport(topts);
+
+  FaultInjectingTransport faulty(base.get(), plan);
+  IntegrityTransport checked(&faulty);
+  Transport& transport =
+      decorate ? (integrity ? static_cast<Transport&>(checked)
+                            : static_cast<Transport&>(faulty))
+               : *base;
+
+  FaultInjectingTransport* faulty_ptr = &faulty;
+  w.cfg.iteration_hook = [rank, faulty_ptr, &plan](int r, int64_t iter) {
+    if (r != rank) {
+      return;
+    }
+    faulty_ptr->BeginIteration(iter);
+    for (const FaultEvent& ev : plan.events) {
+      if (ev.iter != iter) {
+        continue;
+      }
+      if (ev.kind == FaultKind::kHang) {
+        HangForever();
+      }
+      if (ev.kind == FaultKind::kExit) {
+        std::exit(3);
+      }
+    }
+  };
 
   RankTrainResult r =
-      TrainRank(*transport, w.make_model, *w.train, *w.val, w.cfg, nullptr);
+      TrainRank(transport, w.make_model, *w.train, *w.val, w.cfg, nullptr);
+  if (!r.status.ok()) {
+    std::printf("EGERIA_ABORT rank=%d code=%s reason=\"%s\"\n", rank,
+                r.status.code_name(), r.status.message.c_str());
+    std::fflush(stdout);
+    return 4;
+  }
 
   for (const DistReshardEvent& ev : r.reshard_events) {
     std::printf("EGERIA_RESHARD iter=%lld frontier=%d active_elems=%lld "
