@@ -1,13 +1,17 @@
 // Checkpoint overhead probe: what does fault tolerance cost per snapshot?
 //
 // Measures, for the shared dist workloads (tiny + fig10 geometry):
+//   - in-memory capture (ExportModelState clone) — the ONLY cost the async
+//     save path (ckpt/async_writer.h) leaves on the training hot path; the
+//     serialize-to-disk below runs on the background writer
 //   - state-dict export + save (model weights + BN stats, v2 checksummed)
 //   - manifest hash + commit
 //   - full verified restore (LoadCheckpoint + LoadModelState)
 //   - egeria_ckpt-style verification (re-hash every file)
 // and prints bytes + wall milliseconds + effective MB/s, so the checkpoint
 // interval can be chosen against measured iteration times (a snapshot that
-// costs ~one iteration is safe to take every few hundred).
+// costs ~one iteration is safe to take every few hundred; with async saves
+// only the capture row counts against the iteration).
 //
 // Usage: ckpt_overhead [--rounds=N]
 #include <algorithm>
@@ -47,6 +51,7 @@ void BenchWorkload(const std::string& name, int rounds) {
       (fs::temp_directory_path() / ("egeria-ckpt-bench-" + name)).string();
   fs::remove_all(root);
 
+  std::vector<double> capture_ms;
   std::vector<double> save_ms;
   std::vector<double> commit_ms;
   std::vector<double> load_ms;
@@ -60,6 +65,11 @@ void BenchWorkload(const std::string& name, int rounds) {
     EnsureDir(m.dir);
 
     WallTimer t;
+    Checkpoint captured = ExportModelState(*model);
+    capture_ms.push_back(t.ElapsedSeconds() * 1e3);
+    captured.clear();
+
+    t.Reset();
     SaveModelState(m.dir + "/model.state", *model);
     save_ms.push_back(t.ElapsedSeconds() * 1e3);
 
@@ -81,15 +91,17 @@ void BenchWorkload(const std::string& name, int rounds) {
   }
   fs::remove_all(root);
 
+  const double capture = MedianOf(capture_ms);
   const double save = MedianOf(save_ms);
   const double commit = MedianOf(commit_ms);
   const double load = MedianOf(load_ms);
   const double verify = MedianOf(verify_ms);
   const double mb = static_cast<double>(file_bytes) / (1024.0 * 1024.0);
-  std::printf("%-8s state=%8lld B  file=%8lld B  save=%7.3f ms (%7.1f MB/s)  "
-              "commit=%6.3f ms  load=%7.3f ms  verify=%6.3f ms\n",
+  std::printf("%-8s state=%8lld B  file=%8lld B  capture=%6.3f ms  "
+              "save=%7.3f ms (%7.1f MB/s)  commit=%6.3f ms  load=%7.3f ms  "
+              "verify=%6.3f ms\n",
               name.c_str(), static_cast<long long>(state_bytes),
-              static_cast<long long>(file_bytes), save,
+              static_cast<long long>(file_bytes), capture, save,
               save > 0 ? mb / (save / 1e3) : 0.0, commit, load, verify);
 }
 

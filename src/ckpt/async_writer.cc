@@ -1,0 +1,56 @@
+#include "src/ckpt/async_writer.h"
+
+#include <utility>
+
+namespace egeria {
+
+AsyncCheckpointWriter::AsyncCheckpointWriter() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+AsyncCheckpointWriter::~AsyncCheckpointWriter() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void AsyncCheckpointWriter::Submit(std::function<bool()> write) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !pending_ && !running_; });
+  pending_ = std::move(write);
+  cv_.notify_all();
+}
+
+bool AsyncCheckpointWriter::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return !pending_ && !running_; });
+  return last_ok_;
+}
+
+void AsyncCheckpointWriter::Run() {
+  for (;;) {
+    std::function<bool()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return shutdown_ || pending_; });
+      if (!pending_) {  // Shutdown with an empty queue: drained.
+        return;
+      }
+      job = std::move(pending_);
+      pending_ = nullptr;
+      running_ = true;
+    }
+    const bool ok = job();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      running_ = false;
+      last_ok_ = ok;
+    }
+    cv_.notify_all();
+  }
+}
+
+}  // namespace egeria

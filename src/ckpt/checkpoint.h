@@ -42,6 +42,16 @@ struct CheckpointOptions {
   // (auto-restart: rerunning the same command continues the run).
   bool resume = true;
 
+  // Distributed path: capture the snapshot in memory at the checkpoint
+  // boundary, serialize it on a background thread (ckpt/async_writer.h), and
+  // defer the collective manifest commit to the next iteration boundary — the
+  // write overlaps one iteration of compute. The snapshot is cloned at
+  // capture time, so the persisted state is bitwise the synchronous path's.
+  // false = write and commit inline (the pre-overlap behavior). The
+  // single-process trainer always saves inline (its snapshots are off the
+  // iteration path already).
+  bool async_save = true;
+
   bool enabled() const { return !dir.empty() && interval_iters > 0; }
 };
 

@@ -3,17 +3,21 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <sstream>
 #include <thread>
 #include <tuple>
 #include <unistd.h>
 
 #include <fstream>
 
+#include "src/ckpt/async_writer.h"
 #include "src/ckpt/state_dict.h"
 #include "src/ckpt/wire.h"
 #include "src/core/controller.h"
 #include "src/distributed/allreduce.h"
 #include "src/distributed/flat_view.h"
+#include "src/distributed/overlap_reducer.h"
 #include "src/distributed/transport/inproc_transport.h"
 #include "src/distributed/transport/integrity_transport.h"
 #include "src/distributed/transport/tcp_transport.h"
@@ -99,22 +103,41 @@ bool WriteShardFile(const std::string& path, const ShardedSgd::ShardState& s) {
   return static_cast<bool>(os);
 }
 
-// AND-reduces a per-rank success flag around the ring (W-1 exchange steps);
-// doubles as the rendezvous that guarantees every rank's files are fully
-// written before rank 0 hashes them into the manifest. A manifest must never
-// commit over a torn peer file: the torn bytes would checksum "valid" and
-// poison every future resume of that step.
-TransportStatus AllRanksOk(Transport& transport, bool ok, bool* all_ok) {
-  uint8_t acc = ok ? 1 : 0;
+// Typed all-ranks checkpoint status, reduced around the ring (W-1 exchange
+// steps): each rank contributes (error code, rank) for its local snapshot
+// write; the reduction keeps the failing entry of the LOWEST rank, so every
+// rank deterministically agrees on one culprit to report. Doubles as the
+// rendezvous that guarantees every rank's files are fully written before
+// rank 0 hashes them into the manifest. A manifest must never commit over a
+// torn peer file: the torn bytes would checksum "valid" and poison every
+// future resume of that step — which is why the rank-0 commit is strictly
+// conditional on the reduced status being clean, never on rank 0's local
+// write alone.
+struct CkptStatusWire {
+  int32_t code = 0;   // TransportError as int32; 0 == ok
+  int32_t rank = -1;  // the rank reporting `code` (lowest failing rank wins)
+};
+
+TransportStatus AllRanksCkptStatus(Transport& transport, bool local_ok,
+                                   CkptStatusWire* worst) {
+  CkptStatusWire acc;
+  if (!local_ok) {
+    acc.code = static_cast<int32_t>(TransportError::kIo);
+    acc.rank = transport.Rank();
+  }
   for (int step = 0; step + 1 < transport.World(); ++step) {
-    uint8_t incoming = 1;
-    TransportStatus st = transport.RingExchange(&acc, 1, &incoming, 1);
+    CkptStatusWire incoming;
+    TransportStatus st =
+        transport.RingExchange(&acc, sizeof(acc), &incoming, sizeof(incoming));
     if (!st.ok()) {
       return st;
     }
-    acc = (acc != 0 && incoming != 0) ? 1 : 0;
+    if (incoming.code != 0 &&
+        (acc.code == 0 || incoming.rank < acc.rank)) {
+      acc = incoming;
+    }
   }
-  *all_ok = acc != 0;
+  *worst = acc;
   return TransportStatus::Ok();
 }
 
@@ -213,6 +236,63 @@ RankTrainResult TrainRank(
   int64_t shard_begin = 0;
   int64_t shard_end = 0;
   double seg_comm_start = 0.0;  // ring.CommSeconds() at current segment start
+  double seg_hidden_start = 0.0;   // overlap hidden-seconds at segment start
+  double seg_exposed_start = 0.0;  // overlap exposed-seconds at segment start
+
+  // Overlapped reducer (tentpole): a dedicated comm thread runs per-stage
+  // bucket rounds while backward computes, fed by the model's stage-backward
+  // observer. Constructed only on the ring-sharded path with overlap enabled;
+  // the sequential round stays available as the bitwise pin baseline.
+  const bool overlap = sharded && cfg.overlap_comm;
+  std::optional<OverlapReducer> overlap_reducer;
+  if (overlap) {
+    overlap_reducer.emplace(transport, ring, shard_opt);
+    model.SetStageBackwardObserver(
+        [&ov = *overlap_reducer](int stage) { ov.NotifyStageReady(stage); });
+  }
+  // The observer closes over the stack-scoped reducer but the model outlives
+  // this frame (it is handed back on the result), so detach it on every exit
+  // path. Destroyed before overlap_reducer (declared after it), so no stray
+  // notification can reach a dying reducer either.
+  struct ObserverGuard {
+    ChainModel& m;
+    ~ObserverGuard() { m.SetStageBackwardObserver(nullptr); }
+  } observer_guard{model};
+
+  // Per-stage buckets over the flat active space at `at_frontier`: ParamsFrom
+  // concatenates StageParams in stage order, so stage extents are contiguous
+  // prefix sums. Frozen stages (< frontier) simply never appear — they have
+  // left the bucket schedule along with the payload. Adjacent stages coalesce
+  // until each bucket holds >= overlap_min_bucket_elems: the partition is
+  // bitwise-free (ownership and fold order are fixed by the GLOBAL contract
+  // chunks), and since backward runs deep to front, a merged bucket's grads
+  // are all final when its FRONT-most stage — the bucket's label, whose
+  // NotifyStageReady fires last among its members — completes backward.
+  auto make_buckets = [&](int at_frontier) {
+    std::vector<OverlapReducer::Bucket> buckets;
+    int64_t offset = 0;
+    for (int stage = at_frontier; stage < model.NumStages(); ++stage) {
+      const int64_t n = model.StageParamCount(stage);
+      buckets.push_back(OverlapReducer::Bucket{stage, offset, offset + n});
+      offset += n;
+    }
+    const int64_t min_elems = cfg.overlap_min_bucket_elems;
+    if (min_elems > 0) {
+      std::vector<OverlapReducer::Bucket> merged;
+      for (const OverlapReducer::Bucket& b : buckets) {
+        // The open bucket absorbs deeper stages until full; its stage label
+        // stays the front-most member, so readiness still means "every
+        // member's backward is done" by the deep-to-front order.
+        if (!merged.empty() && merged.back().end - merged.back().begin < min_elems) {
+          merged.back().end = b.end;
+        } else {
+          merged.push_back(b);
+        }
+      }
+      buckets = std::move(merged);
+    }
+    return buckets;
+  };
 
   // Finalize the measured all-reduce seconds of the segment that just ended on
   // rank 0's timeline. A segment recorded at event iter E covers the collective
@@ -230,6 +310,18 @@ RankTrainResult TrainRank(
             ? (ring.CommSeconds() - seg_comm_start) / static_cast<double>(rounds)
             : 0.0;
     seg_comm_start = ring.CommSeconds();
+    if (overlap_reducer.has_value() && rounds > 0) {
+      prev.comm_hidden_s_per_iter =
+          (overlap_reducer->TotalHiddenSeconds() - seg_hidden_start) /
+          static_cast<double>(rounds);
+      prev.comm_exposed_s_per_iter =
+          (overlap_reducer->TotalExposedSeconds() - seg_exposed_start) /
+          static_cast<double>(rounds);
+    }
+    if (overlap_reducer.has_value()) {
+      seg_hidden_start = overlap_reducer->TotalHiddenSeconds();
+      seg_exposed_start = overlap_reducer->TotalExposedSeconds();
+    }
   };
 
   // Collective shard (re)partition over the active suffix at `at_frontier`.
@@ -258,48 +350,44 @@ RankTrainResult TrainRank(
     return TransportStatus::Ok();
   };
   // ---- Checkpoint plumbing ----
-  // Collective save: every rank writes its shard, then rank 0 snapshots the
-  // (replica-identical, post-all-gather) model plus controller/loop state and
-  // commits the manifest. The trailing barrier keeps "latest complete
-  // checkpoint" well-defined for every rank before anyone can crash ahead.
-  // A transport error anywhere in the save aborts BEFORE the manifest commit:
-  // the step directory is left manifest-less — invisible to resume, swept by
-  // retention — so an aborting world can never publish torn state.
-  auto save_checkpoint = [&](int64_t at_iter) -> TransportStatus {
+  // The save is split into CAPTURE and COMMIT so the file writes can overlap
+  // compute (ckpt/async_writer.h):
+  //   capture — at the checkpoint boundary, clone everything the snapshot
+  //     needs (shard copy, buffer/model state dicts, controller + loop state
+  //     serialized to strings) and hand the serialization job to the
+  //     background writer. The live model trains on immediately; the captured
+  //     bytes are bitwise what a synchronous save would have persisted.
+  //   commit — at the NEXT iteration boundary (immediately for stop/final
+  //     saves and when async_save is off), every rank waits for its local
+  //     write, the typed per-rank status is ring-reduced, and rank 0 hashes
+  //     the files into the manifest and commits ONLY if every rank reported
+  //     clean. The trailing barrier keeps "latest complete checkpoint"
+  //     well-defined for every rank before anyone can crash ahead.
+  // A crash or transport error anywhere between capture and commit leaves the
+  // step directory manifest-less — invisible to resume, swept by retention —
+  // so an aborting world can never publish torn state.
+  AsyncCheckpointWriter ckpt_writer;
+  bool ckpt_pending = false;       // a captured snapshot awaits commit
+  bool ckpt_capture_ok = true;     // capture-phase local failures (mkdir etc.)
+  int64_t ckpt_pending_iter = -1;
+  CkptManifest ckpt_manifest;      // rank 0: metadata fixed at capture time
+  bool ckpt_has_controller = false;
+
+  auto capture_checkpoint = [&](int64_t at_iter) {
     const std::string step_dir = CheckpointStepDir(cfg.ckpt.dir, at_iter);
     bool ok = EnsureDir(step_dir);
-    if (ok && sharded) {
-      ok = WriteShardFile(step_dir + "/" + ShardFileName(rank), shard_opt.ExportShard());
+    // Clone the snapshot: the background thread must never read live state.
+    ShardedSgd::ShardState shard_state;
+    if (sharded) {
+      shard_state = shard_opt.ExportShard();
     }
-    if (ok) {
-      ok = SaveCheckpoint(step_dir + "/" + BuffersFileName(rank),
-                          ExportModelBuffers(model));
-    }
-    {
-      bool all_ok = false;
-      TransportStatus st = AllRanksOk(transport, ok, &all_ok);
-      if (!st.ok()) {
-        return st;
-      }
-      ok = all_ok;
-    }
-    if (rank == 0 && !ok) {
-      EGERIA_LOG(kError) << "distributed checkpoint at iter " << at_iter
-                         << ": a rank failed to write its files; step abandoned "
-                            "(training continues from the previous checkpoint)";
-    }
-    if (rank == 0 && ok) {
-      CkptManifest m;
-      m.kind = "dist";
-      m.iter = at_iter;
-      m.world = world;
-      m.frontier = frontier;
-      m.next_frontier = next_frontier;
-      m.dir = step_dir;
-      const int64_t active = CountElems(model.ParamsFrom(frontier));
-      m.frozen_elems = total_elems - active;
-      m.active_elems = active;
-      Checkpoint state = ExportModelState(model);
+    Checkpoint buffers = ExportModelBuffers(model);
+    Checkpoint state;
+    std::string dist_state_bytes;
+    std::string controller_bytes;
+    bool has_controller = false;
+    if (rank == 0) {
+      state = ExportModelState(model);
       if (!sharded) {
         // Sequential reference path: the replicated optimizer state is
         // identical on every rank; persist rank 0's alongside the weights.
@@ -312,37 +400,111 @@ RankTrainResult TrainRank(
         }
         opt.ExportState(params, names, state);
       }
-      ok = ok && SaveCheckpoint(step_dir + "/model.state", state) &&
-           AddManifestFile(m, "model.state");
       {
-        std::ofstream os(step_dir + "/dist.state", std::ios::binary | std::ios::trunc);
+        std::ostringstream os(std::ios::binary);
         wire::Write(os, kDistStateMagic);
         wire::Write(os, kDistStateVersion);
         wire::Write(os, at_iter);
         wire::Write(os, static_cast<uint8_t>(knowledge_stage ? 1 : 0));
-        ok = ok && static_cast<bool>(os);
+        dist_state_bytes = os.str();
       }
-      ok = ok && AddManifestFile(m, "dist.state");
       if (controller != nullptr) {
+        std::ostringstream os(std::ios::binary);
+        controller->SaveState(os);
+        ok = ok && static_cast<bool>(os);
+        controller_bytes = os.str();
+        has_controller = true;
+      }
+      ckpt_manifest = CkptManifest{};
+      ckpt_manifest.kind = "dist";
+      ckpt_manifest.iter = at_iter;
+      ckpt_manifest.world = world;
+      ckpt_manifest.frontier = frontier;
+      ckpt_manifest.next_frontier = next_frontier;
+      ckpt_manifest.dir = step_dir;
+      const int64_t active = CountElems(model.ParamsFrom(frontier));
+      ckpt_manifest.frozen_elems = total_elems - active;
+      ckpt_manifest.active_elems = active;
+    }
+    auto write_job = [rank, sharded, step_dir, shard_state = std::move(shard_state),
+                      buffers = std::move(buffers), state = std::move(state),
+                      dist_state_bytes = std::move(dist_state_bytes),
+                      controller_bytes = std::move(controller_bytes),
+                      has_controller]() -> bool {
+      bool wok = true;
+      if (sharded) {
+        wok = WriteShardFile(step_dir + "/" + ShardFileName(rank), shard_state);
+      }
+      wok = wok && SaveCheckpoint(step_dir + "/" + BuffersFileName(rank), buffers);
+      if (rank == 0) {
+        wok = wok && SaveCheckpoint(step_dir + "/model.state", state);
         {
+          std::ofstream os(step_dir + "/dist.state",
+                           std::ios::binary | std::ios::trunc);
+          os.write(dist_state_bytes.data(),
+                   static_cast<std::streamsize>(dist_state_bytes.size()));
+          wok = wok && static_cast<bool>(os);
+        }
+        if (has_controller) {
           std::ofstream os(step_dir + "/controller.state",
                            std::ios::binary | std::ios::trunc);
-          controller->SaveState(os);
-          ok = ok && static_cast<bool>(os);
-        }
-        ok = ok && AddManifestFile(m, "controller.state");
-      }
-      for (int r = 0; r < world && ok; ++r) {
-        ok = AddManifestFile(m, BuffersFileName(r));
-        if (ok && sharded) {
-          ok = AddManifestFile(m, ShardFileName(r));
+          os.write(controller_bytes.data(),
+                   static_cast<std::streamsize>(controller_bytes.size()));
+          wok = wok && static_cast<bool>(os);
         }
       }
-      if (!ok || !CommitManifest(m)) {
-        EGERIA_LOG(kError) << "distributed checkpoint at iter " << at_iter
-                           << " failed; training continues uncheckpointed";
+      return wok;
+    };
+    ckpt_capture_ok = ok;
+    if (cfg.ckpt.async_save) {
+      ckpt_writer.Submit(std::move(write_job));
+    } else {
+      ckpt_capture_ok = ok && write_job();
+    }
+    ckpt_pending = true;
+    ckpt_pending_iter = at_iter;
+    ckpt_has_controller = has_controller;
+  };
+
+  auto commit_checkpoint = [&]() -> TransportStatus {
+    ckpt_pending = false;
+    bool local_ok = ckpt_capture_ok;
+    if (cfg.ckpt.async_save) {
+      local_ok = ckpt_writer.Wait() && local_ok;
+    }
+    CkptStatusWire worst;
+    {
+      TransportStatus st = AllRanksCkptStatus(transport, local_ok, &worst);
+      if (!st.ok()) {
+        return st;
+      }
+    }
+    if (rank == 0) {
+      if (worst.code != 0) {
+        EGERIA_LOG(kError)
+            << "distributed checkpoint at iter " << ckpt_pending_iter << ": rank "
+            << worst.rank << " reported status "
+            << TransportErrorName(static_cast<TransportError>(worst.code))
+            << " writing its files; step abandoned (training continues from "
+               "the previous checkpoint)";
       } else {
-        ApplyRetention(cfg.ckpt.dir, cfg.ckpt.keep_last);
+        CkptManifest m = ckpt_manifest;
+        bool ok = AddManifestFile(m, "model.state") && AddManifestFile(m, "dist.state");
+        if (ok && ckpt_has_controller) {
+          ok = AddManifestFile(m, "controller.state");
+        }
+        for (int r = 0; r < world && ok; ++r) {
+          ok = AddManifestFile(m, BuffersFileName(r));
+          if (ok && sharded) {
+            ok = AddManifestFile(m, ShardFileName(r));
+          }
+        }
+        if (!ok || !CommitManifest(m)) {
+          EGERIA_LOG(kError) << "distributed checkpoint at iter " << ckpt_pending_iter
+                             << " failed; training continues uncheckpointed";
+        } else {
+          ApplyRetention(cfg.ckpt.dir, cfg.ckpt.keep_last);
+        }
       }
     }
     return transport.Barrier();
@@ -482,6 +644,13 @@ RankTrainResult TrainRank(
       }
       const float lr = cfg.lr_schedule->LrAt(iter);
 
+      // Commit the checkpoint captured at the previous boundary (async save):
+      // its background write overlapped the last iteration's compute. A crash
+      // before this point left the step manifest-less — invisible to resume.
+      if (ckpt_pending) {
+        EGERIA_RETURN_ON_TRANSPORT_ERROR(commit_checkpoint());
+      }
+
       // Apply the frontier broadcast at the end of the previous iteration.
       if (next_frontier != frontier) {
         for (int i = 0; i < model.NumStages(); ++i) {
@@ -500,14 +669,13 @@ RankTrainResult TrainRank(
       Tensor logits = model.ForwardFrom(0, batch.input);
       LossResult loss = TaskLoss(cfg.task, logits, batch);
 
-      for (Parameter* p : model.ParamsFrom(frontier)) {
-        p->grad.Zero_();
-      }
-      model.BackwardTo(frontier, loss.grad);
-
       // Controller duties on rank 0 only (logically centralized, Fig. 5). Runs
       // BEFORE this iteration's control broadcast so the decision reaches every
-      // rank in time to be applied at the same iteration boundary.
+      // rank in time to be applied at the same iteration boundary — and before
+      // backward, so the transport is free for the overlapped reducer's comm
+      // thread from BeginRound to FinishRound. Everything the controller reads
+      // (forward activations, pre-update weights, lr, iter) is untouched by
+      // backward, so its inputs are bitwise the post-backward placement's.
       int32_t pending = static_cast<int32_t>(frontier);
       if (rank == 0 && controller != nullptr) {
         if (!cfg.egeria.async_controller) {
@@ -547,20 +715,38 @@ RankTrainResult TrainRank(
       EGERIA_RETURN_ON_TRANSPORT_ERROR(
           ExchangeFrontier(transport, rank, pending, &next_frontier));
 
-      // Synchronize only active parameters — frozen stages are "excluded from
-      // parameter synchronization" (paper S4.2.2, Fig. 10).
+      // Backward + synchronization of active parameters only — frozen stages
+      // are "excluded from parameter synchronization" (paper S4.2.2, Fig. 10).
       const std::vector<Parameter*> active = model.ParamsFrom(frontier);
+      for (Parameter* p : active) {
+        p->grad.Zero_();
+      }
       if (sharded) {
-        // ZeRO-1 round: ring reduce-scatter the gradients, owner applies the
-        // optimizer update on its shard, ring all-gather the updated weights.
         FlatParamView grads(active, FlatParamView::Field::kGrad);
-        std::pair<int64_t, int64_t> owned{0, 0};
-        EGERIA_RETURN_ON_TRANSPORT_ERROR(ring.ReduceScatterAverage(grads, &owned));
-        EGERIA_CHECK(owned.first == shard_begin && owned.second == shard_end);
         FlatParamView values(active, FlatParamView::Field::kValue);
-        shard_opt.Step(values, grads, shard_begin, shard_end, lr);
-        EGERIA_RETURN_ON_TRANSPORT_ERROR(ring.AllGather(values));
+        if (overlap) {
+          // Overlapped ZeRO-1 round: the comm thread reduces each stage's
+          // bucket the moment that stage's backward hands it over; from
+          // BeginRound to FinishRound the comm thread is the transport's only
+          // user. Bitwise-identical to the sequential round below because
+          // every bucket circulates global-contract-chunk ∩ bucket spans.
+          overlap_reducer->BeginRound(&grads, &values, make_buckets(frontier),
+                                      shard_begin, shard_end, lr);
+          model.BackwardTo(frontier, loss.grad);
+          EGERIA_RETURN_ON_TRANSPORT_ERROR(overlap_reducer->FinishRound());
+        } else {
+          // Sequential ZeRO-1 round (the pin baseline): ring reduce-scatter
+          // the gradients, owner applies the optimizer update on its shard,
+          // ring all-gather the updated weights.
+          model.BackwardTo(frontier, loss.grad);
+          std::pair<int64_t, int64_t> owned{0, 0};
+          EGERIA_RETURN_ON_TRANSPORT_ERROR(ring.ReduceScatterAverage(grads, &owned));
+          EGERIA_CHECK(owned.first == shard_begin && owned.second == shard_end);
+          shard_opt.Step(values, grads, shard_begin, shard_end, lr);
+          EGERIA_RETURN_ON_TRANSPORT_ERROR(ring.AllGather(values));
+        }
       } else {
+        model.BackwardTo(frontier, loss.grad);
         reference_reducer->AllReduce(rank, active);
       }
       int64_t payload = 0;
@@ -577,18 +763,25 @@ RankTrainResult TrainRank(
       // config, so the cadence is in lockstep) ---
       const bool at_interval =
           cfg.ckpt.enabled() && iter % cfg.ckpt.interval_iters == 0;
-      if (at_interval) {
-        EGERIA_RETURN_ON_TRANSPORT_ERROR(save_checkpoint(iter));
+      const bool stopping = cfg.stop_after_iters >= 0 && iter >= cfg.stop_after_iters;
+      if (at_interval || (stopping && cfg.ckpt.enabled())) {
+        capture_checkpoint(iter);
       }
-      if (cfg.stop_after_iters >= 0 && iter >= cfg.stop_after_iters) {
-        if (cfg.ckpt.enabled() && !at_interval) {
-          EGERIA_RETURN_ON_TRANSPORT_ERROR(save_checkpoint(iter));
-        }
+      // Async saves normally commit at the NEXT boundary; a stop (or async off)
+      // flushes inline — nobody is around next iteration to commit for us.
+      if (ckpt_pending && (stopping || !cfg.ckpt.async_save)) {
+        EGERIA_RETURN_ON_TRANSPORT_ERROR(commit_checkpoint());
+      }
+      if (stopping) {
         result.stopped_early = true;
         stop = true;
         break;
       }
     }
+  }
+  // Natural run end with a capture still in flight: flush it.
+  if (ckpt_pending) {
+    EGERIA_RETURN_ON_TRANSPORT_ERROR(commit_checkpoint());
   }
 
   finalize_segment(iter + 1);  // The last segment ran through iteration `iter`.
@@ -596,6 +789,10 @@ RankTrainResult TrainRank(
   result.iterations = iter;
   result.wire_bytes = ring.TotalWireBytes();
   result.allreduce_seconds = ring.CommSeconds();
+  if (overlap_reducer.has_value()) {
+    result.comm_hidden_seconds = overlap_reducer->TotalHiddenSeconds();
+    result.comm_exposed_seconds = overlap_reducer->TotalExposedSeconds();
+  }
   result.params_hash = HashParams(model.ParamsFrom(0));
 
   // Validate on rank 0's replica.
@@ -688,6 +885,8 @@ DistTrainResult TrainDataParallel(
   result.bytes_synced = r0.bytes_synced;
   result.bytes_full_model = r0.bytes_full_model;
   result.allreduce_seconds = r0.allreduce_seconds;
+  result.comm_hidden_seconds = r0.comm_hidden_seconds;
+  result.comm_exposed_seconds = r0.comm_exposed_seconds;
   result.final_frontier = r0.final_frontier;
   result.iterations = r0.iterations;
   result.params_hash = r0.params_hash;

@@ -67,6 +67,7 @@ void StageChainModel::BackwardTo(int stop, const Tensor& grad_output) {
     EGERIA_CHECK_MSG(forward_subs_[static_cast<size_t>(i)] == nullptr,
                      name_ + ": backward through a reduced-precision frozen stage");
     g = stages_[static_cast<size_t>(i)]->Backward(g);
+    NotifyStageBackward(i);
   }
 }
 

@@ -15,6 +15,7 @@
 #ifndef EGERIA_SRC_MODELS_CHAIN_MODEL_H_
 #define EGERIA_SRC_MODELS_CHAIN_MODEL_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -61,6 +62,17 @@ class ChainModel {
   // no backward work at all (the frozen prefix). stop == 0 is full backprop.
   virtual void BackwardTo(int stop, const Tensor& grad_output) = 0;
 
+  // Observer fired during BackwardTo, once per visited stage, at the moment
+  // EVERY parameter gradient of that stage is final for the pass (a stage that
+  // owns auxiliary modules — the Transformer's first decoder stage and its
+  // target embedding — fires only after all of them). Stages are reported in
+  // the model's own backward order (deepest first). The overlapped gradient
+  // reducer hangs its per-stage bucket schedule off this. Null = no-op.
+  using StageBackwardObserver = std::function<void(int stage)>;
+  void SetStageBackwardObserver(StageBackwardObserver observer) {
+    stage_backward_observer_ = std::move(observer);
+  }
+
   // Boundary activation recorded by the last ForwardFrom (output of stage i).
   virtual Tensor StageOutput(int i) const = 0;
 
@@ -99,6 +111,16 @@ class ChainModel {
   // Copies parameter values and normalization statistics from an identically
   // structured model (data-parallel replicas, checkpoint restore).
   virtual void CopyStateFrom(ChainModel& other) = 0;
+
+ protected:
+  void NotifyStageBackward(int stage) {
+    if (stage_backward_observer_) {
+      stage_backward_observer_(stage);
+    }
+  }
+
+ private:
+  StageBackwardObserver stage_backward_observer_;
 };
 
 // ChainModel over an explicit list of single-input modules.

@@ -150,6 +150,7 @@ void TransformerChainModel::BackwardTo(int stop, const Tensor& grad_output) {
     return;
   }
   Tensor g = out_proj_->Backward(grad_output);
+  NotifyStageBackward(ProjStage());
 
   Tensor dmemory;
   for (int j = num_dec_ - 1; j >= 0; --j) {
@@ -165,8 +166,13 @@ void TransformerChainModel::BackwardTo(int stop, const Tensor& grad_output) {
     } else {
       dmemory = dmem;
     }
+    if (j > 0) {
+      NotifyStageBackward(DecStage(j));
+    }
   }
   tgt_embed_->Backward(g);  // Owned by decoder stage 0, which is active here.
+  // Decoder stage 0's gradients are final only once its target embedding ran.
+  NotifyStageBackward(DecStage(0));
 
   // Encoder side.
   if (stop > num_enc_) {
@@ -176,9 +182,11 @@ void TransformerChainModel::BackwardTo(int stop, const Tensor& grad_output) {
   Tensor ge = dmemory;
   for (int i = num_enc_; i >= std::max(stop, 1); --i) {
     ge = encoders_[static_cast<size_t>(i - 1)]->Backward(ge);
+    NotifyStageBackward(i);
   }
   if (stop == 0) {
     src_embed_->Backward(ge);
+    NotifyStageBackward(0);
   }
 }
 

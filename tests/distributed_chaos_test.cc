@@ -255,5 +255,59 @@ TEST(DistributedChaos, ShrinkOnRestartResumesAtSmallerWorldBitwise) {
   }
 }
 
+// Async-save crash window: with background checkpoint writes, the capture at
+// iteration N commits at the START of iteration N+1 (after the all-ranks
+// status reduction). A rank killed exactly at N+1 dies BETWEEN capture and
+// commit — the step directory exists but holds no MANIFEST, so the restart
+// must treat the run as checkpoint-less (resume from scratch), never consume
+// the half-committed step, and still converge bitwise to the reference.
+TEST(DistributedChaos, CrashBetweenAsyncCaptureAndCommitLeavesStepInvisible) {
+  const int world = 2;
+  SpawnOptions options;
+  options.worker_binary = WorkerBinary();
+  options.world = world;
+  options.log_dir = MakeLogDir("async-crash");
+  const std::string ckpt_dir = options.log_dir + "/ckpt";
+  options.common_args = {"--workload=tiny", "--epochs=" + std::to_string(kEpochs),
+                         "--ckpt-dir=" + ckpt_dir, "--ckpt-interval=3",
+                         "--async-ckpt=1", "--hb-interval=1", "--io-timeout=20"};
+  // Iteration 3 captures the first snapshot (async, commit deferred); the
+  // exit at iteration 4 fires in the iteration hook, BEFORE the deferred
+  // commit's status reduction — the exact capture/commit race.
+  options.per_rank_args = {{}, {"--fault=exit:4"}};
+  options.timeout_s = 60.0;
+  RecoverySpec recovery;
+  recovery.max_restarts = 1;
+  recovery.ckpt_dir = ckpt_dir;
+  recovery.backoff_initial_s = 0.1;
+  const SpawnResult run = SpawnWorldWithRecovery(options, recovery);
+  ASSERT_TRUE(run.ok) << run.error;
+  EXPECT_EQ(run.attempts, 2) << "exit fault never fired";
+  ASSERT_EQ(run.rank_results.size(), static_cast<size_t>(world));
+
+  // The captured-but-uncommitted iteration-3 snapshot must have been
+  // invisible: had it been committed, the restart would report
+  // resumed_from=3. (A sync save WOULD have committed at iteration 3 —
+  // this pins the deferred-commit gating, not just manifest atomicity.)
+  for (int r = 0; r < world; ++r) {
+    const auto& kv = run.rank_results[static_cast<size_t>(r)];
+    const auto it = kv.find("resumed_from");
+    ASSERT_NE(it, kv.end());
+    EXPECT_EQ(it->second, "-1")
+        << "rank " << r << " resumed from an uncommitted async capture";
+  }
+
+  // And the recomputed run is still bitwise-correct with intact checkpoints.
+  const uint64_t ref_hash = ReferenceHash(world);
+  for (int r = 0; r < world; ++r) {
+    EXPECT_EQ(ParseHash(run.rank_results[static_cast<size_t>(r)]), ref_hash)
+        << "rank " << r << " diverged after the capture/commit crash";
+  }
+  ScanForTornCheckpoints(ckpt_dir);
+  if (!HasFailure()) {
+    std::filesystem::remove_all(options.log_dir);
+  }
+}
+
 }  // namespace
 }  // namespace egeria

@@ -24,6 +24,16 @@
 #include "src/distributed/dist_workload.h"
 #include "src/distributed/process_launcher.h"
 
+// ThreadSanitizer detection across gcc (__SANITIZE_THREAD__) and clang
+// (__has_feature): wall-clock-envelope tests skip under TSan's ~10x slowdown.
+#if defined(__SANITIZE_THREAD__)
+#define EGERIA_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define EGERIA_TSAN_ACTIVE 1
+#endif
+#endif
+
 namespace egeria {
 namespace {
 
@@ -297,6 +307,14 @@ TEST(DistributedProcess, KillOneRankSurfacesCleanTimeoutError) {
 // sooner than both the 60s transport io deadline and the launcher's own 30s
 // backstop. This is the timed acceptance pin for O(heartbeat) detection.
 TEST(DistributedProcess, HeartbeatDetectsHungRankWellUnderTransportDeadline) {
+#if defined(EGERIA_TSAN_ACTIVE)
+  // The 0.5s heartbeat grace assumes roughly-native execution speed; under
+  // TSan's ~10x slowdown a HEALTHY rank can fall behind the grace window and
+  // the detector (correctly, per its spec) names the wrong rank. The timing
+  // envelope is pinned by the native CI jobs; TSan covers the detector's
+  // thread-safety through every other dist suite.
+  GTEST_SKIP() << "heartbeat timing envelope is meaningless under TSan";
+#endif
   SpawnOptions options;
   options.worker_binary = WorkerBinary();
   options.world = 3;

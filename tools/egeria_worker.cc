@@ -35,6 +35,12 @@
 //   --ckpt-keep=N           (complete checkpoints retained; default 2)
 //   --stop-after=N          (stop cleanly after N iterations, writing a final
 //       checkpoint — stages elastic-restart drills from the command line)
+//   --overlap=0|1           (overlap gradient communication with backward
+//       compute via per-stage buckets; default 1. Bitwise-identical results
+//       either way — 0 keeps the sequential round as the pin baseline. Every
+//       rank of a world must agree.)
+//   --async-ckpt=0|1        (background checkpoint writes with deferred
+//       manifest commit; default 1. Persisted state is bitwise-identical.)
 //   --connect-timeout=S --io-timeout=S
 //   --hb-interval=S         (heartbeat failure-detector period; default 2.0,
 //       0 disables. Every rank of a world must agree.)
@@ -104,6 +110,8 @@ int Main(int argc, char** argv) {
   std::string ckpt_interval_s;
   std::string ckpt_keep_s;
   std::string stop_after_s;
+  std::string overlap_s = "1";
+  std::string async_ckpt_s = "1";
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (FlagValue(a, "rank", &rank_s) || FlagValue(a, "world", &world_s) ||
@@ -114,6 +122,8 @@ int Main(int argc, char** argv) {
         FlagValue(a, "ckpt-interval", &ckpt_interval_s) ||
         FlagValue(a, "ckpt-keep", &ckpt_keep_s) ||
         FlagValue(a, "stop-after", &stop_after_s) ||
+        FlagValue(a, "overlap", &overlap_s) ||
+        FlagValue(a, "async-ckpt", &async_ckpt_s) ||
         FlagValue(a, "connect-timeout", &connect_timeout_s) ||
         FlagValue(a, "io-timeout", &io_timeout_s) ||
         FlagValue(a, "hb-interval", &hb_interval_s) ||
@@ -175,6 +185,8 @@ int Main(int argc, char** argv) {
   if (!stop_after_s.empty()) {
     w.cfg.stop_after_iters = std::atoll(stop_after_s.c_str());
   }
+  w.cfg.overlap_comm = std::atoi(overlap_s.c_str()) != 0;
+  w.cfg.ckpt.async_save = std::atoi(async_ckpt_s.c_str()) != 0;
   // TrainRank gets the already-wrapped transport; don't double-wrap.
   w.cfg.frame_integrity = false;
 
@@ -238,16 +250,19 @@ int Main(int argc, char** argv) {
 
   for (const DistReshardEvent& ev : r.reshard_events) {
     std::printf("EGERIA_RESHARD iter=%lld frontier=%d active_elems=%lld "
-                "payload_bytes=%lld opt_state_bytes=%lld allreduce_s_per_iter=%.6f\n",
+                "payload_bytes=%lld opt_state_bytes=%lld allreduce_s_per_iter=%.6f "
+                "comm_hidden_s_per_iter=%.6f comm_exposed_s_per_iter=%.6f\n",
                 static_cast<long long>(ev.iter), ev.frontier,
                 static_cast<long long>(ev.active_elems),
                 static_cast<long long>(ev.payload_bytes_per_iter),
                 static_cast<long long>(ev.opt_state_bytes_per_rank),
-                ev.allreduce_seconds_per_iter);
+                ev.allreduce_seconds_per_iter, ev.comm_hidden_s_per_iter,
+                ev.comm_exposed_s_per_iter);
   }
   std::printf("EGERIA_RESULT rank=%d world=%d workload=%s params_hash=%016llx "
               "final_frontier=%d iterations=%lld bytes_synced=%lld "
               "bytes_full_model=%lld wire_bytes=%lld allreduce_seconds=%.6f "
+              "comm_hidden_seconds=%.6f comm_exposed_seconds=%.6f "
               "final_acc=%.4f resumed_from=%lld stopped_early=%d\n",
               rank, world, w.name.c_str(),
               static_cast<unsigned long long>(r.params_hash), r.final_frontier,
@@ -255,6 +270,7 @@ int Main(int argc, char** argv) {
               static_cast<long long>(r.bytes_synced),
               static_cast<long long>(r.bytes_full_model),
               static_cast<long long>(r.wire_bytes), r.allreduce_seconds,
+              r.comm_hidden_seconds, r.comm_exposed_seconds,
               r.final_display, static_cast<long long>(r.resumed_from_iter),
               r.stopped_early ? 1 : 0);
   return 0;
