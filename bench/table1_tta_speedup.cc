@@ -27,6 +27,10 @@ struct RowResult {
   std::string unit;
   int frozen_frontier = 0;
   int num_stages = 0;
+  // Feature-store accounting from the Egeria run: residual frozen-prefix
+  // forward seconds (populate/miss iterations) and iterations served.
+  double frozen_fp_seconds = 0.0;
+  int64_t fp_skips = 0;
 };
 
 RowResult RunPair(bench::Workload (*make)(uint64_t, int), uint64_t seed, int epochs,
@@ -62,6 +66,8 @@ RowResult RunPair(bench::Workload (*make)(uint64_t, int), uint64_t seed, int epo
   r.unit = base.final_metric.unit;
   r.frozen_frontier = eg.final_frontier;
   r.num_stages = we.model->NumStages();
+  r.frozen_fp_seconds = eg.frozen_fp_seconds;
+  r.fp_skips = eg.fp_skip_count;
   return r;
 }
 
@@ -103,7 +109,8 @@ int Main() {
   };
 
   Table table({"model", "paper speedup", "measured speedup", "baseline TTA s",
-               "egeria TTA s", "baseline metric", "egeria metric", "frozen stages"});
+               "egeria TTA s", "baseline metric", "egeria metric", "frozen stages",
+               "frozen-fp s", "fp skips"});
   RowResult resnet50_row;
   RowResult transformer_row;
   for (const auto& e : entries) {
@@ -113,7 +120,8 @@ int Main() {
                   Table::Num(r.egeria_tta, 1),
                   Table::Num(r.baseline_acc, 3) + " " + r.unit,
                   Table::Num(r.egeria_acc, 3) + " " + r.unit,
-                  std::to_string(r.frozen_frontier) + "/" + std::to_string(r.num_stages)});
+                  std::to_string(r.frozen_frontier) + "/" + std::to_string(r.num_stages),
+                  Table::Num(r.frozen_fp_seconds, 2), std::to_string(r.fp_skips)});
     if (std::string(e.label).rfind("ResNet-50", 0) == 0) {
       resnet50_row = r;
     }

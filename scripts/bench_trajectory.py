@@ -3,7 +3,8 @@
 
 Usage:
     bench_trajectory.py TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA
-        [--integrity=FILE] [--overlap=FILE] [--gate] [--check-only]
+        [--integrity=FILE] [--overlap=FILE] [--fig09=FILE] [--render=FILE]
+        [--gate] [--check-only]
 
 Parses the google-benchmark JSON report (BM_MatMul{,Fp16,Int8}/256) and the
 table2 smoke output, then updates-or-appends a git-SHA-keyed entry in the
@@ -29,8 +30,15 @@ With --integrity=FILE, additionally parses bench/integrity_overhead train-mode
 output (EGERIA_INTEGRITY_BENCH / EGERIA_HEARTBEAT_BENCH lines) into the entry.
 With --overlap=FILE, parses an EGERIA_RESULT line (tools/egeria_worker) for
 comm_hidden_seconds/comm_exposed_seconds — the backward-overlap split of ring
-comm time on a real TCP world — into an "overlap_hidden_comm" record. Both are
-advisory context: shared-host distributed timings are too noisy to gate.
+comm time on a real TCP world — into an "overlap_hidden_comm" record. With
+--fig09=FILE, parses a FIG09_SMOKE line (fig09_breakdown --smoke) into a
+"frozen_forward_saved" record: the steady-state frozen-prefix forward seconds
+the feature store eliminated, and the fraction thereof. All three are advisory
+context: shared-host timings are too noisy to gate.
+
+With --render=FILE, additionally writes a markdown before/after summary of the
+recorded entry versus the recent clean baseline window — CI uploads it as an
+artifact next to the trajectory itself.
 
 With --gate, compares this run's GFLOP/s per kernel against the BEST of the
 last BASELINE_WINDOW non-suspect foreign entries (best-of-K, so one slow-host
@@ -129,6 +137,30 @@ def parse_overlap(path):
                     round(hidden / total, 4) if total > 0 else 0.0,
             }
             print(f"overlap_hidden_comm: {record}")
+            return record
+    return None
+
+
+def parse_fig09(path):
+    """First FIG09_SMOKE line -> the feature store's frozen-forward savings."""
+    with open(path) as f:
+        for line in f:
+            if not line.startswith("FIG09_SMOKE "):
+                continue
+            kv = dict(field.partition("=")[::2] for field in line.split()[1:])
+            try:
+                record = {
+                    "frozen_fp_store_off_s":
+                        round(float(kv["frozen_fp_store_off_s"]), 6),
+                    "frozen_fp_store_on_s":
+                        round(float(kv["frozen_fp_store_on_s"]), 6),
+                    "frozen_forward_saved_s": round(float(kv["saved_s"]), 6),
+                    "saved_frac": round(float(kv["saved_frac"]), 4),
+                    "fp_skips": int(kv["fp_skips"]),
+                }
+            except (KeyError, ValueError):
+                continue
+            print(f"frozen_forward_saved: {record}")
             return record
     return None
 
@@ -239,10 +271,51 @@ def check_gate(entry, window):
     return ok
 
 
+def render_summary(entry, window, path):
+    """Markdown before/after summary of this run vs the clean baseline window."""
+    lines = ["# Bench trajectory summary", "",
+             f"Run `{entry['sha']}` at {entry.get('timestamp', '?')}."]
+    if entry.get("suspect"):
+        lines.append("")
+        lines.append(f"**SUSPECT** — excluded from baselines: "
+                     f"{entry.get('suspect_reason', '')}")
+    lines += ["", "## Kernel throughput (gated)", "",
+              "| kernel | this run (GFLOP/s) | best of recent clean | delta |",
+              "|---|---|---|---|"]
+    best = best_of_window(window)
+    for name in GATE_KERNELS:
+        new = entry["gemm_gflops"].get(name)
+        if new is None:
+            lines.append(f"| {name} | missing | — | — |")
+            continue
+        if name in best:
+            old, old_sha = best[name]
+            delta = f"{100.0 * (new / old - 1.0):+.1f}%"
+            lines.append(f"| {name} | {new:.1f} | {old:.1f} (@ {old_sha}) | {delta} |")
+        else:
+            lines.append(f"| {name} | {new:.1f} | no clean baseline | — |")
+    advisory = [
+        ("table2_smoke", "Table 2 smoke (reference forward per precision)"),
+        ("integrity_overhead", "Frame-integrity / heartbeat overhead"),
+        ("overlap_hidden_comm", "Backward-overlapped comm split"),
+        ("frozen_forward_saved", "Feature store: frozen forward eliminated"),
+    ]
+    lines += ["", "## Advisory records", ""]
+    for key, title in advisory:
+        value = entry.get(key)
+        if value:
+            lines.append(f"- **{title}**: `{json.dumps(value)}`")
+    lines.append("")
+    with open(path, "w") as f:
+        f.write("\n".join(lines))
+    print(f"summary rendered to {path}")
+
+
 def main(argv):
     if len(argv) < 5:
         print(f"usage: {argv[0]} TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA "
-              f"[--integrity=FILE] [--overlap=FILE] [--gate] [--check-only]",
+              f"[--integrity=FILE] [--overlap=FILE] [--fig09=FILE] "
+              f"[--render=FILE] [--gate] [--check-only]",
               file=sys.stderr)
         return 2
     traj_path, bench_path, table2_path, sha = argv[1:5]
@@ -250,11 +323,17 @@ def main(argv):
     check_only = "--check-only" in argv[5:]
     integrity_path = None
     overlap_path = None
+    fig09_path = None
+    render_path = None
     for arg in argv[5:]:
         if arg.startswith("--integrity="):
             integrity_path = arg[len("--integrity="):]
         elif arg.startswith("--overlap="):
             overlap_path = arg[len("--overlap="):]
+        elif arg.startswith("--fig09="):
+            fig09_path = arg[len("--fig09="):]
+        elif arg.startswith("--render="):
+            render_path = arg[len("--render="):]
         elif arg not in ("--gate", "--check-only"):
             print(f"{argv[0]}: unknown argument {arg}", file=sys.stderr)
             return 2
@@ -295,6 +374,10 @@ def main(argv):
         overlap = parse_overlap(overlap_path)
         if overlap is not None:
             entry["overlap_hidden_comm"] = overlap
+    if fig09_path:
+        fig09 = parse_fig09(fig09_path)
+        if fig09 is not None:
+            entry["frozen_forward_saved"] = fig09
 
     # Replace this SHA's entry. A clean run supersedes ALL dirty entries, not
     # just its own pre-commit twin: commits land as new SHAs, so a dirty entry's
@@ -311,6 +394,9 @@ def main(argv):
         json.dump({"schema": "egeria-bench-trajectory-v1", "runs": runs}, f, indent=2)
         f.write("\n")
     print(f"trajectory: {len(runs)} run(s) in {traj_path} (this run: {sha})")
+
+    if render_path:
+        render_summary(entry, window, render_path)
 
     if gate:
         if suspects:

@@ -41,17 +41,44 @@ done
 cd "$(dirname "$0")/.."
 repo_root=$(pwd)
 
+# Bench binaries are gated behind -DEGERIA_BUILD_BENCH=ON. A build/ directory
+# cached from a configure with =OFF (or a failed google-benchmark fetch) leaves
+# them unbuilt, and "./build/foo: No such file or directory" mid-script is not
+# an actionable diagnosis — fail up front with the fix instead.
+require_bench() {
+  if [ ! -x "./build/$1" ]; then
+    {
+      echo "check.sh: bench binary ./build/$1 is missing."
+      echo "  Likely causes:"
+      echo "   - build/ was configured with -DEGERIA_BUILD_BENCH=OFF (cached"
+      echo "     CMakeCache.txt wins over this script's flag on some setups);"
+      echo "   - the google-benchmark FetchContent download failed at configure"
+      echo "     time, so benchmark-dependent targets were skipped."
+      echo "  Fix: rm -rf build && cmake -B build -S . -DEGERIA_BUILD_BENCH=ON"
+      echo "       && cmake --build build -j \$(nproc), then re-run check.sh."
+    } >&2
+    exit 4
+  fi
+}
+
 echo "== tier-1: configure + build + ctest =="
 cmake -B build -S . -DEGERIA_BUILD_BENCH=ON
 cmake --build build -j "$(nproc)"
 (cd build && ctest --output-on-failure -j "$(nproc)")
+
+require_bench micro_kernels
+require_bench table2_ref_precision
+require_bench integrity_overhead
+require_bench fig09_breakdown
+require_bench egeria_ckpt
 
 echo "== bench smoke: BM_MatMul{,Fp16,Int8}/256 =="
 bench_tmp=$(mktemp)
 bench_err=$(mktemp)
 table2_tmp=$(mktemp)
 integrity_tmp=$(mktemp)
-trap 'rm -f "$bench_tmp" "$bench_err" "$table2_tmp" "$integrity_tmp"' EXIT
+fig09_tmp=$(mktemp)
+trap 'rm -f "$bench_tmp" "$bench_err" "$table2_tmp" "$integrity_tmp" "$fig09_tmp"' EXIT
 
 run_micro() {
   ./build/micro_kernels \
@@ -108,6 +135,13 @@ fi
 echo "== bench smoke: table2 reference-forward latency per precision =="
 ./build/table2_ref_precision --smoke | tee "$table2_tmp"
 
+echo "== bench smoke: fig09 frozen-forward elimination (feature store on/off) =="
+# Static-freeze pair on a small deterministic workload: the feature store must
+# eliminate >= 80% of the steady-state frozen-prefix forward seconds (the
+# binary exits nonzero below that bar or if the store never serves). saved_s
+# feeds the advisory frozen_forward_saved_s trajectory metric.
+./build/fig09_breakdown --smoke | tee "$fig09_tmp"
+
 echo "== dist smoke: 2-process TCP ring (egeria_worker via launch_dist.sh) =="
 ./scripts/launch_dist.sh -n 2 -t 300 -- --workload=tiny --epochs=2
 
@@ -118,7 +152,7 @@ echo "== dist smoke: crash-resume (checkpoint, --fault=exit, restart, hash pin) 
 # an uninterrupted run's — the checkpoint subsystem's bitwise-resume contract,
 # exercised end to end from the command line.
 resume_tmp=$(mktemp -d "${TMPDIR:-/tmp}/egeria-resume-XXXXXX")
-trap 'rm -f "$bench_tmp" "$bench_err" "$table2_tmp" "$integrity_tmp"; rm -rf "$resume_tmp"' EXIT
+trap 'rm -f "$bench_tmp" "$bench_err" "$table2_tmp" "$integrity_tmp" "$fig09_tmp"; rm -rf "$resume_tmp"' EXIT
 hash_of() {
   grep -h '^EGERIA_RESULT' "$1"/rank_*.log \
     | sed -n 's/.*params_hash=\([0-9a-f]*\).*/\1/p' | sort -u
@@ -200,7 +234,8 @@ if [ "$gate" -eq 1 ]; then
 fi
 python3 scripts/bench_trajectory.py "$repo_root/BENCH_gemm.json" \
   "$bench_tmp" "$table2_tmp" "$git_sha" --integrity="$integrity_tmp" \
-  --overlap="$overlap_tmp" ${gate_args[@]+"${gate_args[@]}"}
+  --overlap="$overlap_tmp" --fig09="$fig09_tmp" \
+  --render="$repo_root/BENCH_summary.md" ${gate_args[@]+"${gate_args[@]}"}
 rm -f "$overlap_tmp"
 
 echo "check.sh: OK (trajectory in BENCH_gemm.json)"

@@ -1,6 +1,9 @@
 #include "src/core/activation_cache.h"
 
+#include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <utility>
 
 #include "src/tensor/serialize.h"
 #include "src/util/logging.h"
@@ -9,11 +12,30 @@ namespace egeria {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+constexpr const char* kManifestName = "store.manifest";
+
+int PrecisionIndex(Precision p) {
+  switch (p) {
+    case Precision::kFloat32:
+      return 0;
+    case Precision::kFloat16:
+      return 1;
+    case Precision::kInt8:
+      return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
 ActivationCache::ActivationCache(std::string dir, int64_t memory_entries,
-                                 int64_t max_disk_bytes)
+                                 int64_t max_disk_bytes, bool persistent)
     : dir_(std::move(dir)),
       memory_entries_(memory_entries),
-      max_disk_bytes_(max_disk_bytes) {
+      max_disk_bytes_(max_disk_bytes),
+      persistent_(persistent) {
   EGERIA_CHECK(memory_entries_ >= 1);
   std::error_code ec;
   fs::create_directories(dir_, ec);
@@ -22,34 +44,66 @@ ActivationCache::ActivationCache(std::string dir, int64_t memory_entries,
 }
 
 ActivationCache::~ActivationCache() {
-  prefetcher_.reset();  // Join before removing files.
-  std::error_code ec;
-  fs::remove_all(dir_, ec);
+  prefetcher_.reset();  // Join before touching files.
+  if (!persistent_) {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
 }
 
-std::string ActivationCache::PathFor(int64_t id) const {
-  return dir_ + "/s" + std::to_string(stage_) + "_" + std::to_string(id) + ".egt";
+std::string ActivationCache::PathForLocked(int64_t id) const {
+  return dir_ + "/v" + std::to_string(kSpillFormatVersion) + "_s" +
+         std::to_string(stage_) + "_p" + std::to_string(PrecisionIndex(precision_)) +
+         "_" + std::to_string(id) + ".egt";
 }
 
-void ActivationCache::SetStage(int stage) {
+int ActivationCache::stage() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stage_;
+}
+
+uint64_t ActivationCache::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+bool ActivationCache::ManifestMatches() const {
+  std::ifstream is(dir_ + "/" + kManifestName);
+  if (!is) {
+    return false;
+  }
+  std::string tag;
+  uint32_t version = 0;
+  int stage = -2;
+  int precision = -1;
+  uint64_t generation = 0;
+  is >> tag >> version >> stage >> precision >> generation;
+  return static_cast<bool>(is) && tag == "egeria-feature-store" &&
+         version == kSpillFormatVersion && stage == stage_ &&
+         precision == PrecisionIndex(precision_) && generation == generation_;
+}
+
+void ActivationCache::WriteManifest() const {
+  // tmp + rename so a crash mid-write never leaves a manifest that validates a
+  // half-swept directory.
+  const std::string tmp = dir_ + "/" + kManifestName + ".tmp";
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (stage == stage_) {
+    std::ofstream os(tmp, std::ios::trunc);
+    os << "egeria-feature-store " << kSpillFormatVersion << " " << stage_ << " "
+       << PrecisionIndex(precision_) << " " << generation_ << "\n";
+    if (!os) {
       return;
     }
-    stage_ = stage;
-    memory_.clear();
-    insertion_order_.clear();
-    on_disk_.clear();
-    stats_.bytes_written = 0;
   }
-  // Sweep EVERY spill file, not just the ids tracked in on_disk_: after a
-  // crash-restart the directory can hold spills from a previous incarnation
-  // (possibly a different frontier) that this instance never recorded. They
-  // are stale the moment the boundary stage changes, and an untracked
-  // same-stage leftover would only shadow the bytes-written accounting, so a
-  // stage change clears the directory outright. Concurrent prefetch loads of
-  // removed files degrade to misses via the hardened reader.
+  std::error_code ec;
+  fs::rename(tmp, dir_ + "/" + kManifestName, ec);
+}
+
+void ActivationCache::SweepDirectory() {
+  // Sweep EVERY file, not just tracked ids: after a crash-restart the directory
+  // can hold spills from a previous incarnation (possibly a different key) that
+  // this instance never recorded. Concurrent prefetch loads of removed files
+  // degrade to misses via the hardened reader.
   std::error_code ec;
   for (const auto& entry : fs::directory_iterator(dir_, ec)) {
     if (entry.is_regular_file(ec)) {
@@ -58,10 +112,84 @@ void ActivationCache::SetStage(int stage) {
   }
 }
 
+void ActivationCache::AdoptDirectory() {
+  const std::string prefix = "v" + std::to_string(kSpillFormatVersion) + "_s" +
+                             std::to_string(stage_) + "_p" +
+                             std::to_string(PrecisionIndex(precision_)) + "_";
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (!entry.is_regular_file(ec)) {
+      continue;
+    }
+    const std::string name = entry.path().filename().string();
+    if (name == kManifestName) {
+      continue;
+    }
+    if (name.rfind(prefix, 0) != 0 || name.size() <= prefix.size() + 4 ||
+        name.compare(name.size() - 4, 4, ".egt") != 0) {
+      fs::remove(entry.path(), ec);  // Different key or foreign file: stale.
+      continue;
+    }
+    const std::string id_str = name.substr(prefix.size(), name.size() - prefix.size() - 4);
+    char* end = nullptr;
+    const int64_t id = std::strtoll(id_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') {
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    const int64_t bytes = static_cast<int64_t>(entry.file_size(ec));
+    if (ec || on_disk_.count(id) != 0) {
+      continue;
+    }
+    // A corrupt adopted file is only discovered at load time, where the
+    // checksummed reader turns it into a miss; adopting it here costs nothing.
+    on_disk_.emplace(id, bytes);
+    disk_order_.push_back(id);
+    disk_bytes_ += bytes;
+    ++stats_.adopted;
+  }
+}
+
+void ActivationCache::SetKey(int stage, Precision precision, uint64_t generation) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (configured_ && stage == stage_ && precision == precision_ &&
+      generation == generation_) {
+    return;  // Per-iteration fast path.
+  }
+  configured_ = true;
+  stage_ = stage;
+  precision_ = precision;
+  generation_ = generation;
+  key_epoch_.fetch_add(1, std::memory_order_release);
+  memory_.clear();
+  insertion_order_.clear();
+  on_disk_.clear();
+  disk_order_.clear();
+  disk_bytes_ = 0;
+  stats_.bytes_written = 0;
+  if (generation_ != 0 && ManifestMatches()) {
+    AdoptDirectory();
+  } else {
+    SweepDirectory();
+    if (generation_ != 0) {
+      WriteManifest();
+    }
+  }
+}
+
 void ActivationCache::Clear() {
-  const int s = stage_;
-  SetStage(-1);
-  SetStage(s);
+  std::lock_guard<std::mutex> lock(mutex_);
+  key_epoch_.fetch_add(1, std::memory_order_release);
+  memory_.clear();
+  insertion_order_.clear();
+  on_disk_.clear();
+  disk_order_.clear();
+  disk_bytes_ = 0;
+  stats_.bytes_written = 0;
+  SweepDirectory();
+  if (generation_ != 0) {
+    WriteManifest();
+  }
 }
 
 bool ActivationCache::HasAll(const std::vector<int64_t>& ids) const {
@@ -86,10 +214,43 @@ void ActivationCache::InsertMemoryLocked(int64_t id, Tensor slice) {
   }
 }
 
+bool ActivationCache::EvictForLocked(int64_t incoming_bytes) {
+  if (incoming_bytes > max_disk_bytes_) {
+    return false;  // A single slice can never fit.
+  }
+  std::error_code ec;
+  while (disk_bytes_ + incoming_bytes > max_disk_bytes_ && !disk_order_.empty()) {
+    const int64_t victim = disk_order_.front();
+    disk_order_.pop_front();
+    auto it = on_disk_.find(victim);
+    if (it == on_disk_.end()) {
+      continue;
+    }
+    disk_bytes_ -= it->second;
+    on_disk_.erase(it);
+    // Evicted = forgotten entirely: the memory copy must go too, or HasAll
+    // would keep promising a sample whose backing store is gone.
+    if (memory_.erase(victim) != 0) {
+      for (auto oit = insertion_order_.begin(); oit != insertion_order_.end(); ++oit) {
+        if (*oit == victim) {
+          insertion_order_.erase(oit);
+          break;
+        }
+      }
+    }
+    fs::remove(PathForLocked(victim), ec);
+    ++stats_.evictions;
+  }
+  return disk_bytes_ + incoming_bytes <= max_disk_bytes_;
+}
+
 Tensor ActivationCache::FetchBatch(const std::vector<int64_t>& ids) {
   std::vector<Tensor> slices(ids.size());
+  std::vector<std::string> disk_paths(ids.size());
+  uint64_t epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    epoch = key_epoch_.load(std::memory_order_relaxed);
     for (size_t i = 0; i < ids.size(); ++i) {
       auto it = memory_.find(ids[i]);
       if (it != memory_.end()) {
@@ -98,20 +259,23 @@ Tensor ActivationCache::FetchBatch(const std::vector<int64_t>& ids) {
       } else if (on_disk_.count(ids[i]) == 0) {
         ++stats_.misses;
         return Tensor();
+      } else {
+        disk_paths[i] = PathForLocked(ids[i]);
       }
     }
   }
   // Disk fallback outside the lock.
   for (size_t i = 0; i < ids.size(); ++i) {
     if (!slices[i].Defined()) {
-      slices[i] = LoadTensorFile(PathFor(ids[i]));
-      if (!slices[i].Defined()) {
-        std::lock_guard<std::mutex> lock(mutex_);
-        ++stats_.misses;
+      slices[i] = LoadTensorFile(disk_paths[i]);
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!slices[i].Defined() ||
+          key_epoch_.load(std::memory_order_relaxed) != epoch) {
+        ++stats_.misses;  // Corrupt spill or key changed mid-fetch: a miss.
         return Tensor();
       }
-      std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.disk_hits;
+      stats_.bytes_read += slices[i].NumEl() * static_cast<int64_t>(sizeof(float));
       InsertMemoryLocked(ids[i], slices[i]);
     }
   }
@@ -134,25 +298,29 @@ void ActivationCache::StoreBatch(const std::vector<int64_t>& ids, const Tensor& 
   std::vector<int64_t> slice_shape = activations.Shape();
   slice_shape[0] = 1;
   const int64_t per = activations.NumEl() / activations.Size(0);
+  const int64_t slice_bytes = per * static_cast<int64_t>(sizeof(float));
   for (size_t i = 0; i < ids.size(); ++i) {
+    std::string path;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (on_disk_.count(ids[i]) != 0) {
-        continue;  // Already persisted this epoch cycle.
+        continue;  // Already persisted under this key.
       }
-      if (stats_.bytes_written + per * static_cast<int64_t>(sizeof(float)) >
-          max_disk_bytes_) {
-        return;  // Storage budget exhausted; stop caching new samples.
+      if (!EvictForLocked(slice_bytes)) {
+        return;  // One slice exceeds the whole budget; nothing can be stored.
       }
+      path = PathForLocked(ids[i]);
     }
     Tensor slice(slice_shape);
     std::copy(activations.Data() + static_cast<int64_t>(i) * per,
               activations.Data() + static_cast<int64_t>(i + 1) * per, slice.Data());
-    const bool ok = SaveTensorFile(PathFor(ids[i]), slice);
+    const bool ok = SaveTensorFile(path, slice);
     std::lock_guard<std::mutex> lock(mutex_);
-    if (ok) {
-      on_disk_.insert(ids[i]);
-      stats_.bytes_written += per * static_cast<int64_t>(sizeof(float));
+    if (ok && on_disk_.count(ids[i]) == 0) {
+      on_disk_.emplace(ids[i], slice_bytes);
+      disk_order_.push_back(ids[i]);
+      disk_bytes_ += slice_bytes;
+      stats_.bytes_written += slice_bytes;
       ++stats_.stores;
       InsertMemoryLocked(ids[i], std::move(slice));
     }
@@ -160,29 +328,33 @@ void ActivationCache::StoreBatch(const std::vector<int64_t>& ids, const Tensor& 
 }
 
 void ActivationCache::PrefetchAsync(const std::vector<int64_t>& ids) {
-  std::vector<int64_t> to_load;
+  std::vector<std::pair<int64_t, std::string>> to_load;
+  uint64_t epoch = 0;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    epoch = key_epoch_.load(std::memory_order_relaxed);
     for (int64_t id : ids) {
       if (memory_.count(id) == 0 && on_disk_.count(id) != 0) {
-        to_load.push_back(id);
+        to_load.emplace_back(id, PathForLocked(id));
       }
     }
   }
   if (to_load.empty()) {
     return;
   }
-  const int expected_stage = stage_;
-  prefetcher_->Submit([this, to_load, expected_stage] {
-    for (int64_t id : to_load) {
-      if (stage_ != expected_stage) {
-        return;  // Frontier moved; these paths are stale.
+  prefetcher_->Submit([this, to_load = std::move(to_load), epoch] {
+    for (const auto& [id, path] : to_load) {
+      if (key_epoch_.load(std::memory_order_acquire) != epoch) {
+        return;  // Key moved; these paths are stale.
       }
-      Tensor slice = LoadTensorFile(PathFor(id));
+      Tensor slice = LoadTensorFile(path);
       if (!slice.Defined()) {
         continue;
       }
       std::lock_guard<std::mutex> lock(mutex_);
+      if (key_epoch_.load(std::memory_order_relaxed) != epoch) {
+        return;
+      }
       ++stats_.prefetch_loads;
       InsertMemoryLocked(id, std::move(slice));
     }

@@ -66,11 +66,16 @@ struct EgeriaConfig {
   // non-blocking CPU-side evaluation). Tests use synchronous mode for determinism.
   bool async_controller = true;
 
-  // Forward-pass skipping via the activation cache (S4.3).
+  // Forward-pass skipping via the persistent frozen-feature store (S4.3).
+  // cache_dir empty: with checkpointing enabled the store lives under
+  // <checkpoint.dir>/feature_store and survives crash/resume (adopted back by
+  // its generation-keyed manifest); otherwise an ephemeral per-process temp
+  // directory is used. A non-empty cache_dir is always treated as persistent.
   bool enable_cache = true;
-  std::string cache_dir;           // empty -> std::filesystem::temp_directory_path()
+  std::string cache_dir;
   int64_t cache_memory_batches = 5;  // "the cache only stores the recent five
                                      // mini-batches" in memory
+  int64_t cache_max_disk_bytes = int64_t{4} << 30;  // spill budget (FIFO evict)
   int64_t prefetch_batches = 2;
 
   // Never freeze the last `protected_tail` stages (the head / loss module).

@@ -8,6 +8,7 @@
 
 #include "src/ckpt/state_dict.h"
 #include "src/ckpt/wire.h"
+#include "src/tensor/serialize.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -37,10 +38,22 @@ Trainer::Trainer(ChainModel& model, const Dataset& train_data, const Dataset& va
     controller_ = std::make_unique<EgeriaController>(cfg_.egeria, model_.NumStages(),
                                                      cfg_.lr_schedule->IsAnnealing());
     if (cfg_.egeria.enable_cache) {
-      const std::string dir = cfg_.egeria.cache_dir.empty() ? DefaultCacheDir(cfg_.seed)
-                                                            : cfg_.egeria.cache_dir;
+      // Persistence policy: an explicit cache_dir is the caller opting into a
+      // durable store; with checkpointing on, the store lives next to the
+      // checkpoints so a crash/resume cycle re-adopts it (generation keys make
+      // adoption safe). Only the anonymous per-pid temp dir is ephemeral.
+      std::string dir = cfg_.egeria.cache_dir;
+      bool persistent = !dir.empty();
+      if (dir.empty() && cfg_.checkpoint.enabled()) {
+        dir = cfg_.checkpoint.dir + "/feature_store";
+        persistent = true;
+      }
+      if (dir.empty()) {
+        dir = DefaultCacheDir(cfg_.seed);
+      }
       cache_ = std::make_unique<ActivationCache>(
-          dir, cfg_.egeria.cache_memory_batches * cfg_.batch_size);
+          dir, cfg_.egeria.cache_memory_batches * cfg_.batch_size,
+          cfg_.egeria.cache_max_disk_bytes, persistent);
     }
   }
 }
@@ -62,19 +75,40 @@ int64_t Trainer::TotalIterations() const {
 
 Tensor Trainer::FrontierActivation() const { return model_.StageOutput(frontier_); }
 
+uint64_t Trainer::FrozenPrefixHash() {
+  uint64_t h = kFnv64Offset;
+  for (int i = 0; i < frontier_; ++i) {
+    for (Parameter* p : model_.StageParams(i)) {
+      h = Fnv1a64(p->value.Data(),
+                  static_cast<size_t>(p->value.NumEl()) * sizeof(float), h);
+    }
+  }
+  return h;
+}
+
+uint64_t Trainer::CacheGeneration() const {
+  const uint64_t gen = Fnv1a64(&aug_signature_, sizeof(aug_signature_), frozen_prefix_hash_);
+  return gen == 0 ? 1 : gen;  // 0 is ActivationCache's legacy unkeyed mode.
+}
+
 void Trainer::FreezeUpTo(int stage, int64_t iter) {
   EGERIA_CHECK(stage >= 0 && stage < model_.NumStages() - 1);
   const int old_frontier = frontier_;
+  bool sub_applied = cfg_.egeria.frozen_prefix_precision != Precision::kFloat32;
   for (int i = 0; i <= stage; ++i) {
     model_.SetStageFrozen(i, true);
     if (cfg_.egeria.frozen_prefix_precision != Precision::kFloat32) {
       // Frozen stages never see backward or updates again until an unfreeze,
       // so their forwards can run through the reduced-precision kernels (the
       // chain model keeps the clone until the precision is reset below).
-      model_.SetStageForwardPrecision(i, cfg_.egeria.frozen_prefix_precision);
+      sub_applied = model_.SetStageForwardPrecision(i, cfg_.egeria.frozen_prefix_precision) &&
+                    sub_applied;
     }
   }
+  prefix_precision_ =
+      sub_applied ? cfg_.egeria.frozen_prefix_precision : Precision::kFloat32;
   frontier_ = stage + 1;
+  frozen_prefix_hash_ = FrozenPrefixHash();
   if (cfg_.release_frozen_optimizer_state && frontier_ > old_frontier) {
     // The newly frozen params are the prefix of the previously active list
     // that the new active list no longer contains.
@@ -103,6 +137,8 @@ void Trainer::UnfreezeAll(int64_t iter) {
     model_.SetStageForwardPrecision(i, Precision::kFloat32);
   }
   frontier_ = 0;
+  frozen_prefix_hash_ = 0;
+  prefix_precision_ = Precision::kFloat32;
   if (frontier_observer_ && old_frontier != 0) {
     frontier_observer_(old_frontier, 0, iter);
   }
@@ -296,12 +332,20 @@ int64_t Trainer::TryResume() {
   // Reapply the freeze frontier (and the frozen prefix's reduced-precision
   // forward substitution) exactly as FreezeUpTo left it.
   frontier_ = frontier;
+  bool sub_applied =
+      frontier_ > 0 && cfg_.egeria.frozen_prefix_precision != Precision::kFloat32;
   for (int i = 0; i < model_.NumStages(); ++i) {
     model_.SetStageFrozen(i, i < frontier_);
     if (i < frontier_ && cfg_.egeria.frozen_prefix_precision != Precision::kFloat32) {
-      model_.SetStageForwardPrecision(i, cfg_.egeria.frozen_prefix_precision);
+      sub_applied = model_.SetStageForwardPrecision(i, cfg_.egeria.frozen_prefix_precision) &&
+                    sub_applied;
     }
   }
+  prefix_precision_ =
+      sub_applied ? cfg_.egeria.frozen_prefix_precision : Precision::kFloat32;
+  // Restored weights, same prefix => same hash as the interrupted run, so a
+  // persistent feature store's manifest matches and its entries are adopted.
+  frozen_prefix_hash_ = FrozenPrefixHash();
 
   if (controller_ != nullptr) {
     EGERIA_CHECK_MSG(m->HasFile("controller.state"),
@@ -356,8 +400,17 @@ TrainResult Trainer::Run() {
 
   for (int epoch = start_epoch; epoch < cfg_.epochs && !stop; ++epoch) {
     loader_.StartEpoch(epoch);
+    // Cacheability: the store may only serve an epoch whose sample stream is
+    // epoch-deterministic. The dataset promises that by keeping its
+    // augmentation signature constant across epochs; probing (epoch, epoch+1)
+    // detects epoch-varying augmentation without run history, so the decision
+    // is identical on a resumed run.
+    aug_signature_ = train_data_.AugmentationSignature(epoch);
+    store_cacheable_ = aug_signature_ == train_data_.AugmentationSignature(epoch + 1);
     double epoch_loss = 0.0;
     int64_t epoch_batches = 0;
+    double epoch_frozen_fp_seconds = 0.0;
+    int64_t epoch_fp_skips = 0;
     WallTimer epoch_timer;
 
     for (int64_t b = epoch == start_epoch ? start_batch : 0; b < loader_.NumBatches();
@@ -389,14 +442,25 @@ TrainResult Trainer::Run() {
       result_.data_seconds += segment.ElapsedSeconds();
 
       // --- Forward (with optional frozen-prefix skip) ---
+      // When a frozen prefix exists and its boundary can seed ForwardFrom, the
+      // forward is split into ForwardPrefix + ForwardFrom (bitwise identical to
+      // the unsplit pass — same modules, same inputs, same order) so the time
+      // spent inside the frozen prefix is measured separately whether the
+      // feature store is on or off; the off/on difference is the
+      // frozen_forward_saved_s bench metric. The store serves only when the
+      // epoch stream is cacheable and the prefix is deterministic; otherwise it
+      // declines and the prefix is recomputed.
       model_.SetBatch(batch);
       Tensor logits;
       bool skipped = false;
       segment.Reset();
-      if (cache_ != nullptr && frontier_ > 0 &&
-          frontier_ <= model_.MaxForwardSkipStage()) {
+      const bool skippable_frontier =
+          frontier_ > 0 && frontier_ <= model_.MaxForwardSkipStage();
+      const bool serve = cache_ != nullptr && skippable_frontier && store_cacheable_ &&
+                         model_.PrefixForwardDeterministic(frontier_);
+      if (serve) {
         WallTimer cache_timer;
-        cache_->SetStage(frontier_ - 1);
+        cache_->SetKey(frontier_ - 1, prefix_precision_, CacheGeneration());
         Tensor cached;
         if (cache_->HasAll(batch.sample_ids)) {
           cached = cache_->FetchBatch(batch.sample_ids);
@@ -406,16 +470,32 @@ TrainResult Trainer::Run() {
           logits = model_.ForwardFrom(frontier_, cached);
           skipped = true;
           ++result_.fp_skip_count;
+          ++epoch_fp_skips;
         } else {
-          logits = model_.ForwardFrom(0, batch.input);
+          WallTimer prefix_timer;
+          Tensor boundary = model_.ForwardPrefix(frontier_ - 1, batch.input);
+          const double prefix_seconds = prefix_timer.ElapsedSeconds();
+          result_.frozen_fp_seconds += prefix_seconds;
+          epoch_frozen_fp_seconds += prefix_seconds;
+          logits = model_.ForwardFrom(frontier_, boundary);
           cache_timer.Reset();
-          cache_->StoreBatch(batch.sample_ids, model_.StageOutput(frontier_ - 1));
+          cache_->StoreBatch(batch.sample_ids, boundary);
           result_.cache_seconds += cache_timer.ElapsedSeconds();
         }
         cache_timer.Reset();
         cache_->PrefetchAsync(
             loader_.UpcomingIndices(b + 1, cfg_.egeria.prefetch_batches));
         result_.cache_seconds += cache_timer.ElapsedSeconds();
+      } else if (skippable_frontier) {
+        if (cache_ != nullptr) {
+          ++result_.cache_declined_iters;
+        }
+        WallTimer prefix_timer;
+        Tensor boundary = model_.ForwardPrefix(frontier_ - 1, batch.input);
+        const double prefix_seconds = prefix_timer.ElapsedSeconds();
+        result_.frozen_fp_seconds += prefix_seconds;
+        epoch_frozen_fp_seconds += prefix_seconds;
+        logits = model_.ForwardFrom(frontier_, boundary);
       } else {
         logits = model_.ForwardFrom(0, batch.input);
       }
@@ -486,6 +566,8 @@ TrainResult Trainer::Run() {
     es.cum_train_seconds = cum_train_seconds;
     es.frontier = frontier_;
     es.lr = cfg_.lr_schedule->LrAt(iter);
+    es.frozen_fp_seconds = epoch_frozen_fp_seconds;
+    es.fp_skips = epoch_fp_skips;
     result_.epochs.push_back(es);
 
     if (cfg_.verbose) {

@@ -92,6 +92,11 @@ struct EpochStats {
   double cum_train_seconds = 0.0;  // since start, excluding validation
   int frontier = 0;
   float lr = 0.0F;
+  // Frozen-prefix forward accounting for this epoch: seconds actually spent
+  // computing the frozen prefix (miss/populate iterations only when the
+  // feature store serves) and the number of iterations served from the store.
+  double frozen_fp_seconds = 0.0;
+  int64_t fp_skips = 0;
 };
 
 struct TrainResult {
@@ -113,6 +118,14 @@ struct TrainResult {
   double data_seconds = 0.0;
   int64_t iterations = 0;
   int64_t fp_skip_count = 0;
+  // Forward seconds spent inside the frozen prefix (only measurable while the
+  // frontier is within MaxForwardSkipStage; zero before any freeze). With the
+  // feature store on, this collapses to the populate pass — the fig09 smoke's
+  // frozen_forward_saved_s metric is the off/on difference.
+  double frozen_fp_seconds = 0.0;
+  // Iterations where the store was enabled but declined to serve (epoch-varying
+  // augmentation signature, or a stochastic module in the prefix).
+  int64_t cache_declined_iters = 0;
   int64_t evals_submitted = 0;
   int64_t bootstrap_end_iter = -1;
   CacheStats cache;
@@ -188,6 +201,15 @@ class Trainer {
   // Restores the latest complete checkpoint; returns the iteration to resume
   // after, or -1 when there is nothing (or nothing usable) to resume from.
   int64_t TryResume();
+  // FNV hash over the frozen prefix's parameter values (stages [0, frontier_)).
+  // Recomputed whenever the frontier moves or weights are restored; together
+  // with the augmentation signature it forms the feature store's generation
+  // token, so stale boundary activations can never be served.
+  uint64_t FrozenPrefixHash();
+  // Generation token for ActivationCache::SetKey: mix of the frozen-prefix
+  // parameter hash and the epoch-stable augmentation signature. Never 0 (0 is
+  // the cache's legacy unkeyed mode).
+  uint64_t CacheGeneration() const;
 
   ChainModel& model_;
   const Dataset& train_data_;
@@ -203,6 +225,17 @@ class Trainer {
   FrontierObserver frontier_observer_;
 
   int frontier_ = 0;
+  // Feature-store keying state: hash of the frozen prefix's parameters, the
+  // current epoch's augmentation signature, and whether the dataset declared
+  // this epoch's stream cacheable (signature stable across epochs).
+  uint64_t frozen_prefix_hash_ = 0;
+  uint64_t aug_signature_ = 0;
+  bool store_cacheable_ = true;
+  // Precision the frozen prefix's forward ACTUALLY runs at. Differs from
+  // cfg_.egeria.frozen_prefix_precision when the model rejects forward
+  // substitution (e.g. the encoder-decoder Transformer) — the cache key must
+  // reflect the bits that were really computed.
+  Precision prefix_precision_ = Precision::kFloat32;
   bool knowledge_stage_ = false;
   double bootstrap_prev_avg_ = -1.0;
   double bootstrap_window_sum_ = 0.0;

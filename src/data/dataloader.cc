@@ -21,6 +21,7 @@ DataLoader::DataLoader(const Dataset& dataset, int64_t batch_size, bool shuffle,
 }
 
 void DataLoader::StartEpoch(int64_t epoch) {
+  epoch_ = epoch;
   order_.resize(static_cast<size_t>(num_samples_));
   std::iota(order_.begin(), order_.end(), 0);
   if (shuffle_) {
@@ -38,7 +39,7 @@ std::vector<int64_t> DataLoader::BatchIndices(int64_t batch_idx) const {
 }
 
 Batch DataLoader::GetBatch(int64_t batch_idx) const {
-  return dataset_.GetBatch(BatchIndices(batch_idx));
+  return dataset_.GetBatchAt(epoch_, BatchIndices(batch_idx));
 }
 
 std::vector<int64_t> DataLoader::UpcomingIndices(int64_t next_batch, int64_t count) const {

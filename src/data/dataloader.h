@@ -19,11 +19,19 @@ class DataLoader {
   DataLoader(const Dataset& dataset, int64_t batch_size, bool shuffle, uint64_t seed,
              int64_t limit_samples = -1);
 
-  // Rebuilds the epoch permutation (deterministic in (seed, epoch)).
+  // Rebuilds the epoch permutation (deterministic in (seed, epoch)) and makes
+  // `epoch` the one GetBatch fetches from (epoch-varying augmentation).
   void StartEpoch(int64_t epoch);
 
   int64_t NumBatches() const;
   int64_t batch_size() const { return batch_size_; }
+  int64_t epoch() const { return epoch_; }
+
+  // The dataset's augmentation signature for the current epoch (the frozen-
+  // feature store's cacheability input; see Dataset::AugmentationSignature).
+  uint64_t AugmentationSignature() const {
+    return dataset_.AugmentationSignature(epoch_);
+  }
 
   // Sample ids of batch `batch_idx` within the current epoch.
   std::vector<int64_t> BatchIndices(int64_t batch_idx) const;
@@ -39,6 +47,7 @@ class DataLoader {
   bool shuffle_;
   uint64_t seed_;
   int64_t num_samples_;
+  int64_t epoch_ = 0;
   std::vector<int64_t> order_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/tensor/serialize.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
@@ -35,10 +36,17 @@ SyntheticImageDataset::SyntheticImageDataset(const SyntheticImageConfig& cfg) : 
   }
 }
 
-void SyntheticImageDataset::FillSample(int64_t index, float* out) const {
+void SyntheticImageDataset::FillSample(int64_t epoch, int64_t index, float* out) const {
   const int64_t cls = index % cfg_.num_classes;
   const Tensor& proto = prototypes_[static_cast<size_t>(cls)];
-  Rng rng = Rng::ForKey(cfg_.seed, static_cast<uint64_t>(index) + cfg_.sample_salt);
+  // Epoch-stable by default; with epoch_varying_augment the per-sample draw is
+  // additionally keyed by epoch (a distinct high-bit lane so epoch 0 does not
+  // collide with the epoch-stable stream of some other index).
+  uint64_t key = static_cast<uint64_t>(index) + cfg_.sample_salt;
+  if (cfg_.epoch_varying_augment) {
+    key += (static_cast<uint64_t>(epoch) + 1) << 44;
+  }
+  Rng rng = Rng::ForKey(cfg_.seed, key);
 
   const bool flip = cfg_.augment && rng.NextBool();
   const int64_t shift_x = cfg_.augment ? static_cast<int64_t>(rng.NextBelow(5)) - 2 : 0;
@@ -64,6 +72,11 @@ void SyntheticImageDataset::FillSample(int64_t index, float* out) const {
 }
 
 Batch SyntheticImageDataset::GetBatch(const std::vector<int64_t>& indices) const {
+  return GetBatchAt(0, indices);
+}
+
+Batch SyntheticImageDataset::GetBatchAt(int64_t epoch,
+                                        const std::vector<int64_t>& indices) const {
   Batch batch;
   const int64_t b = static_cast<int64_t>(indices.size());
   batch.input = Tensor({b, cfg_.channels, cfg_.height, cfg_.width});
@@ -73,10 +86,20 @@ Batch SyntheticImageDataset::GetBatch(const std::vector<int64_t>& indices) const
   for (int64_t i = 0; i < b; ++i) {
     EGERIA_CHECK(indices[static_cast<size_t>(i)] >= 0 &&
                  indices[static_cast<size_t>(i)] < Size());
-    FillSample(indices[static_cast<size_t>(i)], batch.input.Data() + i * sample_numel);
+    FillSample(epoch, indices[static_cast<size_t>(i)],
+               batch.input.Data() + i * sample_numel);
     batch.labels.push_back(LabelOf(indices[static_cast<size_t>(i)]));
   }
   return batch;
+}
+
+uint64_t SyntheticImageDataset::AugmentationSignature(int64_t epoch) const {
+  if (!cfg_.epoch_varying_augment) {
+    return 0;  // Epoch-stable stream (deterministic augmentation included).
+  }
+  const uint64_t key[2] = {cfg_.seed, static_cast<uint64_t>(epoch)};
+  const uint64_t sig = Fnv1a64(key, sizeof(key));
+  return sig == 0 ? 1 : sig;  // 0 is reserved for "epoch-stable".
 }
 
 }  // namespace egeria

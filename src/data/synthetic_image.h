@@ -24,6 +24,11 @@ struct SyntheticImageConfig {
   int64_t width = 16;
   float noise_std = 0.25F;
   bool augment = true;
+  // Re-draws each sample's augmentation (and noise) per epoch, like a live
+  // augmentation pipeline. Samples are then deterministic in (seed, epoch,
+  // index) rather than (seed, index), so AugmentationSignature varies per
+  // epoch and the frozen-feature store declines to serve across epochs.
+  bool epoch_varying_augment = false;
   uint64_t seed = 1234;
   // Distinguishes sample streams that share class prototypes: train and validation
   // sets use the same `seed` (same classes) but different salts (different samples).
@@ -36,6 +41,8 @@ class SyntheticImageDataset : public Dataset {
 
   int64_t Size() const override { return cfg_.num_samples; }
   Batch GetBatch(const std::vector<int64_t>& indices) const override;
+  Batch GetBatchAt(int64_t epoch, const std::vector<int64_t>& indices) const override;
+  uint64_t AugmentationSignature(int64_t epoch) const override;
 
   int64_t num_classes() const { return cfg_.num_classes; }
   int LabelOf(int64_t index) const {
@@ -43,7 +50,7 @@ class SyntheticImageDataset : public Dataset {
   }
 
  private:
-  void FillSample(int64_t index, float* out) const;
+  void FillSample(int64_t epoch, int64_t index, float* out) const;
 
   SyntheticImageConfig cfg_;
   std::vector<Tensor> prototypes_;  // one [c,h,w] pattern per class

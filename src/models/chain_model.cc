@@ -22,6 +22,33 @@ int64_t ChainModel::TotalParamCount() {
   return total;
 }
 
+namespace {
+
+bool SubtreeIsStochastic(Module* m) {
+  if (m->ForwardIsStochastic()) {
+    return true;
+  }
+  for (Module* child : m->Children()) {
+    if (SubtreeIsStochastic(child)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool ChainModel::PrefixForwardDeterministic(int frontier) {
+  for (int i = 0; i < frontier && i < NumStages(); ++i) {
+    for (Module* m : StageModules(i)) {
+      if (SubtreeIsStochastic(m)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 StageChainModel::StageChainModel(std::string name,
                                  std::vector<std::unique_ptr<Module>> stages)
     : name_(std::move(name)), stages_(std::move(stages)) {

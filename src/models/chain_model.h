@@ -48,6 +48,14 @@ class ChainModel {
   std::vector<Parameter*> ParamsFrom(int first_stage);
   int64_t TotalParamCount();
 
+  // True when no module of stages [0, frontier) is stochastic in its current
+  // mode (Module::ForwardIsStochastic, checked recursively). The frozen-
+  // feature store consults this before serving: a train-mode Dropout in the
+  // prefix would make cached boundary activations replay stale masks, so it
+  // forces a recompute. A frontier frozen through FreezeUpTo always passes —
+  // SetFrozen turns the prefix's stochastic layers into no-ops.
+  bool PrefixForwardDeterministic(int frontier);
+
   // Provides task context (labels, decoder input tokens). Called once per batch
   // before ForwardFrom.
   virtual void SetBatch(const Batch& batch) { (void)batch; }

@@ -25,6 +25,12 @@ class Dropout : public Module {
   void SetStep(uint64_t step) { step_ = step; }
   float p() const { return p_; }
 
+  // Mirrors Forward's no-op gate: masks are only drawn in training, unfrozen
+  // mode with p > 0.
+  bool ForwardIsStochastic() const override {
+    return training_ && !frozen_ && p_ > 0.0F;
+  }
+
  private:
   float p_;
   uint64_t seed_;

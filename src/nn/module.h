@@ -94,6 +94,13 @@ class Module {
   virtual void SetFrozen(bool frozen);
   bool frozen() const { return frozen_; }
 
+  // True when Forward draws from a random stream in the module's CURRENT mode
+  // (Dropout in training, unfrozen mode). The frozen-feature store refuses to
+  // serve a prefix containing any such module: its boundary output is not a
+  // pure function of the input. Freezing or eval mode turns the stochastic
+  // layers here into no-ops, so a properly frozen prefix always reports false.
+  virtual bool ForwardIsStochastic() const { return false; }
+
   // Builds an inference-only deep copy of this module with the factory deciding the
   // kernel for each leaf (float clone, int8, fp16). Used to generate the reference
   // model from a training snapshot (S4.1.3).

@@ -342,8 +342,9 @@ TEST(ActivationCacheHygiene, CorruptSpillBecomesMissNotGarbage) {
 
   // Corrupt sample 11's spill on disk (memory only holds the latest entry, so
   // fetching must hit the disk path for it). Truncation models a spill torn
-  // by a crash mid-write.
-  const std::string victim = dir.path + "/c/s0_11.egt";
+  // by a crash mid-write. Filename follows the composite-key spill schema
+  // v<format>_s<stage>_p<precision>_<id>.egt (legacy SetStage => fp32, gen 0).
+  const std::string victim = dir.path + "/c/v1_s0_p0_11.egt";
   ASSERT_TRUE(fs::exists(victim));
   std::error_code ec;
   fs::resize_file(victim, fs::file_size(victim) / 2, ec);
