@@ -12,9 +12,25 @@
 #include <cstring>
 
 #include "bench/workloads.h"
+#include "src/obs/metrics.h"
 
 namespace egeria {
 namespace {
+
+// Per-run attribution of the registry's process-wide instruments: snapshot the
+// frozen-forward histogram sum and skip counter before a run, read them again
+// after, and the delta is that run's share. The Trainer feeds these from the
+// same obs::ScopedPhase clock reads that fill TrainResult, so the table's
+// frozen-fp columns come straight from "trainer.frozen_fp_s" / "cache.fp_skips"
+// rather than bespoke accumulators.
+struct MetricsDelta {
+  double frozen_fp_s0 = obs::HistogramSum("trainer.frozen_fp_s");
+  int64_t fp_skips0 = obs::CounterValue("cache.fp_skips");
+  double FrozenFpSeconds() const {
+    return obs::HistogramSum("trainer.frozen_fp_s") - frozen_fp_s0;
+  }
+  int64_t FpSkips() const { return obs::CounterValue("cache.fp_skips") - fp_skips0; }
+};
 
 void RunModel(const char* label, bench::Workload (*make)(uint64_t), uint64_t seed,
               Table& table) {
@@ -24,22 +40,30 @@ void RunModel(const char* label, bench::Workload (*make)(uint64_t), uint64_t see
     base = bench::RunSystem(w, "baseline");
   }
   TrainResult freeze_only;
+  double freeze_only_frozen_fp_s = 0.0;
   {
     bench::Workload w = make(seed);
     TrainConfig cfg = w.cfg;
     cfg.enable_egeria = true;
     cfg.egeria.enable_cache = false;
     Trainer t(*w.model, *w.train, *w.val, cfg);
+    MetricsDelta delta;
     freeze_only = t.Run();
+    freeze_only_frozen_fp_s = delta.FrozenFpSeconds();
   }
   TrainResult freeze_cache;
+  double freeze_cache_frozen_fp_s = 0.0;
+  int64_t freeze_cache_fp_skips = 0;
   {
     bench::Workload w = make(seed);
     TrainConfig cfg = w.cfg;
     cfg.enable_egeria = true;
     cfg.egeria.enable_cache = true;
     Trainer t(*w.model, *w.train, *w.val, cfg);
+    MetricsDelta delta;
     freeze_cache = t.Run();
+    freeze_cache_frozen_fp_s = delta.FrozenFpSeconds();
+    freeze_cache_fp_skips = delta.FpSkips();
   }
   const double bp_gain = 1.0 - freeze_only.total_train_seconds / base.total_train_seconds;
   const double total_gain =
@@ -51,9 +75,9 @@ void RunModel(const char* label, bench::Workload (*make)(uint64_t), uint64_t see
                 // Seconds spent computing the frozen prefix: without the store
                 // every post-freeze iteration pays it; with the store only the
                 // populate pass does.
-                Table::Num(freeze_only.frozen_fp_seconds, 2),
-                Table::Num(freeze_cache.frozen_fp_seconds, 2),
-                std::to_string(freeze_cache.fp_skip_count)});
+                Table::Num(freeze_only_frozen_fp_s, 2),
+                Table::Num(freeze_cache_frozen_fp_s, 2),
+                std::to_string(freeze_cache_fp_skips)});
 }
 
 bench::Workload MakeR56(uint64_t seed) { return bench::MakeResNet56Workload(seed, 16); }

@@ -8,6 +8,7 @@
 #include "src/core/spsc_queue.h"
 #include "src/metrics/sp_loss.h"
 #include "src/models/resnet.h"
+#include "src/obs/trace.h"
 #include "src/quant/quantized_modules.h"
 #include "src/util/rng.h"
 
@@ -88,6 +89,36 @@ void BM_CacheStoreBatch(benchmark::State& state) {
   state.SetBytesProcessed(state.iterations() * act.NumEl() * sizeof(float));
 }
 BENCHMARK(BM_CacheStoreBatch);
+
+// The tracer's disabled fast path: one relaxed atomic load + two register
+// writes per EGERIA_TRACE_SCOPE. This is the overhead every instrumented hot
+// path pays on untraced runs, so it must stay in the low-nanosecond range.
+void BM_TraceScopeDisabled(benchmark::State& state) {
+  trace::SetEnabled(false);
+  for (auto _ : state) {
+    EGERIA_TRACE_SCOPE("bench", "disabled");
+  }
+}
+BENCHMARK(BM_TraceScopeDisabled);
+
+// Enabled span: two clock reads + one uncontended per-thread mutex push. The
+// buffer is reset each pause so the bench never hits the drop watermark.
+void BM_TraceScopeEnabled(benchmark::State& state) {
+  trace::SetEnabled(true);
+  int since_reset = 0;
+  for (auto _ : state) {
+    EGERIA_TRACE_SCOPE("bench", "enabled");
+    if (++since_reset == 32768) {
+      state.PauseTiming();
+      trace::ResetForTest();
+      since_reset = 0;
+      state.ResumeTiming();
+    }
+  }
+  trace::SetEnabled(false);
+  trace::ResetForTest();
+}
+BENCHMARK(BM_TraceScopeEnabled);
 
 void BM_CacheFetchBatchFromMemory(benchmark::State& state) {
   const std::string dir =

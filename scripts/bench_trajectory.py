@@ -3,8 +3,8 @@
 
 Usage:
     bench_trajectory.py TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA
-        [--integrity=FILE] [--overlap=FILE] [--fig09=FILE] [--render=FILE]
-        [--gate] [--check-only]
+        [--integrity=FILE] [--overlap=FILE] [--fig09=FILE] [--trace=FILE]
+        [--render=FILE] [--gate] [--check-only]
 
 Parses the google-benchmark JSON report (BM_MatMul{,Fp16,Int8}/256) and the
 table2 smoke output, then updates-or-appends a git-SHA-keyed entry in the
@@ -33,8 +33,11 @@ comm_hidden_seconds/comm_exposed_seconds — the backward-overlap split of ring
 comm time on a real TCP world — into an "overlap_hidden_comm" record. With
 --fig09=FILE, parses a FIG09_SMOKE line (fig09_breakdown --smoke) into a
 "frozen_forward_saved" record: the steady-state frozen-prefix forward seconds
-the feature store eliminated, and the fraction thereof. All three are advisory
-context: shared-host timings are too noisy to gate.
+the feature store eliminated, and the fraction thereof. With --trace=FILE,
+parses an EGERIA_TRACE_SMOKE line (scripts/check.sh's tracing drill) into a
+"tracer_overhead" record: wall-time cost of EGERIA_TRACE=1 on the 2-process
+TCP smoke (budget: <= 2%, but single-digit noise on a shared host is normal).
+All four are advisory context: shared-host timings are too noisy to gate.
 
 With --render=FILE, additionally writes a markdown before/after summary of the
 recorded entry versus the recent clean baseline window — CI uploads it as an
@@ -161,6 +164,26 @@ def parse_fig09(path):
             except (KeyError, ValueError):
                 continue
             print(f"frozen_forward_saved: {record}")
+            return record
+    return None
+
+
+def parse_trace(path):
+    """First EGERIA_TRACE_SMOKE line -> the tracing drill's overhead record."""
+    with open(path) as f:
+        for line in f:
+            if not line.startswith("EGERIA_TRACE_SMOKE "):
+                continue
+            kv = dict(field.partition("=")[::2] for field in line.split()[1:])
+            try:
+                record = {
+                    "tracer_overhead_pct": round(float(kv["tracer_overhead_pct"]), 2),
+                    "traced_train_s": round(float(kv["traced_train_s"]), 6),
+                    "untraced_train_s": round(float(kv["untraced_train_s"]), 6),
+                }
+            except (KeyError, ValueError):
+                continue
+            print(f"tracer_overhead: {record}")
             return record
     return None
 
@@ -299,6 +322,7 @@ def render_summary(entry, window, path):
         ("integrity_overhead", "Frame-integrity / heartbeat overhead"),
         ("overlap_hidden_comm", "Backward-overlapped comm split"),
         ("frozen_forward_saved", "Feature store: frozen forward eliminated"),
+        ("tracer_overhead", "Span tracer: EGERIA_TRACE=1 wall-time cost"),
     ]
     lines += ["", "## Advisory records", ""]
     for key, title in advisory:
@@ -315,7 +339,7 @@ def main(argv):
     if len(argv) < 5:
         print(f"usage: {argv[0]} TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA "
               f"[--integrity=FILE] [--overlap=FILE] [--fig09=FILE] "
-              f"[--render=FILE] [--gate] [--check-only]",
+              f"[--trace=FILE] [--render=FILE] [--gate] [--check-only]",
               file=sys.stderr)
         return 2
     traj_path, bench_path, table2_path, sha = argv[1:5]
@@ -324,6 +348,7 @@ def main(argv):
     integrity_path = None
     overlap_path = None
     fig09_path = None
+    trace_path = None
     render_path = None
     for arg in argv[5:]:
         if arg.startswith("--integrity="):
@@ -332,6 +357,8 @@ def main(argv):
             overlap_path = arg[len("--overlap="):]
         elif arg.startswith("--fig09="):
             fig09_path = arg[len("--fig09="):]
+        elif arg.startswith("--trace="):
+            trace_path = arg[len("--trace="):]
         elif arg.startswith("--render="):
             render_path = arg[len("--render="):]
         elif arg not in ("--gate", "--check-only"):
@@ -378,6 +405,10 @@ def main(argv):
         fig09 = parse_fig09(fig09_path)
         if fig09 is not None:
             entry["frozen_forward_saved"] = fig09
+    if trace_path:
+        trace = parse_trace(trace_path)
+        if trace is not None:
+            entry["tracer_overhead"] = trace
 
     # Replace this SHA's entry. A clean run supersedes ALL dirty entries, not
     # just its own pre-commit twin: commits land as new SHAs, so a dirty entry's

@@ -6,9 +6,11 @@
 #     FLOP/s; each item is one multiply-add),
 #   - the Table-2 smoke (reference-model forward latency per precision on the
 #     paper-geometry ResNet-56),
-#   - distributed smokes: a 2-process TCP world, a crash-resume drill, and a
+#   - distributed smokes: a 2-process TCP world, a crash-resume drill, a
 #     one-seed chaos drill (fault injection -> typed checksum abort ->
-#     checkpoint resume, hash-pinned), and
+#     checkpoint resume, hash-pinned), and a tracing drill (per-rank
+#     EGERIA_TRACE=1 run -> egeria_trace merge -> phase totals reconciled
+#     against EGERIA_RESULT within 5%, weights hash pinned vs untraced), and
 #   - the frame-integrity / heartbeat overhead bench on real fig10 TCP worlds,
 # and APPENDS the results as a git-SHA-keyed entry to the BENCH_gemm.json
 # trajectory (scripts/bench_trajectory.py), so successive PRs' numbers line up
@@ -215,6 +217,44 @@ if grep -h '^EGERIA_RESULT' "$resume_tmp/chaos_resume"/rank_*.log \
 fi
 echo "check.sh: chaos smoke OK (seed 19: checksum abort, resume pin $chaos_hash)"
 
+echo "== dist smoke: tracing (per-rank traces -> merge -> reconcile, hash pin) =="
+# The crash-drill reference run above is the untraced twin: rerunning the SAME
+# command with EGERIA_TRACE=1 must (a) produce per-rank trace files that
+# tools/egeria_trace merges into one timeline whose per-phase span totals
+# reconcile with the EGERIA_RESULT seconds within 5%, (b) leave the trained
+# weights hash bitwise-unchanged (tracing is observability, never arithmetic),
+# and (c) cost little enough that the advisory tracer_overhead_pct stays small.
+trace_tmp="$resume_tmp/trace"
+mkdir -p "$trace_tmp"
+EGERIA_TRACE=1 EGERIA_TRACE_DIR="$trace_tmp" \
+  ./scripts/launch_dist.sh -n 2 -t 300 -l "$trace_tmp/logs" -- \
+  --workload=tiny --epochs=3
+traced_hash=$(hash_of "$trace_tmp/logs")
+if [ "$traced_hash" != "$ref_hash" ]; then
+  echo "check.sh: traced-run hash $traced_hash != untraced $ref_hash" >&2
+  exit 1
+fi
+./build/egeria_trace --out="$trace_tmp/merged.json" --tolerance-pct=5 \
+  --reconcile="$trace_tmp/logs/rank_0.log" \
+  "$trace_tmp"/trace_rank0.json "$trace_tmp"/trace_rank1.json
+# Advisory overhead: traced vs untraced train_s from rank 0's EGERIA_RESULT.
+train_s_of() {
+  grep -h '^EGERIA_RESULT' "$1" | sed -n 's/.*[ ]train_s=\([0-9.]*\).*/\1/p' \
+    | head -n 1
+}
+trace_smoke_tmp=$(mktemp)
+ref_train_s=$(train_s_of "$resume_tmp/ref/rank_0.log")
+traced_train_s=$(train_s_of "$trace_tmp/logs/rank_0.log")
+python3 - "$ref_train_s" "$traced_train_s" > "$trace_smoke_tmp" <<'EOF'
+import sys
+ref, traced = float(sys.argv[1]), float(sys.argv[2])
+pct = 100.0 * (traced / ref - 1.0) if ref > 0 else 0.0
+print(f"EGERIA_TRACE_SMOKE tracer_overhead_pct={pct:.2f} "
+      f"traced_train_s={traced:.6f} untraced_train_s={ref:.6f}")
+EOF
+cat "$trace_smoke_tmp"
+echo "check.sh: trace smoke OK (merged $trace_tmp/merged.json, hash pin $traced_hash)"
+
 echo "== dist bench: frame-integrity / heartbeat overhead (advisory) =="
 # Paired-median protocol over real fig10 TCP worlds (bench/integrity_overhead.cc).
 # Modest repeats keep check.sh quick; the recorded number is advisory context
@@ -232,10 +272,13 @@ gate_args=()
 if [ "$gate" -eq 1 ]; then
   gate_args=(--gate)
 fi
+# The merged trace outlives the tmp dir so CI can upload it as an artifact.
+cp "$trace_tmp/merged.json" "$repo_root/build/trace_merged.json"
+
 python3 scripts/bench_trajectory.py "$repo_root/BENCH_gemm.json" \
   "$bench_tmp" "$table2_tmp" "$git_sha" --integrity="$integrity_tmp" \
-  --overlap="$overlap_tmp" --fig09="$fig09_tmp" \
+  --overlap="$overlap_tmp" --fig09="$fig09_tmp" --trace="$trace_smoke_tmp" \
   --render="$repo_root/BENCH_summary.md" ${gate_args[@]+"${gate_args[@]}"}
-rm -f "$overlap_tmp"
+rm -f "$overlap_tmp" "$trace_smoke_tmp"
 
 echo "check.sh: OK (trajectory in BENCH_gemm.json)"

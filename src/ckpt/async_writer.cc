@@ -2,6 +2,10 @@
 
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/phase.h"
+#include "src/obs/trace.h"
+
 namespace egeria {
 
 AsyncCheckpointWriter::AsyncCheckpointWriter() {
@@ -31,6 +35,7 @@ bool AsyncCheckpointWriter::Wait() {
 }
 
 void AsyncCheckpointWriter::Run() {
+  trace::SetThreadName("ckpt_writer");
   for (;;) {
     std::function<bool()> job;
     {
@@ -43,7 +48,15 @@ void AsyncCheckpointWriter::Run() {
       pending_ = nullptr;
       running_ = true;
     }
-    const bool ok = job();
+    bool ok = false;
+    {
+      // The write leg of capture→write→commit, on its own track: visible
+      // overlap with the training iterations that proceed meanwhile.
+      obs::ScopedPhase write_phase("ckpt", "write",
+                                   &obs::GetHistogram("ckpt.write_s"));
+      ok = job();
+    }
+    if (!ok) obs::GetCounter("ckpt.write_failures").Add(1);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       running_ = false;

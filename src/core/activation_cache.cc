@@ -5,6 +5,8 @@
 #include <fstream>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/serialize.h"
 #include "src/util/logging.h"
 
@@ -258,6 +260,7 @@ Tensor ActivationCache::FetchBatch(const std::vector<int64_t>& ids) {
         ++stats_.memory_hits;
       } else if (on_disk_.count(ids[i]) == 0) {
         ++stats_.misses;
+        obs::GetCounter("cache.fetch_misses").Add(1);
         return Tensor();
       } else {
         disk_paths[i] = PathForLocked(ids[i]);
@@ -272,6 +275,7 @@ Tensor ActivationCache::FetchBatch(const std::vector<int64_t>& ids) {
       if (!slices[i].Defined() ||
           key_epoch_.load(std::memory_order_relaxed) != epoch) {
         ++stats_.misses;  // Corrupt spill or key changed mid-fetch: a miss.
+        obs::GetCounter("cache.fetch_misses").Add(1);
         return Tensor();
       }
       ++stats_.disk_hits;
@@ -279,6 +283,7 @@ Tensor ActivationCache::FetchBatch(const std::vector<int64_t>& ids) {
       InsertMemoryLocked(ids[i], slices[i]);
     }
   }
+  obs::GetCounter("cache.fetch_hits").Add(1);
   // Assemble [b, ...] from slices shaped [1, ...].
   std::vector<int64_t> shape = slices[0].Shape();
   shape[0] = static_cast<int64_t>(ids.size());
@@ -343,6 +348,14 @@ void ActivationCache::PrefetchAsync(const std::vector<int64_t>& ids) {
     return;
   }
   prefetcher_->Submit([this, to_load = std::move(to_load), epoch] {
+    // The store's dataloader-lookahead: loads upcoming spills on the
+    // single-thread pool racing SetKey/Clear/FetchBatch.
+    trace::SetThreadName("cache_prefetch");
+    trace::Span span("cache", "prefetch");
+    if (span.active()) {
+      span.SetArgs("{\"spills\":%zu}", to_load.size());
+    }
+    obs::GetCounter("cache.prefetch_jobs").Add(1);
     for (const auto& [id, path] : to_load) {
       if (key_epoch_.load(std::memory_order_acquire) != epoch) {
         return;  // Key moved; these paths are stale.

@@ -8,6 +8,9 @@
 
 #include "src/ckpt/state_dict.h"
 #include "src/ckpt/wire.h"
+#include "src/obs/metrics.h"
+#include "src/obs/phase.h"
+#include "src/obs/trace.h"
 #include "src/tensor/serialize.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
@@ -218,6 +221,8 @@ constexpr uint32_t kTrainerStateVersion = 1;
 }  // namespace
 
 void Trainer::SaveTrainingCheckpoint(int64_t iter) {
+  obs::ScopedPhase ckpt_phase("ckpt", "trainer_save",
+                              &obs::GetHistogram("ckpt.save_s"));
   CkptManifest m;
   m.kind = "trainer";
   m.iter = iter;
@@ -379,7 +384,24 @@ TaskMetric Trainer::Validate() {
 TrainResult Trainer::Run() {
   result_ = TrainResult();
   model_.SetTraining(true);
-  WallTimer segment;
+  // Observability: tracing is env-gated (EGERIA_TRACE=1) so any binary built
+  // on Trainer can be traced; the metrics registry is always on (atomic
+  // updates, no allocation past the first lookup). Every phase below is
+  // measured once via obs::ScopedPhase, which feeds the TrainResult seconds
+  // field, the registry histogram, and the trace span from the same interval
+  // — the three can never disagree (see src/obs/README.md).
+  trace::InitFromEnv();
+  trace::SetThreadName("trainer");
+  obs::InstallDumpSignalHandler();
+  obs::Histogram& data_hist = obs::GetHistogram("trainer.data_s");
+  obs::Histogram& fp_hist = obs::GetHistogram("trainer.fp_s");
+  obs::Histogram& bp_hist = obs::GetHistogram("trainer.bp_s");
+  obs::Histogram& opt_hist = obs::GetHistogram("trainer.opt_s");
+  obs::Histogram& cache_hist = obs::GetHistogram("trainer.cache_s");
+  obs::Histogram& frozen_fp_hist = obs::GetHistogram("trainer.frozen_fp_s");
+  obs::Counter& fp_skip_counter = obs::GetCounter("cache.fp_skips");
+  obs::Counter& decline_counter = obs::GetCounter("cache.declined_iters");
+  obs::Counter& iter_counter = obs::GetCounter("trainer.iterations");
   double cum_train_seconds = 0.0;
   int64_t iter = 0;
   // Without Egeria there is no bootstrap gate to pass.
@@ -437,9 +459,10 @@ TrainResult Trainer::Run() {
       }
 
       // --- Data ---
-      segment.Reset();
+      obs::ScopedPhase data_phase("trainer", "data", &data_hist,
+                                  &result_.data_seconds);
       Batch batch = loader_.GetBatch(b);
-      result_.data_seconds += segment.ElapsedSeconds();
+      data_phase.Stop();
 
       // --- Forward (with optional frozen-prefix skip) ---
       // When a frozen prefix exists and its boundary can seed ForwardFrom, the
@@ -453,53 +476,73 @@ TrainResult Trainer::Run() {
       model_.SetBatch(batch);
       Tensor logits;
       bool skipped = false;
-      segment.Reset();
+      // The fp phase covers the whole forward block, including the nested
+      // cache and frozen-prefix intervals below — same semantics the bespoke
+      // fp_seconds accumulator always had; the nested spans show up inside
+      // the fp span on the trace timeline.
+      obs::ScopedPhase fp_phase("trainer", "fp", &fp_hist, &result_.fp_seconds);
       const bool skippable_frontier =
           frontier_ > 0 && frontier_ <= model_.MaxForwardSkipStage();
       const bool serve = cache_ != nullptr && skippable_frontier && store_cacheable_ &&
                          model_.PrefixForwardDeterministic(frontier_);
       if (serve) {
-        WallTimer cache_timer;
-        cache_->SetKey(frontier_ - 1, prefix_precision_, CacheGeneration());
         Tensor cached;
-        if (cache_->HasAll(batch.sample_ids)) {
-          cached = cache_->FetchBatch(batch.sample_ids);
+        {
+          obs::ScopedPhase cache_phase("cache", "lookup", &cache_hist,
+                                       &result_.cache_seconds);
+          cache_->SetKey(frontier_ - 1, prefix_precision_, CacheGeneration());
+          if (cache_->HasAll(batch.sample_ids)) {
+            cached = cache_->FetchBatch(batch.sample_ids);
+          }
         }
-        result_.cache_seconds += cache_timer.ElapsedSeconds();
         if (cached.Defined()) {
+          trace::AddInstant("cache", "fp_skip");
+          fp_skip_counter.Add(1);
           logits = model_.ForwardFrom(frontier_, cached);
           skipped = true;
           ++result_.fp_skip_count;
           ++epoch_fp_skips;
         } else {
-          WallTimer prefix_timer;
+          double prefix_seconds = 0.0;
+          {
+            obs::ScopedPhase prefix_phase("trainer", "frozen_fp",
+                                          &frozen_fp_hist, &prefix_seconds);
+            Tensor boundary = model_.ForwardPrefix(frontier_ - 1, batch.input);
+            prefix_phase.Stop();
+            result_.frozen_fp_seconds += prefix_seconds;
+            epoch_frozen_fp_seconds += prefix_seconds;
+            logits = model_.ForwardFrom(frontier_, boundary);
+            obs::ScopedPhase store_phase("cache", "store", &cache_hist,
+                                         &result_.cache_seconds);
+            cache_->StoreBatch(batch.sample_ids, boundary);
+          }
+        }
+        {
+          obs::ScopedPhase prefetch_phase("cache", "prefetch_submit",
+                                          &cache_hist, &result_.cache_seconds);
+          cache_->PrefetchAsync(
+              loader_.UpcomingIndices(b + 1, cfg_.egeria.prefetch_batches));
+        }
+      } else if (skippable_frontier) {
+        if (cache_ != nullptr) {
+          trace::AddInstant("cache", "decline");
+          decline_counter.Add(1);
+          ++result_.cache_declined_iters;
+        }
+        double prefix_seconds = 0.0;
+        {
+          obs::ScopedPhase prefix_phase("trainer", "frozen_fp", &frozen_fp_hist,
+                                        &prefix_seconds);
           Tensor boundary = model_.ForwardPrefix(frontier_ - 1, batch.input);
-          const double prefix_seconds = prefix_timer.ElapsedSeconds();
+          prefix_phase.Stop();
           result_.frozen_fp_seconds += prefix_seconds;
           epoch_frozen_fp_seconds += prefix_seconds;
           logits = model_.ForwardFrom(frontier_, boundary);
-          cache_timer.Reset();
-          cache_->StoreBatch(batch.sample_ids, boundary);
-          result_.cache_seconds += cache_timer.ElapsedSeconds();
         }
-        cache_timer.Reset();
-        cache_->PrefetchAsync(
-            loader_.UpcomingIndices(b + 1, cfg_.egeria.prefetch_batches));
-        result_.cache_seconds += cache_timer.ElapsedSeconds();
-      } else if (skippable_frontier) {
-        if (cache_ != nullptr) {
-          ++result_.cache_declined_iters;
-        }
-        WallTimer prefix_timer;
-        Tensor boundary = model_.ForwardPrefix(frontier_ - 1, batch.input);
-        const double prefix_seconds = prefix_timer.ElapsedSeconds();
-        result_.frozen_fp_seconds += prefix_seconds;
-        epoch_frozen_fp_seconds += prefix_seconds;
-        logits = model_.ForwardFrom(frontier_, boundary);
       } else {
         logits = model_.ForwardFrom(0, batch.input);
       }
-      result_.fp_seconds += segment.ElapsedSeconds();
+      fp_phase.Stop();
 
       // --- Loss ---
       LossResult loss = TaskLoss(cfg_.task, logits, batch);
@@ -513,16 +556,19 @@ TrainResult Trainer::Run() {
       MaybeSubmitEval(batch, lr, iter);
 
       // --- Backward + update (active stages only) ---
-      segment.Reset();
-      for (Parameter* p : model_.ParamsFrom(frontier_)) {
-        p->grad.Zero_();
+      {
+        obs::ScopedPhase bp_phase("trainer", "bp", &bp_hist, &result_.bp_seconds);
+        for (Parameter* p : model_.ParamsFrom(frontier_)) {
+          p->grad.Zero_();
+        }
+        model_.BackwardTo(frontier_, loss.grad);
       }
-      model_.BackwardTo(frontier_, loss.grad);
-      result_.bp_seconds += segment.ElapsedSeconds();
 
-      segment.Reset();
-      optimizer_->Step(model_.ParamsFrom(frontier_), lr);
-      result_.opt_seconds += segment.ElapsedSeconds();
+      {
+        obs::ScopedPhase opt_phase("trainer", "opt", &opt_hist,
+                                   &result_.opt_seconds);
+        optimizer_->Step(model_.ParamsFrom(frontier_), lr);
+      }
 
       // --- Bootstrapping monitor ---
       if (controller_ != nullptr && !knowledge_stage_) {
@@ -534,6 +580,8 @@ TrainResult Trainer::Run() {
         hook_->OnIteration(*this, batch, iter);
       }
       ++result_.iterations;
+      iter_counter.Add(1);
+      obs::MaybeDumpOnSignal("trainer");
 
       // --- Checkpoint + crash-drill stop (end of iteration: weights, optimizer
       // state, and the controller's decision state are all consistent here) ---

@@ -1,8 +1,11 @@
 #include "src/data/dataloader.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <numeric>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
 
@@ -39,10 +42,26 @@ std::vector<int64_t> DataLoader::BatchIndices(int64_t batch_idx) const {
 }
 
 Batch DataLoader::GetBatch(int64_t batch_idx) const {
-  return dataset_.GetBatchAt(epoch_, BatchIndices(batch_idx));
+  static obs::Counter& batches = obs::GetCounter("data.batches");
+  batches.Add(1);
+  if (!trace::Enabled()) {
+    return dataset_.GetBatchAt(epoch_, BatchIndices(batch_idx));
+  }
+  // Low-prio: nests inside the trainer's "data" phase span, so per-batch
+  // detail can drop under pressure without losing the phase total.
+  const int64_t start_ns = trace::NowNs();
+  Batch batch = dataset_.GetBatchAt(epoch_, BatchIndices(batch_idx));
+  char args[64];
+  std::snprintf(args, sizeof(args), "{\"epoch\":%lld,\"batch\":%lld}",
+                static_cast<long long>(epoch_), static_cast<long long>(batch_idx));
+  trace::AddCompleteLowPrio("data", "get_batch", start_ns,
+                            trace::NowNs() - start_ns, args);
+  return batch;
 }
 
 std::vector<int64_t> DataLoader::UpcomingIndices(int64_t next_batch, int64_t count) const {
+  static obs::Counter& lookaheads = obs::GetCounter("data.lookahead_calls");
+  lookaheads.Add(1);
   std::vector<int64_t> out;
   const int64_t last = std::min(NumBatches(), next_batch + count);
   for (int64_t b = std::max<int64_t>(0, next_batch); b < last; ++b) {

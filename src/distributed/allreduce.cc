@@ -4,6 +4,7 @@
 
 #include "src/distributed/reduction_contract.h"
 #include "src/distributed/transport/ring_schedule.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -106,6 +107,10 @@ TransportStatus RingAllReducer::ReduceScatterAverageRange(FlatParamView& view,
     return TransportStatus::Ok();
   }
   WallTimer timer;
+  trace::Span span("ring", "reduce_scatter");
+  if (span.active()) {
+    span.SetArgs("{\"elems\":%lld}", static_cast<long long>(end - begin));
+  }
 
   // Chunk c's partial sum enters the ring at rank (c+1)%W (initial value: that
   // rank's local chunk) and travels one hop per step, each visited rank folding
@@ -151,6 +156,10 @@ TransportStatus RingAllReducer::AllGatherRange(FlatParamView& view, int64_t begi
     return TransportStatus::Ok();
   }
   WallTimer timer;
+  trace::Span span("ring", "all_gather");
+  if (span.active()) {
+    span.SetArgs("{\"elems\":%lld}", static_cast<long long>(end - begin));
+  }
   const int64_t total = view.NumEl();
 
   // Rank r seeds the ring with its own chunk r; every step each rank forwards

@@ -21,6 +21,9 @@
 #include "src/distributed/transport/inproc_transport.h"
 #include "src/distributed/transport/integrity_transport.h"
 #include "src/distributed/transport/tcp_transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/phase.h"
+#include "src/obs/trace.h"
 #include "src/optim/optimizer.h"
 #include "src/optim/sharded_optimizer.h"
 #include "src/tensor/serialize.h"
@@ -161,16 +164,21 @@ bool ReadShardFile(const std::string& path, ShardedSgd::ShardState& s) {
 
 // Propagates a transport error out of TrainRank: records the first error on
 // the result (errors-as-values — a dead, hung or corrupting peer surfaces to
-// the caller, never an abort), hands the model back, and returns. Requires
-// `result` and `model_owner` in scope.
-#define EGERIA_RETURN_ON_TRANSPORT_ERROR(expr)   \
-  do {                                           \
-    TransportStatus st_ = (expr);                \
-    if (!st_.ok()) {                             \
-      result.status = std::move(st_);            \
-      result.model = std::move(model_owner);     \
-      return result;                             \
-    }                                            \
+// the caller, never an abort), hands the model back, and returns. The typed
+// error code also lands as an instant event on this rank's trace track, so a
+// merged timeline shows WHERE in the phase structure the world came apart.
+// Requires `result` and `model_owner` in scope.
+#define EGERIA_RETURN_ON_TRANSPORT_ERROR(expr)                      \
+  do {                                                              \
+    TransportStatus st_ = (expr);                                   \
+    if (!st_.ok()) {                                                \
+      trace::AddInstantF("transport", "error", "{\"code\":\"%s\"}", \
+                         st_.code_name());                          \
+      obs::GetCounter("transport.errors").Add(1);                   \
+      result.status = std::move(st_);                               \
+      result.model = std::move(model_owner);                        \
+      return result;                                                \
+    }                                                               \
   } while (0)
 
 RankTrainResult TrainRank(
@@ -188,6 +196,20 @@ RankTrainResult TrainRank(
 
   RankTrainResult result;
   result.rank = rank;
+
+  // Observability: the in-process harness runs ranks as threads, so tracing
+  // may already be initialized — InitFromEnv is idempotent and SetThreadName
+  // is first-call-wins per thread. The multi-process worker additionally sets
+  // the process rank/label before calling in (tools/egeria_worker.cc).
+  trace::InitFromEnv();
+  trace::SetThreadName(("rank" + std::to_string(rank)).c_str());
+  obs::InstallDumpSignalHandler();
+  obs::Histogram& data_hist = obs::GetHistogram("dist.data_s");
+  obs::Histogram& fp_hist = obs::GetHistogram("dist.fp_s");
+  obs::Histogram& bp_hist = obs::GetHistogram("dist.bp_s");
+  obs::Histogram& opt_hist = obs::GetHistogram("dist.opt_s");
+  obs::Counter& iter_counter = obs::GetCounter("dist.iterations");
+
   std::unique_ptr<ChainModel> model_owner = make_model();
   ChainModel& model = *model_owner;
 
@@ -210,6 +232,12 @@ RankTrainResult TrainRank(
       values.CopyIn(0, values.NumEl(), reinterpret_cast<const float*>(weights.data()));
     }
   }
+  // The weight broadcast every rank just completed is the first collective of
+  // the run — all ranks leave it within one propagation delay of each other,
+  // so stamping the steady clock here gives tools/egeria_trace a common
+  // instant to align per-process timelines on (no extra barrier traffic, so
+  // fault-injection op counts are untouched).
+  trace::MarkSync();
 
   // One loader per rank over the same permutation; rank r consumes batches
   // r, r+world, r+2*world, ... (disjoint shards of each epoch).
@@ -328,6 +356,7 @@ RankTrainResult TrainRank(
   // Every rank applies the same frontier at the same iteration (the control
   // broadcast), so all ranks reach this in lockstep.
   auto reshard = [&](int at_frontier, int64_t at_iter) -> TransportStatus {
+    EGERIA_TRACE_SCOPE("dist", "reshard");
     const int64_t active = CountElems(model.ParamsFrom(at_frontier));
     std::pair<int64_t, int64_t> shard{0, 0};
     TransportStatus st =
@@ -374,6 +403,11 @@ RankTrainResult TrainRank(
   bool ckpt_has_controller = false;
 
   auto capture_checkpoint = [&](int64_t at_iter) {
+    // Capture leg of capture→write→commit: the clone the background writer
+    // serializes. Its span sits on the rank track; the write span it hands
+    // off shows up on the ckpt_writer track, overlapping the next iterations.
+    obs::ScopedPhase capture_phase("ckpt", "capture",
+                                   &obs::GetHistogram("ckpt.capture_s"));
     const std::string step_dir = CheckpointStepDir(cfg.ckpt.dir, at_iter);
     bool ok = EnsureDir(step_dir);
     // Clone the snapshot: the background thread must never read live state.
@@ -467,6 +501,8 @@ RankTrainResult TrainRank(
   };
 
   auto commit_checkpoint = [&]() -> TransportStatus {
+    obs::ScopedPhase commit_phase("ckpt", "commit",
+                                  &obs::GetHistogram("ckpt.commit_s"));
     ckpt_pending = false;
     bool local_ok = ckpt_capture_ok;
     if (cfg.ckpt.async_save) {
@@ -632,6 +668,10 @@ RankTrainResult TrainRank(
   const int start_epoch = static_cast<int>(iter / steps_per_epoch);
   const int64_t start_step = iter % steps_per_epoch;
   bool stop = false;
+  // Whole-loop wall time (epoch loop only, excludes setup/resume/validation):
+  // recorded on the result at the natural end of the run and emitted as one
+  // top-level trace span. Left 0.0 on transport-error exits.
+  const int64_t train_start_ns = trace::NowNs();
 
   for (int epoch = start_epoch; epoch < cfg.epochs && !stop; ++epoch) {
     // Every rank derives the same permutation (deterministic in (seed, epoch)).
@@ -664,10 +704,16 @@ RankTrainResult TrainRank(
         }
       }
 
+      obs::ScopedPhase data_phase("trainer", "data", &data_hist,
+                                  &result.data_seconds);
       Batch batch = local.GetBatch(s * world + rank);
+      data_phase.Stop();
+
+      obs::ScopedPhase fp_phase("trainer", "fp", &fp_hist, &result.fp_seconds);
       model.SetBatch(batch);
       Tensor logits = model.ForwardFrom(0, batch.input);
       LossResult loss = TaskLoss(cfg.task, logits, batch);
+      fp_phase.Stop();
 
       // Controller duties on rank 0 only (logically centralized, Fig. 5). Runs
       // BEFORE this iteration's control broadcast so the decision reaches every
@@ -732,21 +778,43 @@ RankTrainResult TrainRank(
           // every bucket circulates global-contract-chunk ∩ bucket spans.
           overlap_reducer->BeginRound(&grads, &values, make_buckets(frontier),
                                       shard_begin, shard_end, lr);
-          model.BackwardTo(frontier, loss.grad);
-          EGERIA_RETURN_ON_TRANSPORT_ERROR(overlap_reducer->FinishRound());
+          {
+            obs::ScopedPhase bp_phase("trainer", "bp", &bp_hist,
+                                      &result.bp_seconds);
+            model.BackwardTo(frontier, loss.grad);
+          }
+          {
+            // Comm exposed past the end of backward — the merged timeline
+            // shows comm-thread bucket spans inside/around this wait.
+            EGERIA_TRACE_SCOPE("trainer", "comm_wait");
+            EGERIA_RETURN_ON_TRANSPORT_ERROR(overlap_reducer->FinishRound());
+          }
         } else {
           // Sequential ZeRO-1 round (the pin baseline): ring reduce-scatter
           // the gradients, owner applies the optimizer update on its shard,
           // ring all-gather the updated weights.
-          model.BackwardTo(frontier, loss.grad);
+          {
+            obs::ScopedPhase bp_phase("trainer", "bp", &bp_hist,
+                                      &result.bp_seconds);
+            model.BackwardTo(frontier, loss.grad);
+          }
           std::pair<int64_t, int64_t> owned{0, 0};
           EGERIA_RETURN_ON_TRANSPORT_ERROR(ring.ReduceScatterAverage(grads, &owned));
           EGERIA_CHECK(owned.first == shard_begin && owned.second == shard_end);
-          shard_opt.Step(values, grads, shard_begin, shard_end, lr);
+          {
+            obs::ScopedPhase opt_phase("trainer", "opt", &opt_hist,
+                                       &result.opt_seconds);
+            shard_opt.Step(values, grads, shard_begin, shard_end, lr);
+          }
           EGERIA_RETURN_ON_TRANSPORT_ERROR(ring.AllGather(values));
         }
       } else {
-        model.BackwardTo(frontier, loss.grad);
+        {
+          obs::ScopedPhase bp_phase("trainer", "bp", &bp_hist,
+                                    &result.bp_seconds);
+          model.BackwardTo(frontier, loss.grad);
+        }
+        EGERIA_TRACE_SCOPE("ring", "star_reduce");
         reference_reducer->AllReduce(rank, active);
       }
       int64_t payload = 0;
@@ -756,8 +824,12 @@ RankTrainResult TrainRank(
       result.bytes_synced += payload;
       result.bytes_full_model += full_bytes_per_iter;
       if (!sharded) {
+        obs::ScopedPhase opt_phase("trainer", "opt", &opt_hist,
+                                   &result.opt_seconds);
         opt.Step(active, lr);
       }
+      iter_counter.Add(1);
+      obs::MaybeDumpOnSignal("dist_trainer");
 
       // --- Checkpoint + crash-drill stop (collective; every rank shares the
       // config, so the cadence is in lockstep) ---
@@ -784,6 +856,15 @@ RankTrainResult TrainRank(
     EGERIA_RETURN_ON_TRANSPORT_ERROR(commit_checkpoint());
   }
 
+  {
+    const int64_t train_dur_ns = trace::NowNs() - train_start_ns;
+    result.train_seconds = static_cast<double>(train_dur_ns) * 1e-9;
+    obs::GetHistogram("dist.train_s").Observe(result.train_seconds);
+    if (trace::Enabled()) {
+      trace::AddComplete("trainer", "train", train_start_ns, train_dur_ns);
+    }
+  }
+
   finalize_segment(iter + 1);  // The last segment ran through iteration `iter`.
   result.final_frontier = frontier;
   result.iterations = iter;
@@ -797,6 +878,7 @@ RankTrainResult TrainRank(
 
   // Validate on rank 0's replica.
   if (rank == 0) {
+    EGERIA_TRACE_SCOPE("trainer", "validate");
     model.SetTraining(false);
     DataLoader val_loader(val_data, cfg.batch_size, /*shuffle=*/false, cfg.seed + 1);
     std::vector<TaskMetric> parts;

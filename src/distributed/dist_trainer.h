@@ -152,6 +152,15 @@ struct RankTrainResult {
   double comm_exposed_seconds = 0.0;  // comm exposed past backward (overlap)
   double final_score = 0.0;        // rank 0 only
   double final_display = 0.0;      // rank 0 only
+  // Per-phase wall seconds for this rank's loop, measured by the same
+  // obs::ScopedPhase intervals that emit the trace spans and feed the metrics
+  // registry — tools/egeria_trace reconciles merged traces against these
+  // (egeria_worker prints them on its EGERIA_RESULT line).
+  double data_seconds = 0.0;
+  double fp_seconds = 0.0;
+  double bp_seconds = 0.0;
+  double opt_seconds = 0.0;
+  double train_seconds = 0.0;      // whole-loop wall time (epoch loop only)
   int64_t resumed_from_iter = -1;  // checkpoint iteration resumed from, -1 = fresh
   bool stopped_early = false;      // stop_after_iters ended the run
   // Why the loop ended: ok() for a clean run; otherwise the first transport

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 #include "src/util/timer.h"
 
@@ -83,6 +85,7 @@ TransportStatus OverlapReducer::FinishRound() {
 }
 
 void OverlapReducer::CommThreadMain() {
+  trace::SetThreadName("comm");
   for (;;) {
     {
       std::unique_lock<std::mutex> lock(mutex_);
@@ -91,6 +94,10 @@ void OverlapReducer::CommThreadMain() {
         return;
       }
     }
+    // One "round" span per backward pass on the comm-thread track; the bucket
+    // spans inside it are what should visibly overlap the trainer's bp span
+    // on the merged timeline.
+    trace::Span round_span("comm", "round");
     while (ProcessNextBucket()) {
     }
     {
@@ -140,6 +147,7 @@ bool OverlapReducer::ProcessNextBucket() {
   WallTimer agree_timer;
   int32_t acc = chosen;
   if (!forced) {
+    EGERIA_TRACE_SCOPE("comm", "bucket_agree");
     // Agreement round: circulate each rank's candidate, take the max. Ready
     // sets grow from the back of the bucket order (backward order), so the
     // max-of-mins is in (or about to enter) every rank's ready set — every
@@ -180,13 +188,25 @@ bool OverlapReducer::ProcessNextBucket() {
   // reduce-scatter the bucket's gradients, step the shard∩bucket slice,
   // all-gather the updated values. Same arithmetic as the sequential round
   // restricted to [begin, end).
-  TransportStatus st = ring_.ReduceScatterAverageRange(*grads_, bucket.begin, bucket.end);
+  trace::Span bucket_span("comm", "bucket");
+  if (bucket_span.active()) {
+    bucket_span.SetArgs("{\"stage\":%d,\"elems\":%lld}", bucket.stage,
+                        static_cast<long long>(bucket.end - bucket.begin));
+  }
+  obs::GetCounter("comm.buckets").Add(1);
+  TransportStatus st;
+  {
+    EGERIA_TRACE_SCOPE("comm", "reduce_scatter");
+    st = ring_.ReduceScatterAverageRange(*grads_, bucket.begin, bucket.end);
+  }
   if (st.ok()) {
     const int64_t sb = std::max(shard_begin_, bucket.begin);
     const int64_t se = std::min(shard_end_, bucket.end);
     if (sb < se) {
+      EGERIA_TRACE_SCOPE("comm", "shard_step");
       opt_.Step(*values_, *grads_, sb, se, lr_);
     }
+    EGERIA_TRACE_SCOPE("comm", "all_gather");
     st = ring_.AllGatherRange(*values_, bucket.begin, bucket.end);
   }
 

@@ -24,6 +24,8 @@
 
 #include "src/distributed/transport/frame_digest.h"
 #include "src/distributed/transport/integrity_transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/logging.h"
 
 namespace egeria {
@@ -420,8 +422,10 @@ class TcpTransport : public Transport {
     if (hb) {
       hb_thread_ = std::thread([this] {
         if (rank_ == 0) {
+          trace::SetThreadName("hb_monitor");
           HbMonitorLoop();
         } else {
+          trace::SetThreadName("hb_sender");
           HbSenderLoop();
         }
       });
@@ -1171,6 +1175,9 @@ class TcpTransport : public Transport {
       if (Clock::now() >= next_beat) {
         const uint32_t started = ops_started_.load(std::memory_order_relaxed);
         const uint32_t completed = ops_completed_.load(std::memory_order_relaxed);
+        trace::AddInstantF("transport", "hb_ping",
+                           "{\"started\":%u,\"completed\":%u}", started,
+                           completed);
         if (!SendHbRecord(hb_fd_, kHbPing, started, completed, 0)) {
           LocalAbort(TransportStatus::Error(
               TransportError::kPeerClosed,
@@ -1257,6 +1264,8 @@ class TcpTransport : public Transport {
           TransportError::kAborted,
           "failure detector: " + reason + " — aborting world");
       EGERIA_LOG(kWarn) << st.message;
+      trace::AddInstant("transport", "hb_abort_world");
+      obs::GetCounter("transport.hb_aborts").Add(1);
       for (int r = 1; r < world_; ++r) {
         const int fd = hb_fds_[static_cast<size_t>(r)];
         if (fd >= 0 && !peers[static_cast<size_t>(r)].closed) {

@@ -1,0 +1,243 @@
+#include "src/obs/metrics.h"
+
+#include <csignal>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace egeria {
+namespace obs {
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // std::map keeps snapshots sorted by name; unique_ptr keeps references
+  // stable across rehash-free growth.
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+};
+
+Registry& GetRegistry() {
+  static Registry* r = new Registry();  // leaked: usable during exit
+  return *r;
+}
+
+volatile std::sig_atomic_t g_dump_requested = 0;
+
+void DumpSignalHandler(int) { g_dump_requested = 1; }
+
+void FormatSeconds(char* buf, size_t cap, double s) {
+  std::snprintf(buf, cap, "%.6f", s);
+}
+
+}  // namespace
+
+void Histogram::Observe(double seconds) {
+  int idx = BucketIndex(seconds);
+  buckets_[idx + 1].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double ns = seconds * 1e9;
+  int64_t add = 0;
+  if (ns > 0) {
+    add = ns >= static_cast<double>(std::numeric_limits<int64_t>::max())
+              ? std::numeric_limits<int64_t>::max()
+              : static_cast<int64_t>(ns);
+  }
+  if (add != 0) sum_ns_.fetch_add(add, std::memory_order_relaxed);
+}
+
+int64_t Histogram::BucketCount(int index) const {
+  if (index < -1 || index > kNumBuckets) return 0;
+  return buckets_[index + 1].load(std::memory_order_relaxed);
+}
+
+double Histogram::BucketUpperEdge(int index) {
+  if (index < 0) return kFirstEdge;
+  if (index >= kNumBuckets) return std::numeric_limits<double>::infinity();
+  return kFirstEdge * static_cast<double>(int64_t{1} << (index + 1));
+}
+
+int Histogram::BucketIndex(double seconds) {
+  if (!(seconds >= kFirstEdge)) return -1;  // NaN/negative/zero → underflow
+  // floor(log2(seconds / 1µs)); exact powers of two land in the bucket whose
+  // lower edge they are.
+  int idx = std::ilogb(seconds / kFirstEdge);
+  if (idx >= kNumBuckets) return kNumBuckets;
+  return idx;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_ns_.store(0, std::memory_order_relaxed);
+}
+
+Counter& GetCounter(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto& slot = reg.counters[name];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& GetGauge(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto& slot = reg.gauges[name];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& GetHistogram(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto& slot = reg.histograms[name];
+  if (!slot) slot.reset(new Histogram());
+  return *slot;
+}
+
+int64_t CounterValue(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.counters.find(name);
+  return it == reg.counters.end() ? 0 : it->second->Get();
+}
+
+double HistogramSum(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.histograms.find(name);
+  return it == reg.histograms.end() ? 0.0 : it->second->Sum();
+}
+
+int64_t HistogramCount(const std::string& name) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.histograms.find(name);
+  return it == reg.histograms.end() ? 0 : it->second->Count();
+}
+
+std::string SnapshotText() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::ostringstream out;
+  char num[64];
+  for (const auto& kv : reg.counters) {
+    out << "counter " << kv.first << " = " << kv.second->Get() << "\n";
+  }
+  for (const auto& kv : reg.gauges) {
+    FormatSeconds(num, sizeof(num), kv.second->Get());
+    out << "gauge " << kv.first << " = " << num << "\n";
+  }
+  for (const auto& kv : reg.histograms) {
+    const Histogram& h = *kv.second;
+    int64_t count = h.Count();
+    FormatSeconds(num, sizeof(num), h.Sum());
+    out << "histogram " << kv.first << " count=" << count << " sum_s=" << num;
+    if (count > 0) {
+      FormatSeconds(num, sizeof(num), h.Sum() / static_cast<double>(count));
+      out << " mean_s=" << num;
+      out << " buckets:";
+      for (int i = -1; i <= Histogram::kNumBuckets; ++i) {
+        int64_t c = h.BucketCount(i);
+        if (c == 0) continue;
+        double edge = Histogram::BucketUpperEdge(i);
+        if (i >= Histogram::kNumBuckets) {
+          std::snprintf(num, sizeof(num), " le_inf=%lld",
+                        static_cast<long long>(c));
+        } else {
+          std::snprintf(num, sizeof(num), " le_%.6g=%lld", edge,
+                        static_cast<long long>(c));
+        }
+        out << num;
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string SnapshotJson() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::ostringstream out;
+  char num[64];
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& kv : reg.counters) {
+    out << (first ? "" : ",") << "\"" << kv.first
+        << "\":" << kv.second->Get();
+    first = false;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& kv : reg.gauges) {
+    FormatSeconds(num, sizeof(num), kv.second->Get());
+    out << (first ? "" : ",") << "\"" << kv.first << "\":" << num;
+    first = false;
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& kv : reg.histograms) {
+    const Histogram& h = *kv.second;
+    FormatSeconds(num, sizeof(num), h.Sum());
+    out << (first ? "" : ",") << "\"" << kv.first
+        << "\":{\"count\":" << h.Count() << ",\"sum_s\":" << num
+        << ",\"buckets\":[";
+    bool bfirst = true;
+    for (int i = -1; i <= Histogram::kNumBuckets; ++i) {
+      int64_t c = h.BucketCount(i);
+      if (c == 0) continue;
+      double edge = Histogram::BucketUpperEdge(i);
+      if (i >= Histogram::kNumBuckets) {
+        std::snprintf(num, sizeof(num), "[\"inf\",%lld]",
+                      static_cast<long long>(c));
+      } else {
+        std::snprintf(num, sizeof(num), "[%.6g,%lld]", edge,
+                      static_cast<long long>(c));
+      }
+      out << (bfirst ? "" : ",") << num;
+      bfirst = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << "}}";
+  return out.str();
+}
+
+void ResetAllForTest() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (auto& kv : reg.counters) kv.second->Reset();
+  for (auto& kv : reg.gauges) kv.second->Set(0.0);
+  for (auto& kv : reg.histograms) kv.second->Reset();
+}
+
+void InstallDumpSignalHandler() {
+#ifdef SIGUSR1
+  std::signal(SIGUSR1, DumpSignalHandler);
+#endif
+}
+
+bool DumpRequested() {
+  if (g_dump_requested == 0) return false;
+  g_dump_requested = 0;
+  return true;
+}
+
+void MaybeDumpOnSignal(const char* where) {
+  if (!DumpRequested()) return;
+  std::string snapshot = SnapshotText();
+  std::fprintf(stderr, "=== EGERIA METRICS (SIGUSR1, %s) ===\n%s=== end ===\n",
+               where, snapshot.c_str());
+  std::fflush(stderr);
+}
+
+}  // namespace obs
+}  // namespace egeria

@@ -1,0 +1,114 @@
+// Process-wide metrics registry: counters, gauges, and histograms with fixed
+// log-scale (power-of-two) buckets, plus structured text/JSON snapshots dumped
+// at end-of-run and on SIGUSR1.
+//
+// All instruments are lock-free on the update path (plain atomics; the
+// histogram sum is integer nanoseconds so fetch_add works and totals are
+// deterministic under concurrency). The registry itself takes a mutex only on
+// name lookup — callers cache the returned reference, which is stable for the
+// life of the process (instruments are never erased).
+//
+// Naming convention: "<subsystem>.<what>[_unit]", e.g. "trainer.fp_s",
+// "gemm.calls", "cache.hits". Histograms observing durations use the "_s"
+// suffix and observe seconds; Histogram::Sum() is then the total seconds
+// spent in that phase, which is what tools/egeria_trace reconciles against
+// the per-phase trace spans and TrainResult fields.
+#ifndef EGERIA_SRC_OBS_METRICS_H_
+#define EGERIA_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace egeria {
+namespace obs {
+
+class Counter {
+ public:
+  void Add(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Get() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void Set(double v) { v_.store(v, std::memory_order_relaxed); }
+  double Get() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+// Fixed log-scale histogram for durations (seconds). Bucket i (0-based)
+// covers [1µs·2^i, 1µs·2^(i+1)); 28 buckets span 1µs .. ~134s, with explicit
+// underflow (< 1µs, including zero/negative) and overflow buckets. The sum is
+// accumulated in integer nanoseconds so concurrent observes produce a
+// deterministic total.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 28;
+  static constexpr double kFirstEdge = 1e-6;  // lower edge of bucket 0
+
+  void Observe(double seconds);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  // Total observed seconds (from the nanosecond accumulator).
+  double Sum() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  // index -1 = underflow, 0..kNumBuckets-1 = log buckets,
+  // kNumBuckets = overflow.
+  int64_t BucketCount(int index) const;
+  // Upper edge of bucket `index` in seconds (underflow edge = kFirstEdge;
+  // overflow edge = +inf).
+  static double BucketUpperEdge(int index);
+  // Bucket a value would land in (same index convention). Exposed for tests.
+  static int BucketIndex(double seconds);
+
+  void Reset();
+
+ private:
+  std::atomic<int64_t> buckets_[kNumBuckets + 2] = {};
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_ns_{0};
+};
+
+// Named instrument lookup. Thread-safe; returned references are stable for
+// the process lifetime. Counter/gauge/histogram namespaces are independent,
+// but reusing one name across kinds is confusing — don't.
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+Histogram& GetHistogram(const std::string& name);
+
+// Current value of a named instrument without creating it (0 if absent).
+// Used for the delta pattern: snapshot a histogram's sum before a run, read
+// it again after, attribute the difference to that run.
+int64_t CounterValue(const std::string& name);
+double HistogramSum(const std::string& name);
+int64_t HistogramCount(const std::string& name);
+
+// Human-readable snapshot: one instrument per line, sorted by name.
+// Histograms print count/total/mean plus the non-empty buckets.
+std::string SnapshotText();
+// Machine-readable snapshot: {"counters":{...},"gauges":{...},
+// "histograms":{"name":{"count":N,"sum_s":S,"buckets":[[edge,count],...]}}}.
+std::string SnapshotJson();
+
+// Zeroes every registered instrument. Tests only.
+void ResetAllForTest();
+
+// --------------------------------------------------------- SIGUSR1 snapshot
+// Signal handling is poll-based to stay async-signal-safe: the handler only
+// sets a flag; long-running loops call MaybeDumpOnSignal() once per
+// iteration, which dumps SnapshotText() to stderr when the flag is set.
+void InstallDumpSignalHandler();  // idempotent; installs SIGUSR1 handler
+bool DumpRequested();             // test-and-clear the pending-dump flag
+void MaybeDumpOnSignal(const char* where);
+
+}  // namespace obs
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_OBS_METRICS_H_

@@ -1,0 +1,60 @@
+// ScopedPhase: one measured interval feeding (a) a bespoke seconds
+// accumulator (the TrainResult-style fields), (b) a registry histogram, and
+// (c) a trace span — all from the same two clock reads. Using it for every
+// trainer/dist-trainer phase is what makes the tools/egeria_trace
+// reconciliation hold by construction: the trace spans, the metrics
+// registry, and the printed seconds fields cannot drift apart because they
+// are literally the same measurement.
+#ifndef EGERIA_SRC_OBS_PHASE_H_
+#define EGERIA_SRC_OBS_PHASE_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace egeria {
+namespace obs {
+
+class ScopedPhase {
+ public:
+  // Any of the three sinks may be null/skipped. `cat`/`name` must be string
+  // literals (trace requirement); the trace span is only emitted when tracing
+  // was enabled at construction.
+  ScopedPhase(const char* cat, const char* name, Histogram* hist,
+              double* accum_seconds = nullptr)
+      : hist_(hist),
+        accum_(accum_seconds),
+        cat_(cat),
+        name_(name),
+        trace_on_(trace::Enabled()),
+        start_ns_(trace::NowNs()) {}
+
+  ~ScopedPhase() { Stop(); }
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  // Ends the interval early (idempotent); the destructor becomes a no-op.
+  void Stop() {
+    if (stopped_) return;
+    stopped_ = true;
+    int64_t dur_ns = trace::NowNs() - start_ns_;
+    double seconds = static_cast<double>(dur_ns) * 1e-9;
+    if (hist_ != nullptr) hist_->Observe(seconds);
+    if (accum_ != nullptr) *accum_ += seconds;
+    if (trace_on_) trace::AddComplete(cat_, name_, start_ns_, dur_ns);
+  }
+
+ private:
+  Histogram* hist_;
+  double* accum_;
+  const char* cat_;
+  const char* name_;
+  bool trace_on_;
+  bool stopped_ = false;
+  int64_t start_ns_;
+};
+
+}  // namespace obs
+}  // namespace egeria
+
+#endif  // EGERIA_SRC_OBS_PHASE_H_

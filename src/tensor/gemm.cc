@@ -1,10 +1,13 @@
 #include "src/tensor/gemm.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 #include <type_traits>
 #include <vector>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/compute_pool.h"
 #include "src/util/logging.h"
 
@@ -806,33 +809,81 @@ void GemmDriver(const typename TR::SrcA* a, const typename TR::SrcB* b,
   }
 }
 
+// Dispatch-layer observability. Each typed entry point bumps an always-on
+// per-dtype call counter (one relaxed atomic add; the reference is resolved
+// once via a function-local static) and, when tracing is enabled and the
+// problem is big enough to matter, emits a low-priority span with the shape
+// as args. Low priority + the volume floor keep per-item conv GEMMs from
+// flooding the per-thread buffers (see src/obs/trace.h).
+constexpr int64_t kGemmTraceMinVolume = int64_t{1} << 20;  // m*k*n
+
+class GemmTraceScope {
+ public:
+  GemmTraceScope(const char* dtype, int64_t m, int64_t k, int64_t n) {
+    if (trace::Enabled() && m * k * n >= kGemmTraceMinVolume) {
+      dtype_ = dtype;
+      std::snprintf(args_, sizeof(args_),
+                    "{\"m\":%lld,\"k\":%lld,\"n\":%lld}",
+                    static_cast<long long>(m), static_cast<long long>(k),
+                    static_cast<long long>(n));
+      start_ns_ = trace::NowNs();
+    }
+  }
+  ~GemmTraceScope() {
+    if (dtype_ != nullptr) {
+      trace::AddCompleteLowPrio("gemm", dtype_, start_ns_,
+                                trace::NowNs() - start_ns_, args_);
+    }
+  }
+
+ private:
+  const char* dtype_ = nullptr;
+  int64_t start_ns_ = 0;
+  char args_[64];
+};
+
 }  // namespace
 
 void Gemm(const float* a, const float* b, float* c, int64_t m, int64_t k, int64_t n,
           bool trans_a, bool trans_b, bool accumulate) {
+  static obs::Counter& calls = obs::GetCounter("gemm.calls_fp32");
+  calls.Add(1);
+  GemmTraceScope span("fp32", m, k, n);
   GemmDriver<FpTraits<float, float>>(a, b, c, m, k, n, trans_a, trans_b, accumulate);
 }
 
 void Gemm(const _Float16* a, const _Float16* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, bool accumulate) {
+  static obs::Counter& calls = obs::GetCounter("gemm.calls_fp16");
+  calls.Add(1);
+  GemmTraceScope span("fp16", m, k, n);
   GemmDriver<FpTraits<_Float16, _Float16>>(a, b, c, m, k, n, trans_a, trans_b,
                                            accumulate);
 }
 
 void Gemm(const float* a, const _Float16* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, bool accumulate) {
+  static obs::Counter& calls = obs::GetCounter("gemm.calls_mixed");
+  calls.Add(1);
+  GemmTraceScope span("mixed_f32f16", m, k, n);
   GemmDriver<FpTraits<float, _Float16>>(a, b, c, m, k, n, trans_a, trans_b,
                                         accumulate);
 }
 
 void Gemm(const _Float16* a, const float* b, float* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, bool accumulate) {
+  static obs::Counter& calls = obs::GetCounter("gemm.calls_mixed");
+  calls.Add(1);
+  GemmTraceScope span("mixed_f16f32", m, k, n);
   GemmDriver<FpTraits<_Float16, float>>(a, b, c, m, k, n, trans_a, trans_b,
                                         accumulate);
 }
 
 void Gemm(const int8_t* a, const int8_t* b, int32_t* c, int64_t m, int64_t k,
           int64_t n, bool trans_a, bool trans_b, bool accumulate) {
+  static obs::Counter& calls = obs::GetCounter("gemm.calls_int8");
+  calls.Add(1);
+  GemmTraceScope span("int8", m, k, n);
   GemmDriver<I8Traits>(a, b, c, m, k, n, trans_a, trans_b, accumulate);
 }
 
@@ -866,6 +917,14 @@ void BatchedGemm(const float* a, const float* b, float* c, int64_t batch, int64_
                  int64_t k, int64_t n, bool trans_a, bool trans_b, bool accumulate) {
   if (batch <= 0) {
     return;
+  }
+  static obs::Counter& calls = obs::GetCounter("gemm.calls_batched");
+  calls.Add(1);
+  trace::Span span("gemm", "batched");
+  if (span.active()) {
+    span.SetArgs("{\"batch\":%lld,\"m\":%lld,\"k\":%lld,\"n\":%lld}",
+                 static_cast<long long>(batch), static_cast<long long>(m),
+                 static_cast<long long>(k), static_cast<long long>(n));
   }
   const int64_t a_stride = m * k;
   const int64_t b_stride = k * n;

@@ -1,25 +1,43 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
+#include <ctime>
 
 namespace egeria {
 
 namespace {
 
 std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<int> g_log_rank{-1};  // -1 = no rank tag
+// Set when EGERIA_LOG_LEVEL was present but unparsable; the first log line
+// (whatever its level) prepends a one-time warning so the bad value is
+// noticed without spamming every line.
+std::atomic<bool> g_env_level_invalid{false};
+std::atomic<bool> g_env_warned{false};
+
+// Strict parse: the whole string must be a base-10 integer in [0, 3].
+// Returns -1 on garbage, out-of-range values, or trailing junk ("2x", "").
+int ParseLevelStrict(const char* env) {
+  errno = 0;
+  char* end = nullptr;
+  long v = std::strtol(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE) return -1;
+  if (v < 0 || v > 3) return -1;
+  return static_cast<int>(v);
+}
 
 int InitialLevelFromEnv() {
   const char* env = std::getenv("EGERIA_LOG_LEVEL");
   if (env == nullptr) {
     return static_cast<int>(LogLevel::kInfo);
   }
-  int v = std::atoi(env);
+  int v = ParseLevelStrict(env);
   if (v < 0) {
-    v = 0;
-  }
-  if (v > 3) {
-    v = 3;
+    g_env_level_invalid.store(true, std::memory_order_relaxed);
+    return static_cast<int>(LogLevel::kInfo);
   }
   return v;
 }
@@ -43,22 +61,51 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+// Wall-clock "HH:MM:SS.mmm" — wall (not steady) time so log lines from
+// different ranks on one host can be eyeballed against each other and against
+// the merged trace timeline.
+void FormatTimestamp(char* buf, size_t cap) {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm tm_buf;
+  localtime_r(&ts.tv_sec, &tm_buf);
+  std::snprintf(buf, cap, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec,
+                static_cast<int>(ts.tv_nsec / 1000000));
+}
+
 }  // namespace
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_log_level.load()); }
 
 void SetLogLevel(LogLevel level) { g_log_level.store(static_cast<int>(level)); }
 
+void SetLogRankTag(int rank) { g_log_rank.store(rank); }
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  if (g_env_level_invalid.load(std::memory_order_relaxed) &&
+      !g_env_warned.exchange(true, std::memory_order_relaxed)) {
+    const char* env = std::getenv("EGERIA_LOG_LEVEL");
+    stream_ << "[WARN logging.cc:0] invalid EGERIA_LOG_LEVEL=\""
+            << (env != nullptr ? env : "") << "\" (want an integer 0-3); using "
+            << static_cast<int>(GetLogLevel()) << "\n";
+  }
   const char* base = file;
   for (const char* p = file; *p != '\0'; ++p) {
     if (*p == '/') {
       base = p + 1;
     }
   }
-  stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+  char ts[32];
+  FormatTimestamp(ts, sizeof(ts));
+  stream_ << "[" << ts << " ";
+  int rank = g_log_rank.load();
+  if (rank >= 0) {
+    stream_ << "r" << rank << " ";
+  }
+  stream_ << LevelName(level_) << " " << base << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

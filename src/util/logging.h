@@ -15,9 +15,17 @@ namespace egeria {
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 // Global minimum level; messages below it are discarded. Defaults to kInfo and can be
-// overridden with the EGERIA_LOG_LEVEL environment variable (0-3).
+// overridden with the EGERIA_LOG_LEVEL environment variable — strictly parsed: the
+// whole string must be an integer in 0-3, anything else keeps the default and warns
+// once on the first log line (garbage used to silently map to kDebug via atoi).
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+// Optional rank tag prepended to every subsequent log line ("[r1]"), so
+// interleaved multi-process output stays attributable. Process-global: set it
+// once per process (egeria_worker does, right after parsing --rank); in-process
+// multi-rank harnesses (TrainDataParallel threads) must leave it unset.
+void SetLogRankTag(int rank);
 
 namespace internal {
 

@@ -64,6 +64,9 @@
 #include "src/distributed/transport/fault_injection.h"
 #include "src/distributed/transport/integrity_transport.h"
 #include "src/distributed/transport/tcp_transport.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/logging.h"
 
 namespace egeria {
 namespace {
@@ -92,6 +95,35 @@ int EnvOrDie(const char* flag, const char* env_name, const std::string& flag_val
   for (;;) {
     sleep(3600);
   }
+}
+
+// Flush per-rank observability artifacts: the trace (when EGERIA_TRACE is on)
+// to trace_rank<r>.json under $EGERIA_TRACE_DIR (default: cwd), and a metrics
+// snapshot alongside it. Called on BOTH the clean-exit and the EGERIA_ABORT
+// path — an aborting rank's trace is precisely the one worth reading.
+void FlushObservability(int rank) {
+  const bool want_metrics = std::getenv("EGERIA_METRICS") != nullptr;
+  if (!trace::Enabled() && !want_metrics) {
+    return;
+  }
+  const char* env_dir = std::getenv("EGERIA_TRACE_DIR");
+  const std::string dir = env_dir != nullptr && env_dir[0] != '\0' ? env_dir : ".";
+  if (trace::Enabled()) {
+    const std::string path = dir + "/trace_rank" + std::to_string(rank) + ".json";
+    if (trace::Flush(path)) {
+      std::printf("EGERIA_TRACE rank=%d file=%s\n", rank, path.c_str());
+    } else {
+      std::fprintf(stderr, "egeria_worker: trace flush to %s failed\n",
+                   path.c_str());
+    }
+  }
+  const std::string mpath = dir + "/metrics_rank" + std::to_string(rank) + ".txt";
+  if (FILE* f = std::fopen(mpath.c_str(), "w")) {
+    const std::string snap = obs::SnapshotText();
+    std::fwrite(snap.data(), 1, snap.size(), f);
+    std::fclose(f);
+  }
+  std::fflush(stdout);
 }
 
 int Main(int argc, char** argv) {
@@ -135,6 +167,12 @@ int Main(int argc, char** argv) {
   }
   const int rank = EnvOrDie("rank", "EGERIA_RANK", rank_s);
   const int world = EnvOrDie("world", "EGERIA_WORLD", world_s);
+  // One rank per process: tag every log line and trace event with the rank
+  // before any subsystem starts threads.
+  SetLogRankTag(rank);
+  trace::InitFromEnv();
+  trace::SetProcessRank(rank);
+  trace::SetProcessLabel("egeria_worker rank " + std::to_string(rank));
   if (rendezvous.empty()) {
     if (const char* env = std::getenv("EGERIA_RENDEZVOUS")) {
       rendezvous = env;
@@ -242,9 +280,12 @@ int Main(int argc, char** argv) {
   RankTrainResult r =
       TrainRank(transport, w.make_model, *w.train, *w.val, w.cfg, nullptr);
   if (!r.status.ok()) {
+    trace::AddInstantF("worker", "abort", "{\"code\":\"%s\"}",
+                       r.status.code_name());
     std::printf("EGERIA_ABORT rank=%d code=%s reason=\"%s\"\n", rank,
                 r.status.code_name(), r.status.message.c_str());
     std::fflush(stdout);
+    FlushObservability(rank);
     return 4;
   }
 
@@ -263,7 +304,8 @@ int Main(int argc, char** argv) {
               "final_frontier=%d iterations=%lld bytes_synced=%lld "
               "bytes_full_model=%lld wire_bytes=%lld allreduce_seconds=%.6f "
               "comm_hidden_seconds=%.6f comm_exposed_seconds=%.6f "
-              "final_acc=%.4f resumed_from=%lld stopped_early=%d\n",
+              "final_acc=%.4f resumed_from=%lld stopped_early=%d "
+              "data_s=%.6f fp_s=%.6f bp_s=%.6f opt_s=%.6f train_s=%.6f\n",
               rank, world, w.name.c_str(),
               static_cast<unsigned long long>(r.params_hash), r.final_frontier,
               static_cast<long long>(r.iterations),
@@ -272,7 +314,9 @@ int Main(int argc, char** argv) {
               static_cast<long long>(r.wire_bytes), r.allreduce_seconds,
               r.comm_hidden_seconds, r.comm_exposed_seconds,
               r.final_display, static_cast<long long>(r.resumed_from_iter),
-              r.stopped_early ? 1 : 0);
+              r.stopped_early ? 1 : 0, r.data_seconds, r.fp_seconds,
+              r.bp_seconds, r.opt_seconds, r.train_seconds);
+  FlushObservability(rank);
   return 0;
 }
 
