@@ -4,7 +4,7 @@
 Usage:
     bench_trajectory.py TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA
         [--integrity=FILE] [--overlap=FILE] [--fig09=FILE] [--trace=FILE]
-        [--render=FILE] [--gate] [--check-only]
+        [--diagnose=FILE] [--render=FILE] [--gate] [--check-only]
 
 Parses the google-benchmark JSON report (BM_MatMul{,Fp16,Int8}/256) and the
 table2 smoke output, then updates-or-appends a git-SHA-keyed entry in the
@@ -37,7 +37,11 @@ the feature store eliminated, and the fraction thereof. With --trace=FILE,
 parses an EGERIA_TRACE_SMOKE line (scripts/check.sh's tracing drill) into a
 "tracer_overhead" record: wall-time cost of EGERIA_TRACE=1 on the 2-process
 TCP smoke (budget: <= 2%, but single-digit noise on a shared host is normal).
-All four are advisory context: shared-host timings are too noisy to gate.
+With --diagnose=FILE, parses the EGERIA_DIAGNOSIS line emitted by
+tools/egeria_trace --diagnose into a "diagnosis" record: the bound
+classification, measured overlap_efficiency_pct, and straggler_skew of the
+healthy 2-process trace-smoke run. All are advisory context: shared-host
+timings are too noisy to gate.
 
 With --render=FILE, additionally writes a markdown before/after summary of the
 recorded entry versus the recent clean baseline window — CI uploads it as an
@@ -188,14 +192,51 @@ def parse_trace(path):
     return None
 
 
+def parse_diagnose(path):
+    """Last EGERIA_DIAGNOSIS line -> the bottleneck-diagnosis advisory record.
+
+    The line is machine-readable JSON from tools/egeria_trace --diagnose; the
+    recorded subset is what trends usefully across PRs: the bound class, the
+    measured overlap efficiency, and the straggler skew."""
+    record = None
+    try:
+        f = open(path)
+    except OSError:
+        return None
+    with f:
+        for line in f:
+            if not line.startswith("EGERIA_DIAGNOSIS "):
+                continue
+            try:
+                d = json.loads(line[len("EGERIA_DIAGNOSIS "):])
+            except ValueError:
+                continue
+            record = {
+                "classification": d.get("classification"),
+                "dominant_phase": d.get("dominant_phase"),
+                "overlap_efficiency_pct": d.get("overlap_efficiency_pct"),
+                "straggler_rank": d.get("straggler_rank"),
+                "straggler_skew": d.get("straggler_skew"),
+                "critical_path_s": d.get("critical_path_s"),
+            }
+    if record is not None:
+        print(f"diagnosis: {record}")
+    return record
+
+
 def load_runs(traj_path):
+    """Trajectory entries, oldest first; [] seeds a brand-new trajectory.
+
+    A missing, empty, or unparseable file is the first-ever run (or a wiped
+    trajectory), not an error: return [] so the new entry seeds the file and
+    the gate passes on 'no prior clean entry'."""
     try:
         with open(traj_path) as f:
             existing = json.load(f)
     except (OSError, ValueError):
         return []
-    if isinstance(existing, dict) and "runs" in existing:
-        return existing["runs"]
+    if isinstance(existing, dict) and isinstance(existing.get("runs"), list):
+        return [r for r in existing["runs"] if isinstance(r, dict)]
     if isinstance(existing, dict) and "benchmarks" in existing:
         # Pre-trajectory format: one raw google-benchmark report.
         legacy = {"sha": "pre-trajectory", "gemm_gflops": {}}
@@ -323,6 +364,7 @@ def render_summary(entry, window, path):
         ("overlap_hidden_comm", "Backward-overlapped comm split"),
         ("frozen_forward_saved", "Feature store: frozen forward eliminated"),
         ("tracer_overhead", "Span tracer: EGERIA_TRACE=1 wall-time cost"),
+        ("diagnosis", "Trace diagnosis (bound class, overlap, straggler)"),
     ]
     lines += ["", "## Advisory records", ""]
     for key, title in advisory:
@@ -339,7 +381,8 @@ def main(argv):
     if len(argv) < 5:
         print(f"usage: {argv[0]} TRAJ_JSON BENCH_JSON TABLE2_TXT GIT_SHA "
               f"[--integrity=FILE] [--overlap=FILE] [--fig09=FILE] "
-              f"[--trace=FILE] [--render=FILE] [--gate] [--check-only]",
+              f"[--trace=FILE] [--diagnose=FILE] [--render=FILE] [--gate] "
+              f"[--check-only]",
               file=sys.stderr)
         return 2
     traj_path, bench_path, table2_path, sha = argv[1:5]
@@ -349,6 +392,7 @@ def main(argv):
     overlap_path = None
     fig09_path = None
     trace_path = None
+    diagnose_path = None
     render_path = None
     for arg in argv[5:]:
         if arg.startswith("--integrity="):
@@ -359,6 +403,8 @@ def main(argv):
             fig09_path = arg[len("--fig09="):]
         elif arg.startswith("--trace="):
             trace_path = arg[len("--trace="):]
+        elif arg.startswith("--diagnose="):
+            diagnose_path = arg[len("--diagnose="):]
         elif arg.startswith("--render="):
             render_path = arg[len("--render="):]
         elif arg not in ("--gate", "--check-only"):
@@ -409,6 +455,13 @@ def main(argv):
         trace = parse_trace(trace_path)
         if trace is not None:
             entry["tracer_overhead"] = trace
+    if diagnose_path:
+        diagnosis = parse_diagnose(diagnose_path)
+        if diagnosis is not None:
+            entry["diagnosis"] = diagnosis
+
+    if not runs:
+        print("trajectory: empty or missing; this run seeds the first entry")
 
     # Replace this SHA's entry. A clean run supersedes ALL dirty entries, not
     # just its own pre-commit twin: commits land as new SHAs, so a dirty entry's

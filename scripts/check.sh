@@ -8,9 +8,14 @@
 #     paper-geometry ResNet-56),
 #   - distributed smokes: a 2-process TCP world, a crash-resume drill, a
 #     one-seed chaos drill (fault injection -> typed checksum abort ->
-#     checkpoint resume, hash-pinned), and a tracing drill (per-rank
-#     EGERIA_TRACE=1 run -> egeria_trace merge -> phase totals reconciled
-#     against EGERIA_RESULT within 5%, weights hash pinned vs untraced), and
+#     checkpoint resume, hash-pinned), a tracing drill (per-rank
+#     EGERIA_TRACE=1 EGERIA_EXPORTER=1 run -> egeria_trace merge + --diagnose
+#     -> phase totals reconciled against EGERIA_RESULT within 5%,
+#     trace-measured overlap efficiency within 10 points of the worker's own
+#     accounting, weights hash pinned vs untraced), and an injected-delay
+#     straggler drill (--fault=delay@1:N, with a live Prometheus /metrics
+#     scrape mid-run -> --diagnose must name rank 1, comm-wait-bound, hash
+#     still pinned), and
 #   - the frame-integrity / heartbeat overhead bench on real fig10 TCP worlds,
 # and APPENDS the results as a git-SHA-keyed entry to the BENCH_gemm.json
 # trajectory (scripts/bench_trajectory.py), so successive PRs' numbers line up
@@ -217,26 +222,62 @@ if grep -h '^EGERIA_RESULT' "$resume_tmp/chaos_resume"/rank_*.log \
 fi
 echo "check.sh: chaos smoke OK (seed 19: checksum abort, resume pin $chaos_hash)"
 
-echo "== dist smoke: tracing (per-rank traces -> merge -> reconcile, hash pin) =="
+echo "== dist smoke: tracing + exporter (merge, reconcile, diagnose, hash pin) =="
 # The crash-drill reference run above is the untraced twin: rerunning the SAME
-# command with EGERIA_TRACE=1 must (a) produce per-rank trace files that
-# tools/egeria_trace merges into one timeline whose per-phase span totals
-# reconcile with the EGERIA_RESULT seconds within 5%, (b) leave the trained
-# weights hash bitwise-unchanged (tracing is observability, never arithmetic),
-# and (c) cost little enough that the advisory tracer_overhead_pct stays small.
+# command with EGERIA_TRACE=1 EGERIA_EXPORTER=1 must (a) produce per-rank
+# trace files that tools/egeria_trace merges into one timeline whose per-phase
+# span totals reconcile with the EGERIA_RESULT seconds within 5%, (b) start
+# the per-rank HTTP exporter, (c) leave the trained weights hash
+# bitwise-unchanged (observability, never arithmetic), and (d) cost little
+# enough that the advisory tracer_overhead_pct stays small. The tiny run is
+# over in well under a second, so the LIVE /metrics scrape happens during the
+# longer injected-delay drill below — same world, same exporter.
 trace_tmp="$resume_tmp/trace"
 mkdir -p "$trace_tmp"
-EGERIA_TRACE=1 EGERIA_TRACE_DIR="$trace_tmp" \
+EGERIA_TRACE=1 EGERIA_TRACE_DIR="$trace_tmp" EGERIA_EXPORTER=1 \
   ./scripts/launch_dist.sh -n 2 -t 300 -l "$trace_tmp/logs" -- \
   --workload=tiny --epochs=3
+grep -hq '^EGERIA_EXPORTER rank=0 port=' "$trace_tmp/logs"/rank_0.log || {
+  echo "check.sh: worker did not start the metrics exporter" >&2; exit 1; }
 traced_hash=$(hash_of "$trace_tmp/logs")
 if [ "$traced_hash" != "$ref_hash" ]; then
-  echo "check.sh: traced-run hash $traced_hash != untraced $ref_hash" >&2
+  echo "check.sh: traced+exporter-run hash $traced_hash != untraced $ref_hash" >&2
   exit 1
 fi
 ./build/egeria_trace --out="$trace_tmp/merged.json" --tolerance-pct=5 \
-  --reconcile="$trace_tmp/logs/rank_0.log" \
-  "$trace_tmp"/trace_rank0.json "$trace_tmp"/trace_rank1.json
+  --reconcile="$trace_tmp/logs/rank_0.log" --diagnose \
+  "$trace_tmp"/trace_rank0.json "$trace_tmp"/trace_rank1.json \
+  | tee "$repo_root/build/diagnosis_report.txt"
+# The trace-measured overlap efficiency must agree with the worker's own
+# comm_hidden/comm_exposed accounting (EGERIA_RESULT) within 10 points —
+# two independent measurements of the same backward/comm overlap. Both sides
+# aggregate across ALL ranks: which rank hides its comm varies run to run.
+python3 - "$repo_root/build/diagnosis_report.txt" "$trace_tmp"/logs/rank_*.log <<'EOF'
+import json
+import sys
+diag = None
+for line in open(sys.argv[1]):
+    if line.startswith("EGERIA_DIAGNOSIS "):
+        diag = json.loads(line[len("EGERIA_DIAGNOSIS "):])
+if diag is None:
+    sys.exit("check.sh: no EGERIA_DIAGNOSIS line in the diagnosis report")
+hidden = exposed = 0.0
+for path in sys.argv[2:]:
+    for line in open(path):
+        if line.startswith("EGERIA_RESULT"):
+            kv = dict(f.partition("=")[::2] for f in line.split()[1:])
+            hidden += float(kv.get("comm_hidden_seconds", 0.0))
+            exposed += float(kv.get("comm_exposed_seconds", 0.0))
+total = hidden + exposed
+result_pct = 100.0 * hidden / total if total > 0 else 0.0
+trace_pct = float(diag["overlap_efficiency_pct"])
+delta = abs(trace_pct - result_pct)
+print(f"overlap cross-check: trace={trace_pct:.1f}% result={result_pct:.1f}% "
+      f"delta={delta:.1f} points")
+if delta > 10.0:
+    sys.exit("check.sh: trace-measured overlap efficiency disagrees with "
+             "EGERIA_RESULT by more than 10 points")
+EOF
 # Advisory overhead: traced vs untraced train_s from rank 0's EGERIA_RESULT.
 train_s_of() {
   grep -h '^EGERIA_RESULT' "$1" | sed -n 's/.*[ ]train_s=\([0-9.]*\).*/\1/p' \
@@ -254,6 +295,78 @@ print(f"EGERIA_TRACE_SMOKE tracer_overhead_pct={pct:.2f} "
 EOF
 cat "$trace_smoke_tmp"
 echo "check.sh: trace smoke OK (merged $trace_tmp/merged.json, hash pin $traced_hash)"
+
+echo "== dist smoke: injected-delay straggler -> live scrape + --diagnose =="
+# Same 2-process world, but rank 1 sleeps 400 ms per iteration (the FaultPlan
+# delay scenario, rank-qualified so both ranks get identical argv). The sleeps
+# land between phases on rank 1 (unattributed gap) and balloon rank 0's
+# comm_wait — the diagnosis must name rank 1 as the straggler and classify the
+# run comm-wait-bound. The delays also stretch the run to ~2.5 s, wide enough
+# to scrape rank 0's live /metrics mid-run (the tiny run without delays is
+# over in <100 ms — scraping it is a lost race by construction). Injected
+# delay is pure sleep, so the trained-weights hash must STILL pin against the
+# undelayed, unscraped reference. The online detector's EGERIA_STRAGGLER line
+# is printed when the heartbeat fold caught it too (advisory: short runs may
+# finish before a beat ships the skewed histograms).
+strag_tmp="$resume_tmp/straggler"
+mkdir -p "$strag_tmp"
+EGERIA_TRACE=1 EGERIA_TRACE_DIR="$strag_tmp" EGERIA_EXPORTER=1 \
+  ./scripts/launch_dist.sh -n 2 -t 300 -l "$strag_tmp/logs" -- \
+  --workload=tiny --epochs=3 \
+  --fault=delay@1:1,delay@1:2,delay@1:3,delay@1:4,delay@1:5,delay@1:6 &
+strag_run_pid=$!
+# Scrape rank 0's exporter mid-run: the port file (tmp+rename, so complete the
+# moment it exists) names the ephemeral port. Retry until the scrape contains
+# the dist-phase histograms — an early scrape can land before the trainer has
+# registered them — or the run ends (which fails the assertion below).
+scrape_file="$strag_tmp/scrape_metrics.txt"
+scrape_ok=0
+while kill -0 "$strag_run_pid" 2>/dev/null; do
+  if [ -f "$strag_tmp/obs_port_rank0" ]; then
+    if python3 - "$(cat "$strag_tmp/obs_port_rank0")" "$scrape_file" <<'EOF'
+import sys
+import urllib.request
+try:
+    body = urllib.request.urlopen(
+        f"http://127.0.0.1:{sys.argv[1]}/metrics", timeout=2).read()
+except OSError:
+    sys.exit(1)
+open(sys.argv[2], "wb").write(body)
+EOF
+    then
+      if grep -q '^# TYPE egeria_dist_fp_s histogram' "$scrape_file"; then
+        scrape_ok=1
+        break
+      fi
+    fi
+  fi
+  sleep 0.05
+done
+wait "$strag_run_pid"
+if [ "$scrape_ok" -ne 1 ]; then
+  echo "check.sh: live /metrics scrape never served the phase histograms" >&2
+  exit 1
+fi
+grep -q '_bucket{le="' "$scrape_file" || {
+  echo "check.sh: /metrics scrape has no histogram buckets" >&2; exit 1; }
+echo "check.sh: live /metrics scrape OK ($(wc -l < "$scrape_file") lines)"
+strag_hash=$(hash_of "$strag_tmp/logs")
+if [ "$strag_hash" != "$ref_hash" ]; then
+  echo "check.sh: delayed+scraped-run hash $strag_hash != reference $ref_hash" >&2
+  exit 1
+fi
+grep -h '^EGERIA_STRAGGLER' "$strag_tmp/logs"/rank_*.log || true
+./build/egeria_trace --diagnose \
+  "$strag_tmp"/trace_rank0.json "$strag_tmp"/trace_rank1.json \
+  | tee "$repo_root/build/diagnosis_straggler.txt"
+grep -q '"classification":"comm-wait-bound"' \
+  "$repo_root/build/diagnosis_straggler.txt" || {
+  echo "check.sh: delayed run not classified comm-wait-bound" >&2; exit 1; }
+grep -q '"straggler_rank":1' "$repo_root/build/diagnosis_straggler.txt" || {
+  echo "check.sh: --diagnose did not name rank 1 as the straggler" >&2
+  exit 1
+}
+echo "check.sh: straggler drill OK (diagnosis named rank 1, comm-wait-bound)"
 
 echo "== dist bench: frame-integrity / heartbeat overhead (advisory) =="
 # Paired-median protocol over real fig10 TCP worlds (bench/integrity_overhead.cc).
@@ -278,6 +391,7 @@ cp "$trace_tmp/merged.json" "$repo_root/build/trace_merged.json"
 python3 scripts/bench_trajectory.py "$repo_root/BENCH_gemm.json" \
   "$bench_tmp" "$table2_tmp" "$git_sha" --integrity="$integrity_tmp" \
   --overlap="$overlap_tmp" --fig09="$fig09_tmp" --trace="$trace_smoke_tmp" \
+  --diagnose="$repo_root/build/diagnosis_report.txt" \
   --render="$repo_root/BENCH_summary.md" ${gate_args[@]+"${gate_args[@]}"}
 rm -f "$overlap_tmp" "$trace_smoke_tmp"
 

@@ -208,6 +208,7 @@ RankTrainResult TrainRank(
   obs::Histogram& fp_hist = obs::GetHistogram("dist.fp_s");
   obs::Histogram& bp_hist = obs::GetHistogram("dist.bp_s");
   obs::Histogram& opt_hist = obs::GetHistogram("dist.opt_s");
+  obs::Histogram& comm_wait_hist = obs::GetHistogram("dist.comm_wait_s");
   obs::Counter& iter_counter = obs::GetCounter("dist.iterations");
 
   std::unique_ptr<ChainModel> model_owner = make_model();
@@ -785,8 +786,12 @@ RankTrainResult TrainRank(
           }
           {
             // Comm exposed past the end of backward — the merged timeline
-            // shows comm-thread bucket spans inside/around this wait.
-            EGERIA_TRACE_SCOPE("trainer", "comm_wait");
+            // shows comm-thread bucket spans inside/around this wait. The
+            // histogram is what the heartbeat stats frames ship to rank 0
+            // for online straggler detection: a rank that never waits here
+            // is the one everyone else is waiting FOR.
+            obs::ScopedPhase wait_phase("trainer", "comm_wait",
+                                        &comm_wait_hist);
             EGERIA_RETURN_ON_TRANSPORT_ERROR(overlap_reducer->FinishRound());
           }
         } else {

@@ -13,7 +13,8 @@ namespace {
 constexpr const char* kValidSpec =
     "valid forms: hang:I, exit:I, corrupt:I, truncate:I, delay:I, drop:I, "
     "dup:I (I = 1-based training iteration; <=0 for hang/exit fires before "
-    "wiring), or a single seed:S";
+    "wiring), each optionally rank-qualified as kind@R:I so the same spec "
+    "given to every rank faults only rank R, or a single seed:S";
 
 uint64_t SplitMix64(uint64_t* state) {
   uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
@@ -107,9 +108,30 @@ bool FaultPlan::Parse(const std::string& spec, int world, int rank,
       *error = "malformed fault entry '" + entry + "' (" + kValidSpec + ")";
       return false;
     }
-    const std::string name = entry.substr(0, colon);
+    std::string name = entry.substr(0, colon);
     const std::string arg = entry.substr(colon + 1);
+    // Optional rank qualifier: "delay@1:3" faults only rank 1. Every rank of
+    // a world gets the same command line (scripts/launch_dist.sh cannot vary
+    // per-rank args), so single-rank scenarios are expressed in the spec.
+    int target_rank = -1;
+    const size_t at = name.find('@');
+    if (at != std::string::npos) {
+      int64_t r = -1;
+      if (!ParseInt64(name.substr(at + 1), &r) || r < 0 || r >= world) {
+        *error = "bad rank qualifier in fault entry '" + entry +
+                 "' (rank must be in [0," + std::to_string(world) + ")); " +
+                 kValidSpec;
+        return false;
+      }
+      target_rank = static_cast<int>(r);
+      name = name.substr(0, at);
+    }
     if (name == "seed") {
+      if (target_rank >= 0) {
+        *error = "seed:S already derives its own target rank; '" + entry +
+                 "' cannot carry @rank";
+        return false;
+      }
       int64_t seed = 0;
       if (!ParseInt64(arg, &seed) || seed < 0) {
         *error = "malformed fault seed '" + arg + "' (" + kValidSpec + ")";
@@ -137,6 +159,11 @@ bool FaultPlan::Parse(const std::string& spec, int world, int rank,
       *error = "fault '" + entry + "' needs a positive iteration (" +
                kValidSpec + ")";
       return false;
+    }
+    // A rank-qualified entry still has to be VALID on every rank (above), but
+    // only materializes as an event on the rank it names.
+    if (target_rank >= 0 && target_rank != rank) {
+      continue;
     }
     out->events.push_back(ev);
   }

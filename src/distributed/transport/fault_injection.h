@@ -69,9 +69,12 @@ struct FaultPlan {
 
   // Parses a worker --fault spec: comma-separated `kind:iter` entries with
   // kinds hang/exit/corrupt/truncate/delay/drop/dup, or a single `seed:S`
-  // entry expanded via FromSeed (hence world/rank). Unknown kinds and
-  // malformed iterations are rejected with a message listing the valid forms
-  // — never silently ignored.
+  // entry expanded via FromSeed (hence world/rank). An entry may carry a rank
+  // qualifier — `kind@R:iter` — in which case it produces an event only when
+  // R == rank; launchers that pass one identical spec to every rank can thus
+  // fault a single rank (the straggler drills in scripts/check.sh do this).
+  // Unknown kinds, malformed iterations, and out-of-range rank qualifiers are
+  // rejected with a message listing the valid forms — never silently ignored.
   static bool Parse(const std::string& spec, int world, int rank,
                     FaultPlan* out, std::string* error);
 

@@ -3,11 +3,14 @@
 #include <csignal>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
+
+#include "src/obs/trace.h"
 
 namespace egeria {
 namespace obs {
@@ -28,8 +31,10 @@ Registry& GetRegistry() {
 }
 
 volatile std::sig_atomic_t g_dump_requested = 0;
+volatile std::sig_atomic_t g_trace_flush_requested = 0;
 
 void DumpSignalHandler(int) { g_dump_requested = 1; }
+void TraceFlushSignalHandler(int) { g_trace_flush_requested = 1; }
 
 void FormatSeconds(char* buf, size_t cap, double s) {
   std::snprintf(buf, cap, "%.6f", s);
@@ -69,6 +74,36 @@ int Histogram::BucketIndex(double seconds) {
   int idx = std::ilogb(seconds / kFirstEdge);
   if (idx >= kNumBuckets) return kNumBuckets;
   return idx;
+}
+
+double Histogram::Quantile(double q) const {
+  if (!(q >= 0.0)) q = 0.0;  // NaN → 0
+  if (q > 1.0) q = 1.0;
+  const int64_t count = Count();
+  if (count <= 0) return 0.0;
+  // The q-quantile is the value at (fractional) position q·count in the
+  // sorted sample; walk the cumulative counts to the bucket containing it and
+  // interpolate linearly between the bucket's edges.
+  const double target = q * static_cast<double>(count);
+  int64_t cum = 0;
+  for (int i = -1; i <= kNumBuckets; ++i) {
+    const int64_t c = BucketCount(i);
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      if (i >= kNumBuckets) {
+        // Overflow bucket has no finite upper edge; saturate at the last
+        // finite edge rather than inventing a value beyond the scale.
+        return BucketUpperEdge(kNumBuckets - 1);
+      }
+      const double lo = (i < 0) ? 0.0 : kFirstEdge * std::ldexp(1.0, i);
+      const double hi = BucketUpperEdge(i);
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      return lo + (hi - lo) * (frac < 0.0 ? 0.0 : (frac > 1.0 ? 1.0 : frac));
+    }
+    cum += c;
+  }
+  return BucketUpperEdge(kNumBuckets - 1);  // racing observes drained us dry
 }
 
 void Histogram::Reset() {
@@ -142,6 +177,12 @@ std::string SnapshotText() {
     if (count > 0) {
       FormatSeconds(num, sizeof(num), h.Sum() / static_cast<double>(count));
       out << " mean_s=" << num;
+      FormatSeconds(num, sizeof(num), h.Quantile(0.50));
+      out << " p50_s=" << num;
+      FormatSeconds(num, sizeof(num), h.Quantile(0.90));
+      out << " p90_s=" << num;
+      FormatSeconds(num, sizeof(num), h.Quantile(0.99));
+      out << " p99_s=" << num;
       out << " buckets:";
       for (int i = -1; i <= Histogram::kNumBuckets; ++i) {
         int64_t c = h.BucketCount(i);
@@ -187,8 +228,14 @@ std::string SnapshotJson() {
     const Histogram& h = *kv.second;
     FormatSeconds(num, sizeof(num), h.Sum());
     out << (first ? "" : ",") << "\"" << kv.first
-        << "\":{\"count\":" << h.Count() << ",\"sum_s\":" << num
-        << ",\"buckets\":[";
+        << "\":{\"count\":" << h.Count() << ",\"sum_s\":" << num;
+    FormatSeconds(num, sizeof(num), h.Quantile(0.50));
+    out << ",\"p50_s\":" << num;
+    FormatSeconds(num, sizeof(num), h.Quantile(0.90));
+    out << ",\"p90_s\":" << num;
+    FormatSeconds(num, sizeof(num), h.Quantile(0.99));
+    out << ",\"p99_s\":" << num;
+    out << ",\"buckets\":[";
     bool bfirst = true;
     for (int i = -1; i <= Histogram::kNumBuckets; ++i) {
       int64_t c = h.BucketCount(i);
@@ -211,6 +258,38 @@ std::string SnapshotJson() {
   return out.str();
 }
 
+MetricsSnapshot SnapshotAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  MetricsSnapshot snap;
+  snap.counters.reserve(reg.counters.size());
+  for (const auto& kv : reg.counters) {
+    snap.counters.emplace_back(kv.first, kv.second->Get());
+  }
+  snap.gauges.reserve(reg.gauges.size());
+  for (const auto& kv : reg.gauges) {
+    snap.gauges.emplace_back(kv.first, kv.second->Get());
+  }
+  snap.histograms.reserve(reg.histograms.size());
+  for (const auto& kv : reg.histograms) {
+    const Histogram& h = *kv.second;
+    HistogramSnapshot hs;
+    hs.name = kv.first;
+    hs.count = h.Count();
+    hs.sum_s = h.Sum();
+    hs.p50_s = h.Quantile(0.50);
+    hs.p90_s = h.Quantile(0.90);
+    hs.p99_s = h.Quantile(0.99);
+    for (int i = -1; i <= Histogram::kNumBuckets; ++i) {
+      const int64_t c = h.BucketCount(i);
+      if (c == 0) continue;
+      hs.buckets.emplace_back(Histogram::BucketUpperEdge(i), c);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
 void ResetAllForTest() {
   Registry& reg = GetRegistry();
   std::lock_guard<std::mutex> lock(reg.mu);
@@ -223,6 +302,9 @@ void InstallDumpSignalHandler() {
 #ifdef SIGUSR1
   std::signal(SIGUSR1, DumpSignalHandler);
 #endif
+#ifdef SIGUSR2
+  std::signal(SIGUSR2, TraceFlushSignalHandler);
+#endif
 }
 
 bool DumpRequested() {
@@ -231,12 +313,35 @@ bool DumpRequested() {
   return true;
 }
 
+bool TraceFlushRequested() {
+  if (g_trace_flush_requested == 0) return false;
+  g_trace_flush_requested = 0;
+  return true;
+}
+
 void MaybeDumpOnSignal(const char* where) {
-  if (!DumpRequested()) return;
-  std::string snapshot = SnapshotText();
-  std::fprintf(stderr, "=== EGERIA METRICS (SIGUSR1, %s) ===\n%s=== end ===\n",
-               where, snapshot.c_str());
-  std::fflush(stderr);
+  if (DumpRequested()) {
+    std::string snapshot = SnapshotText();
+    std::fprintf(stderr,
+                 "=== EGERIA METRICS (SIGUSR1, %s) ===\n%s=== end ===\n",
+                 where, snapshot.c_str());
+    std::fflush(stderr);
+  }
+  if (TraceFlushRequested()) {
+    // SIGUSR2 = SIGUSR1 + flush (and clear) the trace ring, so a live run's
+    // timeline so far can be pulled without stopping it.
+    std::string snapshot = SnapshotText();
+    const char* dir = std::getenv("EGERIA_TRACE_DIR");
+    std::string path = (dir != nullptr && dir[0] != '\0') ? dir : ".";
+    path += "/trace_rank" + std::to_string(trace::ProcessRank()) +
+            ".sigusr2.json";
+    const bool ok = trace::Flush(path);
+    std::fprintf(stderr,
+                 "=== EGERIA METRICS (SIGUSR2, %s) ===\n%strace_flush=%s %s\n"
+                 "=== end ===\n",
+                 where, snapshot.c_str(), ok ? "ok" : "FAILED", path.c_str());
+    std::fflush(stderr);
+  }
 }
 
 }  // namespace obs

@@ -19,6 +19,8 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace egeria {
 namespace obs {
@@ -68,6 +70,14 @@ class Histogram {
   // Bucket a value would land in (same index convention). Exposed for tests.
   static int BucketIndex(double seconds);
 
+  // Estimated q-quantile (q in [0,1], clamped) by linear interpolation inside
+  // the log bucket holding the q·count-th observation. Conventions:
+  // count == 0 → 0.0; mass in the underflow bucket interpolates over
+  // [0, kFirstEdge]; a quantile landing in the overflow bucket returns the
+  // last finite edge (the estimate saturates rather than inventing a value).
+  // Concurrent observes make the result approximate, never crashing.
+  double Quantile(double q) const;
+
   void Reset();
 
  private:
@@ -91,21 +101,47 @@ double HistogramSum(const std::string& name);
 int64_t HistogramCount(const std::string& name);
 
 // Human-readable snapshot: one instrument per line, sorted by name.
-// Histograms print count/total/mean plus the non-empty buckets.
+// Histograms print count/total/mean/p50/p90/p99 plus the non-empty buckets.
 std::string SnapshotText();
 // Machine-readable snapshot: {"counters":{...},"gauges":{...},
-// "histograms":{"name":{"count":N,"sum_s":S,"buckets":[[edge,count],...]}}}.
+// "histograms":{"name":{"count":N,"sum_s":S,"p50_s":…,"p90_s":…,"p99_s":…,
+// "buckets":[[edge,count],...]}}}.
 std::string SnapshotJson();
+
+// Structured enumeration of every instrument for renderers that need more
+// than a preformatted string (the Prometheus exporter). Values are read under
+// the registry lock but each instrument is sampled independently, so a
+// snapshot taken mid-run is approximate in the same way SnapshotText is.
+struct HistogramSnapshot {
+  std::string name;
+  int64_t count = 0;
+  double sum_s = 0.0;
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+  // (upper_edge_seconds, count) for every non-empty bucket, ascending;
+  // +inf edge for the overflow bucket.
+  std::vector<std::pair<double, int64_t>> buckets;
+};
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+MetricsSnapshot SnapshotAll();
 
 // Zeroes every registered instrument. Tests only.
 void ResetAllForTest();
 
-// --------------------------------------------------------- SIGUSR1 snapshot
-// Signal handling is poll-based to stay async-signal-safe: the handler only
-// sets a flag; long-running loops call MaybeDumpOnSignal() once per
-// iteration, which dumps SnapshotText() to stderr when the flag is set.
-void InstallDumpSignalHandler();  // idempotent; installs SIGUSR1 handler
-bool DumpRequested();             // test-and-clear the pending-dump flag
+// ------------------------------------------------- SIGUSR1/SIGUSR2 snapshot
+// Signal handling is poll-based to stay async-signal-safe: the handlers only
+// set flags; long-running loops call MaybeDumpOnSignal() once per iteration.
+// SIGUSR1 dumps SnapshotText() to stderr. SIGUSR2 does the same AND flushes
+// the trace ring to $EGERIA_TRACE_DIR/trace_rank<r>.sigusr2.json (clearing
+// the buffers), so a live run's timeline can be captured without stopping it.
+void InstallDumpSignalHandler();  // idempotent; installs both handlers
+bool DumpRequested();             // test-and-clear the SIGUSR1 pending flag
+bool TraceFlushRequested();       // test-and-clear the SIGUSR2 pending flag
 void MaybeDumpOnSignal(const char* where);
 
 }  // namespace obs

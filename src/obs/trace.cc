@@ -329,6 +329,8 @@ bool Flush(const std::string& path) {
 
 std::string FlushToString() { return Serialize(/*clear_buffers=*/true); }
 
+std::string SnapshotToString() { return Serialize(/*clear_buffers=*/false); }
+
 void ResetForTest() {
   Registry& reg = GetRegistry();
   std::lock_guard<std::mutex> reg_lock(reg.mu);

@@ -109,6 +109,11 @@ bool Flush(const std::string& path);
 // Same serialization to a string (tests, in-memory inspection).
 std::string FlushToString();
 
+// Same serialization WITHOUT clearing the buffers: a read-only snapshot for
+// live inspection (the /trace exporter endpoint scrapes this while the run
+// keeps appending). Events emitted concurrently may or may not be included.
+std::string SnapshotToString();
+
 // Drops all buffered events and zeroes drop counters. Tests only.
 void ResetForTest();
 

@@ -1,0 +1,199 @@
+// Embedded HTTP exporter (src/obs/exporter.h): ephemeral-port bind + port
+// file publish, Prometheus /metrics rendering (cumulative buckets, derived
+// quantile gauges), /healthz liveness incl. the stale→503 transition, the
+// non-clearing /trace snapshot vs the draining variant, and 404/405 hygiene.
+// Named obs_* so it runs under the `obs` ctest label (TSan job in CI): the
+// serve thread races live metric updates by design.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "src/obs/exporter.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace egeria {
+namespace {
+
+class ObsExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::SetEnabled(false);
+    trace::ResetForTest();
+    obs::ResetAllForTest();
+  }
+  void TearDown() override {
+    trace::SetEnabled(false);
+    trace::ResetForTest();
+    obs::ResetAllForTest();
+  }
+};
+
+// Minimal HTTP/1.0 GET: send the request, read to EOF, return the full
+// response (headers + body). Empty string on connect failure.
+std::string HttpGet(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  ::send(fd, req.data(), req.size(), 0);
+  std::string resp;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+TEST_F(ObsExporterTest, PublishesPortFileAndServesMetrics) {
+  obs::GetCounter("exp_test.requests").Add(7);
+  obs::GetGauge("exp_test.depth").Set(1.5);
+  obs::Histogram& h = obs::GetHistogram("exp_test.lat_s");
+  h.Observe(1.5e-3);
+  h.Observe(1.5e-3);
+  h.Observe(3.0e-3);
+
+  obs::ExporterOptions opts;
+  opts.rank = 3;
+  opts.port_file = ::testing::TempDir() + "/obs_port_rank3";
+  auto exporter = obs::Exporter::Start(opts);
+  ASSERT_NE(exporter, nullptr);
+  EXPECT_GT(exporter->Port(), 0);
+
+  // The port file is complete the moment it exists (tmp+rename publish).
+  std::ifstream pf(opts.port_file);
+  ASSERT_TRUE(static_cast<bool>(pf));
+  int published = 0;
+  pf >> published;
+  EXPECT_EQ(published, exporter->Port());
+
+  const std::string resp = HttpGet(exporter->Port(), "/metrics");
+  ASSERT_NE(resp.find("HTTP/1.0 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("# TYPE egeria_exp_test_requests counter"),
+            std::string::npos);
+  EXPECT_NE(resp.find("egeria_exp_test_requests 7"), std::string::npos);
+  EXPECT_NE(resp.find("egeria_exp_test_depth 1.5"), std::string::npos);
+  // Histogram: cumulative buckets (2 at the 2.048ms edge, 3 total), _sum,
+  // _count, +Inf, and the derived quantile gauges.
+  EXPECT_NE(resp.find("# TYPE egeria_exp_test_lat_s histogram"),
+            std::string::npos);
+  EXPECT_NE(resp.find("egeria_exp_test_lat_s_bucket{le=\"0.002048\"} 2"),
+            std::string::npos);
+  EXPECT_NE(resp.find("egeria_exp_test_lat_s_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(resp.find("egeria_exp_test_lat_s_count 3"), std::string::npos);
+  EXPECT_NE(resp.find("egeria_exp_test_lat_s_p50"), std::string::npos);
+  EXPECT_NE(resp.find("egeria_exp_test_lat_s_p99"), std::string::npos);
+}
+
+TEST_F(ObsExporterTest, HealthzReportsIterationsAndTurnsStale) {
+  obs::ExporterOptions opts;
+  opts.rank = 1;
+  opts.stale_after_s = 0.2;
+  auto exporter = obs::Exporter::Start(opts);
+  ASSERT_NE(exporter, nullptr);
+
+  // Before any iteration there is nothing to be stale about.
+  std::string resp = HttpGet(exporter->Port(), "/healthz");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"rank\":1"), std::string::npos);
+  EXPECT_NE(resp.find("\"last_iteration\":-1"), std::string::npos);
+
+  exporter->NoteIteration(42);
+  resp = HttpGet(exporter->Port(), "/healthz");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"last_iteration\":42"), std::string::npos);
+
+  // Iterations started, then stalled past the threshold → 503.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  resp = HttpGet(exporter->Port(), "/healthz");
+  EXPECT_NE(resp.find("HTTP/1.0 503"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"status\":\"stale\""), std::string::npos);
+}
+
+TEST_F(ObsExporterTest, TraceSnapshotIsNonClearingUnlessDrained) {
+  trace::SetEnabled(true);
+  trace::AddInstant("exp_test", "marker");
+  const size_t buffered = trace::BufferedEventCount();
+  ASSERT_GE(buffered, 1U);
+
+  obs::ExporterOptions opts;
+  auto exporter = obs::Exporter::Start(opts);
+  ASSERT_NE(exporter, nullptr);
+
+  std::string resp = HttpGet(exporter->Port(), "/trace");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(resp.find("\"name\":\"marker\""), std::string::npos);
+  // A plain scrape is read-only: the ring still holds the events.
+  EXPECT_EQ(trace::BufferedEventCount(), buffered);
+
+  resp = HttpGet(exporter->Port(), "/trace?drain=1");
+  EXPECT_NE(resp.find("\"name\":\"marker\""), std::string::npos);
+  EXPECT_EQ(trace::BufferedEventCount(), 0U);
+}
+
+TEST_F(ObsExporterTest, RejectsUnknownPathsAndMethods) {
+  obs::ExporterOptions opts;
+  auto exporter = obs::Exporter::Start(opts);
+  ASSERT_NE(exporter, nullptr);
+  EXPECT_NE(HttpGet(exporter->Port(), "/nope").find("HTTP/1.0 404"),
+            std::string::npos);
+
+  // Non-GET → 405 (raw write so we control the method).
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(exporter->Port()));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const char req[] = "POST /metrics HTTP/1.0\r\n\r\n";
+  ::send(fd, req, sizeof(req) - 1, 0);
+  std::string resp;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    resp.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(resp.find("HTTP/1.0 405"), std::string::npos) << resp;
+}
+
+TEST_F(ObsExporterTest, StopIsIdempotentAndJoins) {
+  obs::ExporterOptions opts;
+  auto exporter = obs::Exporter::Start(opts);
+  ASSERT_NE(exporter, nullptr);
+  const int port = exporter->Port();
+  exporter->Stop();
+  exporter->Stop();
+  // Stopped server no longer answers.
+  EXPECT_EQ(HttpGet(port, "/metrics"), "");
+}
+
+}  // namespace
+}  // namespace egeria

@@ -245,6 +245,50 @@ TEST_F(ObsTest, HistogramBucketEdges) {
   EXPECT_GT(h.Sum(), 0.0);
 }
 
+TEST_F(ObsTest, HistogramQuantileEdgeCases) {
+  using H = obs::Histogram;
+  obs::Histogram& h = obs::GetHistogram("obs_test.quant_s");
+  // Empty histogram: every quantile is 0 by convention.
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+
+  // One observation at 1.5 ms lands in bucket [1.024ms, 2.048ms); quantiles
+  // interpolate linearly across exactly that bucket.
+  h.Observe(1.5e-3);
+  const double lo = 1.024e-3;
+  const double hi = 2.048e-3;
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), lo);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), lo + 0.5 * (hi - lo));
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), hi);
+  // Out-of-range q clamps instead of extrapolating.
+  EXPECT_DOUBLE_EQ(h.Quantile(-3.0), lo);
+  EXPECT_DOUBLE_EQ(h.Quantile(7.0), hi);
+
+  // Two equally-filled adjacent buckets: the median sits exactly on the
+  // shared edge, p90 is 80% into the upper bucket.
+  h.Reset();
+  for (int i = 0; i < 100; ++i) h.Observe(1.5e-3);  // bucket [1.024, 2.048)ms
+  for (int i = 0; i < 100; ++i) h.Observe(3.0e-3);  // bucket [2.048, 4.096)ms
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 2.048e-3);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.9), 2.048e-3 + 0.8 * 2.048e-3);
+  // Monotone in q.
+  EXPECT_LE(h.Quantile(0.5), h.Quantile(0.9));
+  EXPECT_LE(h.Quantile(0.9), h.Quantile(0.99));
+
+  // Underflow mass interpolates over [0, first edge).
+  h.Reset();
+  for (int i = 0; i < 4; ++i) h.Observe(0.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.5 * H::kFirstEdge);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), H::kFirstEdge);
+
+  // Overflow mass saturates at the last finite edge — the estimator never
+  // invents values beyond the scale.
+  h.Reset();
+  h.Observe(1e9);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), H::BucketUpperEdge(H::kNumBuckets - 1));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), H::BucketUpperEdge(H::kNumBuckets - 1));
+}
+
 TEST_F(ObsTest, ScopedPhaseFeedsHistogramAccumulatorAndTrace) {
   trace::SetEnabled(true);
   obs::Histogram& h = obs::GetHistogram("obs_test.phase_s");
@@ -274,9 +318,16 @@ TEST_F(ObsTest, SnapshotFormats) {
   EXPECT_NE(text.find("gauge obs_test.snap_gauge = 2.500000"),
             std::string::npos);
   EXPECT_NE(text.find("histogram obs_test.snap_s count=1"), std::string::npos);
+  // Derived quantiles: 1 ms lands in bucket [512µs, 1024µs); the lone
+  // observation puts every quantile at the interpolated bucket position.
+  EXPECT_NE(text.find("p50_s=0.000768"), std::string::npos);
+  EXPECT_NE(text.find("p90_s=0.000973"), std::string::npos);
+  EXPECT_NE(text.find("p99_s="), std::string::npos);
   const std::string json = obs::SnapshotJson();
   EXPECT_NE(json.find("\"obs_test.snap_counter\":3"), std::string::npos);
   EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50_s\":0.000768"), std::string::npos);
+  EXPECT_NE(json.find("\"p99_s\":"), std::string::npos);
 }
 
 // ---- trainer-level pin: tracing must be a pure observer --------------------

@@ -2,7 +2,8 @@
 // timeline and summarize/reconcile the per-phase span totals.
 //
 //   egeria_trace [--out=merged.json] [--reconcile=rank_0.log]
-//                [--tolerance-pct=5] trace_rank0.json [trace_rank1.json ...]
+//                [--tolerance-pct=5] [--diagnose] [--straggler-skew=2]
+//                trace_rank0.json [trace_rank1.json ...]
 //
 // Input files are the Chrome trace-event JSON emitted by trace::Flush — one
 // event per line (the tracer guarantees that), with the per-process clock-sync
@@ -20,6 +21,20 @@
 // trace, the metrics registry, and RankTrainResult — all three are fed by the
 // same obs::ScopedPhase intervals, so a reconcile failure means clock or
 // plumbing breakage, not legitimate skew.
+//
+// --diagnose runs the bottleneck diagnosis engine over the merged timeline:
+// a per-rank phase breakdown with the unattributed gap (time inside
+// trainer.train covered by no phase span — where cross-rank waits like a
+// frontier broadcast stalled behind a straggler land), a per-phase critical
+// path (the slowest rank of each phase), measured overlap efficiency
+// (per-round wire-transfer seconds split around the matching
+// trainer.comm_wait block, mirroring the worker's own accounting:
+// hidden vs exposed comm),
+// a data-/compute-/comm-wait-bound classification naming the dominant phase
+// and rank, and straggler detection (per-rank load = compute + gap; skew =
+// max/median, reported when it exceeds --straggler-skew). Output is a human
+// report plus one machine-readable `EGERIA_DIAGNOSIS {json}` line that
+// scripts/bench_trajectory.py records as advisory metrics.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -260,6 +275,54 @@ bool WriteMerged(const std::string& path, const std::vector<RankFile>& ranks,
   return static_cast<bool>(os);
 }
 
+// ---- interval arithmetic for the overlap-efficiency measurement ----
+
+// Sorts and merges in place; returns the union length. Working in merged
+// unions (not raw span sums) is what keeps nested comm spans
+// (reduce_scatter ⊃ shard_step) from being counted twice.
+double MergeIntervals(std::vector<std::pair<double, double>>* iv) {
+  if (iv->empty()) {
+    return 0.0;
+  }
+  std::sort(iv->begin(), iv->end());
+  std::vector<std::pair<double, double>> merged;
+  merged.push_back((*iv)[0]);
+  for (size_t i = 1; i < iv->size(); ++i) {
+    if ((*iv)[i].first <= merged.back().second) {
+      merged.back().second = std::max(merged.back().second, (*iv)[i].second);
+    } else {
+      merged.push_back((*iv)[i]);
+    }
+  }
+  iv->swap(merged);
+  double total = 0.0;
+  for (const auto& [lo, hi] : *iv) {
+    total += hi - lo;
+  }
+  return total;
+}
+
+// Total overlap between two merged (sorted, disjoint) interval lists.
+double IntersectIntervals(const std::vector<std::pair<double, double>>& a,
+                          const std::vector<std::pair<double, double>>& b) {
+  double total = 0.0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    const double lo = std::max(a[i].first, b[j].first);
+    const double hi = std::min(a[i].second, b[j].second);
+    if (hi > lo) {
+      total += hi - lo;
+    }
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return total;
+}
+
 // EGERIA_RESULT key=value fields from a worker log (last such line wins).
 std::map<std::string, std::string> ParseResultLine(const std::string& path) {
   std::map<std::string, std::string> kv;
@@ -289,6 +352,8 @@ int main(int argc, char** argv) {
   std::string out_path;
   std::string reconcile_log;
   double tolerance_pct = 5.0;
+  bool diagnose = false;
+  double straggler_skew_threshold = 2.0;
   std::vector<std::string> inputs;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
@@ -298,6 +363,10 @@ int main(int argc, char** argv) {
       reconcile_log = a + 12;
     } else if (std::strncmp(a, "--tolerance-pct=", 16) == 0) {
       tolerance_pct = std::atof(a + 16);
+    } else if (std::strcmp(a, "--diagnose") == 0) {
+      diagnose = true;
+    } else if (std::strncmp(a, "--straggler-skew=", 17) == 0) {
+      straggler_skew_threshold = std::atof(a + 17);
     } else if (a[0] == '-') {
       std::fprintf(stderr, "egeria_trace: unknown flag %s\n", a);
       return 2;
@@ -308,7 +377,8 @@ int main(int argc, char** argv) {
   if (inputs.empty()) {
     std::fprintf(stderr,
                  "usage: egeria_trace [--out=FILE] [--reconcile=RANK0_LOG] "
-                 "[--tolerance-pct=P] trace_rank0.json [...]\n");
+                 "[--tolerance-pct=P] [--diagnose] [--straggler-skew=S] "
+                 "trace_rank0.json [...]\n");
     return 2;
   }
 
@@ -437,6 +507,220 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("reconcile: all phases within %.1f%%\n", tolerance_pct);
+  }
+
+  // ---- bottleneck diagnosis over the merged timeline ----
+  if (diagnose) {
+    struct RankDiag {
+      double data = 0.0, fp = 0.0, bp = 0.0, opt = 0.0;
+      double comm_wait = 0.0, train = 0.0;
+      double comm_union = 0.0, hidden = 0.0, exposed = 0.0;
+      double compute() const { return fp + bp + opt; }
+      // Train-loop time covered by no phase span: cross-rank waits outside
+      // the instrumented phases (e.g. a frontier broadcast stalled behind a
+      // straggler's injected delay) land here.
+      double gap() const {
+        return std::max(0.0, train - (data + compute() + comm_wait));
+      }
+      double load() const { return compute() + gap(); }
+    };
+    std::map<int, RankDiag> diag;
+    for (const RankFile& rf : ranks) {
+      RankDiag& d = diag[rf.rank];
+      auto total = [&](const char* key) {
+        const auto it = totals.find({rf.rank, key});
+        return it != totals.end() ? it->second.seconds : 0.0;
+      };
+      d.data = total("trainer.data");
+      d.fp = total("trainer.fp");
+      d.bp = total("trainer.bp");
+      d.opt = total("trainer.opt");
+      d.comm_wait = total("trainer.comm_wait");
+      d.train = total("trainer.train");
+      // Overlap efficiency replays the worker's own per-round accounting
+      // (overlap_reducer.cc FinishRound) from spans: for each backward
+      // round, comm = wire-transfer seconds inside that round's comm.round
+      // envelope (ring.reduce_scatter / ring.all_gather — exactly what the
+      // worker's CommSeconds times), block = the matching trainer.comm_wait
+      // span (the FinishRound wall block, readiness idle included); then
+      // hidden = max(0, comm - block) and exposed = block, per round. The
+      // comm.* lifecycle envelopes (round/bucket/reduce_scatter wrappers on
+      // the comm thread) never count as wire time — they cover readiness
+      // waits and would claim the whole backward window as "hidden". Runs
+      // without the overlap reducer (no comm.round spans, e.g. the sync
+      // star-reduce path) fall back to interval-intersecting wire spans
+      // with backward spans.
+      auto is_wire_span = [](const TraceEvent& e) {
+        if (e.cat != "ring") {
+          return false;
+        }
+        return e.name == "reduce_scatter" || e.name == "all_gather" ||
+               e.name == "star_reduce";
+      };
+      std::vector<std::pair<double, double>> wire_spans;
+      std::vector<std::pair<double, double>> round_iv;
+      std::vector<std::pair<double, double>> wait_iv;
+      std::vector<std::pair<double, double>> bp_iv;
+      for (const TraceEvent& e : rf.events) {
+        if (e.ph != 'X') {
+          continue;
+        }
+        const double lo = e.ts_us * 1e-6;
+        const double hi = (e.ts_us + e.dur_us) * 1e-6;
+        if (is_wire_span(e)) {
+          wire_spans.emplace_back(lo, hi);
+        } else if (e.cat == "comm" && e.name == "round") {
+          round_iv.emplace_back(lo, hi);
+        } else if (e.cat == "trainer" && e.name == "comm_wait") {
+          wait_iv.emplace_back(lo, hi);
+        } else if (e.cat == "trainer" && e.name == "bp") {
+          bp_iv.emplace_back(lo, hi);
+        }
+      }
+      if (!round_iv.empty() && !wait_iv.empty()) {
+        // Rounds and FinishRound blocks are both strictly sequential per
+        // iteration, so sorting by start time pairs them index-wise.
+        std::sort(round_iv.begin(), round_iv.end());
+        std::sort(wait_iv.begin(), wait_iv.end());
+        const size_t n = std::min(round_iv.size(), wait_iv.size());
+        for (size_t i = 0; i < n; ++i) {
+          double comm = 0.0;
+          for (const auto& [lo, hi] : wire_spans) {
+            const double mid = 0.5 * (lo + hi);
+            if (mid >= round_iv[i].first && mid <= round_iv[i].second) {
+              comm += hi - lo;
+            }
+          }
+          const double block = wait_iv[i].second - wait_iv[i].first;
+          d.hidden += std::max(0.0, comm - block);
+          d.exposed += block;
+          d.comm_union += comm;
+        }
+      } else {
+        d.comm_union = MergeIntervals(&wire_spans);
+        MergeIntervals(&bp_iv);
+        d.hidden = IntersectIntervals(wire_spans, bp_iv);
+        d.exposed = d.comm_union - d.hidden;
+      }
+    }
+
+    std::printf("\n---- diagnosis ----\n");
+    std::printf("%-6s %10s %10s %10s %10s %12s %10s %10s\n", "rank", "data_s",
+                "fp_s", "bp_s", "opt_s", "comm_wait_s", "gap_s", "train_s");
+    for (const auto& [rank, d] : diag) {
+      std::printf("%-6d %10.3f %10.3f %10.3f %10.3f %12.3f %10.3f %10.3f\n",
+                  rank, d.data, d.fp, d.bp, d.opt, d.comm_wait, d.gap(),
+                  d.train);
+    }
+
+    // Per-phase critical path: the slowest rank of each phase bounds the
+    // world (data-parallel ranks sync every iteration), so the sum of
+    // per-phase maxima approximates the iteration-loop critical path.
+    struct PhaseMax {
+      const char* name;
+      double seconds = 0.0;
+      int rank = 0;
+    };
+    PhaseMax phase_max[] = {{"data"}, {"compute"}, {"comm_wait"}, {"gap"}};
+    for (const auto& [rank, d] : diag) {
+      const double vals[] = {d.data, d.compute(), d.comm_wait, d.gap()};
+      for (int i = 0; i < 4; ++i) {
+        if (vals[i] > phase_max[i].seconds) {
+          phase_max[i].seconds = vals[i];
+          phase_max[i].rank = rank;
+        }
+      }
+    }
+    double critical_path_s = 0.0;
+    std::printf("critical path:");
+    for (const PhaseMax& pm : phase_max) {
+      critical_path_s += pm.seconds;
+      std::printf(" %s=%.3fs(rank %d)", pm.name, pm.seconds, pm.rank);
+    }
+    std::printf(" total=%.3fs\n", critical_path_s);
+
+    double hidden_total = 0.0;
+    double exposed_total = 0.0;
+    double wall_s = 0.0;
+    for (const auto& [rank, d] : diag) {
+      hidden_total += d.hidden;
+      exposed_total += d.exposed;
+      wall_s = std::max(wall_s, d.train);
+    }
+    const double comm_total = hidden_total + exposed_total;
+    const double overlap_efficiency_pct =
+        comm_total > 0.0 ? 100.0 * hidden_total / comm_total : 0.0;
+    std::printf(
+        "overlap: comm_hidden=%.3fs comm_exposed=%.3fs efficiency=%.1f%%\n",
+        hidden_total, exposed_total, overlap_efficiency_pct);
+
+    // Classification: which phase's slowest rank dominates the critical path.
+    // data/compute name the slow rank directly; comm_wait is symptomatic (the
+    // waiter is the victim), so the straggler analysis below names the cause.
+    const PhaseMax* dominant = &phase_max[0];
+    for (int i = 1; i < 3; ++i) {
+      if (phase_max[i].seconds > dominant->seconds) {
+        dominant = &phase_max[i];
+      }
+    }
+    // The unattributed gap is a cross-rank wait just like comm_wait: fold it
+    // into the comm-wait-bound class rather than inventing a fourth label.
+    const char* classification;
+    const char* dominant_phase = dominant->name;
+    if (std::strcmp(dominant->name, "data") == 0) {
+      classification = "data-bound";
+    } else if (std::strcmp(dominant->name, "compute") == 0) {
+      classification = "compute-bound";
+    } else {
+      classification = "comm-wait-bound";
+    }
+    if (phase_max[3].seconds > dominant->seconds) {  // gap dominates all
+      classification = "comm-wait-bound";
+      dominant_phase = "gap";
+      dominant = &phase_max[3];
+    }
+
+    // Straggler: the rank whose own work (compute + unattributed stalls)
+    // exceeds the median rank's by the skew threshold. comm_wait is excluded
+    // from load — waiting on others is the OPPOSITE of straggling.
+    std::vector<double> loads;
+    int straggler_rank = -1;
+    double max_load = 0.0;
+    for (const auto& [rank, d] : diag) {
+      loads.push_back(d.load());
+      if (d.load() > max_load) {
+        max_load = d.load();
+        straggler_rank = rank;
+      }
+    }
+    std::sort(loads.begin(), loads.end());
+    const double median_load = loads[(loads.size() - 1) / 2];
+    const double straggler_skew =
+        max_load / std::max(median_load, 0.010);
+    if (loads.size() < 2 || straggler_skew < straggler_skew_threshold) {
+      straggler_rank = -1;
+    }
+
+    std::printf("classification: %s (dominant phase %s, %.3fs on rank %d)\n",
+                classification, dominant_phase, dominant->seconds,
+                dominant->rank);
+    if (straggler_rank >= 0) {
+      std::printf("straggler: rank %d (load skew %.2fx over the median)\n",
+                  straggler_rank, straggler_skew);
+    } else {
+      std::printf("straggler: none (max load skew %.2fx, threshold %.2fx)\n",
+                  straggler_skew, straggler_skew_threshold);
+    }
+    std::printf(
+        "EGERIA_DIAGNOSIS {\"classification\":\"%s\","
+        "\"dominant_phase\":\"%s\",\"dominant_rank\":%d,"
+        "\"dominant_seconds\":%.6f,\"straggler_rank\":%d,"
+        "\"straggler_skew\":%.4f,\"overlap_efficiency_pct\":%.2f,"
+        "\"comm_hidden_s\":%.6f,\"comm_exposed_s\":%.6f,"
+        "\"critical_path_s\":%.6f,\"wall_s\":%.6f,\"ranks\":%zu}\n",
+        classification, dominant_phase, dominant->rank, dominant->seconds,
+        straggler_rank, straggler_skew, overlap_efficiency_pct, hidden_total,
+        exposed_total, critical_path_s, wall_s, diag.size());
   }
   return 0;
 }

@@ -50,8 +50,14 @@
 //       separated kind:iter entries with kinds
 //       corrupt/truncate/delay/drop/dup/hang/exit, or a single seed:S entry;
 //       see src/distributed/transport/fault_injection.h. hang:0 / exit:0 fire
-//       before the transport even connects. Malformed specs are a usage
-//       error, exit 2.)
+//       before the transport even connects. An entry may carry a rank
+//       qualifier, kind@rank:iter, so one launch command can fault a single
+//       rank of the world. Malformed specs are a usage error, exit 2.)
+//
+// Env: EGERIA_TRACE=1 writes trace_rank<r>.json at exit; EGERIA_EXPORTER=1
+// starts the live HTTP exporter (/metrics, /healthz, /trace — see
+// src/obs/exporter.h) on an ephemeral loopback port published to
+// $EGERIA_TRACE_DIR/obs_port_rank<r>.
 #include <unistd.h>
 
 #include <cstdio>
@@ -64,6 +70,7 @@
 #include "src/distributed/transport/fault_injection.h"
 #include "src/distributed/transport/integrity_transport.h"
 #include "src/distributed/transport/tcp_transport.h"
+#include "src/obs/exporter.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/logging.h"
@@ -97,6 +104,20 @@ int EnvOrDie(const char* flag, const char* env_name, const std::string& flag_val
   }
 }
 
+bool TruthyEnv(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) {
+    return false;
+  }
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "on") == 0 || std::strcmp(v, "yes") == 0;
+}
+
+std::string TraceDir() {
+  const char* env_dir = std::getenv("EGERIA_TRACE_DIR");
+  return env_dir != nullptr && env_dir[0] != '\0' ? env_dir : ".";
+}
+
 // Flush per-rank observability artifacts: the trace (when EGERIA_TRACE is on)
 // to trace_rank<r>.json under $EGERIA_TRACE_DIR (default: cwd), and a metrics
 // snapshot alongside it. Called on BOTH the clean-exit and the EGERIA_ABORT
@@ -106,8 +127,7 @@ void FlushObservability(int rank) {
   if (!trace::Enabled() && !want_metrics) {
     return;
   }
-  const char* env_dir = std::getenv("EGERIA_TRACE_DIR");
-  const std::string dir = env_dir != nullptr && env_dir[0] != '\0' ? env_dir : ".";
+  const std::string dir = TraceDir();
   if (trace::Enabled()) {
     const std::string path = dir + "/trace_rank" + std::to_string(rank) + ".json";
     if (trace::Flush(path)) {
@@ -258,10 +278,35 @@ int Main(int argc, char** argv) {
                             : static_cast<Transport&>(faulty))
                : *base;
 
+  // Optional live telemetry: $EGERIA_EXPORTER=1 starts the per-rank HTTP
+  // exporter on an ephemeral loopback port, published to
+  // $EGERIA_TRACE_DIR/obs_port_rank<r> (rendezvous-file pattern). The server
+  // only reads the obs registry — no collectives, so the training result is
+  // bitwise-unchanged whether or not anyone scrapes.
+  std::unique_ptr<obs::Exporter> exporter;
+  if (TruthyEnv("EGERIA_EXPORTER")) {
+    obs::ExporterOptions eopts;
+    eopts.rank = rank;
+    eopts.port_file = TraceDir() + "/obs_port_rank" + std::to_string(rank);
+    exporter = obs::Exporter::Start(eopts);
+    if (exporter != nullptr) {
+      std::printf("EGERIA_EXPORTER rank=%d port=%d\n", rank, exporter->Port());
+      std::fflush(stdout);
+    } else {
+      std::fprintf(stderr, "egeria_worker: exporter failed to start (rank %d)\n",
+                   rank);
+    }
+  }
+
   FaultInjectingTransport* faulty_ptr = &faulty;
-  w.cfg.iteration_hook = [rank, faulty_ptr, &plan](int r, int64_t iter) {
+  obs::Exporter* exporter_ptr = exporter.get();
+  w.cfg.iteration_hook = [rank, faulty_ptr, exporter_ptr,
+                          &plan](int r, int64_t iter) {
     if (r != rank) {
       return;
+    }
+    if (exporter_ptr != nullptr) {
+      exporter_ptr->NoteIteration(iter);
     }
     faulty_ptr->BeginIteration(iter);
     for (const FaultEvent& ev : plan.events) {
